@@ -1,0 +1,34 @@
+# Convenience targets; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build test race bench experiments experiments-quick lint clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Full reproduction of the paper's evaluation (laptop-minutes).
+experiments:
+	$(GO) run ./cmd/experiments
+
+# Same tables at reduced scale (seconds).
+experiments-quick:
+	$(GO) run ./cmd/experiments -quick
+
+lint:
+	gofmt -l .
+	$(GO) vet ./...
+
+clean:
+	$(GO) clean ./...

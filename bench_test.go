@@ -1,0 +1,118 @@
+// bench_test.go wraps every reproduction experiment (E1..E14, one per
+// theorem/claim of the paper — see DESIGN.md's per-experiment index)
+// in a testing.B benchmark, plus micro-benchmarks of the hot paths.
+//
+//	go test -bench=. -benchmem
+//
+// Each BenchmarkE* iteration regenerates the experiment's table at
+// quick scale; custom metrics surface the headline quantity so the
+// paper's shape (who wins, by what factor) is visible straight from
+// the bench output.
+package plb_test
+
+import (
+	"strconv"
+	"testing"
+
+	"plb"
+	"plb/internal/experiments"
+)
+
+// benchExperiment runs one registered experiment per iteration.
+func benchExperiment(b *testing.B, id string) {
+	e, ok := experiments.ByID(id)
+	if !ok {
+		b.Fatalf("experiment %s not registered", id)
+	}
+	cfg := experiments.RunConfig{Quick: true, Seed: 12345}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = 12345 + uint64(i)
+		res, err := e.Run(cfg)
+		if err != nil {
+			b.Fatalf("%s: %v", id, err)
+		}
+		if len(res.Rows) == 0 {
+			b.Fatalf("%s produced no rows", id)
+		}
+	}
+}
+
+func BenchmarkE1MaxLoadSingle(b *testing.B)          { benchExperiment(b, "E1") }
+func BenchmarkE2UnbalancedDistribution(b *testing.B) { benchExperiment(b, "E2") }
+func BenchmarkE3HeavyLightCensus(b *testing.B)       { benchExperiment(b, "E3") }
+func BenchmarkE4CollisionProtocol(b *testing.B)      { benchExperiment(b, "E4") }
+func BenchmarkE5PartnerSearch(b *testing.B)          { benchExperiment(b, "E5") }
+func BenchmarkE6ExpectedRequests(b *testing.B)       { benchExperiment(b, "E6") }
+func BenchmarkE7WaitingTime(b *testing.B)            { benchExperiment(b, "E7") }
+func BenchmarkE8CommunicationCost(b *testing.B)      { benchExperiment(b, "E8") }
+func BenchmarkE9GenerationModels(b *testing.B)       { benchExperiment(b, "E9") }
+func BenchmarkE10Adversarial(b *testing.B)           { benchExperiment(b, "E10") }
+func BenchmarkE11Locality(b *testing.B)              { benchExperiment(b, "E11") }
+func BenchmarkE12BaselineFaceoff(b *testing.B)       { benchExperiment(b, "E12") }
+func BenchmarkE13Recovery(b *testing.B)              { benchExperiment(b, "E13") }
+func BenchmarkE14Ablation(b *testing.B)              { benchExperiment(b, "E14") }
+func BenchmarkE15StaticGames(b *testing.B)           { benchExperiment(b, "E15") }
+func BenchmarkE16DistributedFidelity(b *testing.B)   { benchExperiment(b, "E16") }
+func BenchmarkE17RecoveryTrajectory(b *testing.B)    { benchExperiment(b, "E17") }
+func BenchmarkE18WeightedExtension(b *testing.B)     { benchExperiment(b, "E18") }
+func BenchmarkE19CollisionParams(b *testing.B)       { benchExperiment(b, "E19") }
+func BenchmarkE20Estimation(b *testing.B)            { benchExperiment(b, "E20") }
+
+// BenchmarkMachineStep measures raw simulator throughput
+// (processor-steps per second) for the balanced and unbalanced system.
+func BenchmarkMachineStep(b *testing.B) {
+	for _, balanced := range []bool{false, true} {
+		for _, n := range []int{1 << 10, 1 << 14} {
+			name := "unbalanced/n=" + strconv.Itoa(n)
+			if balanced {
+				name = "bfm98/n=" + strconv.Itoa(n)
+			}
+			b.Run(name, func(b *testing.B) {
+				model, err := plb.NewSingleModel(0.4, 0.1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cfg := plb.MachineConfig{N: n, Model: model, Seed: 1}
+				var m *plb.Machine
+				if balanced {
+					m, err = plb.NewBalancedMachine(cfg)
+				} else {
+					m, err = plb.NewMachine(cfg)
+				}
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					m.Step()
+				}
+				b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "proc-steps/s")
+			})
+		}
+	}
+}
+
+// BenchmarkCollisionGame measures one full collision-protocol
+// execution at the Lemma 1 operating point.
+func BenchmarkCollisionGame(b *testing.B) {
+	for _, n := range []int{1 << 12, 1 << 16} {
+		b.Run("n="+strconv.Itoa(n), func(b *testing.B) {
+			p := plb.Lemma1Params()
+			nReq := n / (2 * p.A)
+			reqs := make([]int32, nReq)
+			for i := range reqs {
+				reqs[i] = int32(i * (n / nReq))
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res := plb.RunCollision(n, reqs, p, uint64(i), 0)
+				if !res.AllSatisfied {
+					b.Fatal("collision protocol failed")
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,102 @@
+// Command experiments regenerates the paper's evaluation: one
+// experiment per theorem/claim (see DESIGN.md for the index).
+//
+// Usage:
+//
+//	experiments [-run E1,E5] [-quick] [-format text|md] [-seed N] [-list]
+//
+// Without -run, every registered experiment executes in order.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"plb/internal/experiments"
+)
+
+func main() {
+	var (
+		runIDs   = flag.String("run", "", "comma-separated experiment IDs (default: all)")
+		quick    = flag.Bool("quick", false, "reduced problem sizes (seconds instead of minutes)")
+		format   = flag.String("format", "text", "output format: text or md")
+		seed     = flag.Uint64("seed", 12345, "master random seed")
+		wrk      = flag.Int("workers", 0, "simulator worker shards (0 = GOMAXPROCS)")
+		list     = flag.Bool("list", false, "list experiments and exit")
+		parallel = flag.Bool("parallel", false, "run the selected experiments concurrently (results print in order)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-4s %s\n     paper: %s\n", e.ID, e.Title, e.PaperClaim)
+		}
+		return
+	}
+
+	var selected []experiments.Experiment
+	if *runIDs == "" {
+		selected = experiments.All()
+	} else {
+		for _, id := range strings.Split(*runIDs, ",") {
+			e, ok := experiments.ByID(strings.TrimSpace(id))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q (use -list)\n", id)
+				os.Exit(2)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	cfg := experiments.RunConfig{Quick: *quick, Seed: *seed, Workers: *wrk}
+	type outcome struct {
+		res     *experiments.Result
+		err     error
+		elapsed time.Duration
+	}
+	outcomes := make([]outcome, len(selected))
+	runOne := func(i int) {
+		start := time.Now()
+		res, err := selected[i].Run(cfg)
+		outcomes[i] = outcome{res: res, err: err, elapsed: time.Since(start)}
+	}
+	if *parallel {
+		var wg sync.WaitGroup
+		wg.Add(len(selected))
+		for i := range selected {
+			go func(i int) {
+				defer wg.Done()
+				runOne(i)
+			}(i)
+		}
+		wg.Wait()
+	} else {
+		for i := range selected {
+			runOne(i)
+		}
+	}
+
+	failures := 0
+	for i, e := range selected {
+		o := outcomes[i]
+		if o.err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s failed: %v\n", e.ID, o.err)
+			failures++
+			continue
+		}
+		switch *format {
+		case "md":
+			fmt.Println(o.res.Markdown())
+		default:
+			fmt.Println(o.res.Text())
+		}
+		fmt.Printf("(%s took %v)\n\n", e.ID, o.elapsed.Round(time.Millisecond))
+	}
+	if failures > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,96 @@
+// Command lbsim runs one load-balancing simulation and prints a
+// summary: max/total load, message cost, and task-lifetime statistics.
+//
+// Usage:
+//
+//	lbsim [-n 4096] [-steps 5000] [-algo bfm98] [-model single] [-seed 1]
+//
+// Algorithms: bfm98 (the paper, default), bfm98-pre (with the
+// adversarial pre-round), unbalanced, greedy1, greedy2, rsu, lm,
+// lauer, throwair.
+// Models: single, geometric, multi, burst, tree, hotspot.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"plb/internal/cli"
+	"plb/internal/sim"
+	"plb/internal/stats"
+	"plb/internal/trace"
+)
+
+func main() {
+	var (
+		n       = flag.Int("n", 4096, "number of processors")
+		steps   = flag.Int("steps", 5000, "simulation steps")
+		algo    = flag.String("algo", "bfm98", "algorithm (see cli.AlgoNames)")
+		model   = flag.String("model", "single", "workload: single, geometric, multi, burst, tree, hotspot")
+		seed    = flag.Uint64("seed", 1, "random seed")
+		scale   = flag.Int("scale", 1, "multiplier on T=(log log n)^2 for the bfm98 config")
+		wrk     = flag.Int("workers", 0, "worker shards (0 = GOMAXPROCS)")
+		traceTo = flag.String("trace", "", "write a time-series CSV (step, max load, ...) to this file")
+		every   = flag.Int("trace-every", 50, "trace sampling cadence in steps")
+		hist    = flag.Bool("hist", false, "print an ASCII histogram of the final load distribution")
+	)
+	flag.Parse()
+
+	mod, err := cli.BuildModel(*model, *n, *seed)
+	if err != nil {
+		fail(err)
+	}
+	cfg := sim.Config{N: *n, Model: mod, Seed: *seed, Workers: *wrk}
+	if err := cli.InstallAlgo(&cfg, *algo, *n, *scale, *seed); err != nil {
+		fail(err)
+	}
+	m, err := sim.New(cfg)
+	if err != nil {
+		fail(err)
+	}
+	if *traceTo != "" {
+		rec := trace.NewRecorder(*every)
+		rec.Run(m, *steps)
+		f, err := os.Create(*traceTo)
+		if err != nil {
+			fail(err)
+		}
+		if err := rec.WriteCSV(f); err != nil {
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+		fmt.Printf("trace: %d samples -> %s (peak max load %d)\n",
+			len(rec.Points()), *traceTo, rec.PeakMaxLoad())
+	} else {
+		m.Run(*steps)
+	}
+
+	t := stats.PaperT(*n)
+	met := m.Metrics()
+	rec := m.Recorder()
+	fmt.Printf("n=%d steps=%d algo=%s model=%s seed=%d\n", *n, *steps, m.BalancerName(), mod.Name(), *seed)
+	fmt.Printf("T=(log log n)^2 = %d\n", t)
+	fmt.Printf("max load        = %d (%.2f x T)\n", m.MaxLoad(), float64(m.MaxLoad())/float64(t))
+	fmt.Printf("total load      = %d (%.2f per processor)\n", m.TotalLoad(), float64(m.TotalLoad())/float64(*n))
+	fmt.Printf("fairness        = %.4f (Jain index; 1 = perfectly even)\n", stats.JainFairness(m.Snapshot()))
+	fmt.Printf("messages        = %d (%.2f per step)\n", met.Messages, float64(met.Messages)/float64(*steps))
+	fmt.Printf("balance actions = %d, tasks moved = %d\n", met.BalanceActions, met.TasksMoved)
+	fmt.Printf("completed tasks = %d\n", rec.Completed)
+	if rec.Completed > 0 {
+		fmt.Printf("mean wait       = %.2f steps (max %d)\n", rec.MeanWait(), rec.MaxWait)
+		fmt.Printf("locality        = %.4f executed at origin (mean hops %.4f)\n",
+			rec.LocalityFraction(), rec.MeanHops())
+	}
+	if *hist {
+		fmt.Printf("\nload distribution (processors per load value):\n%s",
+			stats.AsciiHistogram(m.Snapshot(), 2*t, 48))
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "lbsim:", err)
+	os.Exit(1)
+}

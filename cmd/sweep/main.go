@@ -1,0 +1,145 @@
+// Command sweep regenerates figure-style data series as CSV.
+//
+// The paper has no numeric figures (it is an extended abstract), but
+// its claims are curves; sweep produces the two canonical ones:
+//
+//	sweep -figure maxload   # mean max load vs n, one column per algorithm
+//	sweep -figure recovery  # max load over time after a worst-case pile
+//	sweep -figure messages  # messages per step vs n, per algorithm
+//
+// Output goes to stdout (redirect to a .csv).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"plb/internal/baselines"
+	"plb/internal/core"
+	"plb/internal/gen"
+	"plb/internal/sim"
+	"plb/internal/stats"
+)
+
+type system struct {
+	name  string
+	build func(n int, seed uint64) (*sim.Machine, error)
+}
+
+func systems(seed uint64) []system {
+	model := gen.Single{P: 0.4, Eps: 0.1}
+	mkBal := func(b func(seed uint64) sim.Balancer) func(n int, seed uint64) (*sim.Machine, error) {
+		return func(n int, seed uint64) (*sim.Machine, error) {
+			return sim.New(sim.Config{N: n, Model: model, Balancer: b(seed), Seed: seed})
+		}
+	}
+	return []system{
+		{"bfm98", func(n int, seed uint64) (*sim.Machine, error) {
+			b, err := core.New(n, core.Config{Seed: seed})
+			if err != nil {
+				return nil, err
+			}
+			return sim.New(sim.Config{N: n, Model: model, Balancer: b, Seed: seed})
+		}},
+		{"unbalanced", mkBal(func(uint64) sim.Balancer { return baselines.Unbalanced{} })},
+		{"greedy2", func(n int, seed uint64) (*sim.Machine, error) {
+			g, err := baselines.NewGreedyD(2)
+			if err != nil {
+				return nil, err
+			}
+			return sim.New(sim.Config{N: n, Model: model, Placer: g, Seed: seed})
+		}},
+		{"rsu91", mkBal(func(s uint64) sim.Balancer { return &baselines.RSU{Seed: s} })},
+		{"lm93", mkBal(func(s uint64) sim.Balancer { return &baselines.LM{K: 2, Seed: s} })},
+		{"throwair", mkBal(func(s uint64) sim.Balancer { return &baselines.ThrowAir{Interval: 4, Seed: s} })},
+	}
+}
+
+func main() {
+	var (
+		figure = flag.String("figure", "maxload", "which series: maxload, recovery, messages")
+		seed   = flag.Uint64("seed", 1, "random seed")
+		steps  = flag.Int("steps", 3000, "steps per run (maxload/messages)")
+		maxN   = flag.Int("maxn", 1<<15, "largest n in the sweep")
+	)
+	flag.Parse()
+
+	switch *figure {
+	case "maxload", "messages":
+		sweepByN(*figure, *seed, *steps, *maxN)
+	case "recovery":
+		recoverySeries(*seed)
+	default:
+		fmt.Fprintf(os.Stderr, "sweep: unknown figure %q\n", *figure)
+		os.Exit(2)
+	}
+}
+
+// sweepByN prints one row per n, one column per algorithm.
+func sweepByN(metric string, seed uint64, steps, maxN int) {
+	sys := systems(seed)
+	fmt.Print("n,T")
+	for _, s := range sys {
+		fmt.Printf(",%s", s.name)
+	}
+	fmt.Println()
+	for n := 1 << 9; n <= maxN; n <<= 1 {
+		fmt.Printf("%d,%d", n, stats.PaperT(n))
+		for _, s := range sys {
+			m, err := s.build(n, seed)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "sweep:", err)
+				os.Exit(1)
+			}
+			warm := steps / 4
+			m.Run(warm)
+			before := m.Metrics().Messages
+			var peak stats.Running
+			for i := 0; i < 10; i++ {
+				m.Run((steps - warm) / 10)
+				peak.Add(float64(m.MaxLoad()))
+			}
+			switch metric {
+			case "maxload":
+				fmt.Printf(",%.2f", peak.Mean())
+			case "messages":
+				msgs := m.Metrics().Messages - before
+				fmt.Printf(",%.2f", float64(msgs)/float64(steps-warm))
+			}
+		}
+		fmt.Println()
+	}
+}
+
+// recoverySeries prints max load over time after a worst-case pile.
+func recoverySeries(seed uint64) {
+	const n = 1 << 10
+	const pile = 16 * n
+	const horizon = 20000
+	const every = 100
+	sys := systems(seed)
+	machines := make([]*sim.Machine, len(sys))
+	for i, s := range sys {
+		m, err := s.build(n, seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sweep:", err)
+			os.Exit(1)
+		}
+		m.Inject(0, pile)
+		machines[i] = m
+	}
+	fmt.Print("step")
+	for _, s := range sys {
+		fmt.Printf(",%s", s.name)
+	}
+	fmt.Println()
+	for step := every; step <= horizon; step += every {
+		fmt.Printf("%d", step)
+		for _, m := range machines {
+			m.Run(every)
+			fmt.Printf(",%d", m.MaxLoad())
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,88 @@
+package plb_test
+
+import (
+	"fmt"
+
+	"plb"
+)
+
+// The canonical run: the paper's balancer on the Single workload.
+func ExampleNewBalancedMachine() {
+	model, err := plb.NewSingleModel(0.4, 0.1)
+	if err != nil {
+		panic(err)
+	}
+	m, err := plb.NewBalancedMachine(plb.MachineConfig{N: 1024, Model: model, Seed: 7})
+	if err != nil {
+		panic(err)
+	}
+	m.Run(2000)
+	t := plb.PaperT(1024)
+	fmt.Println("max load within 4T:", m.MaxLoad() <= 4*t)
+	fmt.Println("tasks conserved:", func() bool {
+		rec := m.Recorder()
+		return rec.Completed+m.TotalLoad() == m.Generated()
+	}())
+	// Output:
+	// max load within 4T: true
+	// tasks conserved: true
+}
+
+// Standalone collision protocol at the Lemma 1 operating point.
+func ExampleRunCollision() {
+	requesters := []int32{10, 20, 30, 40}
+	res := plb.RunCollision(1024, requesters, plb.Lemma1Params(), 1, 0)
+	fmt.Println("all satisfied:", res.AllSatisfied)
+	fmt.Println("accepts per request >= 2:", len(res.Accepted[0]) >= 2)
+	// Output:
+	// all satisfied: true
+	// accepts per request >= 2: true
+}
+
+// Observing phases through the OnPhase hook.
+func ExampleNewBalancer() {
+	const n = 512
+	cfg := plb.DefaultBalancerConfig(n)
+	phases := 0
+	cfg.OnPhase = func(ps plb.PhaseStats) { phases++ }
+	b, err := plb.NewBalancer(n, cfg)
+	if err != nil {
+		panic(err)
+	}
+	model, _ := plb.NewSingleModel(0.4, 0.1)
+	m, err := plb.NewMachine(plb.MachineConfig{N: n, Model: model, Balancer: b, Seed: 1})
+	if err != nil {
+		panic(err)
+	}
+	m.Run(10 * cfg.PhaseLen)
+	fmt.Println("phases observed:", phases == 10)
+	// Output:
+	// phases observed: true
+}
+
+// The weighted extension: Pareto task weights, weight-aware balancing.
+func ExampleNewParetoWeight() {
+	weigher, err := plb.NewParetoWeight(1.2, 16)
+	if err != nil {
+		panic(err)
+	}
+	const n = 512
+	cfg := plb.DefaultBalancerConfig(n)
+	cfg.ByWeight = true
+	cfg.HeavyThreshold *= 4
+	cfg.LightThreshold *= 4
+	cfg.TransferAmount *= 4
+	b, err := plb.NewBalancer(n, cfg)
+	if err != nil {
+		panic(err)
+	}
+	model, _ := plb.NewSingleModel(0.12, 0.38)
+	m, err := plb.NewMachine(plb.MachineConfig{N: n, Model: model, Weigher: weigher, Balancer: b, Seed: 2})
+	if err != nil {
+		panic(err)
+	}
+	m.Run(2000)
+	fmt.Println("weighted max bounded:", m.MaxWeightedLoad() < 16*int64(plb.PaperT(n)))
+	// Output:
+	// weighted max bounded: true
+}

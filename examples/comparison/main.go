@@ -1,0 +1,78 @@
+// Comparison: the full baseline face-off from the public API.
+//
+// Runs every algorithm shipped with the library on the same Single
+// workload and prints the positioning table of Section 1.1: max load
+// vs message rate vs locality.
+//
+//	go run ./examples/comparison
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"plb"
+)
+
+const (
+	n     = 4096
+	steps = 4000
+	seed  = 3
+)
+
+func main() {
+	type system struct {
+		name  string
+		build func(model plb.Model) (*plb.Machine, error)
+	}
+	bal := func(b plb.Balancer) func(model plb.Model) (*plb.Machine, error) {
+		return func(model plb.Model) (*plb.Machine, error) {
+			return plb.NewMachine(plb.MachineConfig{N: n, Model: model, Balancer: b, Seed: seed})
+		}
+	}
+	systems := []system{
+		{"bfm98 (paper)", func(model plb.Model) (*plb.Machine, error) {
+			return plb.NewBalancedMachine(plb.MachineConfig{N: n, Model: model, Seed: seed})
+		}},
+		{"unbalanced", bal(plb.NewUnbalanced())},
+		{"greedy d=2 (supermarket)", func(model plb.Model) (*plb.Machine, error) {
+			g, err := plb.NewGreedyPlacer(2)
+			if err != nil {
+				return nil, err
+			}
+			return plb.NewMachine(plb.MachineConfig{N: n, Model: model, Placer: g, Seed: seed})
+		}},
+		{"rsu91", bal(plb.NewRSU(seed))},
+		{"lm93", bal(plb.NewLM(2, seed))},
+		{"lauer95", bal(plb.NewLauer(2, seed))},
+		{"throwair", bal(plb.NewThrowAir(4, seed))},
+	}
+
+	t := plb.PaperT(n)
+	fmt.Printf("n=%d, Single(0.4, 0.1), %d steps, T=(log log n)^2=%d\n\n", n, steps, t)
+	fmt.Printf("%-26s %9s %7s %11s %9s %10s\n",
+		"algorithm", "max load", "max/T", "msgs/step", "locality", "mean wait")
+	for _, s := range systems {
+		model, err := plb.NewSingleModel(0.4, 0.1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		m, err := s.build(model)
+		if err != nil {
+			log.Fatal(err)
+		}
+		worst := 0
+		m.Run(steps / 4)
+		for i := 0; i < 15; i++ {
+			m.Run(3 * steps / 4 / 15)
+			if l := m.MaxLoad(); l > worst {
+				worst = l
+			}
+		}
+		rec := m.Recorder()
+		fmt.Printf("%-26s %9d %7.2f %11.1f %8.1f%% %10.2f\n",
+			s.name, worst, float64(worst)/float64(t),
+			float64(m.Metrics().Messages)/float64(m.Now()),
+			100*rec.LocalityFraction(), rec.MeanWait())
+	}
+}

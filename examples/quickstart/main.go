@@ -1,0 +1,43 @@
+// Quickstart: run the paper's balancer on the Single workload and
+// print the quantities Theorem 1 is about.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"plb"
+)
+
+func main() {
+	const n = 4096
+	const steps = 5000
+
+	model, err := plb.NewSingleModel(0.4, 0.1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m, err := plb.NewBalancedMachine(plb.MachineConfig{N: n, Model: model, Seed: 42})
+	if err != nil {
+		log.Fatal(err)
+	}
+	m.Run(steps)
+
+	t := plb.PaperT(n)
+	rec := m.Recorder()
+	met := m.Metrics()
+	fmt.Printf("n = %d processors, %d steps of %s\n", n, steps, model.Name())
+	fmt.Printf("T = (log log n)^2 = %d\n", t)
+	fmt.Printf("max load  = %d  (Theorem 1 bound: O(T); ratio %.2f)\n",
+		m.MaxLoad(), float64(m.MaxLoad())/float64(t))
+	fmt.Printf("avg load  = %.2f per processor (system load O(n))\n",
+		float64(m.TotalLoad())/float64(n))
+	fmt.Printf("messages  = %.1f per step (balls-into-bins would pay ~%d)\n",
+		float64(met.Messages)/float64(steps), 2*2*n*4/10)
+	fmt.Printf("locality  = %.1f%% of tasks executed where generated\n",
+		100*rec.LocalityFraction())
+	fmt.Printf("mean wait = %.2f steps, max %d (Corollary 1: O(T))\n",
+		rec.MeanWait(), rec.MaxWait)
+}

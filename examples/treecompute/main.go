@@ -1,0 +1,86 @@
+// Treecompute: adversarial, tree-structured computation.
+//
+// Divide-and-conquer workloads (branch-and-bound, parallel search,
+// speculative evaluation) violate the independence assumptions of the
+// randomized generation models: a running task spawns children on the
+// processor it runs on, so load multiplies exactly where it is already
+// piled up. The paper handles this with the Adversarial model — any
+// generation pattern is admitted as long as a processor changes its
+// own load by at most O(T) per T steps and the total system load stays
+// below a bound B — plus the Section 4.3 "pre-round" modification of
+// the balancer (every heavy processor first probes one random
+// processor directly).
+//
+//	go run ./examples/treecompute
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"plb"
+)
+
+func main() {
+	const n = 2048
+	const steps = 6000
+	const seed = 11
+	t := plb.PaperT(n)
+	systemBound := int64(8 * n)
+
+	// Busy processors spawn 2 children with probability 0.3 per step;
+	// fresh search roots arrive at n/8 per step system-wide.
+	adv := plb.TreeAdversary(0.3, 2, float64(n)/8)
+	model, err := plb.NewAdversarialModel(adv, t, 2*t, systemBound, seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The balancer with the adversarial pre-round enabled.
+	cfg := plb.DefaultBalancerConfig(n)
+	cfg.Seed = seed
+	cfg.PreRound = true
+	var preMatched, matched int64
+	cfg.OnPhase = func(ps plb.PhaseStats) {
+		preMatched += int64(ps.PreMatched)
+		matched += int64(ps.Matched)
+	}
+	bal, err := plb.NewBalancer(n, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m, err := plb.NewMachine(plb.MachineConfig{N: n, Model: model, Balancer: bal, Seed: seed})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	worst := 0
+	m.Run(steps / 4)
+	for i := 0; i < 20; i++ {
+		m.Run(3 * steps / 4 / 20)
+		if l := m.MaxLoad(); l > worst {
+			worst = l
+		}
+	}
+
+	bound := float64(systemBound)/float64(n) + float64(t)
+	rec := m.Recorder()
+	fmt.Printf("tree computation on %d processors (%s)\n", n, adv.Name())
+	fmt.Printf("budget: 2T=%d tasks per processor per T=%d steps, system bound B=%d\n\n", 2*t, t, systemBound)
+	fmt.Printf("worst queue           = %d (paper bound O(B/n + T) = %.0f; ratio %.2f)\n",
+		worst, bound, float64(worst)/bound)
+	fmt.Printf("matches               = %d total, %d via the pre-round probe (%.0f%%)\n",
+		matched, preMatched, 100*float64(preMatched)/float64(max64(matched, 1)))
+	fmt.Printf("messages              = %.1f per step\n",
+		float64(m.Metrics().Messages)/float64(m.Now()))
+	fmt.Printf("locality              = %.1f%% of subtree tasks ran where they were spawned\n",
+		100*rec.LocalityFraction())
+	fmt.Printf("mean task wait        = %.2f steps\n", rec.MeanWait())
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

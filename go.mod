@@ -1,0 +1,3 @@
+module plb
+
+go 1.22

@@ -1,0 +1,109 @@
+// Package cli holds the workload/algorithm construction shared by the
+// command-line tools, factored out of the mains so it is testable.
+package cli
+
+import (
+	"fmt"
+
+	"plb/internal/baselines"
+	"plb/internal/core"
+	"plb/internal/gen"
+	"plb/internal/proto"
+	"plb/internal/sim"
+	"plb/internal/stats"
+)
+
+// ModelNames lists the workloads BuildModel accepts.
+func ModelNames() []string {
+	return []string{"single", "geometric", "multi", "burst", "tree", "hotspot"}
+}
+
+// AlgoNames lists the algorithms InstallAlgo accepts.
+func AlgoNames() []string {
+	return []string{"bfm98", "bfm98-pre", "bfm98-dist", "bfm98-phaseless",
+		"unbalanced", "greedy1", "greedy2", "rsu", "lm", "lauer", "lauer-est", "throwair"}
+}
+
+// BuildModel constructs a named workload for n processors.
+func BuildModel(name string, n int, seed uint64) (gen.Model, error) {
+	t := stats.PaperT(n)
+	switch name {
+	case "single":
+		return gen.NewSingle(0.4, 0.1)
+	case "geometric":
+		return gen.NewGeometric(2)
+	case "multi":
+		return gen.NewMulti([]float64{0.45, 0.25, 0.1, 0.05})
+	case "burst":
+		return gen.NewAdversarial(gen.Burst{Targets: maxInt(1, n/64), Amount: t, Window: t}, t, 2*t, int64(8*n), seed)
+	case "tree":
+		return gen.NewAdversarial(gen.Tree{Spawn: 0.3, Branch: 2, Roots: float64(n) / 8}, t, 2*t, int64(8*n), seed)
+	case "hotspot":
+		return gen.NewAdversarial(&gen.Hotspot{Rate: t, Window: 4 * t}, t, 2*t, int64(8*n), seed)
+	default:
+		return nil, fmt.Errorf("cli: unknown model %q (have %v)", name, ModelNames())
+	}
+}
+
+// InstallAlgo wires a named algorithm into cfg (as Balancer or
+// Placer). scale > 1 multiplies T for the bfm98 configurations.
+func InstallAlgo(cfg *sim.Config, name string, n, scale int, seed uint64) error {
+	switch name {
+	case "bfm98", "bfm98-pre":
+		c := core.DefaultConfig(n)
+		if scale > 1 {
+			c = core.Config{Scale: scale}
+		}
+		c.Seed = seed
+		c.PreRound = name == "bfm98-pre"
+		b, err := core.New(n, c)
+		if err != nil {
+			return err
+		}
+		cfg.Balancer = b
+	case "bfm98-dist":
+		b, err := proto.New(n, proto.DefaultConfig(n))
+		if err != nil {
+			return err
+		}
+		cfg.Balancer = b
+	case "bfm98-phaseless":
+		b, err := core.NewPhaseless(n, seed)
+		if err != nil {
+			return err
+		}
+		cfg.Balancer = b
+	case "unbalanced":
+		cfg.Balancer = baselines.Unbalanced{}
+	case "greedy1", "greedy2":
+		d := 1
+		if name == "greedy2" {
+			d = 2
+		}
+		g, err := baselines.NewGreedyD(d)
+		if err != nil {
+			return err
+		}
+		cfg.Placer = g
+	case "rsu":
+		cfg.Balancer = &baselines.RSU{Seed: seed}
+	case "lm":
+		cfg.Balancer = &baselines.LM{K: 2, Seed: seed}
+	case "lauer":
+		cfg.Balancer = &baselines.Lauer{C: 2, Seed: seed}
+	case "lauer-est":
+		cfg.Balancer = &baselines.Lauer{C: 2, EstimateK: 32, Seed: seed}
+	case "throwair":
+		cfg.Balancer = &baselines.ThrowAir{Interval: 4, Seed: seed}
+	default:
+		return fmt.Errorf("cli: unknown algorithm %q (have %v)", name, AlgoNames())
+	}
+	return nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

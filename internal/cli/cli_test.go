@@ -1,0 +1,85 @@
+package cli
+
+import (
+	"testing"
+
+	"plb/internal/sim"
+)
+
+func TestBuildModelAllNames(t *testing.T) {
+	for _, name := range ModelNames() {
+		m, err := BuildModel(name, 1024, 1)
+		if err != nil {
+			t.Fatalf("BuildModel(%q) failed: %v", name, err)
+		}
+		if m.Name() == "" {
+			t.Fatalf("model %q has empty name", name)
+		}
+	}
+	if _, err := BuildModel("nope", 1024, 1); err == nil {
+		t.Fatal("unknown model accepted")
+	}
+}
+
+func TestInstallAlgoAllNames(t *testing.T) {
+	for _, name := range AlgoNames() {
+		model, err := BuildModel("single", 256, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := sim.Config{N: 256, Model: model, Seed: 1}
+		if err := InstallAlgo(&cfg, name, 256, 1, 1); err != nil {
+			t.Fatalf("InstallAlgo(%q) failed: %v", name, err)
+		}
+		if cfg.Balancer == nil && cfg.Placer == nil {
+			t.Fatalf("algo %q installed nothing", name)
+		}
+		m, err := sim.New(cfg)
+		if err != nil {
+			t.Fatalf("machine for %q: %v", name, err)
+		}
+		m.Run(20) // smoke: every algo survives a short run
+	}
+	cfg := sim.Config{}
+	if err := InstallAlgo(&cfg, "nope", 256, 1, 1); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+}
+
+func TestInstallAlgoScale(t *testing.T) {
+	model, err := BuildModel("single", 1024, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := sim.Config{N: 1024, Model: model, Seed: 1}
+	if err := InstallAlgo(&cfg, "bfm98", 1024, 4, 1); err != nil {
+		t.Fatal(err)
+	}
+	m, err := sim.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Scale=4 quadruples T, so thresholds are deep in the geometric
+	// tail: almost no balancing traffic under Single.
+	m.Run(500)
+	if msgs := m.Metrics().Messages; msgs > 2000 {
+		t.Fatalf("scaled config still chatty: %d messages", msgs)
+	}
+}
+
+func TestBurstModelSmallN(t *testing.T) {
+	// n/64 would round to zero targets at tiny n; the clamp must keep
+	// the adversary alive.
+	m, err := BuildModel("burst", 16, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	machine, err := sim.New(sim.Config{N: 16, Model: m, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	machine.Run(50)
+	if machine.Generated() == 0 {
+		t.Fatal("burst adversary generated nothing at n=16")
+	}
+}

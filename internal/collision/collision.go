@@ -1,0 +1,229 @@
+// Package collision implements the (n, beta, a, b, c)-collision
+// protocol of Section 2 of the paper (originally from Meyer auf der
+// Heide, Scheideler and Stemann's shared-memory simulations, MSS95),
+// adapted to assign load-balancing requests to processors.
+//
+// Setup: out of n processors, some set issues requests. Every request
+// selects a target processors independently and uniformly at random
+// and sends each a query. The protocol finds an assignment such that
+//
+//  1. no processor answers more than c queries (c is the collision
+//     value), and
+//  2. at least b < a of each request's queries are accepted.
+//
+// Per round: a processor whose total accepted-plus-arriving query
+// count is at most c accepts all arriving queries and sends accept
+// messages; a processor receiving more than it can take answers none
+// of them (the collision effect). A requester with at least b
+// cumulative accepts cancels its remaining queries and leaves the
+// game; the others re-send their unanswered queries to the same
+// targets (no new random choices are made).
+//
+// Lemma 1 instantiates a=5, b=2, c=1: within 5 log log n steps each
+// request has two accepted queries and no processor is assigned more
+// than one, w.h.p.
+package collision
+
+import (
+	"fmt"
+	"math"
+
+	"plb/internal/xrand"
+)
+
+// Params are the protocol's tuning constants.
+type Params struct {
+	// A is the number of random target processors per request (the
+	// paper requires 2 <= a <= sqrt(log n)).
+	A int
+	// B is the number of accepted queries a request needs (b < a).
+	B int
+	// C is the collision value: the maximum number of queries any
+	// processor answers.
+	C int
+}
+
+// Lemma1Params returns the instantiation used throughout the paper's
+// balancing algorithm: a=5, b=2, c=1.
+func Lemma1Params() Params { return Params{A: 5, B: 2, C: 1} }
+
+// Validate checks structural parameter sanity and the paper's
+// condition (1): c^2(a-b)/(c+1) > 1 + delta for some delta > 0.
+// (The paper's condition (2) is typographically garbled in the
+// available text; we enforce the structural requirements plus
+// condition (1), which is what drives the doubly-logarithmic round
+// bound.)
+func (p Params) Validate(n int) error {
+	if n < 2 {
+		return fmt.Errorf("collision: need n >= 2, got %d", n)
+	}
+	if p.A < 2 {
+		return fmt.Errorf("collision: need a >= 2, got a=%d", p.A)
+	}
+	if p.B < 1 || p.B >= p.A {
+		return fmt.Errorf("collision: need 1 <= b < a, got a=%d b=%d", p.A, p.B)
+	}
+	if p.C < 1 {
+		return fmt.Errorf("collision: need c >= 1, got c=%d", p.C)
+	}
+	if p.A > n-1 {
+		return fmt.Errorf("collision: a=%d exceeds available targets (n=%d)", p.A, n)
+	}
+	// Condition (1): c^2 (a-b) / (c+1) > 1.
+	lhs := float64(p.C*p.C*(p.A-p.B)) / float64(p.C+1)
+	if lhs <= 1 {
+		return fmt.Errorf("collision: condition (1) violated: c^2(a-b)/(c+1) = %.3f <= 1", lhs)
+	}
+	return nil
+}
+
+// DefaultRounds returns the paper's round budget
+// log(log n) / log(c(a-b)) + 3 (base-2 logs, denominator floored at
+// log 2 so degenerate parameter sets still terminate).
+func (p Params) DefaultRounds(n int) int {
+	loglog := math.Log2(math.Log2(float64(max(n, 4))))
+	if loglog < 1 {
+		loglog = 1
+	}
+	den := math.Log2(float64(p.C * (p.A - p.B)))
+	if den < 1 {
+		den = 1
+	}
+	return int(math.Ceil(loglog/den)) + 3
+}
+
+// StepsPerRound returns the machine steps one protocol round costs:
+// the a queries are checked sequentially and each costs c wait steps.
+func (p Params) StepsPerRound() int { return p.A * p.C }
+
+// Result reports the outcome of a protocol execution.
+type Result struct {
+	// Accepted[i] lists the processors that accepted queries of
+	// request i, in acceptance order (length >= b iff Satisfied[i]).
+	Accepted [][]int32
+	// Satisfied[i] reports whether request i obtained >= b accepts.
+	Satisfied []bool
+	// Rounds is the number of protocol rounds executed.
+	Rounds int
+	// Steps is the number of machine steps consumed
+	// (Rounds * StepsPerRound).
+	Steps int
+	// Messages counts queries and accept messages sent.
+	Messages int64
+	// AllSatisfied reports whether every request was satisfied.
+	AllSatisfied bool
+	// AcceptCount[p] is the number of queries processor p accepted;
+	// the protocol guarantees AcceptCount[p] <= c.
+	AcceptCount []int8
+}
+
+// Run executes the protocol among n processors for the given
+// requesters (processor ids issuing one request each; a requester's
+// own id is excluded from its random choices). r supplies all
+// randomness. maxRounds <= 0 selects the paper's round budget.
+//
+// Run panics if params fail Validate; callers are expected to
+// validate configuration at setup time.
+func Run(n int, requesters []int32, p Params, r *xrand.Stream, maxRounds int) Result {
+	if err := p.Validate(n); err != nil {
+		panic(err)
+	}
+	if maxRounds <= 0 {
+		maxRounds = p.DefaultRounds(n)
+	}
+	nr := len(requesters)
+	res := Result{
+		Accepted:    make([][]int32, nr),
+		Satisfied:   make([]bool, nr),
+		AcceptCount: make([]int8, n),
+	}
+	if nr == 0 {
+		res.AllSatisfied = true
+		return res
+	}
+
+	// Random choices: fixed once, reused every round.
+	choices := make([][]int32, nr)
+	accepted := make([][]bool, nr) // per choice: accepted already
+	buf := make([]int, p.A)
+	for i, req := range requesters {
+		r.SampleDistinct(buf, p.A, n, int(req))
+		cs := make([]int32, p.A)
+		for j, v := range buf {
+			cs[j] = int32(v)
+		}
+		choices[i] = cs
+		accepted[i] = make([]bool, p.A)
+	}
+
+	active := make([]int, nr)
+	for i := range active {
+		active[i] = i
+	}
+	// arrivals[tgt] counts queries delivered to tgt this round;
+	// touched tracks which entries to reset (keeps rounds O(active)).
+	arrivals := make([]int32, n)
+	delta := make([]int8, n)
+	touched := make([]int32, 0, nr*p.A)
+
+	for round := 0; round < maxRounds && len(active) > 0; round++ {
+		res.Rounds++
+		// Deliver queries: each active request re-queries its
+		// not-yet-accepting targets.
+		for _, i := range active {
+			for j, tgt := range choices[i] {
+				if accepted[i][j] {
+					continue
+				}
+				if arrivals[tgt] == 0 {
+					touched = append(touched, tgt)
+				}
+				arrivals[tgt]++
+				res.Messages++
+			}
+		}
+		// Accept or collide: a target accepts all of this round's
+		// arrivals iff its cumulative total stays within c. The
+		// decision is a pure function of (AcceptCount, arrivals), so
+		// iterating requests in index order is deterministic.
+		for _, i := range active {
+			for j, tgt := range choices[i] {
+				if accepted[i][j] {
+					continue
+				}
+				if int(res.AcceptCount[tgt])+int(arrivals[tgt]) <= p.C {
+					accepted[i][j] = true
+					res.Accepted[i] = append(res.Accepted[i], tgt)
+					delta[tgt]++
+					res.Messages++ // accept message
+				}
+			}
+		}
+		for _, tgt := range touched {
+			res.AcceptCount[tgt] += delta[tgt]
+			arrivals[tgt] = 0
+			delta[tgt] = 0
+		}
+		touched = touched[:0]
+		// Requests with >= b accepts leave the game.
+		remaining := active[:0]
+		for _, i := range active {
+			if len(res.Accepted[i]) >= p.B {
+				res.Satisfied[i] = true
+				continue
+			}
+			remaining = append(remaining, i)
+		}
+		active = remaining
+	}
+	res.Steps = res.Rounds * p.StepsPerRound()
+	res.AllSatisfied = len(active) == 0
+	return res
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

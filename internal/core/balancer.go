@@ -1,0 +1,338 @@
+package core
+
+import (
+	"fmt"
+
+	"plb/internal/collision"
+	"plb/internal/sim"
+	"plb/internal/xrand"
+)
+
+// Balancer is the paper's phase-based threshold balancing algorithm.
+// It implements sim.Balancer. Construct with New.
+type Balancer struct {
+	cfg Config
+	n   int
+	rng *xrand.Stream
+
+	// Per-phase scratch, reused across phases.
+	lightAt  []bool  // light at phase start
+	assigned []bool  // reserved as balancing partner this phase
+	inTree   []bool  // currently an active searcher
+	boss     []int32 // tree root of each participating processor
+	partner  []int32 // boss -> chosen light partner (-1 none)
+	matched  []bool  // boss -> already matched this phase
+
+	// Pending streamed transfers (StreamTransfers mode): each entry
+	// moves perStep tasks from src to dst every step until drained.
+	streams []streamXfer
+
+	// Aggregated statistics.
+	totalPhases   int64
+	totalHeavy    int64
+	totalMatched  int64
+	totalRequests int64
+	sumRounds     int64
+}
+
+var _ sim.Balancer = (*Balancer)(nil)
+
+// New constructs the balancer for a machine of n processors. Zero
+// config fields are filled with the paper's defaults for n.
+func New(n int, cfg Config) (*Balancer, error) {
+	cfg = cfg.withDefaults(n)
+	if err := cfg.Validate(n); err != nil {
+		return nil, err
+	}
+	return &Balancer{cfg: cfg, n: n}, nil
+}
+
+// Name implements sim.Balancer.
+func (b *Balancer) Name() string {
+	return fmt.Sprintf("bfm98(T=%d,phase=%d)", b.cfg.T, b.cfg.PhaseLen)
+}
+
+// Config returns the fully-defaulted configuration in use.
+func (b *Balancer) Config() Config { return b.cfg }
+
+// Init implements sim.Balancer.
+func (b *Balancer) Init(m *sim.Machine) {
+	if m.N() != b.n {
+		panic(fmt.Sprintf("core: balancer built for n=%d installed on n=%d", b.n, m.N()))
+	}
+	b.rng = xrand.New(b.cfg.Seed ^ 0xb5c0_ffee)
+	b.lightAt = make([]bool, b.n)
+	b.assigned = make([]bool, b.n)
+	b.inTree = make([]bool, b.n)
+	b.boss = make([]int32, b.n)
+	b.partner = make([]int32, b.n)
+	b.matched = make([]bool, b.n)
+	b.streams = nil
+}
+
+// streamXfer is one in-flight streamed block transfer.
+type streamXfer struct {
+	src, dst  int32
+	remaining int
+	perStep   int
+}
+
+// Step implements sim.Balancer: a new phase begins whenever the clock
+// hits a multiple of the phase length. Classification uses the
+// phase-start snapshot; decisions execute immediately and transfers
+// either move atomically (default) or stream over the following phase
+// (StreamTransfers, the Section 5 remark).
+func (b *Balancer) Step(m *sim.Machine) {
+	b.pumpStreams(m)
+	if m.Now()%int64(b.cfg.PhaseLen) != 0 {
+		return
+	}
+	b.runPhase(m)
+}
+
+// pumpStreams advances every in-flight streamed transfer by one step.
+func (b *Balancer) pumpStreams(m *sim.Machine) {
+	if len(b.streams) == 0 {
+		return
+	}
+	alive := b.streams[:0]
+	for _, s := range b.streams {
+		k := s.perStep
+		if k > s.remaining {
+			k = s.remaining
+		}
+		moved := m.Transfer(int(s.src), int(s.dst), k)
+		s.remaining -= k
+		if moved < k {
+			// Source drained by its own consumption: drop the rest.
+			s.remaining = 0
+		}
+		if s.remaining > 0 {
+			alive = append(alive, s)
+		}
+	}
+	b.streams = alive
+}
+
+// transferBlock either moves the block atomically or schedules it for
+// streaming over the next phase. It returns the number of tasks that
+// will move (for stats, the full block is reported when streaming —
+// the remark's point is that the same load arrives by the next phase
+// start).
+func (b *Balancer) transferBlock(m *sim.Machine, src, dst int32) int {
+	if b.cfg.ByWeight {
+		tasks, _ := m.TransferWeight(int(src), int(dst), int64(b.cfg.TransferAmount))
+		return tasks
+	}
+	if !b.cfg.StreamTransfers {
+		return m.Transfer(int(src), int(dst), b.cfg.TransferAmount)
+	}
+	perStep := (b.cfg.TransferAmount + b.cfg.PhaseLen - 1) / b.cfg.PhaseLen
+	b.streams = append(b.streams, streamXfer{
+		src: src, dst: dst,
+		remaining: b.cfg.TransferAmount,
+		perStep:   perStep,
+	})
+	return b.cfg.TransferAmount
+}
+
+// Totals returns aggregate statistics over all phases run so far:
+// phases, heavy-processor observations, matches, and total requests.
+func (b *Balancer) Totals() (phases, heavy, matched, requests int64) {
+	return b.totalPhases, b.totalHeavy, b.totalMatched, b.totalRequests
+}
+
+func (b *Balancer) runPhase(m *sim.Machine) {
+	cfg := &b.cfg
+	var snap []int32
+	var wsnap []int64
+	if cfg.ByWeight {
+		wsnap = m.SnapshotWeights()
+	} else {
+		snap = m.Snapshot()
+	}
+	ps := PhaseStats{Start: m.Now()}
+
+	// Phase-start classification (Section 3), by task count or by
+	// remaining service weight.
+	var heavies []int32
+	for p := 0; p < b.n; p++ {
+		var l int
+		if cfg.ByWeight {
+			l = int(wsnap[p])
+		} else {
+			l = int(snap[p])
+		}
+		b.lightAt[p] = l <= cfg.LightThreshold
+		b.assigned[p] = false
+		b.inTree[p] = false
+		b.matched[p] = false
+		b.partner[p] = -1
+		if l >= cfg.HeavyThreshold {
+			heavies = append(heavies, int32(p))
+		}
+		if b.lightAt[p] {
+			ps.Light++
+		}
+	}
+	ps.Heavy = len(heavies)
+
+	if len(heavies) > 0 {
+		searchers := heavies
+		if cfg.PreRound {
+			searchers = b.preRound(m, heavies, &ps)
+		}
+		for _, s := range searchers {
+			b.boss[s] = s
+			b.inTree[s] = true
+		}
+		b.growTrees(m, searchers, &ps)
+	}
+
+	m.AddMessages(ps.Messages)
+
+	b.totalPhases++
+	b.totalHeavy += int64(ps.Heavy)
+	b.totalMatched += int64(ps.Matched)
+	b.totalRequests += ps.Requests
+	b.sumRounds += int64(ps.Rounds)
+	if cfg.OnPhase != nil {
+		cfg.OnPhase(ps)
+	}
+}
+
+// preRound is the Section 4.3 modification for the adversarial model:
+// every heavy processor probes one random processor; a light,
+// unreserved processor hit by exactly one probe balances immediately.
+// It returns the heavy processors that remain unmatched.
+func (b *Balancer) preRound(m *sim.Machine, heavies []int32, ps *PhaseStats) []int32 {
+	targets := make([]int32, len(heavies))
+	counts := make(map[int32]int, len(heavies))
+	for i := range heavies {
+		targets[i] = int32(b.rng.Intn(b.n))
+		counts[targets[i]]++
+	}
+	ps.Messages += int64(len(heavies)) // one probe per heavy processor
+	var remaining []int32
+	for i, h := range heavies {
+		t := targets[i]
+		if counts[t] == 1 && t != h && b.lightAt[t] && !b.assigned[t] {
+			b.assigned[t] = true
+			moved := b.transferBlock(m, h, t)
+			ps.Transferred += int64(moved)
+			ps.Matched++
+			ps.PreMatched++
+			ps.Messages++ // the accept reply
+			continue
+		}
+		remaining = append(remaining, h)
+	}
+	return remaining
+}
+
+// growTrees plays the per-level collision games and processes id
+// messages (the body of Figure 2).
+func (b *Balancer) growTrees(m *sim.Machine, searchers []int32, ps *PhaseStats) {
+	cfg := &b.cfg
+	for round := 0; round < cfg.TreeDepth && len(searchers) > 0; round++ {
+		ps.Rounds++
+		ps.Requests += int64(len(searchers))
+
+		res := collision.Run(b.n, searchers, cfg.Collision, b.rng, 0)
+		ps.Messages += res.Messages
+		ps.Steps += res.Steps
+		m.AddCommRounds(int64(res.Rounds))
+
+		var next []int32
+		for i, s := range searchers {
+			b.inTree[s] = false
+			root := b.boss[s]
+			if b.matched[root] {
+				continue // the tree already found a partner
+			}
+			if !res.Satisfied[i] {
+				// Collision game failed for this request; retry at the
+				// next level.
+				next = appendSearcher(b, next, s, root)
+				continue
+			}
+			// The request's first b accepted targets form a sibling
+			// group (b=2 in the paper). They coordinate
+			// applicativeness via their parent: one message each.
+			group := res.Accepted[i][:cfg.Collision.B]
+			for _, t := range group {
+				b.boss[t] = root
+			}
+			ps.Messages += int64(len(group))
+			anyApplicative := false
+			for _, t := range group {
+				if b.applicative(t) {
+					anyApplicative = true
+					b.assigned[t] = true
+					b.sendID(root, t, ps)
+				}
+			}
+			if !anyApplicative {
+				// The whole group is non-applicative: it supports the
+				// search and forwards requests in the next round.
+				for _, t := range group {
+					next = appendSearcher(b, next, t, root)
+				}
+			}
+		}
+
+		// Roots with an id message transfer and leave the game.
+		b.settle(m, ps)
+
+		// Drop searchers whose tree got matched this round.
+		alive := next[:0]
+		for _, s := range next {
+			if b.matched[b.boss[s]] {
+				b.inTree[s] = false
+				continue
+			}
+			alive = append(alive, s)
+		}
+		searchers = alive
+	}
+}
+
+// applicative reports whether processor t can be reserved as a
+// balancing partner: light at phase start and not yet reserved.
+func (b *Balancer) applicative(t int32) bool {
+	return b.lightAt[t] && !b.assigned[t]
+}
+
+// sendID delivers an id message from light processor t to root. The
+// root keeps the first arrival ("an arbitrary one is selected").
+func (b *Balancer) sendID(root, t int32, ps *PhaseStats) {
+	ps.Messages++
+	if b.partner[root] < 0 {
+		b.partner[root] = t
+	}
+}
+
+// settle performs the transfers for all newly partnered roots.
+func (b *Balancer) settle(m *sim.Machine, ps *PhaseStats) {
+	for root := 0; root < b.n; root++ {
+		p := b.partner[root]
+		if p < 0 || b.matched[root] {
+			continue
+		}
+		moved := b.transferBlock(m, int32(root), p)
+		ps.Transferred += int64(moved)
+		b.matched[root] = true
+		ps.Matched++
+	}
+}
+
+// appendSearcher adds s to the next-round searcher set under root,
+// unless it is already active in some tree.
+func appendSearcher(b *Balancer, next []int32, s, root int32) []int32 {
+	if b.inTree[s] {
+		return next
+	}
+	b.inTree[s] = true
+	b.boss[s] = root
+	return append(next, s)
+}

@@ -1,0 +1,672 @@
+package core
+
+import (
+	"testing"
+
+	"plb/internal/collision"
+	"plb/internal/gen"
+	"plb/internal/sim"
+	"plb/internal/stats"
+)
+
+func singleModel(t *testing.T) gen.Single {
+	t.Helper()
+	s, err := gen.NewSingle(0.4, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestDefaultConfig(t *testing.T) {
+	n := 1 << 16 // log log n = 4, T = 16
+	cfg := DefaultConfig(n)
+	if cfg.T != 16 {
+		t.Fatalf("T = %d, want 16", cfg.T)
+	}
+	if cfg.HeavyThreshold != 8 {
+		t.Fatalf("heavy = %d, want 8 (T/2)", cfg.HeavyThreshold)
+	}
+	if cfg.LightThreshold != 1 {
+		t.Fatalf("light = %d, want 1 (T/16)", cfg.LightThreshold)
+	}
+	if cfg.TransferAmount != 4 {
+		t.Fatalf("transfer = %d, want 4 (T/4)", cfg.TransferAmount)
+	}
+	if cfg.PhaseLen != 1 {
+		t.Fatalf("phase = %d, want 1 (T/16)", cfg.PhaseLen)
+	}
+	if cfg.TreeDepth != 1 {
+		t.Fatalf("depth = %d, want 1", cfg.TreeDepth)
+	}
+	if cfg.Collision != collision.Lemma1Params() {
+		t.Fatalf("collision params = %+v", cfg.Collision)
+	}
+	if err := cfg.Validate(n); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+}
+
+func TestConfigScale(t *testing.T) {
+	n := 1 << 16
+	cfg := Config{Scale: 4, Seed: 1}.withDefaults(n)
+	if cfg.T != 64 {
+		t.Fatalf("scaled T = %d, want 64", cfg.T)
+	}
+	if cfg.HeavyThreshold != 32 || cfg.LightThreshold != 4 || cfg.TransferAmount != 16 || cfg.PhaseLen != 4 {
+		t.Fatalf("scaled config = %+v", cfg)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	n := 1024
+	bad := []Config{
+		{T: 16, HeavyThreshold: 2, LightThreshold: 4, TransferAmount: 1, PhaseLen: 1, TreeDepth: 1, Collision: collision.Lemma1Params()},           // heavy <= light
+		{T: 16, HeavyThreshold: 8, LightThreshold: 1, TransferAmount: 9, PhaseLen: 1, TreeDepth: 1, Collision: collision.Lemma1Params()},           // transfer > heavy
+		{T: 16, HeavyThreshold: 8, LightThreshold: 1, TransferAmount: 4, PhaseLen: 0, TreeDepth: 1, Collision: collision.Lemma1Params()},           // phase 0 (explicit zero survives withDefaults only if T!=0... validate directly)
+		{T: 16, HeavyThreshold: 8, LightThreshold: 1, TransferAmount: 4, PhaseLen: 1, TreeDepth: 1, Collision: collision.Params{A: 3, B: 2, C: 1}}, // condition (1)
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(n); err == nil {
+			t.Errorf("bad config %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+func TestNewRejectsBadConfig(t *testing.T) {
+	if _, err := New(1024, Config{T: 4, HeavyThreshold: 1, LightThreshold: 2}); err == nil {
+		t.Fatal("New accepted inverted thresholds")
+	}
+}
+
+func TestPhaseStatsRequestsPerHeavy(t *testing.T) {
+	ps := PhaseStats{Heavy: 4, Requests: 12}
+	if got := ps.RequestsPerHeavy(); got != 3 {
+		t.Fatalf("RequestsPerHeavy = %v", got)
+	}
+	if got := (PhaseStats{}).RequestsPerHeavy(); got != 0 {
+		t.Fatalf("empty RequestsPerHeavy = %v", got)
+	}
+}
+
+func TestBalancerName(t *testing.T) {
+	b, err := New(4096, Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Name() == "" {
+		t.Fatal("empty name")
+	}
+}
+
+func TestInitPanicsOnWrongN(t *testing.T) {
+	b, _ := New(64, Config{Seed: 1})
+	m, err := sim.New(sim.Config{N: 32, Model: gen.Single{P: 0.4, Eps: 0.1}, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Init with mismatched n did not panic")
+		}
+	}()
+	b.Init(m)
+}
+
+// machine builds a balanced machine for tests.
+func machine(t *testing.T, n int, cfg Config, seed uint64) (*sim.Machine, *Balancer) {
+	t.Helper()
+	b, err := New(n, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := sim.New(sim.Config{N: n, Model: gen.Single{P: 0.4, Eps: 0.1}, Seed: seed, Balancer: b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, b
+}
+
+func TestSinglePhaseBalancesHotProcessor(t *testing.T) {
+	n := 256
+	cfg := DefaultConfig(n)
+	m, b := machine(t, n, cfg, 42)
+	// Make processor 0 heavy, everyone else empty (light).
+	m.Inject(0, cfg.HeavyThreshold*2)
+	var captured []PhaseStats
+	b.cfg.OnPhase = func(ps PhaseStats) { captured = append(captured, ps) }
+	m.Step() // phase boundary at step 0
+	if len(captured) == 0 {
+		t.Fatal("no phase ran")
+	}
+	ps := captured[0]
+	if ps.Heavy != 1 {
+		t.Fatalf("heavy count = %d, want 1", ps.Heavy)
+	}
+	if ps.Matched != 1 {
+		t.Fatalf("hot processor not matched: %+v", ps)
+	}
+	if ps.Transferred != int64(cfg.TransferAmount) {
+		t.Fatalf("transferred = %d, want %d", ps.Transferred, cfg.TransferAmount)
+	}
+	if ps.Light < n-2 {
+		t.Fatalf("light count = %d", ps.Light)
+	}
+}
+
+func TestTransferGoesToLightProcessor(t *testing.T) {
+	n := 128
+	cfg := DefaultConfig(n)
+	cfg.Seed = 7
+	m, _ := machine(t, n, cfg, 7)
+	m.Inject(3, cfg.HeavyThreshold*3)
+	before := m.Load(3)
+	m.Step()
+	// Load should have decreased by the transfer amount (modulo the
+	// step's own generation/consumption of at most 1).
+	after := m.Load(3)
+	if before-after < cfg.TransferAmount-1 {
+		t.Fatalf("heavy processor load went %d -> %d, expected ~-%d", before, after, cfg.TransferAmount)
+	}
+	// Some other processor received exactly the block (modulo its own
+	// gen/consume this step).
+	found := false
+	for p := 0; p < n; p++ {
+		if p == 3 {
+			continue
+		}
+		if m.Load(p) >= cfg.TransferAmount-1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no processor received the transferred block")
+	}
+}
+
+func TestNoBalancingBelowThreshold(t *testing.T) {
+	n := 128
+	cfg := DefaultConfig(n)
+	m, b := machine(t, n, cfg, 9)
+	// All processors hold a moderate load below the heavy threshold
+	// (2 below: the step's own generation may add one task before the
+	// phase classifies).
+	for p := 0; p < n; p++ {
+		m.Inject(p, cfg.HeavyThreshold-2)
+	}
+	var phases []PhaseStats
+	b.cfg.OnPhase = func(ps PhaseStats) { phases = append(phases, ps) }
+	m.Step()
+	if phases[0].Heavy != 0 {
+		t.Fatalf("heavy = %d, want 0", phases[0].Heavy)
+	}
+	if phases[0].Requests != 0 || phases[0].Messages != 0 {
+		t.Fatalf("idle phase cost messages: %+v", phases[0])
+	}
+	if m.Metrics().TasksMoved != 0 {
+		t.Fatal("tasks moved without heavy processors")
+	}
+}
+
+func TestMaxLoadBoundedLongRun(t *testing.T) {
+	// Theorem 1 at test scale: under Single the max load stays within
+	// a small multiple of T.
+	n := 512
+	cfg := DefaultConfig(n)
+	m, _ := machine(t, n, cfg, 11)
+	m.Run(2000)
+	maxLoad := m.MaxLoad()
+	if maxLoad > 4*cfg.T {
+		t.Fatalf("max load %d exceeds 4T = %d", maxLoad, 4*cfg.T)
+	}
+}
+
+func TestSystemLoadStaysLinear(t *testing.T) {
+	// Lemma 3 at test scale: total load is O(n).
+	n := 512
+	m, _ := machine(t, n, DefaultConfig(n), 13)
+	m.Run(2000)
+	if total := m.TotalLoad(); total > int64(n)*10 {
+		t.Fatalf("total load %d not O(n) for n=%d", total, n)
+	}
+}
+
+func TestAssignedProcessorNotReusedWithinPhase(t *testing.T) {
+	// Two heavy processors must not pick the same light partner in one
+	// phase (the assign[] reservation).
+	n := 64
+	cfg := DefaultConfig(n)
+	cfg.TreeDepth = 3
+	m, b := machine(t, n, cfg, 17)
+	m.Inject(0, cfg.HeavyThreshold*2)
+	m.Inject(1, cfg.HeavyThreshold*2)
+	receivedFrom := make(map[int]int)
+	b.cfg.OnPhase = func(ps PhaseStats) {}
+	m.Step()
+	// Count processors that received tasks: each matched heavy sent
+	// TransferAmount to a distinct partner, so counts of receivers
+	// with >= TransferAmount-1 tasks should equal matches.
+	met := m.Metrics()
+	if met.BalanceActions > 0 {
+		recv := 0
+		for p := 2; p < n; p++ {
+			if m.Load(p) >= cfg.TransferAmount-1 {
+				recv++
+			}
+		}
+		if int64(recv) < met.BalanceActions {
+			t.Fatalf("matched %d heavies but only %d distinct receivers", met.BalanceActions, recv)
+		}
+	}
+	_ = receivedFrom
+}
+
+func TestRemarkRepeatBalancing(t *testing.T) {
+	// The remark after Lemma 6: a processor whose first balancing
+	// attempt succeeded cannot be heavy in the next phase, because
+	// load <= T/2 - 1 + 2*(T/16) - T/4 < T/2. Verify with the paper's
+	// exact constants on a quiet machine (no generation).
+	n := 1 << 16
+	cfg := DefaultConfig(n) // T=16: heavy 8, light 1, transfer 4, phase 1
+	load := cfg.HeavyThreshold - 1 + 2*maxInt(1, cfg.T/16)
+	after := load - cfg.TransferAmount
+	if after >= cfg.HeavyThreshold {
+		t.Fatalf("remark violated: load after first successful balance = %d >= %d",
+			after, cfg.HeavyThreshold)
+	}
+}
+
+func TestTotals(t *testing.T) {
+	n := 128
+	m, b := machine(t, n, DefaultConfig(n), 19)
+	m.Run(50)
+	phases, heavy, matched, requests := b.Totals()
+	if phases == 0 {
+		t.Fatal("no phases recorded")
+	}
+	if matched > heavy {
+		t.Fatalf("matched %d > heavy %d", matched, heavy)
+	}
+	if heavy > 0 && requests == 0 {
+		t.Fatal("heavy processors issued no requests")
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	run := func() (int, sim.Metrics) {
+		n := 128
+		m, _ := machine(t, n, DefaultConfig(n), 23)
+		m.Inject(5, 40)
+		m.Run(200)
+		return m.MaxLoad(), m.Metrics()
+	}
+	m1, met1 := run()
+	m2, met2 := run()
+	if m1 != m2 || met1 != met2 {
+		t.Fatalf("same-seed runs diverged: %d/%+v vs %d/%+v", m1, met1, m2, met2)
+	}
+}
+
+func TestPreRoundMatchesDirectly(t *testing.T) {
+	n := 256
+	cfg := DefaultConfig(n)
+	cfg.PreRound = true
+	m, b := machine(t, n, cfg, 29)
+	for p := 0; p < 8; p++ {
+		m.Inject(p, cfg.HeavyThreshold*2)
+	}
+	var phases []PhaseStats
+	b.cfg.OnPhase = func(ps PhaseStats) { phases = append(phases, ps) }
+	m.Step()
+	if len(phases) == 0 || phases[0].Heavy != 8 {
+		t.Fatalf("phase stats: %+v", phases)
+	}
+	if phases[0].PreMatched == 0 {
+		t.Fatal("pre-round matched nothing despite 97% light processors")
+	}
+	if phases[0].Matched < phases[0].PreMatched {
+		t.Fatal("Matched must include PreMatched")
+	}
+}
+
+func TestExpectedRequestsConstantAcrossN(t *testing.T) {
+	// Lemma 7 at test scale: requests per heavy processor do not grow
+	// with n.
+	means := make([]float64, 0, 2)
+	for _, n := range []int{256, 4096} {
+		cfg := DefaultConfig(n)
+		cfg.TreeDepth = 4
+		var agg stats.Running
+		cfg.OnPhase = func(ps PhaseStats) {
+			if ps.Heavy > 0 {
+				agg.Add(ps.RequestsPerHeavy())
+			}
+		}
+		b, err := New(n, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := sim.New(sim.Config{N: n, Model: gen.Single{P: 0.4, Eps: 0.1}, Seed: 31, Balancer: b})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Seed imbalance so phases have heavy processors.
+		for p := 0; p < n/16; p++ {
+			m.Inject(p*16, cfg.HeavyThreshold+4)
+		}
+		m.Run(500)
+		if agg.N() == 0 {
+			t.Fatalf("n=%d: no heavy phases observed", n)
+		}
+		means = append(means, agg.Mean())
+	}
+	// 16x larger machine should not need materially more requests per
+	// heavy processor.
+	if means[1] > 3*means[0]+1 {
+		t.Fatalf("requests per heavy grew with n: %v", means)
+	}
+}
+
+func BenchmarkPhase(b *testing.B) {
+	n := 4096
+	cfg := DefaultConfig(n)
+	bal, err := New(n, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := sim.New(sim.Config{N: n, Model: gen.Single{P: 0.4, Eps: 0.1}, Seed: 1, Balancer: bal})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for p := 0; p < n/8; p++ {
+		m.Inject(p*8, cfg.HeavyThreshold+2)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Step()
+	}
+}
+
+func TestStreamTransfersSameLoadByNextPhase(t *testing.T) {
+	// Section 5 remark: streaming the block over the following phase
+	// yields the same load vector once the stream drains as the atomic
+	// move — provided the source does not re-trigger (pile chosen so
+	// one block takes it below the heavy threshold).
+	n := 256
+	cc := Config{Scale: 4, Seed: 77}.withDefaults(n)
+	pile := cc.HeavyThreshold + 2 // one block ends the story
+	run := func(stream bool) []int {
+		cfg := Config{Scale: 4, Seed: 77}
+		cfg.StreamTransfers = stream
+		m, _ := machine(t, n, cfg.withDefaults(n), 77)
+		m.Inject(0, pile)
+		m.Run(cc.PhaseLen + 1) // one phase + the drain tail
+		out := make([]int, n)
+		for p := 0; p < n; p++ {
+			out[p] = m.Load(p)
+		}
+		return out
+	}
+	atomic := run(false)
+	streamed := run(true)
+	for p := 0; p < n; p++ {
+		if atomic[p] != streamed[p] {
+			t.Fatalf("load[%d]: atomic %d vs streamed %d", p, atomic[p], streamed[p])
+		}
+	}
+}
+
+func TestStreamTransfersBoundedPerStep(t *testing.T) {
+	// While streaming, the receiver gains at most
+	// ceil(Transfer/PhaseLen) (+1 own generation) per step.
+	n := 128
+	cfg := Config{Scale: 4, Seed: 78}.withDefaults(n)
+	cfg.StreamTransfers = true
+	m, _ := machine(t, n, cfg, 78)
+	m.Inject(0, 3*cfg.T)
+	perStep := (cfg.TransferAmount + cfg.PhaseLen - 1) / cfg.PhaseLen
+	prev := make([]int, n)
+	for p := range prev {
+		prev[p] = m.Load(p)
+	}
+	for s := 0; s < 3*cfg.PhaseLen; s++ {
+		m.Step()
+		for p := 1; p < n; p++ {
+			gain := m.Load(p) - prev[p]
+			if gain > perStep+1 {
+				t.Fatalf("step %d: processor %d gained %d > %d", s, p, gain, perStep+1)
+			}
+			prev[p] = m.Load(p)
+		}
+		prev[0] = m.Load(0)
+	}
+}
+
+func TestStreamTransfersConservation(t *testing.T) {
+	n := 128
+	cfg := Config{Scale: 2, Seed: 79}.withDefaults(n)
+	cfg.StreamTransfers = true
+	m, _ := machine(t, n, cfg, 79)
+	m.Inject(5, 200)
+	m.Run(500)
+	rec := m.Recorder()
+	if rec.Completed+m.TotalLoad() != m.Generated() {
+		t.Fatalf("conservation violated under streaming: %d + %d != %d",
+			rec.Completed, m.TotalLoad(), m.Generated())
+	}
+}
+
+func TestByWeightRejectsStreaming(t *testing.T) {
+	cfg := DefaultConfig(1024)
+	cfg.ByWeight = true
+	cfg.StreamTransfers = true
+	if err := cfg.Validate(1024); err == nil {
+		t.Fatal("ByWeight + StreamTransfers accepted")
+	}
+}
+
+func TestByWeightBalancesHeavyWeightLowCount(t *testing.T) {
+	// A processor with FEW but HEAVY tasks is invisible to count-based
+	// classification but heavy by weight; ByWeight must balance it.
+	n := 256
+	meanW := 8
+	cfg := DefaultConfig(n)
+	cfg.ByWeight = true
+	cfg.HeavyThreshold *= meanW
+	cfg.LightThreshold *= meanW
+	cfg.TransferAmount *= meanW
+	b, err := New(n, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := sim.New(sim.Config{N: n, Model: gen.Single{P: 0.4, Eps: 0.1}, Seed: 91, Balancer: b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 tasks of weight 64: count 3 (light by count) but weight 192 >>
+	// weighted heavy threshold.
+	m.InjectWeighted(0, 3, 64)
+	if int64(cfg.HeavyThreshold) > m.WeightedLoad(0) {
+		t.Fatalf("test setup: weighted load %d below heavy %d", m.WeightedLoad(0), cfg.HeavyThreshold)
+	}
+	m.Step()
+	if m.Metrics().BalanceActions == 0 {
+		t.Fatal("weight-heavy processor not balanced")
+	}
+	if m.WeightedLoad(0) >= 192 {
+		t.Fatalf("no weight moved: %d", m.WeightedLoad(0))
+	}
+}
+
+func TestCountBasedMissesWeightImbalance(t *testing.T) {
+	// The contrast: the count-based balancer ignores the same state.
+	n := 256
+	cfg := DefaultConfig(n)
+	b, err := New(n, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	quiet, err := gen.NewSingle(0.001, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := sim.New(sim.Config{N: n, Model: quiet, Seed: 92, Balancer: b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.InjectWeighted(0, 3, 64)
+	m.Step()
+	if m.Metrics().BalanceActions != 0 {
+		t.Fatal("count-based balancer acted on a 3-task queue (threshold should ignore it)")
+	}
+}
+
+func TestByWeightConservation(t *testing.T) {
+	n := 128
+	w, err := gen.NewParetoWeight(1.2, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(n)
+	cfg.ByWeight = true
+	cfg.HeavyThreshold *= 3
+	cfg.LightThreshold *= 3
+	cfg.TransferAmount *= 3
+	b, err := New(n, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := sim.New(sim.Config{N: n, Model: gen.Single{P: 0.2, Eps: 0.3}, Weigher: w, Seed: 93, Balancer: b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Run(800)
+	rec := m.Recorder()
+	if rec.Completed+m.TotalLoad() != m.Generated() {
+		t.Fatalf("conservation violated: %d + %d != %d", rec.Completed, m.TotalLoad(), m.Generated())
+	}
+	// Weighted bookkeeping must match a recount.
+	var want int64
+	for p := 0; p < n; p++ {
+		want += m.WeightedLoad(p)
+	}
+	var recount int64
+	for p := 0; p < n; p++ {
+		recount += m.WeightedLoad(p)
+	}
+	if want != recount {
+		t.Fatal("weighted load unstable")
+	}
+}
+
+func TestTransferredTasksMoveCloserToFront(t *testing.T) {
+	// The proof of Corollary 1 relies on: "if a task is transferred due
+	// to a balancing action, its position in the receiver's queue is
+	// closer to the front than it was in the sender's queue". With
+	// sender load L >= T/2, receiver load R <= T/16 and block T/4, a
+	// moved task at sender position >= L - T/4 lands at receiver
+	// position <= R + T/4 - 1 < L - T/4 when R + T/2 < L... verify the
+	// arithmetic holds for the paper's constants at any valid state.
+	for _, n := range []int{1 << 10, 1 << 16, 1 << 20} {
+		cfg := DefaultConfig(n)
+		L := cfg.HeavyThreshold // minimal heavy sender
+		R := cfg.LightThreshold // maximal light receiver
+		k := cfg.TransferAmount
+		// Worst moved task: the one closest to the sender's front
+		// within the block, old position L-k, new position R.
+		oldPos := L - k
+		newPos := R
+		if newPos >= oldPos {
+			t.Fatalf("n=%d: invariant violated: new position %d >= old %d (T=%d)",
+				n, newPos, oldPos, cfg.T)
+		}
+	}
+}
+
+func TestTransferredPositionsEndToEnd(t *testing.T) {
+	// Direct observation: instrument one balancing action and check
+	// every moved task's position shrank.
+	n := 128
+	cfg := Config{Scale: 4, Seed: 99}.withDefaults(n) // T=36ish
+	quiet, err := gen.NewSingle(0.001, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(n, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := sim.New(sim.Config{N: n, Model: quiet, Seed: 99, Balancer: b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sender := 3
+	L := cfg.HeavyThreshold + 2
+	m.Inject(sender, L)
+	m.Step()
+	if m.Metrics().BalanceActions != 1 {
+		t.Fatalf("expected exactly one balance action, got %d", m.Metrics().BalanceActions)
+	}
+	// Find the receiver.
+	recv := -1
+	for p := 0; p < n; p++ {
+		if p != sender && m.Load(p) >= cfg.TransferAmount {
+			recv = p
+			break
+		}
+	}
+	if recv < 0 {
+		t.Fatal("no receiver found")
+	}
+	// Moved tasks were at sender positions [L-k, L); receiver was
+	// (nearly) empty, so they now occupy positions [0ish, k). Every
+	// new position must be below its old one.
+	k := cfg.TransferAmount
+	worstNew := m.Load(recv) - 1 // last moved task's position
+	bestOld := L - k             // first moved task's old position
+	if worstNew >= bestOld+k {
+		t.Fatalf("a task moved backward: new worst %d vs old best %d (+%d block)", worstNew, bestOld, k)
+	}
+}
+
+func TestGrowTreesRetryUnderSaturation(t *testing.T) {
+	// A deliberately tiny machine with many simultaneous heavies: the
+	// collision games saturate (c=1, 5 queries each), some requests
+	// fail their game and must retry at deeper levels. The balancer
+	// must stay deterministic, respect reservations, and still match a
+	// reasonable share.
+	n := 16
+	cfg := DefaultConfig(n)
+	cfg.TreeDepth = 3
+	quiet, err := gen.NewSingle(0.001, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() (int64, sim.Metrics) {
+		b, err := New(n, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := sim.New(sim.Config{N: n, Model: quiet, Seed: 31, Balancer: b})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for p := 0; p < 8; p++ {
+			m.Inject(p, cfg.HeavyThreshold*2)
+		}
+		m.Step()
+		return m.Metrics().BalanceActions, m.Metrics()
+	}
+	matched, met1 := run()
+	matched2, met2 := run()
+	if matched != matched2 || met1 != met2 {
+		t.Fatal("saturated phase not deterministic")
+	}
+	// 8 heavies, 8 light, and the collision capacity (16 accepts, each
+	// request needing 2) is exactly saturated — most games collide. We
+	// only demand progress without over-matching.
+	if matched < 1 || matched > 8 {
+		t.Fatalf("matched = %d out of plausible [1, 8]", matched)
+	}
+}

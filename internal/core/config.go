@@ -1,0 +1,185 @@
+// Package core implements the paper's contribution: the parallel
+// continuous randomized load-balancing algorithm of Section 3.
+//
+// Time is divided into phases of length PhaseLen = T/16 with
+// T = (log log n)^2. A processor with load >= T/2 at the beginning of
+// a phase is heavy; one with load <= T/16 is light. During the phase
+// each heavy processor grows a binary balancing-request tree: it sends
+// one balancing request, placed on two random processors via the
+// collision protocol (a=5, b=2, c=1); a target that is light and not
+// yet reserved sends an id message to the tree's root (its "boss") and
+// is assigned T/4 of the root's tasks; a pair of targets that cannot
+// accept load become searchers themselves and forward two requests
+// each in the next round, doubling the request frontier. Roots that
+// receive an id message transfer T/4 tasks to (one of) the responding
+// light processors and leave the game.
+package core
+
+import (
+	"fmt"
+
+	"plb/internal/collision"
+	"plb/internal/stats"
+)
+
+// Config parameterizes the balancer. The zero value is not valid; use
+// DefaultConfig or fill the fields and call Validate.
+type Config struct {
+	// T is the paper's base quantity (log log n)^2. If 0, it is
+	// derived from n as stats.PaperT(n) * max(Scale,1) at Init time.
+	T int
+	// Scale multiplies the derived T when T == 0. It exists because at
+	// laptop-scale n the raw constants give single-digit thresholds;
+	// scaling preserves the threshold *ratios* the analysis relies on
+	// while making phases long enough to observe. Default 1.
+	Scale int
+	// HeavyThreshold is the phase-start load that makes a processor
+	// heavy. If 0, T/2.
+	HeavyThreshold int
+	// LightThreshold is the phase-start load at or below which a
+	// processor is light. If 0, max(1, T/16).
+	LightThreshold int
+	// TransferAmount is the number of tasks moved per balancing
+	// action. If 0, max(1, T/4).
+	TransferAmount int
+	// PhaseLen is the number of machine steps per phase. If 0,
+	// max(1, T/16).
+	PhaseLen int
+	// TreeDepth is the number of balancing-request tree levels
+	// (collision games) per phase. If 0, the paper's
+	// max(1, (1/80) log log n) — which is 1 for any realistic n — is
+	// used.
+	TreeDepth int
+	// Collision holds the (a, b, c) protocol constants. If zero,
+	// Lemma 1's (5, 2, 1).
+	Collision collision.Params
+	// ByWeight switches classification and transfers from task counts
+	// to remaining service weight (the weighted extension; the
+	// machine needs a gen.Weigher installed for weights to differ from
+	// counts). HeavyThreshold, LightThreshold and TransferAmount are
+	// then read in weight units — scale them by the mean task weight.
+	// Incompatible with StreamTransfers.
+	ByWeight bool
+	// StreamTransfers enables the Section 5 remark: instead of moving
+	// the whole T/4 block at once, a matched pair streams
+	// ceil(TransferAmount/PhaseLen) tasks per step over the following
+	// phase ("this can be done in a stream-like manner during the next
+	// interval of length O(T)"). The load vector at the next phase
+	// start is the same either way; per-step link bandwidth drops from
+	// T/4 to O(T/PhaseLen).
+	StreamTransfers bool
+	// PreRound enables the Section 4.3 adversarial-model modification:
+	// before the collision games, every heavy processor sends one
+	// probe to a single random processor; a light processor hit by
+	// exactly one probe balances immediately.
+	PreRound bool
+	// Seed derives the balancer's private randomness.
+	Seed uint64
+	// OnPhase, if non-nil, receives the statistics of every completed
+	// phase (called synchronously from Step).
+	OnPhase func(PhaseStats)
+}
+
+// DefaultConfig returns the paper's parameterization for n processors.
+func DefaultConfig(n int) Config {
+	return Config{Seed: 1}.withDefaults(n)
+}
+
+// withDefaults fills zero fields from the paper's formulas.
+func (c Config) withDefaults(n int) Config {
+	if c.Scale < 1 {
+		c.Scale = 1
+	}
+	if c.T == 0 {
+		c.T = stats.PaperT(n) * c.Scale
+	}
+	if c.HeavyThreshold == 0 {
+		c.HeavyThreshold = c.T / 2
+	}
+	if c.LightThreshold == 0 {
+		c.LightThreshold = maxInt(1, c.T/16)
+	}
+	if c.TransferAmount == 0 {
+		c.TransferAmount = maxInt(1, c.T/4)
+	}
+	if c.PhaseLen == 0 {
+		c.PhaseLen = maxInt(1, c.T/16)
+	}
+	if c.TreeDepth == 0 {
+		c.TreeDepth = maxInt(1, int(stats.LogLog2(n))/80)
+	}
+	if c.Collision == (collision.Params{}) {
+		c.Collision = collision.Lemma1Params()
+	}
+	return c
+}
+
+// Validate checks the configuration against n processors.
+func (c Config) Validate(n int) error {
+	if c.T < 1 {
+		return fmt.Errorf("core: T must be positive, got %d", c.T)
+	}
+	if c.HeavyThreshold <= c.LightThreshold {
+		return fmt.Errorf("core: heavy threshold %d must exceed light threshold %d",
+			c.HeavyThreshold, c.LightThreshold)
+	}
+	if c.TransferAmount < 1 {
+		return fmt.Errorf("core: transfer amount must be positive, got %d", c.TransferAmount)
+	}
+	if c.TransferAmount > c.HeavyThreshold {
+		return fmt.Errorf("core: transfer amount %d exceeds heavy threshold %d (a heavy processor could be drained below light)",
+			c.TransferAmount, c.HeavyThreshold)
+	}
+	if c.PhaseLen < 1 {
+		return fmt.Errorf("core: phase length must be positive, got %d", c.PhaseLen)
+	}
+	if c.TreeDepth < 1 {
+		return fmt.Errorf("core: tree depth must be positive, got %d", c.TreeDepth)
+	}
+	if c.ByWeight && c.StreamTransfers {
+		return fmt.Errorf("core: ByWeight and StreamTransfers cannot be combined")
+	}
+	return c.Collision.Validate(n)
+}
+
+// PhaseStats reports what happened in one balancing phase.
+type PhaseStats struct {
+	// Start is the machine step at which the phase began.
+	Start int64
+	// Heavy and Light count the phase-start classification.
+	Heavy, Light int
+	// Matched counts heavy processors that found a light partner.
+	Matched int
+	// PreMatched counts partners found by the adversarial pre-round.
+	PreMatched int
+	// Rounds is the number of tree levels (collision games) played.
+	Rounds int
+	// Requests is the total number of balancing requests issued
+	// across all trees in the phase.
+	Requests int64
+	// Messages is the number of point-to-point messages the phase
+	// cost (queries, accepts, sibling checks, id messages, probes).
+	Messages int64
+	// Transferred is the total number of tasks moved.
+	Transferred int64
+	// Steps is the number of machine steps' worth of protocol time
+	// the collision games consumed (Lemma 1 accounting).
+	Steps int
+}
+
+// RequestsPerHeavy returns the mean number of balancing requests
+// issued per heavy processor (the Lemma 7 quantity), or 0 when no
+// processor was heavy.
+func (p PhaseStats) RequestsPerHeavy() float64 {
+	if p.Heavy == 0 {
+		return 0
+	}
+	return float64(p.Requests) / float64(p.Heavy)
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

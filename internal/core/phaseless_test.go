@@ -1,0 +1,152 @@
+package core
+
+import (
+	"testing"
+
+	"plb/internal/gen"
+	"plb/internal/sim"
+)
+
+func phaselessMachine(t *testing.T, n int, seed uint64) (*sim.Machine, *Phaseless) {
+	t.Helper()
+	b, err := NewPhaseless(n, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := sim.New(sim.Config{N: n, Model: gen.Single{P: 0.4, Eps: 0.1}, Seed: seed, Balancer: b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, b
+}
+
+func TestNewPhaselessDefaults(t *testing.T) {
+	n := 1 << 16
+	b, err := NewPhaseless(n, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(n)
+	if b.HeavyThreshold != cfg.HeavyThreshold || b.TransferAmount != cfg.TransferAmount {
+		t.Fatalf("defaults diverge from phase config: %+v", b)
+	}
+	if b.Name() == "" {
+		t.Fatal("empty name")
+	}
+}
+
+func TestPhaselessValidate(t *testing.T) {
+	b, _ := NewPhaseless(256, 1)
+	b.HeavyThreshold = b.LightThreshold
+	if err := b.validate(256); err == nil {
+		t.Fatal("inverted thresholds accepted")
+	}
+	b, _ = NewPhaseless(256, 1)
+	b.Probes = 0
+	if err := b.validate(256); err == nil {
+		t.Fatal("zero probes accepted")
+	}
+	b, _ = NewPhaseless(256, 1)
+	b.Collide = 0
+	if err := b.validate(256); err == nil {
+		t.Fatal("zero collide accepted")
+	}
+}
+
+func TestPhaselessBalancesImmediately(t *testing.T) {
+	n := 256
+	m, b := phaselessMachine(t, n, 42)
+	m.Inject(0, b.HeavyThreshold*3)
+	m.Step()
+	if m.Metrics().BalanceActions == 0 {
+		t.Fatal("no balancing in the very first step (the variant's whole point)")
+	}
+}
+
+func TestPhaselessCooldown(t *testing.T) {
+	n := 64
+	b, err := NewPhaseless(n, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Cooldown = 10
+	// A quiet model so only the injected pile matters.
+	quiet, err := gen.NewSingle(0.001, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := sim.New(sim.Config{N: n, Model: quiet, Seed: 7, Balancer: b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Inject(0, 1000)
+	m.Run(11)
+	// With cooldown 10, processor 0 can initiate at step 0 and step
+	// 11 with cooldown 10 -> at most 2 actions from processor 0.
+	if got := m.Metrics().BalanceActions; got > 2 {
+		t.Fatalf("cooldown not enforced: %d actions in 11 steps", got)
+	}
+}
+
+func TestPhaselessBoundsLoad(t *testing.T) {
+	n := 512
+	m, _ := phaselessMachine(t, n, 11)
+	m.Run(2000)
+	cfg := DefaultConfig(n)
+	if m.MaxLoad() > 4*cfg.T {
+		t.Fatalf("phaseless max load %d exceeds 4T=%d", m.MaxLoad(), 4*cfg.T)
+	}
+}
+
+func TestPhaselessConservation(t *testing.T) {
+	n := 128
+	m, _ := phaselessMachine(t, n, 13)
+	m.Inject(3, 300)
+	m.Run(500)
+	rec := m.Recorder()
+	if rec.Completed+m.TotalLoad() != m.Generated() {
+		t.Fatalf("conservation violated: %d + %d != %d",
+			rec.Completed, m.TotalLoad(), m.Generated())
+	}
+}
+
+func TestPhaselessDeterministic(t *testing.T) {
+	run := func() (int, sim.Metrics) {
+		m, _ := phaselessMachine(t, 128, 17)
+		m.Inject(5, 200)
+		m.Run(300)
+		return m.MaxLoad(), m.Metrics()
+	}
+	m1, met1 := run()
+	m2, met2 := run()
+	if m1 != m2 || met1 != met2 {
+		t.Fatal("same-seed phaseless runs diverged")
+	}
+}
+
+func TestPhaselessReservationPerStep(t *testing.T) {
+	// Two adjacent heavy processors must not drain into the same light
+	// partner in one step.
+	n := 32
+	b, err := NewPhaseless(n, 19)
+	if err != nil {
+		t.Fatal(err)
+	}
+	quiet, err := gen.NewSingle(0.001, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := sim.New(sim.Config{N: n, Model: quiet, Seed: 19, Balancer: b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Inject(0, b.HeavyThreshold*2)
+	m.Inject(1, b.HeavyThreshold*2)
+	m.Step()
+	// No processor may have received two blocks.
+	for p := 2; p < n; p++ {
+		if m.Load(p) > b.TransferAmount {
+			t.Fatalf("processor %d received %d > one block %d", p, m.Load(p), b.TransferAmount)
+		}
+	}
+}

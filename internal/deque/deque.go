@@ -1,0 +1,195 @@
+// Package deque implements a generic ring-buffer double-ended queue.
+//
+// Processor task queues in the simulator are FIFO (the paper stores
+// yet-to-be-performed tasks "in a FIFO like manner"), but balancing
+// actions take tasks "from the back" of the sender's queue and append
+// them "to the back" of the receiver's, so both ends must be cheap.
+// A ring buffer gives O(1) amortized operations on both ends with no
+// per-element allocation.
+package deque
+
+// Deque is a double-ended queue. The zero value is an empty deque
+// ready to use.
+type Deque[T any] struct {
+	buf   []T
+	head  int // index of the front element
+	count int
+}
+
+const minCapacity = 8
+
+// Len returns the number of elements.
+func (d *Deque[T]) Len() int { return d.count }
+
+// Cap returns the current capacity of the underlying buffer.
+func (d *Deque[T]) Cap() int { return len(d.buf) }
+
+// PushBack appends v at the back.
+func (d *Deque[T]) PushBack(v T) {
+	d.grow()
+	d.buf[d.index(d.count)] = v
+	d.count++
+}
+
+// PushFront prepends v at the front.
+func (d *Deque[T]) PushFront(v T) {
+	d.grow()
+	d.head = d.index(len(d.buf) - 1)
+	d.buf[d.head] = v
+	d.count++
+}
+
+// PopFront removes and returns the front element. It panics on an
+// empty deque.
+func (d *Deque[T]) PopFront() T {
+	if d.count == 0 {
+		panic("deque: PopFront on empty deque")
+	}
+	v := d.buf[d.head]
+	var zero T
+	d.buf[d.head] = zero
+	d.head = d.index(1)
+	d.count--
+	d.shrink()
+	return v
+}
+
+// PopBack removes and returns the back element. It panics on an empty
+// deque.
+func (d *Deque[T]) PopBack() T {
+	if d.count == 0 {
+		panic("deque: PopBack on empty deque")
+	}
+	idx := d.index(d.count - 1)
+	v := d.buf[idx]
+	var zero T
+	d.buf[idx] = zero
+	d.count--
+	d.shrink()
+	return v
+}
+
+// Front returns the front element without removing it. It panics on an
+// empty deque.
+func (d *Deque[T]) Front() T {
+	if d.count == 0 {
+		panic("deque: Front on empty deque")
+	}
+	return d.buf[d.head]
+}
+
+// Back returns the back element without removing it. It panics on an
+// empty deque.
+func (d *Deque[T]) Back() T {
+	if d.count == 0 {
+		panic("deque: Back on empty deque")
+	}
+	return d.buf[d.index(d.count-1)]
+}
+
+// FrontPtr returns a pointer to the front element for in-place
+// mutation (partial service of the head task). The pointer is valid
+// only until the next operation on the deque. It panics on an empty
+// deque.
+func (d *Deque[T]) FrontPtr() *T {
+	if d.count == 0 {
+		panic("deque: FrontPtr on empty deque")
+	}
+	return &d.buf[d.head]
+}
+
+// At returns the i-th element from the front (0-based) without
+// removing it. It panics if i is out of range.
+func (d *Deque[T]) At(i int) T {
+	if i < 0 || i >= d.count {
+		panic("deque: At index out of range")
+	}
+	return d.buf[d.index(i)]
+}
+
+// TakeBack removes up to k elements from the back and returns them in
+// queue order (the element closest to the front of the deque first).
+// The paper's balancing action moves a block of tasks from the back of
+// the sender's queue to the back of the receiver's queue "in their old
+// order"; appending the returned slice with PushBack in order realizes
+// exactly that.
+func (d *Deque[T]) TakeBack(k int) []T {
+	if k > d.count {
+		k = d.count
+	}
+	if k <= 0 {
+		return nil
+	}
+	out := make([]T, k)
+	start := d.count - k
+	for i := 0; i < k; i++ {
+		out[i] = d.buf[d.index(start+i)]
+	}
+	var zero T
+	for i := start; i < d.count; i++ {
+		d.buf[d.index(i)] = zero
+	}
+	d.count -= k
+	d.shrink()
+	return out
+}
+
+// PushBackAll appends all elements of vs at the back, in order.
+func (d *Deque[T]) PushBackAll(vs []T) {
+	for _, v := range vs {
+		d.PushBack(v)
+	}
+}
+
+// Clear removes all elements, retaining a small buffer.
+func (d *Deque[T]) Clear() {
+	var zero T
+	for i := 0; i < d.count; i++ {
+		d.buf[d.index(i)] = zero
+	}
+	d.head = 0
+	d.count = 0
+	d.shrink()
+}
+
+// index maps a logical offset from the front to a buffer index.
+func (d *Deque[T]) index(offset int) int {
+	if len(d.buf) == 0 {
+		return 0
+	}
+	i := d.head + offset
+	if i >= len(d.buf) {
+		i -= len(d.buf)
+	}
+	return i
+}
+
+func (d *Deque[T]) grow() {
+	if d.count < len(d.buf) {
+		return
+	}
+	c := len(d.buf) * 2
+	if c < minCapacity {
+		c = minCapacity
+	}
+	d.resize(c)
+}
+
+func (d *Deque[T]) shrink() {
+	if len(d.buf) > minCapacity && d.count*4 <= len(d.buf) {
+		c := len(d.buf) / 2
+		if c < minCapacity {
+			c = minCapacity
+		}
+		d.resize(c)
+	}
+}
+
+func (d *Deque[T]) resize(capacity int) {
+	nb := make([]T, capacity)
+	for i := 0; i < d.count; i++ {
+		nb[i] = d.buf[d.index(i)]
+	}
+	d.buf = nb
+	d.head = 0
+}

@@ -1,0 +1,314 @@
+package deque
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyZeroValue(t *testing.T) {
+	var d Deque[int]
+	if d.Len() != 0 {
+		t.Fatalf("zero deque Len = %d", d.Len())
+	}
+}
+
+func TestPushPopFIFO(t *testing.T) {
+	var d Deque[int]
+	for i := 0; i < 100; i++ {
+		d.PushBack(i)
+	}
+	if d.Len() != 100 {
+		t.Fatalf("Len = %d, want 100", d.Len())
+	}
+	for i := 0; i < 100; i++ {
+		if v := d.PopFront(); v != i {
+			t.Fatalf("PopFront = %d, want %d", v, i)
+		}
+	}
+	if d.Len() != 0 {
+		t.Fatalf("Len after drain = %d", d.Len())
+	}
+}
+
+func TestPushPopLIFO(t *testing.T) {
+	var d Deque[int]
+	for i := 0; i < 50; i++ {
+		d.PushBack(i)
+	}
+	for i := 49; i >= 0; i-- {
+		if v := d.PopBack(); v != i {
+			t.Fatalf("PopBack = %d, want %d", v, i)
+		}
+	}
+}
+
+func TestPushFront(t *testing.T) {
+	var d Deque[int]
+	for i := 0; i < 20; i++ {
+		d.PushFront(i)
+	}
+	for i := 19; i >= 0; i-- {
+		if v := d.PopFront(); v != i {
+			t.Fatalf("PopFront = %d, want %d", v, i)
+		}
+	}
+}
+
+func TestFrontBackAt(t *testing.T) {
+	var d Deque[string]
+	d.PushBack("a")
+	d.PushBack("b")
+	d.PushBack("c")
+	if d.Front() != "a" || d.Back() != "c" {
+		t.Fatalf("Front/Back = %q/%q", d.Front(), d.Back())
+	}
+	if d.At(1) != "b" {
+		t.Fatalf("At(1) = %q", d.At(1))
+	}
+}
+
+func TestWrapAround(t *testing.T) {
+	var d Deque[int]
+	// Force head to advance well past zero, then wrap.
+	for i := 0; i < 6; i++ {
+		d.PushBack(i)
+	}
+	for i := 0; i < 4; i++ {
+		d.PopFront()
+	}
+	for i := 6; i < 14; i++ {
+		d.PushBack(i)
+	}
+	want := 4
+	for d.Len() > 0 {
+		if v := d.PopFront(); v != want {
+			t.Fatalf("wrap-around PopFront = %d, want %d", v, want)
+		}
+		want++
+	}
+}
+
+func TestTakeBackOrder(t *testing.T) {
+	var d Deque[int]
+	for i := 0; i < 10; i++ {
+		d.PushBack(i)
+	}
+	got := d.TakeBack(4)
+	if len(got) != 4 {
+		t.Fatalf("TakeBack len = %d", len(got))
+	}
+	for i, v := range got {
+		if v != 6+i {
+			t.Fatalf("TakeBack[%d] = %d, want %d (queue order preserved)", i, v, 6+i)
+		}
+	}
+	if d.Len() != 6 || d.Back() != 5 {
+		t.Fatalf("after TakeBack: Len=%d Back=%d", d.Len(), d.Back())
+	}
+}
+
+func TestTakeBackMoreThanLen(t *testing.T) {
+	var d Deque[int]
+	d.PushBack(1)
+	d.PushBack(2)
+	got := d.TakeBack(10)
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("TakeBack over-ask = %v", got)
+	}
+	if d.Len() != 0 {
+		t.Fatalf("deque not emptied: %d", d.Len())
+	}
+}
+
+func TestTakeBackZeroAndNegative(t *testing.T) {
+	var d Deque[int]
+	d.PushBack(1)
+	if got := d.TakeBack(0); got != nil {
+		t.Fatalf("TakeBack(0) = %v, want nil", got)
+	}
+	if got := d.TakeBack(-3); got != nil {
+		t.Fatalf("TakeBack(-3) = %v, want nil", got)
+	}
+	if d.Len() != 1 {
+		t.Fatal("TakeBack(<=0) modified deque")
+	}
+}
+
+func TestPushBackAll(t *testing.T) {
+	var d Deque[int]
+	d.PushBack(0)
+	d.PushBackAll([]int{1, 2, 3})
+	for i := 0; i < 4; i++ {
+		if v := d.PopFront(); v != i {
+			t.Fatalf("PopFront = %d, want %d", v, i)
+		}
+	}
+}
+
+func TestTransferSemantics(t *testing.T) {
+	// Simulates the paper's balancing move: back-of-sender to
+	// back-of-receiver, old order preserved.
+	var sender, receiver Deque[int]
+	for i := 0; i < 8; i++ {
+		sender.PushBack(i)
+	}
+	receiver.PushBack(100)
+	receiver.PushBackAll(sender.TakeBack(3))
+	wantRecv := []int{100, 5, 6, 7}
+	for _, w := range wantRecv {
+		if v := receiver.PopFront(); v != w {
+			t.Fatalf("receiver order: got %d, want %d", v, w)
+		}
+	}
+	wantSend := []int{0, 1, 2, 3, 4}
+	for _, w := range wantSend {
+		if v := sender.PopFront(); v != w {
+			t.Fatalf("sender order: got %d, want %d", v, w)
+		}
+	}
+}
+
+func TestClear(t *testing.T) {
+	var d Deque[int]
+	for i := 0; i < 1000; i++ {
+		d.PushBack(i)
+	}
+	d.Clear()
+	if d.Len() != 0 {
+		t.Fatalf("Len after Clear = %d", d.Len())
+	}
+	d.PushBack(7)
+	if d.PopFront() != 7 {
+		t.Fatal("deque unusable after Clear")
+	}
+}
+
+func TestShrink(t *testing.T) {
+	var d Deque[int]
+	for i := 0; i < 4096; i++ {
+		d.PushBack(i)
+	}
+	grown := d.Cap()
+	for i := 0; i < 4090; i++ {
+		d.PopFront()
+	}
+	if d.Cap() >= grown {
+		t.Fatalf("capacity did not shrink: %d -> %d", grown, d.Cap())
+	}
+	// Remaining elements intact.
+	for i := 4090; i < 4096; i++ {
+		if v := d.PopFront(); v != i {
+			t.Fatalf("post-shrink PopFront = %d, want %d", v, i)
+		}
+	}
+}
+
+func TestPanics(t *testing.T) {
+	cases := []struct {
+		name string
+		f    func(d *Deque[int])
+	}{
+		{"PopFront", func(d *Deque[int]) { d.PopFront() }},
+		{"PopBack", func(d *Deque[int]) { d.PopBack() }},
+		{"Front", func(d *Deque[int]) { d.Front() }},
+		{"Back", func(d *Deque[int]) { d.Back() }},
+		{"At", func(d *Deque[int]) { d.At(0) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s on empty deque did not panic", tc.name)
+				}
+			}()
+			var d Deque[int]
+			tc.f(&d)
+		})
+	}
+}
+
+// TestQuickModelCheck compares the deque against a reference slice
+// model over random operation sequences.
+func TestQuickModelCheck(t *testing.T) {
+	f := func(ops []uint8) bool {
+		var d Deque[int]
+		var model []int
+		next := 0
+		for _, op := range ops {
+			switch op % 5 {
+			case 0: // PushBack
+				d.PushBack(next)
+				model = append(model, next)
+				next++
+			case 1: // PushFront
+				d.PushFront(next)
+				model = append([]int{next}, model...)
+				next++
+			case 2: // PopFront
+				if len(model) > 0 {
+					if d.PopFront() != model[0] {
+						return false
+					}
+					model = model[1:]
+				}
+			case 3: // PopBack
+				if len(model) > 0 {
+					if d.PopBack() != model[len(model)-1] {
+						return false
+					}
+					model = model[:len(model)-1]
+				}
+			case 4: // TakeBack(2)
+				k := 2
+				if k > len(model) {
+					k = len(model)
+				}
+				got := d.TakeBack(2)
+				want := model[len(model)-k:]
+				if len(got) != len(want) {
+					return false
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						return false
+					}
+				}
+				model = model[:len(model)-k]
+			}
+			if d.Len() != len(model) {
+				return false
+			}
+		}
+		for i, w := range model {
+			if d.At(i) != w {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkPushPopBack(b *testing.B) {
+	var d Deque[int]
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		d.PushBack(i)
+		d.PopBack()
+	}
+}
+
+func BenchmarkFIFOChurn(b *testing.B) {
+	var d Deque[int]
+	for i := 0; i < 64; i++ {
+		d.PushBack(i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.PushBack(i)
+		d.PopFront()
+	}
+}

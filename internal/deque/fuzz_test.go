@@ -1,0 +1,68 @@
+package deque
+
+import "testing"
+
+// FuzzModelCheck drives the deque against a reference slice model with
+// an operation tape; any divergence is a bug. Run with
+// `go test -fuzz=FuzzModelCheck ./internal/deque` for open-ended
+// exploration (the seed corpus runs as a normal test).
+func FuzzModelCheck(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 0, 0, 3, 2, 4})
+	f.Add([]byte{1, 1, 1, 3, 3, 3, 3})
+	f.Add([]byte{0, 0, 0, 0, 4, 4})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		var d Deque[int]
+		var model []int
+		next := 0
+		for _, op := range ops {
+			switch op % 5 {
+			case 0:
+				d.PushBack(next)
+				model = append(model, next)
+				next++
+			case 1:
+				d.PushFront(next)
+				model = append([]int{next}, model...)
+				next++
+			case 2:
+				if len(model) > 0 {
+					if got, want := d.PopFront(), model[0]; got != want {
+						t.Fatalf("PopFront = %d, want %d", got, want)
+					}
+					model = model[1:]
+				}
+			case 3:
+				if len(model) > 0 {
+					if got, want := d.PopBack(), model[len(model)-1]; got != want {
+						t.Fatalf("PopBack = %d, want %d", got, want)
+					}
+					model = model[:len(model)-1]
+				}
+			case 4:
+				k := int(op)%3 + 1
+				if k > len(model) {
+					k = len(model)
+				}
+				got := d.TakeBack(k)
+				want := model[len(model)-k:]
+				if len(got) != len(want) {
+					t.Fatalf("TakeBack len %d, want %d", len(got), len(want))
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("TakeBack[%d] = %d, want %d", i, got[i], want[i])
+					}
+				}
+				model = model[:len(model)-k]
+			}
+			if d.Len() != len(model) {
+				t.Fatalf("Len = %d, model %d", d.Len(), len(model))
+			}
+		}
+		for i, w := range model {
+			if d.At(i) != w {
+				t.Fatalf("At(%d) = %d, want %d", i, d.At(i), w)
+			}
+		}
+	})
+}

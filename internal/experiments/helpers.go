@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"fmt"
+
+	"plb/internal/core"
+	"plb/internal/gen"
+	"plb/internal/sim"
+	"plb/internal/stats"
+	"plb/internal/xrand"
+)
+
+// pick returns the quick or full variant of a sweep.
+func pick[T any](cfg RunConfig, quick, full T) T {
+	if cfg.Quick {
+		return quick
+	}
+	return full
+}
+
+// singleModel returns the paper's canonical Single(0.4, 0.1) workload.
+func singleModel() gen.Single { return gen.Single{P: 0.4, Eps: 0.1} }
+
+// ours builds a machine running the paper's balancer with the default
+// configuration for n (plus overrides applied by mutate, which may be
+// nil).
+func ours(n int, model gen.Model, seed uint64, workers int, mutate func(*core.Config)) (*sim.Machine, *core.Balancer, error) {
+	cfg := core.DefaultConfig(n)
+	cfg.Seed = seed
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	b, err := core.New(n, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	m, err := sim.New(sim.Config{N: n, Model: model, Balancer: b, Seed: seed, Workers: workers})
+	if err != nil {
+		return nil, nil, err
+	}
+	return m, b, nil
+}
+
+// maxLoadProfile warms the machine for warm steps, then runs samples
+// segments of gap steps each, recording the max load after each
+// segment. It returns the observations.
+func maxLoadProfile(m *sim.Machine, warm, samples, gap int) stats.Running {
+	var r stats.Running
+	m.Run(warm)
+	for i := 0; i < samples; i++ {
+		m.Run(gap)
+		r.Add(float64(m.MaxLoad()))
+	}
+	return r
+}
+
+// ratioRow renders a standard (n, T, measured, bound-ratio) table row.
+func ratioRow(n int, measured stats.Running, bound float64) []string {
+	return []string{
+		fmtI(int64(n)),
+		fmtI(int64(stats.PaperT(n))),
+		fmtF(measured.Mean()),
+		fmtF(measured.Max()),
+		fmtF(measured.Max() / bound),
+	}
+}
+
+// fmtN renders n as a power of two when exact.
+func fmtN(n int) string {
+	for k := 1; k < 31; k++ {
+		if n == 1<<k {
+			return fmt.Sprintf("2^%d", k)
+		}
+	}
+	return fmt.Sprintf("%d", n)
+}
+
+// newSeededStream builds a deterministic stream for experiment-local
+// randomness.
+func newSeededStream(seed uint64) *xrand.Stream { return xrand.New(seed) }

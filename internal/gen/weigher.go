@@ -1,0 +1,90 @@
+package gen
+
+import (
+	"fmt"
+	"math"
+
+	"plb/internal/xrand"
+)
+
+// Weigher assigns service weights to newly generated tasks — the
+// continuous analogue of the weighted balls of Berenbrink, Meyer auf
+// der Heide and Schröder's static game (Section 1.1). A nil Weigher
+// in the machine configuration means unit weights, the paper's model.
+// Implementations must be safe for concurrent calls with distinct proc
+// arguments.
+type Weigher interface {
+	// Name identifies the weight distribution in experiment tables.
+	Name() string
+	// Weight returns the service weight (>= 1) of a task generated on
+	// proc at step now.
+	Weight(proc int, r *xrand.Stream, now int64) int32
+}
+
+// UnitWeight is the explicit unit-weight Weigher (equivalent to nil).
+type UnitWeight struct{}
+
+// Name implements Weigher.
+func (UnitWeight) Name() string { return "unit" }
+
+// Weight implements Weigher.
+func (UnitWeight) Weight(int, *xrand.Stream, int64) int32 { return 1 }
+
+// UniformWeight draws weights uniformly from [Min, Max].
+type UniformWeight struct {
+	// Min and Max bound the weight range, 1 <= Min <= Max.
+	Min, Max int32
+}
+
+// NewUniformWeight validates the range.
+func NewUniformWeight(min, max int32) (UniformWeight, error) {
+	if min < 1 || max < min {
+		return UniformWeight{}, fmt.Errorf("gen: invalid UniformWeight[%d, %d]", min, max)
+	}
+	return UniformWeight{Min: min, Max: max}, nil
+}
+
+// Name implements Weigher.
+func (w UniformWeight) Name() string { return fmt.Sprintf("uniform[%d,%d]", w.Min, w.Max) }
+
+// Weight implements Weigher.
+func (w UniformWeight) Weight(_ int, r *xrand.Stream, _ int64) int32 {
+	return w.Min + int32(r.Intn(int(w.Max-w.Min)+1))
+}
+
+// ParetoWeight draws heavy-tailed weights: P(W >= w) = w^-Alpha,
+// truncated at Max. Small Alpha gives extreme skew — the regime where
+// weight-blind balancing fails (the BMS97 motivation).
+type ParetoWeight struct {
+	// Alpha is the tail exponent (> 0); smaller is heavier-tailed.
+	Alpha float64
+	// Max truncates the distribution (>= 1).
+	Max int32
+}
+
+// NewParetoWeight validates the parameters.
+func NewParetoWeight(alpha float64, max int32) (ParetoWeight, error) {
+	if alpha <= 0 || max < 1 {
+		return ParetoWeight{}, fmt.Errorf("gen: invalid ParetoWeight(alpha=%v, max=%d)", alpha, max)
+	}
+	return ParetoWeight{Alpha: alpha, Max: max}, nil
+}
+
+// Name implements Weigher.
+func (w ParetoWeight) Name() string { return fmt.Sprintf("pareto(a=%g,max=%d)", w.Alpha, w.Max) }
+
+// Weight implements Weigher.
+func (w ParetoWeight) Weight(_ int, r *xrand.Stream, _ int64) int32 {
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	v := math.Floor(math.Pow(u, -1/w.Alpha))
+	if v < 1 {
+		v = 1
+	}
+	if v > float64(w.Max) {
+		v = float64(w.Max)
+	}
+	return int32(v)
+}

@@ -1,0 +1,292 @@
+// Package live is the goroutine-per-processor realization of the
+// paper's algorithm: every simulated processor is an actual goroutine
+// with a channel mailbox, generating and consuming its own tasks and
+// balancing with the threshold/probe rule over real message passing.
+//
+// internal/sim (and internal/proto on top of it) execute the model in
+// lock step for bit-reproducibility; live gives up determinism for the
+// real thing — n concurrent workers, channels as links, and a cyclic
+// barrier standing in for the paper's synchronous steps. Within a
+// step, processors run truly concurrently; the barrier only separates
+// the paper's sub-steps (generate/consume → probe → answer → move),
+// mirroring Section 5's "a time step actually consists of four steps".
+//
+// The balancing rule is the phaseless threshold variant (concluding
+// remarks): a processor above the heavy threshold probes Probes random
+// processors; a light processor answering at most Collide probes per
+// step accepts one and receives TransferAmount tasks. Tests validate
+// the same invariants as the deterministic implementations —
+// conservation, bounded load, message accounting — statistically.
+package live
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"plb/internal/xrand"
+)
+
+// Config parameterizes a live run.
+type Config struct {
+	// N is the number of processor goroutines (>= 2).
+	N int
+	// P and Eps are the Single-model generation/consumption
+	// probabilities (consume w.p. P+Eps).
+	P, Eps float64
+	// HeavyThreshold triggers probing; LightThreshold (inclusive)
+	// allows accepting. TransferAmount tasks move per balance.
+	HeavyThreshold, LightThreshold, TransferAmount int
+	// Probes is the number of random processors probed per attempt;
+	// Collide caps the probes a processor answers per step.
+	Probes, Collide int
+	// Cooldown is the number of steps between attempts by the same
+	// processor.
+	Cooldown int
+	// Seed derives every processor's private stream.
+	Seed uint64
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.N < 2 {
+		return fmt.Errorf("live: need N >= 2, got %d", c.N)
+	}
+	if c.P <= 0 || c.Eps <= 0 || c.P+c.Eps > 1 {
+		return fmt.Errorf("live: invalid rates p=%v eps=%v", c.P, c.Eps)
+	}
+	if c.HeavyThreshold <= c.LightThreshold || c.LightThreshold < 0 {
+		return fmt.Errorf("live: thresholds heavy=%d light=%d invalid", c.HeavyThreshold, c.LightThreshold)
+	}
+	if c.TransferAmount < 1 || c.TransferAmount > c.HeavyThreshold {
+		return fmt.Errorf("live: transfer %d out of [1, heavy]", c.TransferAmount)
+	}
+	if c.Probes < 1 || c.Probes > c.N-1 || c.Collide < 1 {
+		return fmt.Errorf("live: probes=%d collide=%d invalid", c.Probes, c.Collide)
+	}
+	if c.Cooldown < 0 {
+		return fmt.Errorf("live: negative cooldown")
+	}
+	return nil
+}
+
+// Stats aggregates a live run's outcome.
+type Stats struct {
+	// Steps executed.
+	Steps int
+	// Generated and Completed count tasks; Queued is the final total
+	// load. Conservation: Generated == Completed + Queued.
+	Generated, Completed, Queued int64
+	// MaxLoad is the largest queue observed at any step boundary.
+	MaxLoad int
+	// FinalMaxLoad is the largest queue at the end.
+	FinalMaxLoad int
+	// Messages counts probes, accepts, and transfer notices.
+	Messages int64
+	// Transfers counts completed balance actions.
+	Transfers int64
+}
+
+// message kinds on the live network.
+type msgKind uint8
+
+const (
+	msgProbe msgKind = iota + 1
+	msgAccept
+	msgTasks
+)
+
+type message struct {
+	kind msgKind
+	from int32
+	k    int32 // task count for msgTasks
+}
+
+// barrier is a reusable cyclic barrier for n parties.
+type barrier struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	n      int
+	count  int
+	phase  uint64
+	closed bool
+}
+
+func newBarrier(n int) *barrier {
+	b := &barrier{n: n}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// await blocks until all n parties arrive.
+func (b *barrier) await() {
+	b.mu.Lock()
+	phase := b.phase
+	b.count++
+	if b.count == b.n {
+		b.count = 0
+		b.phase++
+		b.cond.Broadcast()
+		b.mu.Unlock()
+		return
+	}
+	for b.phase == phase {
+		b.cond.Wait()
+	}
+	b.mu.Unlock()
+}
+
+// Run executes steps synchronous steps with one goroutine per
+// processor and returns the aggregated statistics.
+func Run(cfg Config, steps int) (Stats, error) {
+	if err := cfg.Validate(); err != nil {
+		return Stats{}, err
+	}
+	if steps < 1 {
+		return Stats{}, fmt.Errorf("live: steps must be >= 1")
+	}
+	n := cfg.N
+	// Mailboxes sized so a worst-case step (every processor probing
+	// the same target, plus replies and transfers) cannot block.
+	boxes := make([]chan message, n)
+	for i := range boxes {
+		boxes[i] = make(chan message, n+cfg.Probes+4)
+	}
+	loads := make([]int64, n) // owned by each goroutine; read via atomic at barriers
+	var generated, completed, messages, transfers int64
+	var stepMax int64
+
+	bar := newBarrier(n)
+	root := xrand.New(cfg.Seed)
+	streams := make([]*xrand.Stream, n)
+	for i := range streams {
+		streams[i] = root.Split(uint64(i))
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for p := 0; p < n; p++ {
+		go func(p int) {
+			defer wg.Done()
+			r := streams[p]
+			load := int64(0)
+			nextTry := 0
+			myGen, myDone, myMsg, myMoves := int64(0), int64(0), int64(0), int64(0)
+			targets := make([]int, cfg.Probes)
+			var probesIn, acceptsIn []message
+			// drainAll empties the mailbox, dispatching by kind.
+			// Within a sub-step there is no barrier between another
+			// goroutine's send and our drain, so any kind may arrive
+			// "early"; messages are banked per kind (tasks applied to
+			// the load immediately) and never dropped.
+			drainAll := func() {
+				for {
+					select {
+					case m := <-boxes[p]:
+						switch m.kind {
+						case msgProbe:
+							probesIn = append(probesIn, m)
+						case msgAccept:
+							acceptsIn = append(acceptsIn, m)
+						case msgTasks:
+							load += int64(m.k)
+						}
+					default:
+						return
+					}
+				}
+			}
+			for step := 0; step < steps; step++ {
+				probesIn = probesIn[:0]
+				acceptsIn = acceptsIn[:0]
+				// Sub-step 1: generate and consume locally.
+				if r.Bernoulli(cfg.P) {
+					load++
+					myGen++
+				}
+				if load > 0 && r.Bernoulli(cfg.P+cfg.Eps) {
+					load--
+					myDone++
+				}
+				probing := false
+				if step >= nextTry && load >= int64(cfg.HeavyThreshold) {
+					probing = true
+					nextTry = step + cfg.Cooldown + 1
+					r.SampleDistinct(targets, cfg.Probes, n, p)
+					for _, tgt := range targets {
+						boxes[tgt] <- message{kind: msgProbe, from: int32(p)}
+						myMsg++
+					}
+				}
+				atomic.StoreInt64(&loads[p], load)
+				bar.await()
+
+				// Sub-step 2: answer probes (collision rule: answer
+				// only when at most Collide arrived; accept only when
+				// light). All of this step's probes are in the box by
+				// now (senders passed the barrier after sending).
+				drainAll()
+				if len(probesIn) > 0 && len(probesIn) <= cfg.Collide &&
+					load <= int64(cfg.LightThreshold) {
+					boxes[probesIn[0].from] <- message{kind: msgAccept, from: int32(p)}
+					myMsg++
+				}
+				bar.await()
+
+				// Sub-step 3: probers collect accepts and ship blocks.
+				drainAll()
+				if probing && len(acceptsIn) > 0 {
+					k := int64(cfg.TransferAmount)
+					if k > load {
+						k = load
+					}
+					if k > 0 {
+						load -= k
+						boxes[acceptsIn[0].from] <- message{kind: msgTasks, from: int32(p), k: int32(k)}
+						myMsg++
+						myMoves++
+					}
+				}
+				bar.await()
+
+				// Sub-step 4: receive shipped blocks.
+				drainAll()
+				atomic.StoreInt64(&loads[p], load)
+				if p == 0 {
+					// One party samples the global max each step; the
+					// values it reads are barrier-fresh.
+					max := int64(0)
+					for q := 0; q < n; q++ {
+						if l := atomic.LoadInt64(&loads[q]); l > max {
+							max = l
+						}
+					}
+					for {
+						cur := atomic.LoadInt64(&stepMax)
+						if max <= cur || atomic.CompareAndSwapInt64(&stepMax, cur, max) {
+							break
+						}
+					}
+				}
+				bar.await()
+			}
+			atomic.AddInt64(&generated, myGen)
+			atomic.AddInt64(&completed, myDone)
+			atomic.AddInt64(&messages, myMsg)
+			atomic.AddInt64(&transfers, myMoves)
+			atomic.StoreInt64(&loads[p], load)
+		}(p)
+	}
+	wg.Wait()
+
+	st := Stats{Steps: steps, Generated: generated, Completed: completed,
+		Messages: messages, Transfers: transfers, MaxLoad: int(atomic.LoadInt64(&stepMax))}
+	for p := 0; p < n; p++ {
+		l := atomic.LoadInt64(&loads[p])
+		st.Queued += l
+		if int(l) > st.FinalMaxLoad {
+			st.FinalMaxLoad = int(l)
+		}
+	}
+	return st, nil
+}

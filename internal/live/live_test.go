@@ -1,0 +1,144 @@
+package live
+
+import (
+	"testing"
+
+	"plb/internal/stats"
+)
+
+func defaultConfig(n int) Config {
+	t := stats.PaperT(n)
+	return Config{
+		N: n, P: 0.4, Eps: 0.1,
+		HeavyThreshold: t / 2, LightThreshold: maxOf(1, t/16),
+		TransferAmount: maxOf(1, t/4),
+		Probes:         5, Collide: 1, Cooldown: 1,
+		Seed: 1,
+	}
+}
+
+func maxOf(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func TestValidate(t *testing.T) {
+	good := defaultConfig(64)
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []func(*Config){
+		func(c *Config) { c.N = 1 },
+		func(c *Config) { c.P = 0 },
+		func(c *Config) { c.Eps = 0 },
+		func(c *Config) { c.P = 0.9; c.Eps = 0.2 },
+		func(c *Config) { c.HeavyThreshold = c.LightThreshold },
+		func(c *Config) { c.TransferAmount = 0 },
+		func(c *Config) { c.TransferAmount = c.HeavyThreshold + 1 },
+		func(c *Config) { c.Probes = 0 },
+		func(c *Config) { c.Probes = c.N },
+		func(c *Config) { c.Collide = 0 },
+		func(c *Config) { c.Cooldown = -1 },
+	}
+	for i, mutate := range cases {
+		cfg := defaultConfig(64)
+		mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestRunRejectsBadSteps(t *testing.T) {
+	if _, err := Run(defaultConfig(8), 0); err == nil {
+		t.Fatal("steps=0 accepted")
+	}
+}
+
+func TestConservation(t *testing.T) {
+	st, err := Run(defaultConfig(128), 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Generated != st.Completed+st.Queued {
+		t.Fatalf("conservation violated: %d != %d + %d", st.Generated, st.Completed, st.Queued)
+	}
+	if st.Generated == 0 || st.Completed == 0 {
+		t.Fatal("no work happened")
+	}
+}
+
+func TestLoadBounded(t *testing.T) {
+	n := 256
+	cfg := defaultConfig(n)
+	st, err := Run(cfg, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Statistical bound: the live threshold balancer should keep the
+	// max within a small multiple of T (same claim as the
+	// deterministic implementations, looser slack for scheduling
+	// nondeterminism).
+	if limit := 6 * stats.PaperT(n); st.MaxLoad > limit {
+		t.Fatalf("live max load %d exceeded %d", st.MaxLoad, limit)
+	}
+	if st.FinalMaxLoad > st.MaxLoad {
+		t.Fatalf("final max %d exceeds observed max %d", st.FinalMaxLoad, st.MaxLoad)
+	}
+}
+
+func TestBalancingActuallyHappens(t *testing.T) {
+	// Force imbalance through skewed thresholds: a tiny heavy
+	// threshold makes probing frequent.
+	cfg := defaultConfig(128)
+	cfg.HeavyThreshold = 3
+	cfg.LightThreshold = 1
+	cfg.TransferAmount = 2
+	st, err := Run(cfg, 1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Transfers == 0 {
+		t.Fatal("no transfers in a busy live system")
+	}
+	if st.Messages < st.Transfers {
+		t.Fatalf("messages %d < transfers %d", st.Messages, st.Transfers)
+	}
+}
+
+func TestQuietSystemSendsNothing(t *testing.T) {
+	cfg := defaultConfig(64)
+	cfg.HeavyThreshold = 1000 // unreachable
+	cfg.LightThreshold = 999
+	st, err := Run(cfg, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Messages != 0 || st.Transfers != 0 {
+		t.Fatalf("quiet system sent %d messages, %d transfers", st.Messages, st.Transfers)
+	}
+}
+
+func TestBeatsUnbalancedTail(t *testing.T) {
+	// Compare against the same live system with balancing disabled
+	// (unreachable threshold): over many steps the balanced max should
+	// be lower.
+	n := 256
+	steps := 2500
+	balanced, err := Run(defaultConfig(n), steps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off := defaultConfig(n)
+	off.HeavyThreshold = 1 << 30
+	off.LightThreshold = (1 << 30) - 2
+	unbalanced, err := Run(off, steps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if balanced.MaxLoad >= unbalanced.MaxLoad {
+		t.Fatalf("live balancing did not help: %d vs %d", balanced.MaxLoad, unbalanced.MaxLoad)
+	}
+}

@@ -1,0 +1,136 @@
+// Package markov computes the analytic steady-state load distribution
+// of an unbalanced processor, following the proof of Lemma 2.
+//
+// Under the Single model a processor's load is a birth-death chain:
+// from a non-empty state it gains a task with probability
+// p_g = p(1-q), loses one with probability p_l = q(1-p) (q = p + eps),
+// and stays otherwise. The stationary distribution is geometric,
+// v_i = (1 - rho) rho^i with rho = p_g/p_l, which is the (1/c)^k bound
+// the paper states. The experiment harness compares the measured load
+// histogram of the unbalanced system against this distribution.
+package markov
+
+import (
+	"fmt"
+	"math"
+)
+
+// BirthDeath is a discrete birth-death chain on {0, 1, 2, ...} given
+// by its per-state gain and loss probabilities.
+type BirthDeath struct {
+	// Gain returns the probability of moving from state i to i+1.
+	Gain func(i int) float64
+	// Loss returns the probability of moving from state i to i-1
+	// (must be 0 usable only for i >= 1).
+	Loss func(i int) float64
+}
+
+// SteadyState returns the stationary distribution truncated to states
+// [0, maxState], normalized over the truncation. It uses detailed
+// balance: v_{i+1} = v_i * Gain(i) / Loss(i+1). It returns an error if
+// the chain is not well formed or not positive recurrent on the
+// truncation.
+func (c BirthDeath) SteadyState(maxState int) ([]float64, error) {
+	if maxState < 0 {
+		return nil, fmt.Errorf("markov: maxState must be >= 0, got %d", maxState)
+	}
+	v := make([]float64, maxState+1)
+	v[0] = 1
+	for i := 0; i < maxState; i++ {
+		g := c.Gain(i)
+		l := c.Loss(i + 1)
+		if g < 0 || g > 1 || l < 0 || l > 1 {
+			return nil, fmt.Errorf("markov: transition probability out of [0,1] at state %d (gain=%v, loss=%v)", i, g, l)
+		}
+		if l == 0 {
+			if g == 0 {
+				v[i+1] = 0
+				continue
+			}
+			return nil, fmt.Errorf("markov: state %d unreachable backward (loss=0, gain=%v)", i+1, g)
+		}
+		v[i+1] = v[i] * g / l
+	}
+	sum := 0.0
+	for _, x := range v {
+		sum += x
+	}
+	if sum == 0 || math.IsInf(sum, 0) || math.IsNaN(sum) {
+		return nil, fmt.Errorf("markov: degenerate stationary mass %v", sum)
+	}
+	for i := range v {
+		v[i] /= sum
+	}
+	return v, nil
+}
+
+// SingleChain is the load chain of one unbalanced processor under the
+// Single(p, eps) model.
+type SingleChain struct {
+	// P is the generation probability, Q = P + Eps the consumption
+	// probability.
+	P, Eps float64
+}
+
+// Rho returns the geometric ratio p_g / p_l of the stationary
+// distribution.
+func (s SingleChain) Rho() float64 {
+	q := s.P + s.Eps
+	pg := s.P * (1 - q)
+	pl := q * (1 - s.P)
+	return pg / pl
+}
+
+// PMF returns the exact stationary probability of load k:
+// (1 - rho) rho^k.
+func (s SingleChain) PMF(k int) float64 {
+	if k < 0 {
+		return 0
+	}
+	rho := s.Rho()
+	return (1 - rho) * math.Pow(rho, float64(k))
+}
+
+// TailProb returns the exact stationary P(load >= k) = rho^k.
+func (s SingleChain) TailProb(k int) float64 {
+	if k <= 0 {
+		return 1
+	}
+	return math.Pow(s.Rho(), float64(k))
+}
+
+// Mean returns the stationary expected load rho/(1-rho).
+func (s SingleChain) Mean() float64 {
+	rho := s.Rho()
+	return rho / (1 - rho)
+}
+
+// Chain returns the underlying birth-death chain (for cross-checking
+// the closed form against the numeric solver).
+func (s SingleChain) Chain() BirthDeath {
+	q := s.P + s.Eps
+	pg := s.P * (1 - q)
+	pl := q * (1 - s.P)
+	return BirthDeath{
+		Gain: func(int) float64 { return pg },
+		Loss: func(i int) float64 {
+			if i == 0 {
+				return 0
+			}
+			return pl
+		},
+	}
+}
+
+// ExpectedMaxLoad returns the asymptotic-order estimate of the maximum
+// of n independent draws from the stationary distribution: the k with
+// n * TailProb(k) ~ 1, i.e. k = ln n / ln(1/rho). This is the paper's
+// observation that the unbalanced system has a processor with load
+// Omega(log n / log log n) (indeed Theta(log n) for a fixed chain)
+// with probability 1 - o(1).
+func (s SingleChain) ExpectedMaxLoad(n int) float64 {
+	if n < 2 {
+		return 0
+	}
+	return math.Log(float64(n)) / math.Log(1/s.Rho())
+}

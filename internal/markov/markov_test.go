@@ -1,0 +1,195 @@
+package markov
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"plb/internal/gen"
+	"plb/internal/sim"
+	"plb/internal/stats"
+)
+
+func TestSingleChainRho(t *testing.T) {
+	s := SingleChain{P: 0.4, Eps: 0.1}
+	// pg = 0.4*0.5 = 0.2, pl = 0.5*0.6 = 0.3 => rho = 2/3.
+	if got := s.Rho(); math.Abs(got-2.0/3.0) > 1e-12 {
+		t.Fatalf("Rho = %v", got)
+	}
+}
+
+func TestPMFSumsToOne(t *testing.T) {
+	s := SingleChain{P: 0.4, Eps: 0.1}
+	sum := 0.0
+	for k := 0; k < 200; k++ {
+		sum += s.PMF(k)
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("PMF mass = %v", sum)
+	}
+	if s.PMF(-1) != 0 {
+		t.Fatal("PMF(-1) != 0")
+	}
+}
+
+func TestTailProb(t *testing.T) {
+	s := SingleChain{P: 0.4, Eps: 0.1}
+	if s.TailProb(0) != 1 || s.TailProb(-3) != 1 {
+		t.Fatal("TailProb at 0 must be 1")
+	}
+	// Tail = sum of pmf from k.
+	for _, k := range []int{1, 3, 10} {
+		sum := 0.0
+		for j := k; j < 500; j++ {
+			sum += s.PMF(j)
+		}
+		if math.Abs(sum-s.TailProb(k)) > 1e-9 {
+			t.Fatalf("TailProb(%d) = %v, pmf sum = %v", k, s.TailProb(k), sum)
+		}
+	}
+}
+
+func TestMeanMatchesPMF(t *testing.T) {
+	s := SingleChain{P: 0.3, Eps: 0.2}
+	mean := 0.0
+	for k := 0; k < 500; k++ {
+		mean += float64(k) * s.PMF(k)
+	}
+	if math.Abs(mean-s.Mean()) > 1e-9 {
+		t.Fatalf("Mean = %v, pmf mean = %v", s.Mean(), mean)
+	}
+}
+
+func TestChainMatchesClosedForm(t *testing.T) {
+	s := SingleChain{P: 0.4, Eps: 0.1}
+	v, err := s.Chain().SteadyState(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k <= 20; k++ {
+		if math.Abs(v[k]-s.PMF(k)) > 1e-6 {
+			t.Fatalf("numeric v[%d] = %v, closed form %v", k, v[k], s.PMF(k))
+		}
+	}
+}
+
+func TestSteadyStateValidation(t *testing.T) {
+	bad := BirthDeath{
+		Gain: func(int) float64 { return 1.5 },
+		Loss: func(int) float64 { return 0.5 },
+	}
+	if _, err := bad.SteadyState(10); err == nil {
+		t.Fatal("invalid gain accepted")
+	}
+	stuck := BirthDeath{
+		Gain: func(int) float64 { return 0.5 },
+		Loss: func(int) float64 { return 0 },
+	}
+	if _, err := stuck.SteadyState(10); err == nil {
+		t.Fatal("unreachable-backward chain accepted")
+	}
+	if _, err := (BirthDeath{}).SteadyState(-1); err == nil {
+		t.Fatal("negative maxState accepted")
+	}
+}
+
+func TestSteadyStateAbsorbing(t *testing.T) {
+	// Gain 0 above state 2: states 3+ get zero mass, no error.
+	c := BirthDeath{
+		Gain: func(i int) float64 {
+			if i >= 2 {
+				return 0
+			}
+			return 0.3
+		},
+		Loss: func(i int) float64 {
+			if i == 0 {
+				return 0
+			}
+			return 0.5
+		},
+	}
+	v, err := c.SteadyState(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v[3] != 0 || v[4] != 0 || v[5] != 0 {
+		t.Fatalf("mass beyond absorbing boundary: %v", v)
+	}
+	sum := 0.0
+	for _, x := range v {
+		sum += x
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("normalization broken: %v", sum)
+	}
+}
+
+func TestExpectedMaxLoadGrowsLogarithmically(t *testing.T) {
+	s := SingleChain{P: 0.4, Eps: 0.1}
+	m1 := s.ExpectedMaxLoad(1 << 10)
+	m2 := s.ExpectedMaxLoad(1 << 20)
+	if m2 <= m1 {
+		t.Fatal("expected max load must grow with n")
+	}
+	if math.Abs(m2/m1-2) > 0.01 {
+		t.Fatalf("log growth violated: %v vs %v", m1, m2)
+	}
+	if s.ExpectedMaxLoad(1) != 0 {
+		t.Fatal("n=1 should be 0")
+	}
+}
+
+// TestEmpiricalMatchesAnalytic is the heart of Lemma 2: run the
+// unbalanced simulator and compare the measured load histogram with
+// the stationary distribution.
+func TestEmpiricalMatchesAnalytic(t *testing.T) {
+	const n = 2048
+	chain := SingleChain{P: 0.4, Eps: 0.1}
+	m, err := sim.New(sim.Config{N: n, Model: gen.Single{P: 0.4, Eps: 0.1}, Seed: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Run(2000) // warm into steady state
+	hist := stats.NewHist(64)
+	for round := 0; round < 20; round++ {
+		m.Run(50) // decorrelate samples
+		snap := m.Snapshot()
+		for _, l := range snap {
+			hist.Add(int(l))
+		}
+	}
+	for k := 0; k <= 6; k++ {
+		want := chain.PMF(k)
+		got := hist.PMF(k)
+		if math.Abs(got-want) > 0.03+0.1*want {
+			t.Errorf("P(load=%d): empirical %v vs analytic %v", k, got, want)
+		}
+	}
+}
+
+func TestQuickSteadyStateNormalized(t *testing.T) {
+	f := func(pRaw, eRaw uint8) bool {
+		p := 0.05 + 0.4*float64(pRaw)/255
+		eps := 0.05 + 0.4*float64(eRaw)/255
+		if p+eps > 0.99 {
+			return true
+		}
+		s := SingleChain{P: p, Eps: eps}
+		v, err := s.Chain().SteadyState(80)
+		if err != nil {
+			return false
+		}
+		sum := 0.0
+		for _, x := range v {
+			if x < 0 {
+				return false
+			}
+			sum += x
+		}
+		return math.Abs(sum-1) < 1e-9 && s.Rho() < 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,170 @@
+// Package netsim is a synchronous message-passing network for the
+// distributed implementation of the paper's protocol.
+//
+// The paper's machine model lets every processor exchange a constant
+// number of messages per time step with unit latency. netsim realizes
+// that: messages sent during step t are delivered at the beginning of
+// step t+1, each processor reads its inbox, and the network counts
+// traffic. Delivery order within an inbox is deterministic (sender id,
+// then send order), so protocols built on netsim are reproducible.
+//
+// The counter-based balancer in internal/core models communication by
+// accounting; the state machines in internal/proto actually exchange
+// these messages. Comparing the two (experiment E16) validates that
+// the accounting shortcut does not change the algorithm's behaviour.
+package netsim
+
+import (
+	"fmt"
+	"sort"
+
+	"plb/internal/xrand"
+)
+
+// Kind tags the protocol meaning of a message.
+type Kind uint8
+
+// Message kinds used by the distributed balancer; netsim itself treats
+// them opaquely.
+const (
+	// KindQuery is a collision-protocol query carrying the tree root
+	// (boss) in A and the request sequence in B.
+	KindQuery Kind = iota + 1
+	// KindAccept answers a query; A is the boss, B is 1 if the
+	// accepting processor is applicative (light and unreserved).
+	KindAccept
+	// KindID is the id message a reserved light processor sends to the
+	// tree root.
+	KindID
+	// KindForward tells a processor to join the search as a tree node;
+	// A is the boss.
+	KindForward
+	// KindTransfer announces a block of tasks; A is the task count.
+	KindTransfer
+	// KindProbe is the adversarial pre-round probe; A is the sender's
+	// load.
+	KindProbe
+)
+
+// Message is one point-to-point datagram.
+type Message struct {
+	// From and To are processor ids.
+	From, To int32
+	// Kind tags the protocol meaning.
+	Kind Kind
+	// A and B are small payload fields whose meaning depends on Kind.
+	A, B int32
+}
+
+// Network is a synchronous unit-latency network among n processors.
+// It is not safe for concurrent use; the distributed protocol drives
+// it from the sequential balancer phase.
+type Network struct {
+	n       int
+	current [][]Message // inboxes readable this step
+	next    [][]Message // accumulating, delivered by Deliver
+	sent    int64
+	dropped int64
+	peak    int
+
+	sendCnt  []int32 // per-sender messages in the current window
+	peakSend int
+
+	dropProb float64
+	dropRng  *xrand.Stream
+}
+
+// New creates a network among n processors.
+func New(n int) (*Network, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("netsim: need n >= 1, got %d", n)
+	}
+	return &Network{
+		n:       n,
+		current: make([][]Message, n),
+		next:    make([][]Message, n),
+		sendCnt: make([]int32, n),
+	}, nil
+}
+
+// N returns the number of processors.
+func (nw *Network) N() int { return nw.n }
+
+// InjectLoss makes every subsequent Send drop the message with
+// probability p (failure injection for robustness tests; protocols on
+// netsim must tolerate loss via their retry rounds). p = 0 disables
+// loss.
+func (nw *Network) InjectLoss(p float64, seed uint64) {
+	nw.dropProb = p
+	nw.dropRng = xrand.New(seed ^ 0x10c5)
+}
+
+// Send enqueues m for delivery at the next Deliver call. It panics on
+// out-of-range endpoints (a protocol bug, not a runtime condition).
+// Sent messages count even when loss injection drops them (the sender
+// paid for the message either way).
+func (nw *Network) Send(m Message) {
+	if m.From < 0 || int(m.From) >= nw.n || m.To < 0 || int(m.To) >= nw.n {
+		panic(fmt.Sprintf("netsim: endpoint out of range in %+v", m))
+	}
+	nw.sent++
+	nw.sendCnt[m.From]++
+	if int(nw.sendCnt[m.From]) > nw.peakSend {
+		nw.peakSend = int(nw.sendCnt[m.From])
+	}
+	if nw.dropProb > 0 && nw.dropRng.Bernoulli(nw.dropProb) {
+		nw.dropped++
+		return
+	}
+	nw.next[m.To] = append(nw.next[m.To], m)
+}
+
+// PeakSendDegree returns the largest number of messages any single
+// processor sent within one delivery window. The paper's machine model
+// allows each processor only a constant number of messages per step,
+// so a protocol on netsim should keep this O(a + c).
+func (nw *Network) PeakSendDegree() int { return nw.peakSend }
+
+// Dropped returns how many messages loss injection has discarded.
+func (nw *Network) Dropped() int64 { return nw.dropped }
+
+// Deliver advances the network one step: everything sent since the
+// last Deliver becomes readable, sorted per inbox by (From, send
+// order). Previously delivered messages are dropped.
+func (nw *Network) Deliver() {
+	for p := range nw.sendCnt {
+		nw.sendCnt[p] = 0
+	}
+	for p := 0; p < nw.n; p++ {
+		nw.current[p] = nw.current[p][:0]
+		inbox := nw.next[p]
+		// Stable sort by sender keeps send order among equal senders.
+		sort.SliceStable(inbox, func(i, j int) bool { return inbox[i].From < inbox[j].From })
+		nw.current[p] = append(nw.current[p], inbox...)
+		nw.next[p] = nw.next[p][:0]
+		if len(nw.current[p]) > nw.peak {
+			nw.peak = len(nw.current[p])
+		}
+	}
+}
+
+// Inbox returns processor p's messages for the current step. The
+// slice is owned by the network and valid until the next Deliver.
+func (nw *Network) Inbox(p int) []Message { return nw.current[p] }
+
+// Sent returns the total number of messages ever sent.
+func (nw *Network) Sent() int64 { return nw.sent }
+
+// PeakInbox returns the largest inbox size ever delivered — the
+// paper's collision effect means protocol logic must stay correct even
+// when this exceeds the collision value, because only the decision
+// (not the reading) is capped.
+func (nw *Network) PeakInbox() int { return nw.peak }
+
+// Reset drops all queued and delivered messages, keeping counters.
+func (nw *Network) Reset() {
+	for p := 0; p < nw.n; p++ {
+		nw.current[p] = nw.current[p][:0]
+		nw.next[p] = nw.next[p][:0]
+	}
+}

@@ -1,0 +1,191 @@
+package netsim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+	nw, err := New(4)
+	if err != nil || nw.N() != 4 {
+		t.Fatalf("New(4) = %v, %v", nw, err)
+	}
+}
+
+func TestUnitLatency(t *testing.T) {
+	nw, _ := New(3)
+	nw.Send(Message{From: 0, To: 2, Kind: KindQuery, A: 7})
+	if len(nw.Inbox(2)) != 0 {
+		t.Fatal("message visible before Deliver")
+	}
+	nw.Deliver()
+	in := nw.Inbox(2)
+	if len(in) != 1 || in[0].A != 7 || in[0].Kind != KindQuery {
+		t.Fatalf("inbox = %+v", in)
+	}
+	nw.Deliver()
+	if len(nw.Inbox(2)) != 0 {
+		t.Fatal("message survived a second Deliver")
+	}
+}
+
+func TestDeliveryOrderDeterministic(t *testing.T) {
+	nw, _ := New(4)
+	// Send from 2, then 0, then 2 again; inbox must read 0, 2, 2 with
+	// send order preserved within sender 2.
+	nw.Send(Message{From: 2, To: 1, A: 10})
+	nw.Send(Message{From: 0, To: 1, A: 20})
+	nw.Send(Message{From: 2, To: 1, A: 30})
+	nw.Deliver()
+	in := nw.Inbox(1)
+	if len(in) != 3 {
+		t.Fatalf("inbox len = %d", len(in))
+	}
+	if in[0].From != 0 || in[1].A != 10 || in[2].A != 30 {
+		t.Fatalf("order wrong: %+v", in)
+	}
+}
+
+func TestCounters(t *testing.T) {
+	nw, _ := New(4)
+	for i := 0; i < 5; i++ {
+		nw.Send(Message{From: 0, To: 3})
+	}
+	nw.Send(Message{From: 1, To: 2})
+	nw.Deliver()
+	if nw.Sent() != 6 {
+		t.Fatalf("Sent = %d", nw.Sent())
+	}
+	if nw.PeakInbox() != 5 {
+		t.Fatalf("PeakInbox = %d", nw.PeakInbox())
+	}
+}
+
+func TestSendPanicsOnBadEndpoint(t *testing.T) {
+	nw, _ := New(2)
+	for _, m := range []Message{
+		{From: -1, To: 0},
+		{From: 0, To: 2},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("Send(%+v) did not panic", m)
+				}
+			}()
+			nw.Send(m)
+		}()
+	}
+}
+
+func TestReset(t *testing.T) {
+	nw, _ := New(2)
+	nw.Send(Message{From: 0, To: 1})
+	nw.Deliver()
+	nw.Send(Message{From: 0, To: 1})
+	nw.Reset()
+	if len(nw.Inbox(1)) != 0 {
+		t.Fatal("Reset left delivered messages")
+	}
+	nw.Deliver()
+	if len(nw.Inbox(1)) != 0 {
+		t.Fatal("Reset left queued messages")
+	}
+	if nw.Sent() != 2 {
+		t.Fatal("Reset should keep counters")
+	}
+}
+
+func TestQuickConservation(t *testing.T) {
+	// Property: every sent message is delivered exactly once, to the
+	// right inbox.
+	f := func(routes []uint8) bool {
+		nw, err := New(8)
+		if err != nil {
+			return false
+		}
+		counts := make(map[int32]int)
+		for i, r := range routes {
+			to := int32(r % 8)
+			nw.Send(Message{From: int32(i % 8), To: to, A: int32(i)})
+			counts[to]++
+		}
+		nw.Deliver()
+		for p := 0; p < 8; p++ {
+			if len(nw.Inbox(p)) != counts[int32(p)] {
+				return false
+			}
+			for _, m := range nw.Inbox(p) {
+				if m.To != int32(p) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInjectLoss(t *testing.T) {
+	nw, _ := New(2)
+	nw.InjectLoss(1.0, 1) // drop everything
+	for i := 0; i < 50; i++ {
+		nw.Send(Message{From: 0, To: 1})
+	}
+	nw.Deliver()
+	if len(nw.Inbox(1)) != 0 {
+		t.Fatal("full loss delivered messages")
+	}
+	if nw.Sent() != 50 || nw.Dropped() != 50 {
+		t.Fatalf("Sent=%d Dropped=%d", nw.Sent(), nw.Dropped())
+	}
+}
+
+func TestInjectLossPartial(t *testing.T) {
+	nw, _ := New(2)
+	nw.InjectLoss(0.3, 7)
+	const total = 10000
+	for i := 0; i < total; i++ {
+		nw.Send(Message{From: 0, To: 1})
+		nw.Deliver()
+	}
+	rate := float64(nw.Dropped()) / total
+	if rate < 0.25 || rate > 0.35 {
+		t.Fatalf("drop rate %v, want ~0.3", rate)
+	}
+}
+
+func TestInjectLossDisable(t *testing.T) {
+	nw, _ := New(2)
+	nw.InjectLoss(0.9, 1)
+	nw.InjectLoss(0, 1)
+	for i := 0; i < 20; i++ {
+		nw.Send(Message{From: 0, To: 1})
+	}
+	nw.Deliver()
+	if len(nw.Inbox(1)) != 20 {
+		t.Fatal("disabled loss still dropped")
+	}
+}
+
+func TestPeakSendDegree(t *testing.T) {
+	nw, _ := New(4)
+	for i := 0; i < 7; i++ {
+		nw.Send(Message{From: 1, To: 2})
+	}
+	nw.Send(Message{From: 0, To: 2})
+	if nw.PeakSendDegree() != 7 {
+		t.Fatalf("peak send degree = %d, want 7", nw.PeakSendDegree())
+	}
+	nw.Deliver()
+	// Counter resets per window; the historical peak is retained.
+	nw.Send(Message{From: 3, To: 0})
+	if nw.PeakSendDegree() != 7 {
+		t.Fatalf("historical peak lost: %d", nw.PeakSendDegree())
+	}
+}

@@ -1,0 +1,104 @@
+// Package par provides deterministic data-parallel loops for the
+// simulator.
+//
+// The simulator advances all n processors in lock step; within a step
+// the per-processor work (generation, consumption, query evaluation)
+// is independent, so it is sharded over a worker pool. Shard
+// boundaries depend only on (n, workers) and all randomness is drawn
+// from per-processor streams, so results are identical for any worker
+// count — parallelism is purely an accelerator.
+package par
+
+import (
+	"runtime"
+	"sync"
+)
+
+// DefaultWorkers is the worker count used when a caller passes
+// workers <= 0.
+func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// pool is a lazily started set of long-lived workers. Spawning a
+// goroutine per shard per call costs more than the sharded work at
+// small n (the simulator calls Ranges several times per step), so
+// shards are dispatched to persistent workers over a channel instead.
+var pool struct {
+	once  sync.Once
+	tasks chan func()
+}
+
+func poolInit() {
+	pool.tasks = make(chan func())
+	for i := 0; i < DefaultWorkers(); i++ {
+		go func() {
+			for f := range pool.tasks {
+				f()
+			}
+		}()
+	}
+}
+
+// Ranges invokes f(shard, lo, hi) for each of workers contiguous
+// shards partitioning [0, n), concurrently, and waits for completion.
+// The shard boundaries are a pure function of (n, workers). If
+// workers <= 0, DefaultWorkers() is used; if n is small the number of
+// shards is reduced so no shard is empty.
+//
+// f must not itself call Ranges or For: shards run on a fixed pool of
+// workers, so nesting could occupy every worker with parents waiting
+// on children.
+func Ranges(n, workers int, f func(shard, lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		f(0, 0, n)
+		return
+	}
+	pool.once.Do(poolInit)
+	var wg sync.WaitGroup
+	wg.Add(workers - 1)
+	for s := 1; s < workers; s++ {
+		s := s
+		lo := s * n / workers
+		hi := (s + 1) * n / workers
+		pool.tasks <- func() {
+			defer wg.Done()
+			f(s, lo, hi)
+		}
+	}
+	// The caller runs shard 0 itself: one fewer handoff, and the
+	// calling goroutine is never idle.
+	f(0, 0, n/workers)
+	wg.Wait()
+}
+
+// NumShards returns the number of shards Ranges will use for (n,
+// workers); callers sizing per-shard accumulators must use this.
+func NumShards(n, workers int) int {
+	if n <= 0 {
+		return 0
+	}
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if workers > n {
+		workers = n
+	}
+	return workers
+}
+
+// For invokes f(i) for each i in [0, n) concurrently over shards.
+func For(n, workers int, f func(i int)) {
+	Ranges(n, workers, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			f(i)
+		}
+	})
+}

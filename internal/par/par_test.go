@@ -1,0 +1,99 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestRangesCoversExactly(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 7, 64, 1000} {
+		for _, w := range []int{0, 1, 2, 3, 8, 2000} {
+			visited := make([]int32, n)
+			Ranges(n, w, func(_, lo, hi int) {
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&visited[i], 1)
+				}
+			})
+			for i, v := range visited {
+				if v != 1 {
+					t.Fatalf("n=%d w=%d: index %d visited %d times", n, w, i, v)
+				}
+			}
+		}
+	}
+}
+
+func TestRangesShardIDs(t *testing.T) {
+	n, w := 100, 4
+	shards := NumShards(n, w)
+	if shards != 4 {
+		t.Fatalf("NumShards = %d", shards)
+	}
+	seen := make([]int32, shards)
+	Ranges(n, w, func(s, lo, hi int) {
+		atomic.AddInt32(&seen[s], 1)
+		if lo >= hi {
+			t.Errorf("empty shard %d [%d,%d)", s, lo, hi)
+		}
+	})
+	for s, c := range seen {
+		if c != 1 {
+			t.Fatalf("shard %d ran %d times", s, c)
+		}
+	}
+}
+
+func TestNumShardsSmallN(t *testing.T) {
+	if got := NumShards(2, 16); got != 2 {
+		t.Fatalf("NumShards(2,16) = %d", got)
+	}
+	if got := NumShards(0, 4); got != 0 {
+		t.Fatalf("NumShards(0,4) = %d", got)
+	}
+}
+
+func TestForSum(t *testing.T) {
+	const n = 10000
+	var sum int64
+	For(n, 8, func(i int) {
+		atomic.AddInt64(&sum, int64(i))
+	})
+	want := int64(n) * (n - 1) / 2
+	if sum != want {
+		t.Fatalf("sum = %d, want %d", sum, want)
+	}
+}
+
+func TestDeterministicShardBoundaries(t *testing.T) {
+	// Shard boundaries must be a pure function of (n, workers).
+	f := func(nRaw, wRaw uint16) bool {
+		n := int(nRaw%5000) + 1
+		w := int(wRaw%16) + 1
+		var a, b [][2]int
+		collect := func(out *[][2]int) func(s, lo, hi int) {
+			shards := NumShards(n, w)
+			*out = make([][2]int, shards)
+			return func(s, lo, hi int) { (*out)[s] = [2]int{lo, hi} }
+		}
+		Ranges(n, w, collect(&a))
+		Ranges(n, w, collect(&b))
+		if len(a) != len(b) {
+			return false
+		}
+		prevHi := 0
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+			if a[i][0] != prevHi {
+				return false
+			}
+			prevHi = a[i][1]
+		}
+		return prevHi == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,581 @@
+// Package proto is the fully distributed implementation of the
+// paper's balancing algorithm: every processor is a state machine that
+// exchanges real messages over a unit-latency synchronous network
+// (internal/netsim), following the pseudocode of Figure 2.
+//
+// internal/core implements the same algorithm with the collision games
+// evaluated atomically at phase starts and communication merely
+// accounted; proto spreads the protocol over actual machine steps —
+// queries travel one step, accepts travel back the next, id messages
+// reach the tree root a step later, and the transfer happens only when
+// the root has heard from a light processor. Load generation continues
+// underneath, so classification (taken at the phase start, as the
+// paper specifies) is genuinely stale by the time tasks move.
+//
+// Phase schedule (offsets within a phase; R = rounds per collision
+// game, L = tree levels):
+//
+//	offset 0:             classify heavy/light; heavy processors
+//	                      become searchers and send their a queries
+//	level l in [0, L):    starts at S_l = l(2R+1)
+//	  S_l + 2r + 1:       targets process queries (accept or collide);
+//	                      applicative acceptors send id to the boss
+//	  S_l + 2r + 2:       searchers tally accepts; unsatisfied ones
+//	                      re-query the targets that have not accepted
+//	  S_l + 2R:           satisfied searchers whose whole accepted
+//	                      group is non-applicative send forward
+//	                      messages (the sibling rule, via the parent)
+//	offset L(2R+1):       roots process collected id messages and move
+//	                      TransferAmount tasks to the chosen partner
+//
+// (The offsets above describe the intended cadence; the state machines
+// actually handle every message kind at every offset, so traffic that
+// arrives off-cadence — e.g. a forwarded searcher's first volley — is
+// processed rather than lost. The level boundaries only mark game
+// resets and the forward/retry hand-off.)
+//
+// With Config.PreRound (the Section 4.3 modification) the schedule is
+// prefixed by two steps: probes fly at offset 0, applicative targets
+// hit by exactly one probe reply at offset 1, and matched probers
+// transfer at offset 2 while the rest open their trees.
+//
+// The phase length must be at least the schedule length
+// (Config.ScheduleSteps); with the paper's T = (log log n)^2 and
+// PhaseLen = T/16 that corresponds to the large-n regime, so
+// DefaultConfig derives workable laptop constants from the schedule
+// instead (T = 16 * PhaseLen).
+package proto
+
+import (
+	"fmt"
+
+	"plb/internal/collision"
+	"plb/internal/core"
+	"plb/internal/netsim"
+	"plb/internal/sim"
+	"plb/internal/xrand"
+)
+
+// Config parameterizes the distributed balancer.
+type Config struct {
+	// HeavyThreshold makes a processor heavy at a phase start.
+	HeavyThreshold int
+	// LightThreshold (inclusive) makes a processor light.
+	LightThreshold int
+	// TransferAmount is the block size moved per balancing action.
+	TransferAmount int
+	// PhaseLen is the phase length in machine steps; must be at least
+	// ScheduleLen(Levels, Rounds).
+	PhaseLen int
+	// Levels is the number of balancing-request tree levels L.
+	Levels int
+	// Rounds is the number of collision-game rounds R per level.
+	Rounds int
+	// Collision holds the (a, b, c) constants; zero means Lemma 1's
+	// (5, 2, 1).
+	Collision collision.Params
+	// Seed derives the balancer's randomness.
+	Seed uint64
+	// OnPhase, if non-nil, receives each completed phase's stats.
+	OnPhase func(core.PhaseStats)
+	// LossProb injects message loss: every protocol message is dropped
+	// with this probability (failure injection). The protocol degrades
+	// gracefully — a lost accept wastes one of the request's a choices,
+	// a lost id message costs the root one phase — because heavy
+	// processors simply retry next phase.
+	LossProb float64
+	// PreRound enables the Section 4.3 modification in distributed
+	// form: at the phase start every heavy processor sends one probe
+	// to a random processor; a light, unreserved processor hit by
+	// exactly one probe replies, and the pair balances one step later
+	// — only the unmatched heavies start query trees. Costs one extra
+	// schedule step (accounted for by Validate).
+	PreRound bool
+}
+
+// ScheduleLen returns the number of machine steps the distributed
+// protocol needs per phase for L levels and R rounds per level
+// (without the pre-round).
+func ScheduleLen(levels, rounds int) int { return levels*(2*rounds+1) + 1 }
+
+// ScheduleSteps returns the schedule length of this configuration,
+// including the two extra steps of the pre-round when enabled.
+func (c Config) ScheduleSteps() int {
+	s := ScheduleLen(c.Levels, c.Rounds)
+	if c.PreRound {
+		s += 2
+	}
+	return s
+}
+
+// DefaultConfig derives laptop-scale constants for n processors: one
+// tree level, the Lemma 1 round budget, the minimal phase that fits
+// the schedule, and thresholds from T = 16 * PhaseLen (preserving the
+// paper's T/2, T/16, T/4 ratios).
+func DefaultConfig(n int) Config {
+	p := collision.Lemma1Params()
+	rounds := p.DefaultRounds(n)
+	levels := 1
+	phase := ScheduleLen(levels, rounds)
+	t := 16 * phase
+	return Config{
+		HeavyThreshold: t / 2,
+		LightThreshold: t / 16,
+		TransferAmount: t / 4,
+		PhaseLen:       phase,
+		Levels:         levels,
+		Rounds:         rounds,
+		Collision:      p,
+		Seed:           1,
+	}
+}
+
+// Validate checks the configuration against n processors.
+func (c Config) Validate(n int) error {
+	if c.HeavyThreshold <= c.LightThreshold {
+		return fmt.Errorf("proto: heavy threshold %d must exceed light threshold %d",
+			c.HeavyThreshold, c.LightThreshold)
+	}
+	if c.LightThreshold < 0 {
+		return fmt.Errorf("proto: light threshold %d negative", c.LightThreshold)
+	}
+	if c.TransferAmount < 1 || c.TransferAmount > c.HeavyThreshold {
+		return fmt.Errorf("proto: transfer amount %d out of [1, heavy=%d]",
+			c.TransferAmount, c.HeavyThreshold)
+	}
+	if c.Levels < 1 || c.Rounds < 1 {
+		return fmt.Errorf("proto: need levels >= 1 and rounds >= 1, got %d, %d", c.Levels, c.Rounds)
+	}
+	if min := c.ScheduleSteps(); c.PhaseLen < min {
+		return fmt.Errorf("proto: phase length %d shorter than protocol schedule %d", c.PhaseLen, min)
+	}
+	if c.LossProb < 0 || c.LossProb >= 1 {
+		return fmt.Errorf("proto: loss probability %v out of [0, 1)", c.LossProb)
+	}
+	return c.Collision.Validate(n)
+}
+
+// procState is one processor's protocol variables (Figure 2's arrays,
+// held struct-of-records here).
+type procState struct {
+	lightAt   bool  // light at phase start
+	assigned  bool  // reserved as a balancing partner this phase
+	searching bool  // active tree node this level
+	boss      int32 // root of the tree the processor works for
+
+	// As searcher: the a random targets, which of them accepted, and
+	// the accept tally (targets and applicative flags, accept order).
+	choices    []int32
+	acceptedBy []bool
+	accFrom    []int32
+	accApp     []bool
+	satisfied  bool
+
+	// As target: queries accepted in the current collision game.
+	gameAccepts int8
+	// lastSent is the machine step of the last query volley (queries
+	// need two steps for the accept to return; re-sending sooner would
+	// only duplicate traffic and trip the collision cap).
+	lastSent int64
+
+	// As root: light processors that sent id messages (arrival order).
+	candidates []int32
+	matched    bool
+}
+
+// Balancer is the distributed implementation; it satisfies
+// sim.Balancer.
+type Balancer struct {
+	cfg Config
+	n   int
+	rng *xrand.Stream
+	nw  *netsim.Network
+
+	procs     []procState
+	heavies   []int32 // roots of this phase
+	ps        core.PhaseStats
+	sentAt    int64 // nw.Sent() at phase start
+	phaseOpen bool
+
+	totalPhases  int64
+	totalMatched int64
+}
+
+var _ sim.Balancer = (*Balancer)(nil)
+
+// New constructs the distributed balancer for n processors.
+func New(n int, cfg Config) (*Balancer, error) {
+	if err := cfg.Validate(n); err != nil {
+		return nil, err
+	}
+	return &Balancer{cfg: cfg, n: n}, nil
+}
+
+// Name implements sim.Balancer.
+func (b *Balancer) Name() string {
+	return fmt.Sprintf("bfm98-dist(phase=%d,L=%d,R=%d)", b.cfg.PhaseLen, b.cfg.Levels, b.cfg.Rounds)
+}
+
+// Config returns the configuration in use.
+func (b *Balancer) Config() Config { return b.cfg }
+
+// Totals returns (phases completed, heavy->light matches performed).
+func (b *Balancer) Totals() (phases, matched int64) {
+	return b.totalPhases, b.totalMatched
+}
+
+// Init implements sim.Balancer.
+func (b *Balancer) Init(m *sim.Machine) {
+	if m.N() != b.n {
+		panic(fmt.Sprintf("proto: balancer built for n=%d installed on n=%d", b.n, m.N()))
+	}
+	b.rng = xrand.New(b.cfg.Seed ^ 0xd157)
+	nw, err := netsim.New(b.n)
+	if err != nil {
+		panic(err)
+	}
+	b.nw = nw
+	if b.cfg.LossProb > 0 {
+		b.nw.InjectLoss(b.cfg.LossProb, b.cfg.Seed)
+	}
+	b.procs = make([]procState, b.n)
+	for p := range b.procs {
+		b.procs[p].choices = make([]int32, b.cfg.Collision.A)
+		b.procs[p].acceptedBy = make([]bool, b.cfg.Collision.A)
+	}
+}
+
+// Step implements sim.Balancer: one machine step of the distributed
+// protocol. Every offset, all processors handle whatever arrived —
+// queries (accept or collide), accepts (tally, re-query holdouts),
+// forwards (join the search), ids (bank at the root); the level
+// boundaries only mark game resets and the forward/retry hand-off.
+func (b *Balancer) Step(m *sim.Machine) {
+	offset := int(m.Now() % int64(b.cfg.PhaseLen))
+	b.nw.Deliver()
+
+	pre := 0
+	if b.cfg.PreRound {
+		pre = 2
+	}
+	levelSpan := 2*b.cfg.Rounds + 1
+	end := pre + b.cfg.Levels*levelSpan
+	switch {
+	case offset == 0:
+		b.beginPhase(m)
+	case pre == 2 && offset == 1:
+		// Probes arrive: applicative processors hit by exactly one
+		// reply with an id message.
+		b.processProbes()
+	case pre == 2 && offset == 2:
+		// Probe replies arrive: matched probers transfer now; the
+		// rest start their query trees.
+		b.collectIDs(m.Now())
+		b.preSettle(m)
+	case offset <= end:
+		b.processQueries()
+		b.tallyAccepts(m.Now())
+		b.collectIDs(m.Now())
+		if rel := offset - pre; rel%levelSpan == 0 {
+			b.levelWrapUp(rel/levelSpan-1, m.Now())
+		}
+		if offset == end {
+			b.settle(m)
+		}
+	default:
+		// Idle tail of the phase: the protocol has settled; stray
+		// messages (none are expected) are dropped by Deliver.
+	}
+}
+
+// processProbes handles the Section 4.3 pre-round on the target side.
+func (b *Balancer) processProbes() {
+	for p := 0; p < b.n; p++ {
+		inbox := b.nw.Inbox(p)
+		var probe *netsim.Message
+		probes := 0
+		for i := range inbox {
+			if inbox[i].Kind == netsim.KindProbe {
+				probes++
+				probe = &inbox[i]
+			}
+		}
+		if probes != 1 {
+			continue // no probe, or a collision of several
+		}
+		st := &b.procs[p]
+		if !st.lightAt || st.assigned {
+			continue
+		}
+		st.assigned = true
+		b.nw.Send(netsim.Message{From: int32(p), To: probe.From, Kind: netsim.KindID})
+	}
+}
+
+// preSettle finishes the pre-round: probers that heard back transfer
+// immediately; everyone else opens a query tree.
+func (b *Balancer) preSettle(m *sim.Machine) {
+	for _, h := range b.heavies {
+		st := &b.procs[h]
+		if len(st.candidates) > 0 {
+			partner := st.candidates[0]
+			moved := m.Transfer(int(h), int(partner), b.cfg.TransferAmount)
+			b.nw.Send(netsim.Message{From: h, To: partner, Kind: netsim.KindTransfer, A: int32(moved)})
+			st.matched = true
+			b.ps.Matched++
+			b.ps.PreMatched++
+			b.ps.Transferred += int64(moved)
+			continue
+		}
+		b.startSearch(h, h, m.Now())
+	}
+}
+
+// beginPhase classifies processors and launches the heavy searchers
+// (Figure 2's initialization).
+func (b *Balancer) beginPhase(m *sim.Machine) {
+	// Close out the previous phase's stats.
+	if b.phaseOpen {
+		b.finishPhase()
+	}
+	b.phaseOpen = true
+	b.ps = core.PhaseStats{Start: m.Now(), Steps: b.cfg.ScheduleSteps()}
+	b.sentAt = b.nw.Sent()
+	b.heavies = b.heavies[:0]
+
+	snap := m.Snapshot()
+	for p := 0; p < b.n; p++ {
+		st := &b.procs[p]
+		l := int(snap[p])
+		st.lightAt = l <= b.cfg.LightThreshold
+		st.assigned = false
+		st.searching = false
+		st.satisfied = false
+		st.matched = false
+		st.gameAccepts = 0
+		st.boss = int32(p)
+		st.candidates = st.candidates[:0]
+		st.accFrom = st.accFrom[:0]
+		st.accApp = st.accApp[:0]
+		if st.lightAt {
+			b.ps.Light++
+		}
+		if l >= b.cfg.HeavyThreshold {
+			b.heavies = append(b.heavies, int32(p))
+		}
+	}
+	b.ps.Heavy = len(b.heavies)
+	if b.cfg.PreRound {
+		// Section 4.3: one probe each before any trees grow.
+		for _, h := range b.heavies {
+			tgt := int32(b.rng.Intn(b.n))
+			b.nw.Send(netsim.Message{From: h, To: tgt, Kind: netsim.KindProbe})
+		}
+	} else {
+		for _, h := range b.heavies {
+			b.startSearch(h, h, m.Now())
+		}
+	}
+	if len(b.heavies) > 0 {
+		b.ps.Rounds = 1
+	}
+}
+
+// startSearch turns processor s into a searcher for root boss and
+// sends its queries.
+func (b *Balancer) startSearch(s, boss int32, now int64) {
+	st := &b.procs[s]
+	if st.searching {
+		return
+	}
+	st.searching = true
+	st.satisfied = false
+	st.boss = boss
+	st.accFrom = st.accFrom[:0]
+	st.accApp = st.accApp[:0]
+	buf := make([]int, b.cfg.Collision.A)
+	b.rng.SampleDistinct(buf, b.cfg.Collision.A, b.n, int(s))
+	for i, v := range buf {
+		st.choices[i] = int32(v)
+		st.acceptedBy[i] = false
+	}
+	b.ps.Requests++
+	b.sendQueries(s, now)
+}
+
+// sendQueries (re)sends queries to every choice that has not accepted.
+func (b *Balancer) sendQueries(s int32, now int64) {
+	st := &b.procs[s]
+	st.lastSent = now
+	for i, tgt := range st.choices {
+		if st.acceptedBy[i] {
+			continue
+		}
+		b.nw.Send(netsim.Message{From: s, To: tgt, Kind: netsim.KindQuery, A: st.boss})
+	}
+}
+
+// processQueries is the target side of one collision round: a
+// processor accepts all of this round's queries iff its cumulative
+// game total stays within the collision value c; otherwise it answers
+// none of them (the collision effect).
+func (b *Balancer) processQueries() {
+	for p := 0; p < b.n; p++ {
+		inbox := b.nw.Inbox(p)
+		nq := 0
+		for _, msg := range inbox {
+			if msg.Kind == netsim.KindQuery {
+				nq++
+			}
+		}
+		if nq == 0 {
+			continue
+		}
+		st := &b.procs[p]
+		if int(st.gameAccepts)+nq > b.cfg.Collision.C {
+			continue // collision: answer nothing
+		}
+		for _, msg := range inbox {
+			if msg.Kind != netsim.KindQuery {
+				continue
+			}
+			st.gameAccepts++
+			applicative := st.lightAt && !st.assigned
+			flag := int32(0)
+			if applicative {
+				flag = 1
+				st.assigned = true
+				// The id message goes straight to the tree root.
+				b.nw.Send(netsim.Message{From: int32(p), To: msg.A, Kind: netsim.KindID})
+			}
+			b.nw.Send(netsim.Message{From: int32(p), To: msg.From, Kind: netsim.KindAccept, A: msg.A, B: flag})
+		}
+	}
+}
+
+// tallyAccepts is the searcher side: accumulate accept messages and
+// re-query the holdouts once the previous volley has had time to
+// answer.
+func (b *Balancer) tallyAccepts(now int64) {
+	for p := 0; p < b.n; p++ {
+		st := &b.procs[p]
+		if !st.searching || st.satisfied {
+			continue
+		}
+		for _, msg := range b.nw.Inbox(p) {
+			if msg.Kind != netsim.KindAccept {
+				continue
+			}
+			for i, tgt := range st.choices {
+				if tgt == msg.From && !st.acceptedBy[i] {
+					st.acceptedBy[i] = true
+					st.accFrom = append(st.accFrom, msg.From)
+					st.accApp = append(st.accApp, msg.B == 1)
+					break
+				}
+			}
+		}
+		if len(st.accFrom) >= b.cfg.Collision.B {
+			st.satisfied = true
+			continue
+		}
+		if now-st.lastSent >= 2 {
+			b.sendQueries(int32(p), now) // re-query non-accepting targets
+		}
+	}
+}
+
+// levelWrapUp ends a collision game: satisfied searchers whose entire
+// accepted group is non-applicative forward the search (the sibling
+// rule); unsatisfied searchers retry at the next level; everyone's
+// game state resets.
+func (b *Balancer) levelWrapUp(level int, now int64) {
+	lastLevel := level == b.cfg.Levels-1
+	var retry []int32
+	for p := 0; p < b.n; p++ {
+		st := &b.procs[p]
+		st.gameAccepts = 0 // next level is a fresh collision game
+		if !st.searching {
+			continue
+		}
+		st.searching = false
+		if !st.satisfied {
+			if !lastLevel {
+				retry = append(retry, int32(p))
+			}
+			continue
+		}
+		anyApplicative := false
+		group := st.accFrom[:b.cfg.Collision.B]
+		for _, app := range st.accApp[:b.cfg.Collision.B] {
+			if app {
+				anyApplicative = true
+			}
+		}
+		if !anyApplicative && !lastLevel {
+			// Both siblings cannot accept load: they keep searching.
+			// The parent coordinates (one forward message each).
+			for _, t := range group {
+				b.nw.Send(netsim.Message{From: int32(p), To: t, Kind: netsim.KindForward, A: st.boss})
+			}
+		}
+	}
+	if lastLevel {
+		return
+	}
+	// Retrying searchers re-enter immediately with fresh choices;
+	// forwarded processors join when their message arrives (next
+	// offset, which is the new level's start — handled in collectIDs'
+	// sweep? No: forwards are consumed here on the *next* call).
+	for _, s := range retry {
+		b.startSearch(s, b.procs[s].boss, now)
+	}
+	if b.ps.Heavy > 0 {
+		b.ps.Rounds++
+	}
+}
+
+// collectIDs runs every step: roots bank arriving id messages, and
+// forwarded processors join the search.
+func (b *Balancer) collectIDs(now int64) {
+	for p := 0; p < b.n; p++ {
+		for _, msg := range b.nw.Inbox(p) {
+			switch msg.Kind {
+			case netsim.KindID:
+				st := &b.procs[p]
+				st.candidates = append(st.candidates, msg.From)
+			case netsim.KindForward:
+				b.startSearch(int32(p), msg.A, now)
+			}
+		}
+	}
+}
+
+// settle ends the phase's protocol: each heavy root that heard from at
+// least one light processor selects the first and moves the block.
+func (b *Balancer) settle(m *sim.Machine) {
+	for _, h := range b.heavies {
+		st := &b.procs[h]
+		if st.matched || len(st.candidates) == 0 {
+			continue
+		}
+		partner := st.candidates[0]
+		moved := m.Transfer(int(h), int(partner), b.cfg.TransferAmount)
+		b.nw.Send(netsim.Message{From: h, To: partner, Kind: netsim.KindTransfer, A: int32(moved)})
+		st.matched = true
+		b.ps.Matched++
+		b.ps.Transferred += int64(moved)
+	}
+	b.ps.Messages = b.nw.Sent() - b.sentAt
+	m.AddMessages(b.ps.Messages)
+	m.AddCommRounds(int64(b.cfg.Levels * b.cfg.Rounds))
+}
+
+// finishPhase publishes the completed phase's stats.
+func (b *Balancer) finishPhase() {
+	b.totalPhases++
+	b.totalMatched += int64(b.ps.Matched)
+	if b.cfg.OnPhase != nil {
+		b.cfg.OnPhase(b.ps)
+	}
+}

@@ -1,0 +1,318 @@
+// Package shmem is a shared-memory simulation on a distributed memory
+// machine in the style of Meyer auf der Heide, Scheideler and Stemann
+// (MSS95) — the system the collision protocol was invented for
+// (Section 2 of the paper: "the so-called (n, beta, a, b, c)-collision
+// protocol originates in shared memory simulations").
+//
+// n processors simulate a PRAM over n memory modules. Every logical
+// cell is replicated on a modules chosen by a (simulated) random hash;
+// an access completes once it has reached a quorum of b copies, with
+// b > a/2 so any two quorums intersect and a read always sees the
+// latest completed write (each copy carries a timestamp; the read
+// returns the value with the newest one). Contention is resolved
+// exactly as in the collision protocol: per round each module answers
+// its incoming requests only if there are at most c of them, and
+// unfinished accesses re-ask the copies that have not answered.
+//
+// The package exists both as the historical substrate of the paper's
+// tool and as a second, independent exerciser of the collision
+// mechanics.
+package shmem
+
+import (
+	"fmt"
+
+	"plb/internal/xrand"
+)
+
+// Config parameterizes the simulation.
+type Config struct {
+	// Procs is the number of PRAM processors (>= 1).
+	Procs int
+	// Modules is the number of memory modules (>= Copies).
+	Modules int
+	// Copies is the replication factor a (>= 2).
+	Copies int
+	// Quorum is the number of copies b an access must reach; the
+	// majority condition 2*Quorum > Copies is required for
+	// consistency.
+	Quorum int
+	// ModuleCap is the collision value c: a module answers a round's
+	// requests only if it received at most this many.
+	ModuleCap int
+	// MaxRounds bounds the rounds per Step; 0 derives
+	// log log(Modules) / log(c(a-b)) + 3 like the collision protocol,
+	// with a floor of 4.
+	MaxRounds int
+	// Seed drives the replication hash.
+	Seed uint64
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Procs < 1 {
+		return fmt.Errorf("shmem: need >= 1 processors, got %d", c.Procs)
+	}
+	if c.Copies < 2 {
+		return fmt.Errorf("shmem: need replication >= 2, got %d", c.Copies)
+	}
+	if c.Modules < c.Copies {
+		return fmt.Errorf("shmem: %d modules cannot hold %d distinct copies", c.Modules, c.Copies)
+	}
+	if c.Quorum < 1 || c.Quorum > c.Copies {
+		return fmt.Errorf("shmem: quorum %d out of [1, copies=%d]", c.Quorum, c.Copies)
+	}
+	if 2*c.Quorum <= c.Copies {
+		return fmt.Errorf("shmem: quorum %d of %d copies is not a majority (reads could miss writes)", c.Quorum, c.Copies)
+	}
+	if c.ModuleCap < 1 {
+		return fmt.Errorf("shmem: module cap must be >= 1, got %d", c.ModuleCap)
+	}
+	return nil
+}
+
+// versioned is one replica of a cell.
+type versioned struct {
+	value int64
+	stamp int64 // global step count of the writing access, 0 = never written
+}
+
+// Memory is the simulated shared memory.
+type Memory struct {
+	cfg   Config
+	root  *xrand.Stream
+	store []map[int64]versioned // per module: cell -> replica
+	step  int64
+
+	// Messages and Rounds accumulate protocol cost across Steps.
+	Messages int64
+	Rounds   int64
+}
+
+// New builds an empty memory.
+func New(cfg Config) (*Memory, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.MaxRounds == 0 {
+		cfg.MaxRounds = defaultRounds(cfg)
+	}
+	store := make([]map[int64]versioned, cfg.Modules)
+	for i := range store {
+		store[i] = make(map[int64]versioned)
+	}
+	return &Memory{cfg: cfg, root: xrand.New(cfg.Seed ^ 0x5e3), store: store}, nil
+}
+
+// defaultRounds mirrors the collision protocol's doubly-logarithmic
+// budget: log2 log2 Modules + 3, floored at 4.
+func defaultRounds(cfg Config) int {
+	r := ilog2(max(2, ilog2(max(2, cfg.Modules)))) + 3
+	if r < 4 {
+		r = 4
+	}
+	return r
+}
+
+func ilog2(v int) int {
+	l := 0
+	for v > 1 {
+		v >>= 1
+		l++
+	}
+	return l
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// homes returns the modules holding cell's replicas (deterministic in
+// cell and seed).
+func (m *Memory) homes(cell int64) []int32 {
+	r := m.root.Split(uint64(cell) * 0x9e3779b97f4a7c15)
+	buf := make([]int, m.cfg.Copies)
+	r.SampleDistinct(buf, m.cfg.Copies, m.cfg.Modules, -1)
+	out := make([]int32, m.cfg.Copies)
+	for i, v := range buf {
+		out[i] = int32(v)
+	}
+	return out
+}
+
+// Access is one processor's memory operation for a PRAM step.
+type Access struct {
+	// Proc is the issuing processor.
+	Proc int32
+	// Cell is the logical address.
+	Cell int64
+	// Write selects a write (of Value) instead of a read.
+	Write bool
+	// Value is the datum written when Write is set.
+	Value int64
+}
+
+// Result reports one PRAM step.
+type Result struct {
+	// Values[i] is the value read by access i (reads only; the
+	// newest-timestamp copy among the quorum).
+	Values []int64
+	// Done[i] reports whether access i reached its quorum within the
+	// round budget; failed accesses must be retried by the caller.
+	Done []bool
+	// Rounds is the number of contention rounds this step used.
+	Rounds int
+	// Messages counts requests and replies this step.
+	Messages int64
+}
+
+// Step executes one PRAM step: every access tries to reach a quorum of
+// its cell's replicas under the collision rule.
+func (m *Memory) Step(accesses []Access) Result {
+	m.step++
+	res := Result{
+		Values: make([]int64, len(accesses)),
+		Done:   make([]bool, len(accesses)),
+	}
+	type state struct {
+		homes    []int32
+		answered []bool
+		got      int
+		best     versioned
+	}
+	states := make([]state, len(accesses))
+	for i, a := range accesses {
+		states[i].homes = m.homes(a.Cell)
+		states[i].answered = make([]bool, m.cfg.Copies)
+	}
+	active := make([]int, len(accesses))
+	for i := range active {
+		active[i] = i
+	}
+	arrivals := make(map[int32]int32, len(accesses)*m.cfg.Copies)
+
+	for round := 0; round < m.cfg.MaxRounds && len(active) > 0; round++ {
+		res.Rounds++
+		for k := range arrivals {
+			delete(arrivals, k)
+		}
+		for _, i := range active {
+			st := &states[i]
+			for j, mod := range st.homes {
+				if st.answered[j] {
+					continue
+				}
+				arrivals[mod]++
+				res.Messages++
+			}
+		}
+		remaining := active[:0]
+		for _, i := range active {
+			a := accesses[i]
+			st := &states[i]
+			for j, mod := range st.homes {
+				if st.answered[j] || st.got >= m.cfg.Quorum {
+					continue
+				}
+				if arrivals[mod] > int32(m.cfg.ModuleCap) {
+					continue // collision: the module answers nobody
+				}
+				st.answered[j] = true
+				st.got++
+				res.Messages++ // reply
+				if a.Write {
+					m.store[mod][a.Cell] = versioned{value: a.Value, stamp: m.step}
+				} else if rep, ok := m.store[mod][a.Cell]; ok && rep.stamp > st.best.stamp {
+					st.best = rep
+				}
+			}
+			if st.got >= m.cfg.Quorum {
+				res.Done[i] = true
+				if !a.Write {
+					res.Values[i] = st.best.value
+				}
+				continue
+			}
+			remaining = append(remaining, i)
+		}
+		active = remaining
+	}
+	m.Messages += res.Messages
+	m.Rounds += int64(res.Rounds)
+	return res
+}
+
+// RunAll completes every access by processing them in batches of at
+// most batch concurrent requests (the collision protocol only
+// guarantees progress when the request count is a constant fraction of
+// n/a — MSS95 simulate a full PRAM step as a sequence of such
+// batches). Failed accesses are retried in later batches. It returns
+// one aggregated Result in the original access order, plus the number
+// of batches used. It panics if batch < 1.
+func (m *Memory) RunAll(accesses []Access, batch int) (Result, int) {
+	if batch < 1 {
+		panic("shmem: RunAll batch must be >= 1")
+	}
+	agg := Result{
+		Values: make([]int64, len(accesses)),
+		Done:   make([]bool, len(accesses)),
+	}
+	pending := make([]int, len(accesses))
+	for i := range pending {
+		pending[i] = i
+	}
+	batches := 0
+	cur := batch
+	for len(pending) > 0 {
+		k := cur
+		if k > len(pending) {
+			k = len(pending)
+		}
+		chunk := pending[:k]
+		reqs := make([]Access, k)
+		for j, idx := range chunk {
+			reqs[j] = accesses[idx]
+		}
+		res := m.Step(reqs)
+		batches++
+		agg.Rounds += res.Rounds
+		agg.Messages += res.Messages
+		next := pending[k:]
+		progressed := false
+		for j, idx := range chunk {
+			if res.Done[j] {
+				agg.Done[idx] = true
+				agg.Values[idx] = res.Values[j]
+				progressed = true
+			} else {
+				next = append(next, idx)
+			}
+		}
+		pending = next
+		// A batch that made no progress (e.g. everyone hammering one
+		// hot cell) would repeat identically forever; halving the
+		// batch reduces contention until serving resumes — batch 1
+		// always succeeds.
+		if !progressed && cur > 1 {
+			cur /= 2
+		} else if progressed && cur < batch {
+			cur = batch
+		}
+	}
+	return agg, batches
+}
+
+// Read is a convenience single-access read; ok reports quorum success.
+func (m *Memory) Read(proc int32, cell int64) (value int64, ok bool) {
+	r := m.Step([]Access{{Proc: proc, Cell: cell}})
+	return r.Values[0], r.Done[0]
+}
+
+// Write is a convenience single-access write.
+func (m *Memory) Write(proc int32, cell, value int64) bool {
+	r := m.Step([]Access{{Proc: proc, Cell: cell, Write: true, Value: value}})
+	return r.Done[0]
+}

@@ -1,0 +1,342 @@
+package shmem
+
+import (
+	"testing"
+	"testing/quick"
+
+	"plb/internal/xrand"
+)
+
+func defaultConfig() Config {
+	return Config{Procs: 64, Modules: 64, Copies: 3, Quorum: 2, ModuleCap: 2, Seed: 1}
+}
+
+func TestValidate(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"zero procs", func(c *Config) { c.Procs = 0 }},
+		{"replication 1", func(c *Config) { c.Copies = 1 }},
+		{"too few modules", func(c *Config) { c.Modules = 2 }},
+		{"quorum 0", func(c *Config) { c.Quorum = 0 }},
+		{"quorum over copies", func(c *Config) { c.Quorum = 4 }},
+		{"non-majority quorum", func(c *Config) { c.Copies = 4; c.Quorum = 2 }},
+		{"zero cap", func(c *Config) { c.ModuleCap = 0 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := defaultConfig()
+			tc.mutate(&cfg)
+			if err := cfg.Validate(); err == nil {
+				t.Fatalf("invalid config accepted: %+v", cfg)
+			}
+		})
+	}
+	if err := defaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadUnwritten(t *testing.T) {
+	m, err := New(defaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, ok := m.Read(0, 42)
+	if !ok {
+		t.Fatal("uncontended read failed")
+	}
+	if v != 0 {
+		t.Fatalf("unwritten cell read %d", v)
+	}
+}
+
+func TestReadYourWrite(t *testing.T) {
+	m, err := New(defaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Write(3, 100, 777) {
+		t.Fatal("write failed")
+	}
+	v, ok := m.Read(5, 100)
+	if !ok || v != 777 {
+		t.Fatalf("read = %d, ok=%v, want 777", v, ok)
+	}
+}
+
+func TestLastWriteWins(t *testing.T) {
+	m, err := New(defaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(1); i <= 10; i++ {
+		if !m.Write(0, 7, i*11) {
+			t.Fatalf("write %d failed", i)
+		}
+	}
+	v, ok := m.Read(1, 7)
+	if !ok || v != 110 {
+		t.Fatalf("read = %d, want 110", v)
+	}
+}
+
+func TestQuorumIntersection(t *testing.T) {
+	// A write that reaches only the quorum (not all copies) must still
+	// be visible to every subsequent read, because any two quorums of
+	// a majority scheme intersect. Exercise many cells.
+	m, err := New(defaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cell := int64(0); cell < 200; cell++ {
+		if !m.Write(int32(cell%64), cell, cell*3+1) {
+			t.Fatalf("write to cell %d failed", cell)
+		}
+	}
+	for cell := int64(0); cell < 200; cell++ {
+		v, ok := m.Read(int32((cell+9)%64), cell)
+		if !ok || v != cell*3+1 {
+			t.Fatalf("cell %d: read %d ok=%v, want %d", cell, v, ok, cell*3+1)
+		}
+	}
+}
+
+func TestParallelStepCollisionRegime(t *testing.T) {
+	// The collision protocol guarantees progress for ~ beta*n/a
+	// concurrent requests: with n=256 modules and a=3 copies, a batch
+	// of 32 accesses should nearly always complete in one Step.
+	cfg := defaultConfig()
+	cfg.Procs, cfg.Modules = 256, 256
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	accesses := make([]Access, 32)
+	for i := range accesses {
+		accesses[i] = Access{Proc: int32(i), Cell: int64(i * 13), Write: true, Value: int64(i)}
+	}
+	res := m.Step(accesses)
+	done := 0
+	for _, d := range res.Done {
+		if d {
+			done++
+		}
+	}
+	if done < 31 {
+		t.Fatalf("only %d/32 writes completed in %d rounds", done, res.Rounds)
+	}
+}
+
+func TestRunAllFullPRAMStep(t *testing.T) {
+	// A full PRAM step (one access per processor) completes when
+	// processed as a sequence of collision-regime batches.
+	cfg := defaultConfig()
+	cfg.Procs, cfg.Modules = 256, 256
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	accesses := make([]Access, 256)
+	for i := range accesses {
+		accesses[i] = Access{Proc: int32(i), Cell: int64(i), Write: true, Value: int64(i)}
+	}
+	res, batches := m.RunAll(accesses, 32)
+	for i, d := range res.Done {
+		if !d {
+			t.Fatalf("access %d never completed", i)
+		}
+	}
+	if batches < 8 {
+		t.Fatalf("suspiciously few batches: %d", batches)
+	}
+	// Read everything back.
+	for i := range accesses {
+		accesses[i].Write = false
+	}
+	res, _ = m.RunAll(accesses, 32)
+	for i, d := range res.Done {
+		if !d || res.Values[i] != int64(i) {
+			t.Fatalf("proc %d read %d (done=%v), want %d", i, res.Values[i], d, i)
+		}
+	}
+}
+
+func TestRunAllPanicsOnBadBatch(t *testing.T) {
+	m, err := New(defaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("RunAll(batch=0) did not panic")
+		}
+	}()
+	m.RunAll(nil, 0)
+}
+
+func TestHotCellContention(t *testing.T) {
+	// Everyone hammers one cell: only its Copies modules can answer,
+	// each at most ModuleCap per round, so most accesses must fail
+	// within the budget (the collision effect) — and Done must report
+	// that honestly.
+	cfg := defaultConfig()
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	accesses := make([]Access, 64)
+	for i := range accesses {
+		accesses[i] = Access{Proc: int32(i), Cell: 5}
+	}
+	res := m.Step(accesses)
+	done := 0
+	for _, d := range res.Done {
+		if d {
+			done++
+		}
+	}
+	maxServed := cfg.Copies * cfg.ModuleCap * res.Rounds
+	if done > maxServed {
+		t.Fatalf("%d accesses served but capacity was %d", done, maxServed)
+	}
+	if done == len(accesses) {
+		t.Fatal("hot-cell step cannot fully succeed under the collision rule")
+	}
+}
+
+func TestRetryAfterContention(t *testing.T) {
+	// Failed accesses succeed when retried with less contention.
+	m, err := New(defaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	accesses := make([]Access, 64)
+	for i := range accesses {
+		accesses[i] = Access{Proc: int32(i), Cell: 5, Write: true, Value: int64(i)}
+	}
+	res := m.Step(accesses)
+	// Retry the failures a few at a time.
+	for i, d := range res.Done {
+		if d {
+			continue
+		}
+		if !m.Write(accesses[i].Proc, 5, accesses[i].Value) {
+			t.Fatalf("solo retry of access %d failed", i)
+		}
+	}
+	if _, ok := m.Read(0, 5); !ok {
+		t.Fatal("final read failed")
+	}
+}
+
+func TestHomesDeterministicAndDistinct(t *testing.T) {
+	m, err := New(defaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	h1 := m.homes(99)
+	h2 := m.homes(99)
+	if len(h1) != 3 {
+		t.Fatalf("homes len = %d", len(h1))
+	}
+	seen := map[int32]bool{}
+	for i := range h1 {
+		if h1[i] != h2[i] {
+			t.Fatal("homes not deterministic")
+		}
+		if seen[h1[i]] {
+			t.Fatal("duplicate home module")
+		}
+		seen[h1[i]] = true
+	}
+}
+
+func TestMessagesAccumulate(t *testing.T) {
+	m, err := New(defaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Write(0, 1, 2)
+	m.Read(0, 1)
+	if m.Messages == 0 || m.Rounds == 0 {
+		t.Fatalf("counters not accumulating: %d msgs, %d rounds", m.Messages, m.Rounds)
+	}
+}
+
+func TestQuickLinearizableSingleWriter(t *testing.T) {
+	// Property: with one writer and arbitrary interleaved readers, a
+	// read after the k-th write returns the k-th value.
+	f := func(seed uint64, writes []uint8) bool {
+		if len(writes) == 0 {
+			return true
+		}
+		cfg := defaultConfig()
+		cfg.Seed = seed
+		m, err := New(cfg)
+		if err != nil {
+			return false
+		}
+		r := xrand.New(seed)
+		cell := int64(7)
+		var last int64
+		for _, w := range writes {
+			val := int64(w) + 1
+			if !m.Write(0, cell, val) {
+				return false
+			}
+			last = val
+			// A random reader checks immediately.
+			v, ok := m.Read(int32(r.Intn(64)), cell)
+			if !ok || v != last {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkParallelStep(b *testing.B) {
+	cfg := defaultConfig()
+	cfg.Procs, cfg.Modules = 1024, 1024
+	m, err := New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	accesses := make([]Access, 1024)
+	for i := range accesses {
+		accesses[i] = Access{Proc: int32(i), Cell: int64(i * 7), Write: i%2 == 0, Value: int64(i)}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Step(accesses)
+	}
+}
+
+func TestRunAllHotCellTerminates(t *testing.T) {
+	// The degenerate case: everyone writes the same cell. RunAll must
+	// terminate (batch halving breaks the livelock) and complete all.
+	m, err := New(defaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	accesses := make([]Access, 64)
+	for i := range accesses {
+		accesses[i] = Access{Proc: int32(i), Cell: 9, Write: true, Value: int64(i + 1)}
+	}
+	res, _ := m.RunAll(accesses, 64)
+	for i, d := range res.Done {
+		if !d {
+			t.Fatalf("hot-cell access %d never completed", i)
+		}
+	}
+	// The cell holds the value of the last access to reach quorum.
+	if v, ok := m.Read(0, 9); !ok || v < 1 || v > 64 {
+		t.Fatalf("final read %d ok=%v", v, ok)
+	}
+}

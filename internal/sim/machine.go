@@ -1,0 +1,472 @@
+// Package sim is the synchronous parallel-machine substrate on which
+// the paper's algorithm and all baselines run.
+//
+// The paper's model of computation is n processors advancing in lock
+// step; a time step consists of (a) generating and consuming load, (b)
+// making balancing decisions, and (c) actually moving load (Section
+// 5). The Machine realizes exactly that: each Step it
+//
+//  1. lets the generation model plan (sequential hook for adversaries),
+//  2. generates and consumes tasks on all processors in parallel
+//     shards, and
+//  3. hands control to the installed Balancer, which may inspect loads,
+//     exchange messages (accounted in Metrics) and move tasks.
+//
+// Determinism: every processor owns a private random stream derived
+// from the machine seed, shard boundaries are pure functions of
+// (n, workers), and cross-processor effects occur only in the balancer
+// phase, so a run is bit-reproducible for a given seed regardless of
+// the worker count.
+package sim
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"plb/internal/deque"
+	"plb/internal/gen"
+	"plb/internal/par"
+	"plb/internal/task"
+	"plb/internal/xrand"
+)
+
+// Balancer is a load-balancing algorithm driven by the machine once
+// per time step, after generation and consumption.
+type Balancer interface {
+	// Name identifies the algorithm in experiment tables.
+	Name() string
+	// Init is called once when the machine is constructed.
+	Init(m *Machine)
+	// Step runs the algorithm for one time step.
+	Step(m *Machine)
+}
+
+// Placer routes newly generated tasks to processors, modeling the
+// paper's comparison class of balls-into-bins task-allocation games
+// (load comes "from the outside" and is placed globally). When a
+// Placer is installed, the machine runs generation sequentially so the
+// placer may inspect any queue length without races; this is purely a
+// scheduling change, not a semantic one.
+type Placer interface {
+	// Name identifies the allocation strategy in experiment tables.
+	Name() string
+	// Init is called once at machine construction.
+	Init(m *Machine)
+	// Place returns the destination processor for a task generated at
+	// origin; r is origin's private stream.
+	Place(m *Machine, origin int, r *xrand.Stream) int
+}
+
+// Metrics accounts the communication and movement cost of balancing.
+type Metrics struct {
+	// Messages counts every point-to-point message sent by the
+	// balancer (queries, accepts, id messages, probes...).
+	Messages int64
+	// BalanceActions counts completed partner agreements (one per
+	// transfer decision).
+	BalanceActions int64
+	// TasksMoved counts individual tasks moved between processors.
+	TasksMoved int64
+	// CommRounds counts synchronous communication rounds consumed by
+	// the balancer (e.g. collision-game rounds).
+	CommRounds int64
+}
+
+// Config configures a Machine.
+type Config struct {
+	// N is the number of processors; must be at least 2.
+	N int
+	// Model is the load generation/consumption model.
+	Model gen.Model
+	// Balancer runs each step; nil means an unbalanced system.
+	Balancer Balancer
+	// Placer, if non-nil, globally routes newly generated tasks
+	// (balls-into-bins task allocation). It composes with Balancer,
+	// though the paper's comparisons use one or the other.
+	Placer Placer
+	// Weigher, if non-nil, assigns service weights to generated tasks
+	// (the weighted extension); nil means the paper's unit tasks. A
+	// processor's WantConsume value is then a per-step service budget
+	// rather than a task count.
+	Weigher gen.Weigher
+	// Seed is the master random seed.
+	Seed uint64
+	// Workers is the parallel shard count; <= 0 means GOMAXPROCS.
+	Workers int
+}
+
+// Machine is the simulated n-processor system.
+type Machine struct {
+	n       int
+	model   gen.Model
+	bal     Balancer
+	workers int
+	now     int64
+
+	queues  []deque.Deque[task.Task]
+	streams []*xrand.Stream
+	loads   []int32 // refreshed snapshot handed to StepAware models
+	recs    []task.Recorder
+	gens    []int64 // per-shard generated-task counters
+	wloads  []int64 // per-processor remaining service weight
+	weigher gen.Weigher
+
+	metrics   Metrics
+	stepAware gen.StepAware
+	placer    Placer
+}
+
+// New constructs a Machine. All processors start empty.
+func New(cfg Config) (*Machine, error) {
+	if cfg.N < 2 {
+		return nil, fmt.Errorf("sim: need at least 2 processors, got %d", cfg.N)
+	}
+	if cfg.Model == nil {
+		return nil, fmt.Errorf("sim: Config.Model is required")
+	}
+	m := &Machine{
+		n:       cfg.N,
+		model:   cfg.Model,
+		bal:     cfg.Balancer,
+		workers: cfg.Workers,
+		queues:  make([]deque.Deque[task.Task], cfg.N),
+		streams: make([]*xrand.Stream, cfg.N),
+		loads:   make([]int32, cfg.N),
+		recs:    make([]task.Recorder, par.NumShards(cfg.N, cfg.Workers)),
+		gens:    make([]int64, par.NumShards(cfg.N, cfg.Workers)),
+		wloads:  make([]int64, cfg.N),
+		weigher: cfg.Weigher,
+	}
+	root := xrand.New(cfg.Seed)
+	for p := 0; p < cfg.N; p++ {
+		m.streams[p] = root.Split(uint64(p))
+	}
+	if sa, ok := cfg.Model.(gen.StepAware); ok {
+		m.stepAware = sa
+	}
+	m.placer = cfg.Placer
+	if m.placer != nil {
+		m.placer.Init(m)
+	}
+	if m.bal != nil {
+		m.bal.Init(m)
+	}
+	return m, nil
+}
+
+// N returns the number of processors.
+func (m *Machine) N() int { return m.n }
+
+// Now returns the current step count.
+func (m *Machine) Now() int64 { return m.now }
+
+// Workers returns the configured shard count hint.
+func (m *Machine) Workers() int { return m.workers }
+
+// Model returns the installed generation model.
+func (m *Machine) Model() gen.Model { return m.model }
+
+// BalancerName returns the installed balancer's name, the placer's
+// name if only a placer is installed, or "unbalanced".
+func (m *Machine) BalancerName() string {
+	if m.bal != nil {
+		return m.bal.Name()
+	}
+	if m.placer != nil {
+		return m.placer.Name()
+	}
+	return "unbalanced"
+}
+
+// Load returns the queue length of processor p.
+func (m *Machine) Load(p int) int { return m.queues[p].Len() }
+
+// Snapshot refreshes and returns the internal load snapshot. The
+// returned slice is owned by the machine and valid until the next
+// Step or Snapshot call; callers must not modify it.
+func (m *Machine) Snapshot() []int32 {
+	par.Ranges(m.n, m.workers, func(_, lo, hi int) {
+		for p := lo; p < hi; p++ {
+			m.loads[p] = int32(m.queues[p].Len())
+		}
+	})
+	return m.loads
+}
+
+// MaxLoad returns the largest queue length.
+func (m *Machine) MaxLoad() int {
+	shards := par.NumShards(m.n, m.workers)
+	maxes := make([]int, shards)
+	par.Ranges(m.n, m.workers, func(s, lo, hi int) {
+		for p := lo; p < hi; p++ {
+			if l := m.queues[p].Len(); l > maxes[s] {
+				maxes[s] = l
+			}
+		}
+	})
+	max := 0
+	for _, v := range maxes {
+		if v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+// TotalLoad returns the total number of queued tasks in the system.
+func (m *Machine) TotalLoad() int64 {
+	shards := par.NumShards(m.n, m.workers)
+	sums := make([]int64, shards)
+	par.Ranges(m.n, m.workers, func(s, lo, hi int) {
+		for p := lo; p < hi; p++ {
+			sums[s] += int64(m.queues[p].Len())
+		}
+	})
+	var total int64
+	for _, v := range sums {
+		total += v
+	}
+	return total
+}
+
+// Inject pushes k fresh tasks onto processor p's queue (used to set up
+// worst-case initial states). Injected tasks count as generated.
+func (m *Machine) Inject(p, k int) {
+	for i := 0; i < k; i++ {
+		m.queues[p].PushBack(task.Task{Origin: int32(p), Birth: m.now, Weight: 1, Remaining: 1})
+	}
+	m.wloads[p] += int64(k)
+	m.gens[0] += int64(k)
+}
+
+// InjectWeighted pushes k fresh tasks of weight w each onto processor
+// p's queue.
+func (m *Machine) InjectWeighted(p, k int, w int32) {
+	if w < 1 {
+		w = 1
+	}
+	for i := 0; i < k; i++ {
+		m.queues[p].PushBack(task.Task{Origin: int32(p), Birth: m.now, Weight: w, Remaining: w})
+	}
+	m.wloads[p] += int64(k) * int64(w)
+	m.gens[0] += int64(k)
+}
+
+// Generated returns the total number of tasks ever created (model
+// generation plus Inject). At all times
+// Generated() == Recorder().Completed + TotalLoad() — tasks are
+// conserved.
+func (m *Machine) Generated() int64 {
+	var total int64
+	for _, g := range m.gens {
+		total += g
+	}
+	return total
+}
+
+// Transfer moves up to k tasks from the back of processor from's queue
+// to the back of processor to's queue, preserving their order (the
+// paper's balancing move), and accounts the move. It returns the
+// number of tasks moved.
+func (m *Machine) Transfer(from, to, k int) int {
+	if from == to || k <= 0 {
+		return 0
+	}
+	block := m.queues[from].TakeBack(k)
+	var weight int64
+	for i := range block {
+		block[i].Hops++
+		weight += int64(block[i].Remaining)
+	}
+	m.wloads[from] -= weight
+	m.wloads[to] += weight
+	m.queues[to].PushBackAll(block)
+	atomic.AddInt64(&m.metrics.TasksMoved, int64(len(block)))
+	atomic.AddInt64(&m.metrics.BalanceActions, 1)
+	return len(block)
+}
+
+// TransferWeight moves tasks from the back of from's queue to the back
+// of to's queue until at least wbudget units of remaining service have
+// moved (or from's queue empties), preserving order. It returns the
+// number of tasks and the weight moved. The weighted balancer uses it
+// in place of Transfer.
+func (m *Machine) TransferWeight(from, to int, wbudget int64) (tasks int, weight int64) {
+	if from == to || wbudget <= 0 {
+		return 0, 0
+	}
+	src := &m.queues[from]
+	var block []task.Task
+	for weight < wbudget && src.Len() > 0 {
+		t := src.PopBack()
+		t.Hops++
+		weight += int64(t.Remaining)
+		block = append(block, t)
+	}
+	// block is in reverse queue order; re-append preserving the
+	// original order (paper semantics: old order kept).
+	dst := &m.queues[to]
+	for i := len(block) - 1; i >= 0; i-- {
+		dst.PushBack(block[i])
+	}
+	m.wloads[from] -= weight
+	m.wloads[to] += weight
+	atomic.AddInt64(&m.metrics.TasksMoved, int64(len(block)))
+	atomic.AddInt64(&m.metrics.BalanceActions, 1)
+	return len(block), weight
+}
+
+// WeightedLoad returns the remaining service weight queued on
+// processor p (equals Load(p) for unit tasks).
+func (m *Machine) WeightedLoad(p int) int64 { return m.wloads[p] }
+
+// MaxWeightedLoad returns the largest per-processor remaining weight.
+func (m *Machine) MaxWeightedLoad() int64 {
+	var max int64
+	for _, w := range m.wloads {
+		if w > max {
+			max = w
+		}
+	}
+	return max
+}
+
+// SnapshotWeights returns the per-processor remaining weights; the
+// returned slice is owned by the machine and must not be modified.
+func (m *Machine) SnapshotWeights() []int64 { return m.wloads }
+
+// Scatter removes every queued task from every processor and
+// re-places each on an independently, uniformly random processor drawn
+// from r. Each moved task's hop count increases. It returns the number
+// of tasks redistributed. Scatter is the primitive behind the paper's
+// "throw all load into the air" strawman.
+func (m *Machine) Scatter(r *xrand.Stream) int64 {
+	var moved int64
+	var pool []task.Task
+	for p := 0; p < m.n; p++ {
+		q := &m.queues[p]
+		pool = append(pool, q.TakeBack(q.Len())...)
+	}
+	for p := range m.wloads {
+		m.wloads[p] = 0
+	}
+	for _, t := range pool {
+		dest := r.Intn(m.n)
+		t.Hops++
+		m.queues[dest].PushBack(t)
+		m.wloads[dest] += int64(t.Remaining)
+		moved++
+	}
+	atomic.AddInt64(&m.metrics.TasksMoved, moved)
+	return moved
+}
+
+// AddMessages accounts k balancer messages.
+func (m *Machine) AddMessages(k int64) { atomic.AddInt64(&m.metrics.Messages, k) }
+
+// AddCommRounds accounts k synchronous communication rounds.
+func (m *Machine) AddCommRounds(k int64) { atomic.AddInt64(&m.metrics.CommRounds, k) }
+
+// Metrics returns a copy of the accumulated cost counters.
+func (m *Machine) Metrics() Metrics { return m.metrics }
+
+// Recorder returns the merged task-lifetime statistics.
+func (m *Machine) Recorder() task.Recorder {
+	var merged task.Recorder
+	for i := range m.recs {
+		merged.Merge(&m.recs[i])
+	}
+	return merged
+}
+
+// Step advances the machine by one time step.
+func (m *Machine) Step() {
+	if m.stepAware != nil {
+		m.stepAware.BeginStep(m.now, m.Snapshot())
+	}
+	if m.placer != nil {
+		m.stepPlaced()
+	} else {
+		m.stepLocal()
+	}
+	if m.bal != nil {
+		m.bal.Step(m)
+	}
+	m.now++
+}
+
+// newTask builds a task generated on processor p, drawing its weight
+// from the weigher (1 when none is installed).
+func (m *Machine) newTask(p int, r *xrand.Stream) task.Task {
+	w := int32(1)
+	if m.weigher != nil {
+		w = m.weigher.Weight(p, r, m.now)
+		if w < 1 {
+			w = 1
+		}
+	}
+	return task.Task{Origin: int32(p), Birth: m.now, Weight: w, Remaining: w}
+}
+
+// consume serves up to budget units of work from processor p's queue,
+// FIFO, completing tasks whose Remaining drains to zero.
+func (m *Machine) consume(p int, budget int, rec *task.Recorder) {
+	q := &m.queues[p]
+	for budget > 0 && q.Len() > 0 {
+		head := q.FrontPtr()
+		if int(head.Remaining) > budget {
+			head.Remaining -= int32(budget)
+			m.wloads[p] -= int64(budget)
+			return
+		}
+		budget -= int(head.Remaining)
+		m.wloads[p] -= int64(head.Remaining)
+		t := q.PopFront()
+		rec.Complete(t, int32(p), m.now)
+	}
+}
+
+// stepLocal generates in place (the paper's local model) and consumes,
+// sharded in parallel.
+func (m *Machine) stepLocal() {
+	par.Ranges(m.n, m.workers, func(shard, lo, hi int) {
+		rec := &m.recs[shard]
+		for p := lo; p < hi; p++ {
+			r := m.streams[p]
+			q := &m.queues[p]
+			g := m.model.Generate(p, r, m.now)
+			m.gens[shard] += int64(g)
+			for i := 0; i < g; i++ {
+				t := m.newTask(p, r)
+				m.wloads[p] += int64(t.Weight)
+				q.PushBack(t)
+			}
+			m.consume(p, m.model.WantConsume(p, r, m.now), rec)
+		}
+	})
+}
+
+// stepPlaced routes every generated task through the placer. It runs
+// sequentially so the placer may read arbitrary queue lengths.
+func (m *Machine) stepPlaced() {
+	rec := &m.recs[0]
+	for p := 0; p < m.n; p++ {
+		r := m.streams[p]
+		g := m.model.Generate(p, r, m.now)
+		m.gens[0] += int64(g)
+		for i := 0; i < g; i++ {
+			dest := m.placer.Place(m, p, r)
+			t := m.newTask(p, r)
+			m.wloads[dest] += int64(t.Weight)
+			m.queues[dest].PushBack(t)
+		}
+		m.consume(p, m.model.WantConsume(p, r, m.now), rec)
+	}
+}
+
+// Run advances the machine by steps time steps.
+func (m *Machine) Run(steps int) {
+	for i := 0; i < steps; i++ {
+		m.Step()
+	}
+}

@@ -1,0 +1,264 @@
+package static
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"plb/internal/xrand"
+)
+
+func sum(xs []int) int {
+	s := 0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+func TestSingleChoiceConservation(t *testing.T) {
+	r := xrand.New(1)
+	loads := SingleChoice(1000, 64, r)
+	if len(loads) != 64 || sum(loads) != 1000 {
+		t.Fatalf("balls lost: len=%d sum=%d", len(loads), sum(loads))
+	}
+}
+
+func TestGreedyDConservation(t *testing.T) {
+	r := xrand.New(2)
+	loads := GreedyD(1000, 64, 2, r)
+	if sum(loads) != 1000 {
+		t.Fatalf("sum = %d", sum(loads))
+	}
+}
+
+func TestGreedyDPanics(t *testing.T) {
+	for _, d := range []int{0, 65} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("GreedyD d=%d did not panic", d)
+				}
+			}()
+			GreedyD(10, 64, d, xrand.New(1))
+		}()
+	}
+}
+
+func TestPowerOfTwoChoices(t *testing.T) {
+	// The classic separation at m = n: two choices beat one decisively.
+	const n = 1 << 14
+	const trials = 5
+	root := xrand.New(3)
+	var max1, max2 float64
+	for i := 0; i < trials; i++ {
+		r := root.Split(uint64(i))
+		max1 += float64(Max(SingleChoice(n, n, r)))
+		max2 += float64(Max(GreedyD(n, n, 2, r)))
+	}
+	max1 /= trials
+	max2 /= trials
+	// Theory: single ~ ln n/ln ln n ~ 4.3 at n=2^14... measured ~6-8;
+	// greedy2 ~ log2 log2 n + O(1) ~ 3.8 + O(1). The separation, not
+	// the constants, is the claim.
+	if max2 >= max1 {
+		t.Fatalf("greedy2 max %.1f not below single-choice %.1f", max2, max1)
+	}
+	if max2 > 6 {
+		t.Fatalf("greedy2 max %.1f implausibly high (theory ~log log n)", max2)
+	}
+}
+
+func TestSingleChoiceGrowsWithN(t *testing.T) {
+	// Theta(log n / log log n) growth: max load increases with n.
+	root := xrand.New(4)
+	small := 0.0
+	large := 0.0
+	const trials = 5
+	for i := 0; i < trials; i++ {
+		small += float64(Max(SingleChoice(1<<10, 1<<10, root.Split(uint64(i)))))
+		large += float64(Max(SingleChoice(1<<16, 1<<16, root.Split(uint64(100+i)))))
+	}
+	if large <= small {
+		t.Fatalf("single-choice max did not grow with n: %v vs %v", small, large)
+	}
+}
+
+func TestGreedyDHeavilyLoaded(t *testing.T) {
+	// m >> n: greedy-d stays within m/n + small additive term.
+	r := xrand.New(5)
+	n := 256
+	m := 64 * n
+	loads := GreedyD(m, n, 2, r)
+	avg := m / n
+	if mx := Max(loads); mx > avg+8 {
+		t.Fatalf("greedy2 heavily loaded max %d vs avg %d", mx, avg)
+	}
+}
+
+func TestACMR(t *testing.T) {
+	r := xrand.New(6)
+	n := 4096
+	res := ACMR(n, n, 3, 3, r)
+	if sum(res.Loads) != n {
+		t.Fatalf("balls lost: %d", sum(res.Loads))
+	}
+	if res.Rounds > 3 {
+		t.Fatalf("rounds = %d", res.Rounds)
+	}
+	// Bins admit at most threshold per round; only fallback placements
+	// can exceed rounds*threshold.
+	if res.Unallocated == 0 && res.MaxLoad > 3*3 {
+		t.Fatalf("max load %d exceeds rounds*threshold with no fallback", res.MaxLoad)
+	}
+	if res.Messages == 0 {
+		t.Fatal("no messages counted")
+	}
+}
+
+func TestACMRPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ACMR with zero threshold did not panic")
+		}
+	}()
+	ACMR(10, 10, 1, 0, xrand.New(1))
+}
+
+func TestACMRTerminatesEarly(t *testing.T) {
+	// Generous threshold: everything places in round 1.
+	r := xrand.New(7)
+	res := ACMR(100, 1000, 5, 100, r)
+	if res.Rounds != 1 {
+		t.Fatalf("rounds = %d, want 1", res.Rounds)
+	}
+	if res.Unallocated != 0 {
+		t.Fatalf("unallocated = %d", res.Unallocated)
+	}
+}
+
+func TestStemann(t *testing.T) {
+	r := xrand.New(8)
+	n := 4096
+	res := Stemann(n, n, 6, r)
+	if sum(res.Loads) != n {
+		t.Fatalf("balls lost: %d", sum(res.Loads))
+	}
+	if res.Unallocated > n/100 {
+		t.Fatalf("unallocated = %d, protocol failing to converge", res.Unallocated)
+	}
+	// Doubling collision values: round k admits <= 2^(k-1) per bin, so
+	// max load <= 1+2+...+2^(rounds-1) plus fallback; in practice far
+	// below single-choice.
+	single := Max(SingleChoice(n, n, r))
+	if res.MaxLoad > single+2 {
+		t.Fatalf("Stemann max %d worse than single choice %d", res.MaxLoad, single)
+	}
+}
+
+func TestStemannBeatsSingleChoice(t *testing.T) {
+	root := xrand.New(9)
+	const n = 1 << 14
+	const trials = 5
+	var st, sc float64
+	for i := 0; i < trials; i++ {
+		r := root.Split(uint64(i))
+		st += float64(Stemann(n, n, 6, r).MaxLoad)
+		sc += float64(Max(SingleChoice(n, n, r)))
+	}
+	if st >= sc {
+		t.Fatalf("Stemann mean max %.1f not below single choice %.1f", st/trials, sc/trials)
+	}
+}
+
+func TestWeightedGreedyD(t *testing.T) {
+	r := xrand.New(10)
+	n := 128
+	weights := make([]float64, 4*n)
+	var total float64
+	for i := range weights {
+		weights[i] = 1 + float64(i%7)
+		total += weights[i]
+	}
+	loads := WeightedGreedyD(weights, n, 2, r)
+	var placed float64
+	for _, l := range loads {
+		placed += l
+	}
+	if math.Abs(placed-total) > 1e-9 {
+		t.Fatalf("weight lost: %v vs %v", placed, total)
+	}
+	// Two choices keep the max near the average plus the max weight.
+	avg := total / float64(n)
+	if mx := MaxFloat(loads); mx > 2*avg+7 {
+		t.Fatalf("weighted max %.1f vs avg %.1f", mx, avg)
+	}
+}
+
+func TestWeightedUniformityComparison(t *testing.T) {
+	// BMS97's point: with skewed weights, weighted-aware placement
+	// (by total weight) beats counting balls. Compare weighted greedy
+	// against count-greedy on the same skewed stream.
+	root := xrand.New(11)
+	n := 256
+	weights := make([]float64, 4*n)
+	for i := range weights {
+		if i%64 == 0 {
+			weights[i] = 32 // rare heavy balls
+		} else {
+			weights[i] = 1
+		}
+	}
+	r1 := root.Split(1)
+	byWeight := MaxFloat(WeightedGreedyD(weights, n, 2, r1))
+	// Count-greedy: place by ball count, then evaluate weight.
+	r2 := root.Split(2)
+	loads := make([]float64, n)
+	counts := make([]int, n)
+	buf := make([]int, 2)
+	for _, w := range weights {
+		r2.SampleDistinct(buf, 2, n, -1)
+		best := buf[0]
+		if counts[buf[1]] < counts[best] {
+			best = buf[1]
+		}
+		counts[best]++
+		loads[best] += w
+	}
+	byCount := MaxFloat(loads)
+	if byWeight > byCount {
+		t.Fatalf("weight-aware max %.1f worse than count-based %.1f", byWeight, byCount)
+	}
+}
+
+func TestQuickConservation(t *testing.T) {
+	f := func(seed uint64, mRaw, nRaw uint8) bool {
+		m := int(mRaw)
+		n := int(nRaw)%63 + 2
+		r := xrand.New(seed)
+		if sum(SingleChoice(m, n, r)) != m {
+			return false
+		}
+		if sum(GreedyD(m, n, 2, r)) != m {
+			return false
+		}
+		if sum(ACMR(m, n, 3, 2, r).Loads) != m {
+			return false
+		}
+		if sum(Stemann(m, n, 4, r).Loads) != m {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkGreedy2(b *testing.B) {
+	r := xrand.New(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		GreedyD(4096, 4096, 2, r)
+	}
+}

@@ -1,0 +1,454 @@
+// Package stats provides the statistical machinery used by the
+// experiment harness: running moments, quantiles, histograms,
+// confidence intervals, and growth-rate fits.
+//
+// The paper's results are "with high probability" bounds; the harness
+// verifies them by running many independent trials and examining
+// maxima, tail quantiles and growth rates, all computed here.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Running accumulates mean and variance online (Welford's algorithm).
+// The zero value is ready to use.
+type Running struct {
+	n    int64
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add records one observation.
+func (r *Running) Add(x float64) {
+	if r.n == 0 {
+		r.min, r.max = x, x
+	} else {
+		if x < r.min {
+			r.min = x
+		}
+		if x > r.max {
+			r.max = x
+		}
+	}
+	r.n++
+	delta := x - r.mean
+	r.mean += delta / float64(r.n)
+	r.m2 += delta * (x - r.mean)
+}
+
+// N returns the number of observations.
+func (r *Running) N() int64 { return r.n }
+
+// Mean returns the sample mean (0 if empty).
+func (r *Running) Mean() float64 { return r.mean }
+
+// Var returns the unbiased sample variance (0 if fewer than 2 points).
+func (r *Running) Var() float64 {
+	if r.n < 2 {
+		return 0
+	}
+	return r.m2 / float64(r.n-1)
+}
+
+// Std returns the sample standard deviation.
+func (r *Running) Std() float64 { return math.Sqrt(r.Var()) }
+
+// Min returns the smallest observation (0 if empty).
+func (r *Running) Min() float64 {
+	if r.n == 0 {
+		return 0
+	}
+	return r.min
+}
+
+// Max returns the largest observation (0 if empty).
+func (r *Running) Max() float64 {
+	if r.n == 0 {
+		return 0
+	}
+	return r.max
+}
+
+// StdErr returns the standard error of the mean.
+func (r *Running) StdErr() float64 {
+	if r.n < 2 {
+		return 0
+	}
+	return r.Std() / math.Sqrt(float64(r.n))
+}
+
+// CI95 returns the half-width of an approximate 95% confidence
+// interval for the mean (normal approximation).
+func (r *Running) CI95() float64 { return 1.96 * r.StdErr() }
+
+// String formats the summary for experiment tables.
+func (r *Running) String() string {
+	return fmt.Sprintf("mean=%.3f ±%.3f (min=%.0f max=%.0f n=%d)",
+		r.Mean(), r.CI95(), r.Min(), r.Max(), r.n)
+}
+
+// Merge folds other into r. The result is identical to having Added
+// all observations into a single Running (up to floating-point
+// reassociation).
+func (r *Running) Merge(other *Running) {
+	if other.n == 0 {
+		return
+	}
+	if r.n == 0 {
+		*r = *other
+		return
+	}
+	n := r.n + other.n
+	delta := other.mean - r.mean
+	mean := r.mean + delta*float64(other.n)/float64(n)
+	m2 := r.m2 + other.m2 + delta*delta*float64(r.n)*float64(other.n)/float64(n)
+	if other.min < r.min {
+		r.min = other.min
+	}
+	if other.max > r.max {
+		r.max = other.max
+	}
+	r.n, r.mean, r.m2 = n, mean, m2
+}
+
+// Sample is a collection of observations supporting exact quantiles.
+type Sample struct {
+	xs     []float64
+	sorted bool
+}
+
+// Add appends an observation.
+func (s *Sample) Add(x float64) {
+	s.xs = append(s.xs, x)
+	s.sorted = false
+}
+
+// N returns the number of observations.
+func (s *Sample) N() int { return len(s.xs) }
+
+// Quantile returns the q-quantile (0 <= q <= 1) using the nearest-rank
+// method. It panics on an empty sample.
+func (s *Sample) Quantile(q float64) float64 {
+	if len(s.xs) == 0 {
+		panic("stats: Quantile of empty sample")
+	}
+	if !s.sorted {
+		sort.Float64s(s.xs)
+		s.sorted = true
+	}
+	if q <= 0 {
+		return s.xs[0]
+	}
+	if q >= 1 {
+		return s.xs[len(s.xs)-1]
+	}
+	rank := int(math.Ceil(q*float64(len(s.xs)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	return s.xs[rank]
+}
+
+// Mean returns the sample mean (0 if empty).
+func (s *Sample) Mean() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range s.xs {
+		sum += x
+	}
+	return sum / float64(len(s.xs))
+}
+
+// Max returns the largest observation (0 if empty).
+func (s *Sample) Max() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	m := s.xs[0]
+	for _, x := range s.xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Hist is an integer-valued histogram with unit-width bins starting at
+// zero; values beyond the last bin are clamped into it.
+type Hist struct {
+	bins  []int64
+	total int64
+}
+
+// NewHist creates a histogram covering [0, n).
+func NewHist(n int) *Hist {
+	if n < 1 {
+		n = 1
+	}
+	return &Hist{bins: make([]int64, n)}
+}
+
+// Add records value v.
+func (h *Hist) Add(v int) {
+	if v < 0 {
+		v = 0
+	}
+	if v >= len(h.bins) {
+		v = len(h.bins) - 1
+	}
+	h.bins[v]++
+	h.total++
+}
+
+// Count returns the count in bin v.
+func (h *Hist) Count(v int) int64 {
+	if v < 0 || v >= len(h.bins) {
+		return 0
+	}
+	return h.bins[v]
+}
+
+// Total returns the total number of observations.
+func (h *Hist) Total() int64 { return h.total }
+
+// PMF returns the empirical probability of bin v.
+func (h *Hist) PMF(v int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.Count(v)) / float64(h.total)
+}
+
+// TailProb returns the empirical P(X >= v).
+func (h *Hist) TailProb(v int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	if v < 0 {
+		v = 0
+	}
+	var c int64
+	for i := v; i < len(h.bins); i++ {
+		c += h.bins[i]
+	}
+	return float64(c) / float64(h.total)
+}
+
+// Merge folds other into h; both must have the same bin count.
+func (h *Hist) Merge(other *Hist) {
+	if len(h.bins) != len(other.bins) {
+		panic("stats: Hist.Merge bin count mismatch")
+	}
+	for i := range h.bins {
+		h.bins[i] += other.bins[i]
+	}
+	h.total += other.total
+}
+
+// LinearFit returns slope and intercept of the least-squares line
+// through (x[i], y[i]). It panics if lengths differ or fewer than two
+// points are given.
+func LinearFit(x, y []float64) (slope, intercept float64) {
+	if len(x) != len(y) {
+		panic("stats: LinearFit length mismatch")
+	}
+	if len(x) < 2 {
+		panic("stats: LinearFit needs at least 2 points")
+	}
+	n := float64(len(x))
+	var sx, sy, sxx, sxy float64
+	for i := range x {
+		sx += x[i]
+		sy += y[i]
+		sxx += x[i] * x[i]
+		sxy += x[i] * y[i]
+	}
+	denom := n*sxx - sx*sx
+	if denom == 0 {
+		return 0, sy / n
+	}
+	slope = (n*sxy - sx*sy) / denom
+	intercept = (sy - slope*sx) / n
+	return slope, intercept
+}
+
+// GrowthExponent fits y ~ x^e on log-log scale and returns e. All
+// inputs must be positive.
+func GrowthExponent(x, y []float64) float64 {
+	lx := make([]float64, len(x))
+	ly := make([]float64, len(y))
+	for i := range x {
+		if x[i] <= 0 || y[i] <= 0 {
+			panic("stats: GrowthExponent requires positive data")
+		}
+		lx[i] = math.Log(x[i])
+		ly[i] = math.Log(y[i])
+	}
+	slope, _ := LinearFit(lx, ly)
+	return slope
+}
+
+// LogLog2 returns log2(log2(n)), the paper's ubiquitous quantity, with
+// a floor of 1 to avoid degenerate parameters at tiny n.
+func LogLog2(n int) float64 {
+	if n < 4 {
+		return 1
+	}
+	v := math.Log2(math.Log2(float64(n)))
+	if v < 1 {
+		return 1
+	}
+	return v
+}
+
+// PaperT returns T = (log log n)^2 rounded to an int, minimum 1.
+func PaperT(n int) int {
+	t := int(math.Round(LogLog2(n) * LogLog2(n)))
+	if t < 1 {
+		t = 1
+	}
+	return t
+}
+
+// ChiSquare returns the chi-square goodness-of-fit statistic of
+// observed counts against expected probabilities over the same bins,
+// pooling trailing low-expectation bins (< 5 expected) into the last
+// cell as is standard. It returns the statistic and the degrees of
+// freedom (cells - 1). It panics if the slices differ in length, the
+// probabilities are not positive-summing, or there are fewer than two
+// cells after pooling.
+func ChiSquare(observed []int64, expected []float64) (stat float64, dof int) {
+	if len(observed) != len(expected) {
+		panic("stats: ChiSquare length mismatch")
+	}
+	var total int64
+	var pSum float64
+	for i, o := range observed {
+		total += o
+		pSum += expected[i]
+	}
+	if total == 0 || pSum <= 0 {
+		panic("stats: ChiSquare needs observations and positive expected mass")
+	}
+	// Normalize expected to counts; pool the tail so every cell has
+	// expected count >= 5.
+	type cell struct {
+		obs int64
+		exp float64
+	}
+	var cells []cell
+	var pool cell
+	for i := range observed {
+		e := expected[i] / pSum * float64(total)
+		if e < 5 {
+			pool.obs += observed[i]
+			pool.exp += e
+			continue
+		}
+		cells = append(cells, cell{observed[i], e})
+	}
+	if pool.exp > 0 {
+		cells = append(cells, pool)
+	}
+	if len(cells) < 2 {
+		panic("stats: ChiSquare needs at least two cells after pooling")
+	}
+	for _, c := range cells {
+		d := float64(c.obs) - c.exp
+		stat += d * d / c.exp
+	}
+	return stat, len(cells) - 1
+}
+
+// ChiSquareCritical95 returns the approximate 95th-percentile critical
+// value of the chi-square distribution with dof degrees of freedom
+// (Wilson-Hilferty approximation). A statistic below this value fails
+// to reject the fitted distribution at the 5% level.
+func ChiSquareCritical95(dof int) float64 {
+	if dof < 1 {
+		panic("stats: ChiSquareCritical95 needs dof >= 1")
+	}
+	d := float64(dof)
+	const z95 = 1.6448536269514722
+	t := 1 - 2/(9*d) + z95*math.Sqrt(2/(9*d))
+	return d * t * t * t
+}
+
+// AsciiHistogram renders integer observations (e.g. a load vector) as
+// a text histogram: one row per value with a proportional bar, values
+// past maxRows pooled into a final ">=" row. Useful for eyeballing a
+// load distribution from a CLI.
+func AsciiHistogram(values []int32, maxRows, width int) string {
+	if maxRows < 1 {
+		maxRows = 1
+	}
+	if width < 1 {
+		width = 40
+	}
+	counts := make([]int, maxRows+1) // last bin pools the tail
+	peak := 0
+	for _, v := range values {
+		b := int(v)
+		if b < 0 {
+			b = 0
+		}
+		if b > maxRows {
+			b = maxRows
+		}
+		counts[b]++
+		if counts[b] > peak {
+			peak = counts[b]
+		}
+	}
+	// Trim trailing empty rows; always keep row 0.
+	last := 0
+	for b, c := range counts {
+		if c > 0 {
+			last = b
+		}
+	}
+	var sb strings.Builder
+	for b, c := range counts[:last+1] {
+		label := fmt.Sprintf("%3d", b)
+		if b == maxRows {
+			label = fmt.Sprintf(">=%d", maxRows)
+		}
+		bar := 0
+		if peak > 0 {
+			bar = c * width / peak
+		}
+		if c > 0 && bar == 0 {
+			bar = 1
+		}
+		fmt.Fprintf(&sb, "%4s | %-*s %d\n", label, width, strings.Repeat("#", bar), c)
+	}
+	return sb.String()
+}
+
+// JainFairness returns Jain's fairness index of the load vector:
+// (sum x)^2 / (n * sum x^2), which is 1 for perfectly equal loads and
+// 1/n when a single processor holds everything. An empty or all-zero
+// vector is perfectly fair (1).
+func JainFairness(loads []int32) float64 {
+	if len(loads) == 0 {
+		return 1
+	}
+	var sum, sumSq float64
+	for _, l := range loads {
+		x := float64(l)
+		sum += x
+		sumSq += x * x
+	}
+	if sumSq == 0 {
+		return 1
+	}
+	return sum * sum / (float64(len(loads)) * sumSq)
+}

@@ -1,0 +1,431 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRunningBasics(t *testing.T) {
+	var r Running
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		r.Add(x)
+	}
+	if r.N() != 8 {
+		t.Fatalf("N = %d", r.N())
+	}
+	if got := r.Mean(); math.Abs(got-5) > 1e-12 {
+		t.Fatalf("Mean = %v", got)
+	}
+	// Population variance is 4; unbiased sample variance is 32/7.
+	if got := r.Var(); math.Abs(got-32.0/7.0) > 1e-12 {
+		t.Fatalf("Var = %v", got)
+	}
+	if r.Min() != 2 || r.Max() != 9 {
+		t.Fatalf("Min/Max = %v/%v", r.Min(), r.Max())
+	}
+}
+
+func TestRunningEmpty(t *testing.T) {
+	var r Running
+	if r.Mean() != 0 || r.Var() != 0 || r.Min() != 0 || r.Max() != 0 || r.CI95() != 0 {
+		t.Fatal("empty Running should report zeros")
+	}
+}
+
+func TestRunningSingle(t *testing.T) {
+	var r Running
+	r.Add(3)
+	if r.Var() != 0 || r.Std() != 0 || r.StdErr() != 0 {
+		t.Fatal("single observation should have zero spread")
+	}
+	if r.Min() != 3 || r.Max() != 3 {
+		t.Fatal("single observation min/max wrong")
+	}
+}
+
+func TestRunningMerge(t *testing.T) {
+	var all, a, b Running
+	xs := []float64{1, 5, 2, 8, 3, 9, 4, 0, 7, 6}
+	for i, x := range xs {
+		all.Add(x)
+		if i%2 == 0 {
+			a.Add(x)
+		} else {
+			b.Add(x)
+		}
+	}
+	a.Merge(&b)
+	if a.N() != all.N() {
+		t.Fatalf("merged N = %d", a.N())
+	}
+	if math.Abs(a.Mean()-all.Mean()) > 1e-12 {
+		t.Fatalf("merged Mean = %v, want %v", a.Mean(), all.Mean())
+	}
+	if math.Abs(a.Var()-all.Var()) > 1e-9 {
+		t.Fatalf("merged Var = %v, want %v", a.Var(), all.Var())
+	}
+	if a.Min() != all.Min() || a.Max() != all.Max() {
+		t.Fatal("merged Min/Max wrong")
+	}
+}
+
+func TestRunningMergeEmptyCases(t *testing.T) {
+	var a, b Running
+	a.Merge(&b) // both empty
+	if a.N() != 0 {
+		t.Fatal("empty merge should stay empty")
+	}
+	b.Add(5)
+	a.Merge(&b) // into empty
+	if a.N() != 1 || a.Mean() != 5 {
+		t.Fatal("merge into empty failed")
+	}
+	var c Running
+	a.Merge(&c) // empty into non-empty
+	if a.N() != 1 {
+		t.Fatal("merging empty changed receiver")
+	}
+}
+
+func TestQuickRunningMerge(t *testing.T) {
+	f := func(xs []float64, split uint8) bool {
+		for i, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				xs[i] = float64(i)
+			}
+			// Keep magnitudes tame for floating point comparison.
+			xs[i] = math.Mod(xs[i], 1e6)
+		}
+		var all, a, b Running
+		k := 0
+		if len(xs) > 0 {
+			k = int(split) % (len(xs) + 1)
+		}
+		for i, x := range xs {
+			all.Add(x)
+			if i < k {
+				a.Add(x)
+			} else {
+				b.Add(x)
+			}
+		}
+		a.Merge(&b)
+		if a.N() != all.N() {
+			return false
+		}
+		if all.N() == 0 {
+			return true
+		}
+		scale := 1 + math.Abs(all.Mean())
+		return math.Abs(a.Mean()-all.Mean()) < 1e-6*scale &&
+			a.Min() == all.Min() && a.Max() == all.Max()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSampleQuantile(t *testing.T) {
+	var s Sample
+	for i := 1; i <= 100; i++ {
+		s.Add(float64(i))
+	}
+	if got := s.Quantile(0.5); got != 50 {
+		t.Fatalf("median = %v", got)
+	}
+	if got := s.Quantile(0); got != 1 {
+		t.Fatalf("q0 = %v", got)
+	}
+	if got := s.Quantile(1); got != 100 {
+		t.Fatalf("q1 = %v", got)
+	}
+	if got := s.Quantile(0.99); got != 99 {
+		t.Fatalf("p99 = %v", got)
+	}
+	if got := s.Mean(); got != 50.5 {
+		t.Fatalf("mean = %v", got)
+	}
+	if got := s.Max(); got != 100 {
+		t.Fatalf("max = %v", got)
+	}
+}
+
+func TestSampleAddAfterQuantile(t *testing.T) {
+	var s Sample
+	s.Add(5)
+	s.Add(1)
+	_ = s.Quantile(0.5)
+	s.Add(0) // must re-sort
+	if got := s.Quantile(0); got != 0 {
+		t.Fatalf("q0 after re-add = %v", got)
+	}
+}
+
+func TestSampleEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Quantile on empty sample did not panic")
+		}
+	}()
+	var s Sample
+	s.Quantile(0.5)
+}
+
+func TestHist(t *testing.T) {
+	h := NewHist(10)
+	for i := 0; i < 5; i++ {
+		h.Add(2)
+	}
+	h.Add(100) // clamp into last bin
+	h.Add(-3)  // clamp into bin 0
+	if h.Total() != 7 {
+		t.Fatalf("Total = %d", h.Total())
+	}
+	if h.Count(2) != 5 || h.Count(9) != 1 || h.Count(0) != 1 {
+		t.Fatal("clamping or counting wrong")
+	}
+	if got := h.PMF(2); math.Abs(got-5.0/7.0) > 1e-12 {
+		t.Fatalf("PMF = %v", got)
+	}
+	if got := h.TailProb(2); math.Abs(got-6.0/7.0) > 1e-12 {
+		t.Fatalf("TailProb = %v", got)
+	}
+	if got := h.TailProb(-5); got != 1 {
+		t.Fatalf("TailProb(-5) = %v", got)
+	}
+	if h.Count(-1) != 0 || h.Count(10) != 0 {
+		t.Fatal("out-of-range Count should be 0")
+	}
+}
+
+func TestHistMerge(t *testing.T) {
+	a := NewHist(5)
+	b := NewHist(5)
+	a.Add(1)
+	b.Add(1)
+	b.Add(3)
+	a.Merge(b)
+	if a.Total() != 3 || a.Count(1) != 2 || a.Count(3) != 1 {
+		t.Fatal("Hist merge wrong")
+	}
+}
+
+func TestHistMergeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched Hist merge did not panic")
+		}
+	}()
+	NewHist(5).Merge(NewHist(6))
+}
+
+func TestLinearFit(t *testing.T) {
+	x := []float64{0, 1, 2, 3}
+	y := []float64{1, 3, 5, 7}
+	slope, intercept := LinearFit(x, y)
+	if math.Abs(slope-2) > 1e-12 || math.Abs(intercept-1) > 1e-12 {
+		t.Fatalf("fit = %v, %v", slope, intercept)
+	}
+}
+
+func TestLinearFitDegenerate(t *testing.T) {
+	// All x equal: slope 0, intercept = mean.
+	slope, intercept := LinearFit([]float64{2, 2, 2}, []float64{1, 2, 3})
+	if slope != 0 || math.Abs(intercept-2) > 1e-12 {
+		t.Fatalf("degenerate fit = %v, %v", slope, intercept)
+	}
+}
+
+func TestGrowthExponent(t *testing.T) {
+	x := []float64{10, 100, 1000}
+	y := make([]float64, 3)
+	for i, xi := range x {
+		y[i] = 5 * math.Pow(xi, 1.5)
+	}
+	if e := GrowthExponent(x, y); math.Abs(e-1.5) > 1e-9 {
+		t.Fatalf("exponent = %v", e)
+	}
+}
+
+func TestGrowthExponentPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-positive data did not panic")
+		}
+	}()
+	GrowthExponent([]float64{1, 0}, []float64{1, 2})
+}
+
+func TestLogLog2(t *testing.T) {
+	if LogLog2(2) != 1 || LogLog2(4) != 1 {
+		t.Fatal("LogLog2 floor violated")
+	}
+	if got := LogLog2(65536); math.Abs(got-4) > 1e-12 {
+		t.Fatalf("LogLog2(2^16) = %v", got)
+	}
+	if got := LogLog2(1 << 20); math.Abs(got-math.Log2(20)) > 1e-12 {
+		t.Fatalf("LogLog2(2^20) = %v", got)
+	}
+}
+
+func TestPaperT(t *testing.T) {
+	if PaperT(2) != 1 {
+		t.Fatalf("PaperT(2) = %d", PaperT(2))
+	}
+	if got := PaperT(65536); got != 16 {
+		t.Fatalf("PaperT(2^16) = %d, want 16", got)
+	}
+	// Monotone-ish sanity: T grows with n.
+	if PaperT(1<<20) < PaperT(1<<10) {
+		t.Fatal("PaperT not increasing")
+	}
+}
+
+func TestQuickHistTailMonotone(t *testing.T) {
+	f := func(vals []uint8) bool {
+		h := NewHist(64)
+		for _, v := range vals {
+			h.Add(int(v) % 64)
+		}
+		prev := 1.01
+		for v := 0; v < 64; v++ {
+			p := h.TailProb(v)
+			if p > prev+1e-12 {
+				return false
+			}
+			prev = p
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChiSquareUniformFit(t *testing.T) {
+	// Observations drawn to match expectations exactly: statistic ~ 0.
+	obs := []int64{100, 100, 100, 100}
+	exp := []float64{0.25, 0.25, 0.25, 0.25}
+	stat, dof := ChiSquare(obs, exp)
+	if stat != 0 || dof != 3 {
+		t.Fatalf("stat=%v dof=%d", stat, dof)
+	}
+}
+
+func TestChiSquareDetectsMismatch(t *testing.T) {
+	obs := []int64{400, 0, 0, 0}
+	exp := []float64{0.25, 0.25, 0.25, 0.25}
+	stat, dof := ChiSquare(obs, exp)
+	if stat <= ChiSquareCritical95(dof) {
+		t.Fatalf("gross mismatch not detected: stat=%v crit=%v", stat, ChiSquareCritical95(dof))
+	}
+}
+
+func TestChiSquarePoolsTail(t *testing.T) {
+	// Tiny-expectation bins get pooled: with 100 observations, bins at
+	// p=0.01 expect 1 < 5 and must merge.
+	obs := []int64{50, 46, 2, 1, 1}
+	exp := []float64{0.5, 0.46, 0.015, 0.015, 0.01}
+	stat, dof := ChiSquare(obs, exp)
+	if dof != 2 { // 2 big cells + 1 pooled - 1
+		t.Fatalf("dof = %d, want 2 after pooling", dof)
+	}
+	if stat > ChiSquareCritical95(dof) {
+		t.Fatalf("good fit rejected: stat=%v", stat)
+	}
+}
+
+func TestChiSquarePanics(t *testing.T) {
+	cases := []struct {
+		name string
+		f    func()
+	}{
+		{"length mismatch", func() { ChiSquare([]int64{1}, []float64{0.5, 0.5}) }},
+		{"no observations", func() { ChiSquare([]int64{0, 0}, []float64{0.5, 0.5}) }},
+		{"one cell", func() { ChiSquare([]int64{10}, []float64{1}) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s did not panic", tc.name)
+				}
+			}()
+			tc.f()
+		})
+	}
+}
+
+func TestChiSquareCritical95(t *testing.T) {
+	// Known values: dof=1 -> 3.841, dof=5 -> 11.07, dof=10 -> 18.31.
+	cases := []struct {
+		dof  int
+		want float64
+	}{{1, 3.841}, {5, 11.07}, {10, 18.31}}
+	for _, c := range cases {
+		got := ChiSquareCritical95(c.dof)
+		if math.Abs(got-c.want) > 0.15*c.want {
+			t.Errorf("crit(%d) = %v, want ~%v", c.dof, got, c.want)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("dof=0 did not panic")
+		}
+	}()
+	ChiSquareCritical95(0)
+}
+
+func TestAsciiHistogram(t *testing.T) {
+	values := []int32{0, 0, 0, 1, 1, 2, 9, 50}
+	out := AsciiHistogram(values, 5, 20)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Rows 0..4 plus the pooled ">=5" row.
+	if len(lines) != 6 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "3") || !strings.Contains(lines[0], "####") {
+		t.Fatalf("row 0 = %q", lines[0])
+	}
+	if !strings.Contains(lines[5], ">=5") || !strings.Contains(lines[5], "2") {
+		t.Fatalf("pooled row = %q", lines[5])
+	}
+	// Bar widths proportional: the peak row gets the full width.
+	if !strings.Contains(lines[0], strings.Repeat("#", 20)) {
+		t.Fatalf("peak row not full width: %q", lines[0])
+	}
+}
+
+func TestAsciiHistogramEdge(t *testing.T) {
+	if out := AsciiHistogram(nil, 3, 10); !strings.Contains(out, "0") {
+		t.Fatalf("empty histogram output: %q", out)
+	}
+	// Negative values clamp into bin 0; tiny-but-nonzero counts get a
+	// one-character bar.
+	out := AsciiHistogram([]int32{-5, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1}, 3, 10)
+	if !strings.Contains(out, "#") {
+		t.Fatalf("missing bars: %q", out)
+	}
+}
+
+func TestJainFairness(t *testing.T) {
+	if JainFairness(nil) != 1 {
+		t.Fatal("empty vector not fair")
+	}
+	if JainFairness([]int32{0, 0, 0}) != 1 {
+		t.Fatal("all-zero vector not fair")
+	}
+	if got := JainFairness([]int32{5, 5, 5, 5}); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("equal loads fairness = %v", got)
+	}
+	// One processor holds everything: 1/n.
+	if got := JainFairness([]int32{8, 0, 0, 0}); math.Abs(got-0.25) > 1e-12 {
+		t.Fatalf("concentrated fairness = %v", got)
+	}
+	// Monotone sanity: spreading the same total is fairer.
+	if JainFairness([]int32{4, 4, 0, 0}) <= JainFairness([]int32{8, 0, 0, 0}) {
+		t.Fatal("spreading load did not increase fairness")
+	}
+}

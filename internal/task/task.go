@@ -1,0 +1,148 @@
+// Package task defines the unit of load in the simulator and the
+// accounting of task lifetimes.
+//
+// The paper's load units are unit-size tasks stored FIFO. Two of its
+// results are about task trajectories rather than queue lengths:
+//
+//   - Corollary 1 bounds the waiting time (sojourn time) of every task
+//     by O((log log n)^2) w.h.p.;
+//   - Section 1.2 argues the algorithm "tries to have the tasks
+//     generated on the same processor together", i.e. locality.
+//
+// A Task therefore carries its origin processor and birth step, and a
+// Recorder aggregates sojourn times and locality when tasks complete.
+package task
+
+// Task is one unit of load. The paper's tasks are unit weight; the
+// weighted extension (cf. Berenbrink, Meyer auf der Heide and Schröder
+// for the static case) gives each task a service weight: a processor
+// spends Weight consumption units to finish it, and a processor's
+// weighted load is the sum of the Remaining fields of its queue.
+type Task struct {
+	// Origin is the processor that generated the task.
+	Origin int32
+	// Hops counts how many balancing transfers have moved the task.
+	Hops int32
+	// Birth is the simulation step at which the task was generated.
+	Birth int64
+	// Weight is the total service requirement (1 for the paper's
+	// unit-task models).
+	Weight int32
+	// Remaining is the unserved part of Weight; the task completes
+	// when it reaches zero.
+	Remaining int32
+}
+
+// Recorder aggregates statistics over completed tasks. The zero value
+// is ready to use. Recorder is not safe for concurrent use; in the
+// parallel simulator each shard owns a Recorder and the shards are
+// merged at a barrier.
+type Recorder struct {
+	// Completed is the number of tasks consumed.
+	Completed int64
+	// OnOrigin is the number of tasks consumed by their origin
+	// processor.
+	OnOrigin int64
+	// SumWait is the summed sojourn time (consume step - birth step).
+	SumWait int64
+	// MaxWait is the maximum sojourn time observed.
+	MaxWait int64
+	// SumHops is the summed number of balancing transfers over
+	// completed tasks.
+	SumHops int64
+	// WaitHist counts sojourn times; index i holds times in
+	// [2^i, 2^(i+1)) with index 0 holding {0, 1}.
+	WaitHist [48]int64
+}
+
+// Complete records that t was consumed by processor proc at step now.
+func (r *Recorder) Complete(t Task, proc int32, now int64) {
+	r.Completed++
+	if t.Origin == proc {
+		r.OnOrigin++
+	}
+	wait := now - t.Birth
+	if wait < 0 {
+		wait = 0
+	}
+	r.SumWait += wait
+	if wait > r.MaxWait {
+		r.MaxWait = wait
+	}
+	r.SumHops += int64(t.Hops)
+	r.WaitHist[bucket(wait)]++
+}
+
+// bucket maps a waiting time to its power-of-two histogram bucket.
+func bucket(wait int64) int {
+	b := 0
+	for wait > 1 {
+		wait >>= 1
+		b++
+	}
+	if b >= len(Recorder{}.WaitHist) {
+		b = len(Recorder{}.WaitHist) - 1
+	}
+	return b
+}
+
+// Merge folds other into r.
+func (r *Recorder) Merge(other *Recorder) {
+	r.Completed += other.Completed
+	r.OnOrigin += other.OnOrigin
+	r.SumWait += other.SumWait
+	if other.MaxWait > r.MaxWait {
+		r.MaxWait = other.MaxWait
+	}
+	r.SumHops += other.SumHops
+	for i := range r.WaitHist {
+		r.WaitHist[i] += other.WaitHist[i]
+	}
+}
+
+// MeanWait returns the average sojourn time of completed tasks, or 0
+// if none completed.
+func (r *Recorder) MeanWait() float64 {
+	if r.Completed == 0 {
+		return 0
+	}
+	return float64(r.SumWait) / float64(r.Completed)
+}
+
+// LocalityFraction returns the fraction of completed tasks that were
+// consumed on their origin processor, or 0 if none completed.
+func (r *Recorder) LocalityFraction() float64 {
+	if r.Completed == 0 {
+		return 0
+	}
+	return float64(r.OnOrigin) / float64(r.Completed)
+}
+
+// MeanHops returns the average number of balancing transfers per
+// completed task, or 0 if none completed.
+func (r *Recorder) MeanHops() float64 {
+	if r.Completed == 0 {
+		return 0
+	}
+	return float64(r.SumHops) / float64(r.Completed)
+}
+
+// WaitQuantile returns an upper bound for the q-quantile (0 < q <= 1)
+// of the sojourn-time distribution using the power-of-two histogram.
+func (r *Recorder) WaitQuantile(q float64) int64 {
+	if r.Completed == 0 {
+		return 0
+	}
+	target := int64(q * float64(r.Completed))
+	if target < 1 {
+		target = 1
+	}
+	var seen int64
+	for i, c := range r.WaitHist {
+		seen += c
+		if seen >= target {
+			return int64(1) << uint(i+1) // exclusive upper edge of bucket i
+		}
+	}
+	return r.MaxWait
+}

@@ -1,0 +1,162 @@
+package task
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCompleteBasic(t *testing.T) {
+	var r Recorder
+	r.Complete(Task{Origin: 3, Birth: 10}, 3, 15)
+	r.Complete(Task{Origin: 2, Birth: 12, Hops: 1}, 5, 20)
+	if r.Completed != 2 {
+		t.Fatalf("Completed = %d", r.Completed)
+	}
+	if r.OnOrigin != 1 {
+		t.Fatalf("OnOrigin = %d", r.OnOrigin)
+	}
+	if r.SumWait != 5+8 {
+		t.Fatalf("SumWait = %d", r.SumWait)
+	}
+	if r.MaxWait != 8 {
+		t.Fatalf("MaxWait = %d", r.MaxWait)
+	}
+	if r.SumHops != 1 {
+		t.Fatalf("SumHops = %d", r.SumHops)
+	}
+}
+
+func TestNegativeWaitClamped(t *testing.T) {
+	var r Recorder
+	r.Complete(Task{Birth: 100}, 0, 50) // malformed: consumed before birth
+	if r.SumWait != 0 || r.MaxWait != 0 {
+		t.Fatalf("negative wait not clamped: sum=%d max=%d", r.SumWait, r.MaxWait)
+	}
+}
+
+func TestMeansEmpty(t *testing.T) {
+	var r Recorder
+	if r.MeanWait() != 0 || r.LocalityFraction() != 0 || r.MeanHops() != 0 {
+		t.Fatal("empty recorder means should be zero")
+	}
+	if r.WaitQuantile(0.5) != 0 {
+		t.Fatal("empty recorder quantile should be zero")
+	}
+}
+
+func TestMeans(t *testing.T) {
+	var r Recorder
+	for i := 0; i < 10; i++ {
+		r.Complete(Task{Origin: 0, Birth: 0, Hops: int32(i % 2)}, 0, int64(i))
+	}
+	if got := r.MeanWait(); got != 4.5 {
+		t.Fatalf("MeanWait = %v", got)
+	}
+	if got := r.LocalityFraction(); got != 1.0 {
+		t.Fatalf("LocalityFraction = %v", got)
+	}
+	if got := r.MeanHops(); got != 0.5 {
+		t.Fatalf("MeanHops = %v", got)
+	}
+}
+
+func TestMerge(t *testing.T) {
+	var a, b Recorder
+	a.Complete(Task{Origin: 0, Birth: 0}, 0, 3)
+	b.Complete(Task{Origin: 1, Birth: 0}, 2, 9)
+	b.Complete(Task{Origin: 2, Birth: 0, Hops: 2}, 2, 1)
+	a.Merge(&b)
+	if a.Completed != 3 {
+		t.Fatalf("merged Completed = %d", a.Completed)
+	}
+	if a.MaxWait != 9 {
+		t.Fatalf("merged MaxWait = %d", a.MaxWait)
+	}
+	if a.OnOrigin != 2 {
+		t.Fatalf("merged OnOrigin = %d", a.OnOrigin)
+	}
+	if a.SumHops != 2 {
+		t.Fatalf("merged SumHops = %d", a.SumHops)
+	}
+}
+
+func TestBucketEdges(t *testing.T) {
+	cases := []struct {
+		wait int64
+		want int
+	}{
+		{0, 0}, {1, 0}, {2, 1}, {3, 1}, {4, 2}, {7, 2}, {8, 3}, {1 << 20, 20},
+	}
+	for _, c := range cases {
+		if got := bucket(c.wait); got != c.want {
+			t.Errorf("bucket(%d) = %d, want %d", c.wait, got, c.want)
+		}
+	}
+}
+
+func TestWaitQuantile(t *testing.T) {
+	var r Recorder
+	// 90 tasks wait 1 step, 10 tasks wait 100 steps.
+	for i := 0; i < 90; i++ {
+		r.Complete(Task{Birth: 0}, 0, 1)
+	}
+	for i := 0; i < 10; i++ {
+		r.Complete(Task{Birth: 0}, 0, 100)
+	}
+	if q := r.WaitQuantile(0.5); q > 2 {
+		t.Fatalf("median quantile bound %d too large", q)
+	}
+	if q := r.WaitQuantile(0.99); q < 100 {
+		t.Fatalf("p99 quantile bound %d misses the slow tail", q)
+	}
+}
+
+func TestQuickMergeEquivalence(t *testing.T) {
+	// Property: merging per-shard recorders equals one global recorder.
+	f := func(waits []uint16) bool {
+		var global Recorder
+		var shards [4]Recorder
+		for i, w := range waits {
+			tk := Task{Origin: int32(i % 7), Birth: 0, Hops: int32(i % 3)}
+			proc := int32(i % 5)
+			now := int64(w)
+			global.Complete(tk, proc, now)
+			shards[i%4].Complete(tk, proc, now)
+		}
+		var merged Recorder
+		for i := range shards {
+			merged.Merge(&shards[i])
+		}
+		if merged != global {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickQuantileBoundsWait(t *testing.T) {
+	// Property: WaitQuantile(1.0) is an upper bound for every recorded
+	// wait (it returns the exclusive upper edge of the last non-empty
+	// bucket, or MaxWait).
+	f := func(waits []uint16) bool {
+		if len(waits) == 0 {
+			return true
+		}
+		var r Recorder
+		var max int64
+		for _, w := range waits {
+			now := int64(w)
+			if now > max {
+				max = now
+			}
+			r.Complete(Task{Birth: 0}, 0, now)
+		}
+		return r.WaitQuantile(1.0) >= max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,96 @@
+// Package trace records time series from a running simulation — the
+// "figures" companion to the experiment tables: max/total load,
+// message and movement counters sampled at a fixed cadence, written as
+// CSV for plotting.
+package trace
+
+import (
+	"fmt"
+	"io"
+
+	"plb/internal/sim"
+)
+
+// Point is one sample of the machine's observable state.
+type Point struct {
+	// Step is the machine time of the sample.
+	Step int64
+	// MaxLoad and TotalLoad are the instantaneous load statistics.
+	MaxLoad   int
+	TotalLoad int64
+	// Messages, BalanceActions and TasksMoved are cumulative counters
+	// at the sample time.
+	Messages       int64
+	BalanceActions int64
+	TasksMoved     int64
+}
+
+// Recorder samples a machine at a fixed cadence.
+type Recorder struct {
+	every  int
+	points []Point
+}
+
+// NewRecorder samples every `every` steps (minimum 1).
+func NewRecorder(every int) *Recorder {
+	if every < 1 {
+		every = 1
+	}
+	return &Recorder{every: every}
+}
+
+// Run advances m by steps steps, sampling along the way (and once at
+// the end if the last segment is partial).
+func (r *Recorder) Run(m *sim.Machine, steps int) {
+	done := 0
+	for done < steps {
+		chunk := r.every
+		if rest := steps - done; chunk > rest {
+			chunk = rest
+		}
+		m.Run(chunk)
+		done += chunk
+		r.Sample(m)
+	}
+}
+
+// Sample records the machine's current state.
+func (r *Recorder) Sample(m *sim.Machine) {
+	met := m.Metrics()
+	r.points = append(r.points, Point{
+		Step:           m.Now(),
+		MaxLoad:        m.MaxLoad(),
+		TotalLoad:      m.TotalLoad(),
+		Messages:       met.Messages,
+		BalanceActions: met.BalanceActions,
+		TasksMoved:     met.TasksMoved,
+	})
+}
+
+// Points returns the recorded samples.
+func (r *Recorder) Points() []Point { return r.points }
+
+// PeakMaxLoad returns the largest sampled max load (0 if no samples).
+func (r *Recorder) PeakMaxLoad() int {
+	peak := 0
+	for _, p := range r.points {
+		if p.MaxLoad > peak {
+			peak = p.MaxLoad
+		}
+	}
+	return peak
+}
+
+// WriteCSV writes the series with a header row.
+func (r *Recorder) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "step,max_load,total_load,messages,balance_actions,tasks_moved"); err != nil {
+		return err
+	}
+	for _, p := range r.points {
+		if _, err := fmt.Fprintf(w, "%d,%d,%d,%d,%d,%d\n",
+			p.Step, p.MaxLoad, p.TotalLoad, p.Messages, p.BalanceActions, p.TasksMoved); err != nil {
+			return err
+		}
+	}
+	return nil
+}

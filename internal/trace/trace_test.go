@@ -1,0 +1,102 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"plb/internal/gen"
+	"plb/internal/sim"
+)
+
+func testMachine(t *testing.T) *sim.Machine {
+	t.Helper()
+	m, err := sim.New(sim.Config{N: 32, Model: gen.Single{P: 0.4, Eps: 0.1}, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestRecorderCadence(t *testing.T) {
+	m := testMachine(t)
+	r := NewRecorder(10)
+	r.Run(m, 100)
+	pts := r.Points()
+	if len(pts) != 10 {
+		t.Fatalf("points = %d, want 10", len(pts))
+	}
+	for i, p := range pts {
+		if p.Step != int64((i+1)*10) {
+			t.Fatalf("point %d at step %d", i, p.Step)
+		}
+	}
+}
+
+func TestRecorderPartialTail(t *testing.T) {
+	m := testMachine(t)
+	r := NewRecorder(30)
+	r.Run(m, 100) // 30, 60, 90, 100
+	pts := r.Points()
+	if len(pts) != 4 || pts[3].Step != 100 {
+		t.Fatalf("points = %+v", pts)
+	}
+}
+
+func TestRecorderMinCadence(t *testing.T) {
+	r := NewRecorder(0)
+	m := testMachine(t)
+	r.Run(m, 5)
+	if len(r.Points()) != 5 {
+		t.Fatalf("cadence clamp failed: %d points", len(r.Points()))
+	}
+}
+
+func TestPeakMaxLoad(t *testing.T) {
+	m := testMachine(t)
+	m.Inject(0, 50)
+	r := NewRecorder(1)
+	if r.PeakMaxLoad() != 0 {
+		t.Fatal("empty recorder peak should be 0")
+	}
+	r.Sample(m)
+	if r.PeakMaxLoad() < 50 {
+		t.Fatalf("peak = %d", r.PeakMaxLoad())
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	m := testMachine(t)
+	r := NewRecorder(25)
+	r.Run(m, 50)
+	var sb strings.Builder
+	if err := r.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("csv lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "step,max_load") {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "25,") || !strings.HasPrefix(lines[2], "50,") {
+		t.Fatalf("rows wrong:\n%s", out)
+	}
+}
+
+func TestCountersMonotone(t *testing.T) {
+	m, err := sim.New(sim.Config{N: 32, Model: gen.Single{P: 0.4, Eps: 0.1}, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRecorder(5)
+	r.Run(m, 200)
+	var prev Point
+	for _, p := range r.Points() {
+		if p.Messages < prev.Messages || p.TasksMoved < prev.TasksMoved || p.Step <= prev.Step {
+			t.Fatalf("counters not monotone: %+v after %+v", p, prev)
+		}
+		prev = p
+	}
+}

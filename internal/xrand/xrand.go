@@ -1,0 +1,200 @@
+// Package xrand provides deterministic, splittable pseudo-random number
+// generation for the load-balancing simulator.
+//
+// Every stochastic component of the system (a processor's generation
+// model, a collision-protocol instance, a workload driver) owns its own
+// Stream. Streams are derived from a master seed with SplitMix64, so a
+// simulation is bit-reproducible for a given seed no matter how the
+// processors are sharded over goroutines.
+//
+// The core generator is xoshiro256**, which is small, fast, and passes
+// BigCrush; SplitMix64 is used both to seed it and to derive child
+// streams, as recommended by its authors.
+package xrand
+
+import "math"
+
+// splitMix64 advances a SplitMix64 state and returns the next value.
+func splitMix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Stream is a deterministic pseudo-random stream (xoshiro256**).
+// The zero value is not valid; construct with New or Split.
+type Stream struct {
+	s0, s1, s2, s3 uint64
+}
+
+// New returns a Stream seeded from seed via SplitMix64.
+func New(seed uint64) *Stream {
+	st := seed
+	return &Stream{
+		s0: splitMix64(&st),
+		s1: splitMix64(&st),
+		s2: splitMix64(&st),
+		s3: splitMix64(&st),
+	}
+}
+
+// Split derives an independent child stream identified by id.
+// Children with distinct ids are statistically independent of each
+// other and of the parent; the parent's state is not advanced.
+func (r *Stream) Split(id uint64) *Stream {
+	// Mix the parent state with the child id through SplitMix64.
+	st := r.s0 ^ rotl(r.s2, 17) ^ (id * 0xd1342543de82ef95)
+	return New(splitMix64(&st) ^ id)
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 random bits.
+func (r *Stream) Uint64() uint64 {
+	result := rotl(r.s1*5, 7) * 9
+	t := r.s1 << 17
+	r.s2 ^= r.s0
+	r.s3 ^= r.s1
+	r.s1 ^= r.s2
+	r.s0 ^= r.s3
+	r.s2 ^= t
+	r.s3 = rotl(r.s3, 45)
+	return result
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+// It uses Lemire's nearly-divisionless bounded generation.
+func (r *Stream) Intn(n int) int {
+	if n <= 0 {
+		panic("xrand: Intn with non-positive n")
+	}
+	bound := uint64(n)
+	x := r.Uint64()
+	hi, lo := mul64(x, bound)
+	if lo < bound {
+		threshold := (-bound) % bound
+		for lo < threshold {
+			x = r.Uint64()
+			hi, lo = mul64(x, bound)
+		}
+	}
+	return int(hi)
+}
+
+// mul64 returns the 128-bit product of x and y as (hi, lo).
+func mul64(x, y uint64) (hi, lo uint64) {
+	const mask32 = 1<<32 - 1
+	x0, x1 := x&mask32, x>>32
+	y0, y1 := y&mask32, y>>32
+	w0 := x0 * y0
+	t := x1*y0 + w0>>32
+	w1 := t & mask32
+	w2 := t >> 32
+	w1 += x0 * y1
+	hi = x1*y1 + w2 + w1>>32
+	lo = x * y
+	return
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *Stream) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Bernoulli returns true with probability p.
+func (r *Stream) Bernoulli(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.Float64() < p
+}
+
+// Geometric returns the number of failures before the first success of
+// a Bernoulli(p) trial sequence, i.e. a sample from Geometric(p) with
+// support {0, 1, 2, ...}. It panics if p is not in (0, 1].
+func (r *Stream) Geometric(p float64) int {
+	if p <= 0 || p > 1 {
+		panic("xrand: Geometric probability out of (0,1]")
+	}
+	if p == 1 {
+		return 0
+	}
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	return int(math.Floor(math.Log(u) / math.Log(1-p)))
+}
+
+// Poisson returns a sample from Poisson(lambda) using Knuth's method
+// for small lambda and normal approximation fallback for large lambda.
+func (r *Stream) Poisson(lambda float64) int {
+	if lambda <= 0 {
+		return 0
+	}
+	if lambda < 30 {
+		limit := math.Exp(-lambda)
+		k := 0
+		p := 1.0
+		for {
+			p *= r.Float64()
+			if p <= limit {
+				return k
+			}
+			k++
+		}
+	}
+	// Split lambda to stay in the stable range of Knuth's method.
+	half := math.Floor(lambda / 2)
+	return r.Poisson(half) + r.Poisson(lambda-half)
+}
+
+// Perm fills out with a uniform random permutation of [0, len(out)).
+func (r *Stream) Perm(out []int) {
+	for i := range out {
+		out[i] = i
+	}
+	for i := len(out) - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		out[i], out[j] = out[j], out[i]
+	}
+}
+
+// SampleDistinct writes k distinct uniform values from [0, n) into out,
+// excluding the value self if self >= 0. It panics if k values cannot
+// be provided. For small k relative to n it uses rejection sampling.
+func (r *Stream) SampleDistinct(out []int, k, n, self int) {
+	avail := n
+	if self >= 0 && self < n {
+		avail--
+	}
+	if k > avail {
+		panic("xrand: SampleDistinct k too large")
+	}
+	if k > len(out) {
+		panic("xrand: SampleDistinct output too small")
+	}
+	filled := 0
+	for filled < k {
+		v := r.Intn(n)
+		if v == self {
+			continue
+		}
+		dup := false
+		for i := 0; i < filled; i++ {
+			if out[i] == v {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out[filled] = v
+			filled++
+		}
+	}
+}

@@ -1,0 +1,290 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewDeterministic(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams with equal seeds diverged at draw %d", i)
+		}
+	}
+}
+
+func TestNewDistinctSeedsDiffer(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("streams with different seeds agree on %d/100 draws", same)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(7)
+	c1 := parent.Split(1)
+	c2 := parent.Split(2)
+	c1again := parent.Split(1)
+	if c1.Uint64() != c1again.Uint64() {
+		t.Fatal("Split is not deterministic in id")
+	}
+	// c1 and c2 should differ.
+	c1 = parent.Split(1)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if c1.Uint64() == c2.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("sibling streams agree on %d/100 draws", same)
+	}
+}
+
+func TestSplitDoesNotAdvanceParent(t *testing.T) {
+	a := New(9)
+	b := New(9)
+	_ = a.Split(5)
+	for i := 0; i < 10; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("Split advanced the parent state")
+		}
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := New(3)
+	for n := 1; n <= 17; n++ {
+		for i := 0; i < 200; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestIntnUniformity(t *testing.T) {
+	r := New(11)
+	const n = 10
+	const draws = 100000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[r.Intn(n)]++
+	}
+	expected := float64(draws) / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-expected) > 5*math.Sqrt(expected) {
+			t.Errorf("bucket %d count %d deviates from expected %.0f", i, c, expected)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(5)
+	sum := 0.0
+	const draws = 100000
+	for i := 0; i < draws; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 = %v out of [0,1)", v)
+		}
+		sum += v
+	}
+	mean := sum / draws
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("Float64 mean %v far from 0.5", mean)
+	}
+}
+
+func TestBernoulli(t *testing.T) {
+	r := New(13)
+	if r.Bernoulli(0) {
+		t.Fatal("Bernoulli(0) returned true")
+	}
+	if !r.Bernoulli(1) {
+		t.Fatal("Bernoulli(1) returned false")
+	}
+	const draws = 100000
+	hits := 0
+	for i := 0; i < draws; i++ {
+		if r.Bernoulli(0.3) {
+			hits++
+		}
+	}
+	p := float64(hits) / draws
+	if math.Abs(p-0.3) > 0.01 {
+		t.Fatalf("Bernoulli(0.3) empirical rate %v", p)
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	r := New(17)
+	const p = 0.25
+	const draws = 200000
+	sum := 0
+	for i := 0; i < draws; i++ {
+		sum += r.Geometric(p)
+	}
+	mean := float64(sum) / draws
+	want := (1 - p) / p // mean of failures-before-success geometric
+	if math.Abs(mean-want) > 0.05 {
+		t.Fatalf("Geometric(%v) mean %v, want ~%v", p, mean, want)
+	}
+}
+
+func TestGeometricEdge(t *testing.T) {
+	r := New(19)
+	if v := r.Geometric(1); v != 0 {
+		t.Fatalf("Geometric(1) = %d, want 0", v)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Geometric(0) did not panic")
+		}
+	}()
+	r.Geometric(0)
+}
+
+func TestPoissonMean(t *testing.T) {
+	r := New(23)
+	for _, lambda := range []float64{0.5, 3, 20, 100} {
+		const draws = 50000
+		sum := 0
+		for i := 0; i < draws; i++ {
+			sum += r.Poisson(lambda)
+		}
+		mean := float64(sum) / draws
+		if math.Abs(mean-lambda) > 4*math.Sqrt(lambda/draws)+0.05 {
+			t.Errorf("Poisson(%v) mean %v", lambda, mean)
+		}
+	}
+	if v := r.Poisson(0); v != 0 {
+		t.Fatalf("Poisson(0) = %d", v)
+	}
+	if v := r.Poisson(-1); v != 0 {
+		t.Fatalf("Poisson(-1) = %d", v)
+	}
+}
+
+func TestPerm(t *testing.T) {
+	r := New(29)
+	out := make([]int, 20)
+	r.Perm(out)
+	seen := make(map[int]bool)
+	for _, v := range out {
+		if v < 0 || v >= len(out) || seen[v] {
+			t.Fatalf("Perm produced invalid permutation %v", out)
+		}
+		seen[v] = true
+	}
+}
+
+func TestSampleDistinct(t *testing.T) {
+	r := New(31)
+	out := make([]int, 5)
+	for trial := 0; trial < 500; trial++ {
+		r.SampleDistinct(out, 5, 16, 3)
+		seen := make(map[int]bool)
+		for _, v := range out {
+			if v == 3 {
+				t.Fatal("SampleDistinct returned excluded self")
+			}
+			if v < 0 || v >= 16 {
+				t.Fatalf("SampleDistinct value %d out of range", v)
+			}
+			if seen[v] {
+				t.Fatalf("SampleDistinct duplicate in %v", out)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestSampleDistinctExhaustive(t *testing.T) {
+	r := New(37)
+	out := make([]int, 4)
+	// k == n-1 with self excluded: must return every other element.
+	r.SampleDistinct(out, 4, 5, 2)
+	seen := make(map[int]bool)
+	for _, v := range out {
+		seen[v] = true
+	}
+	for _, want := range []int{0, 1, 3, 4} {
+		if !seen[want] {
+			t.Fatalf("SampleDistinct missing %d in exhaustive draw %v", want, out)
+		}
+	}
+}
+
+func TestSampleDistinctPanics(t *testing.T) {
+	r := New(41)
+	out := make([]int, 10)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SampleDistinct with k > avail did not panic")
+		}
+	}()
+	r.SampleDistinct(out, 5, 5, 0)
+}
+
+func TestQuickIntnInRange(t *testing.T) {
+	r := New(43)
+	f := func(n uint16) bool {
+		bound := int(n%1000) + 1
+		v := r.Intn(bound)
+		return v >= 0 && v < bound
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickSplitDeterministic(t *testing.T) {
+	f := func(seed, id uint64) bool {
+		p := New(seed)
+		a := p.Split(id)
+		b := p.Split(id)
+		return a.Uint64() == b.Uint64() && a.Uint64() == b.Uint64()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += r.Uint64()
+	}
+	_ = sink
+}
+
+func BenchmarkIntn(b *testing.B) {
+	r := New(1)
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink += r.Intn(1000)
+	}
+	_ = sink
+}
