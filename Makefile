@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench experiments experiments-quick lint clean
+.PHONY: all build test race bench experiments experiments-quick faults lint clean
 
 all: build test
 
@@ -25,6 +25,11 @@ experiments:
 # Same tables at reduced scale (seconds).
 experiments-quick:
 	$(GO) run ./cmd/experiments -quick
+
+# Fault-injection degradation curve (E21) at quick scale — exercises
+# the lossy/crash/straggler paths end to end.
+faults:
+	$(GO) run ./cmd/experiments -run E21 -quick
 
 lint:
 	gofmt -l .

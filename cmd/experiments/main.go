@@ -28,6 +28,7 @@ func main() {
 		wrk      = flag.Int("workers", 0, "simulator worker shards (0 = GOMAXPROCS)")
 		list     = flag.Bool("list", false, "list experiments and exit")
 		parallel = flag.Bool("parallel", false, "run the selected experiments concurrently (results print in order)")
+		faultsF  = flag.String("faults", "", "custom fault plan for fault-aware experiments (E21), e.g. lossy:0.05,crash:0.1@100-500")
 	)
 	flag.Parse()
 
@@ -52,7 +53,7 @@ func main() {
 		}
 	}
 
-	cfg := experiments.RunConfig{Quick: *quick, Seed: *seed, Workers: *wrk}
+	cfg := experiments.RunConfig{Quick: *quick, Seed: *seed, Workers: *wrk, Faults: *faultsF}
 	type outcome struct {
 		res     *experiments.Result
 		err     error

@@ -34,6 +34,7 @@ func main() {
 		traceTo = flag.String("trace", "", "write a time-series CSV (step, max load, ...) to this file")
 		every   = flag.Int("trace-every", 50, "trace sampling cadence in steps")
 		hist    = flag.Bool("hist", false, "print an ASCII histogram of the final load distribution")
+		faultsF = flag.String("faults", "", "fault plan for -algo bfm98-dist, e.g. lossy:0.05,crash:0.1@100-500 (see docs/ALGORITHM.md)")
 	)
 	flag.Parse()
 
@@ -42,7 +43,7 @@ func main() {
 		fail(err)
 	}
 	cfg := sim.Config{N: *n, Model: mod, Seed: *seed, Workers: *wrk}
-	if err := cli.InstallAlgo(&cfg, *algo, *n, *scale, *seed); err != nil {
+	if err := cli.InstallAlgo(&cfg, *algo, *n, *scale, *seed, *faultsF); err != nil {
 		fail(err)
 	}
 	m, err := sim.New(cfg)

@@ -7,6 +7,7 @@ import (
 
 	"plb/internal/baselines"
 	"plb/internal/core"
+	"plb/internal/faults"
 	"plb/internal/gen"
 	"plb/internal/proto"
 	"plb/internal/sim"
@@ -47,7 +48,13 @@ func BuildModel(name string, n int, seed uint64) (gen.Model, error) {
 
 // InstallAlgo wires a named algorithm into cfg (as Balancer or
 // Placer). scale > 1 multiplies T for the bfm98 configurations.
-func InstallAlgo(cfg *sim.Config, name string, n, scale int, seed uint64) error {
+// faultSpec, when non-empty, is a faults.ParsePlan spec injected into
+// the run; only the distributed protocol (bfm98-dist) executes over a
+// perturbable network, so any other algorithm rejects it.
+func InstallAlgo(cfg *sim.Config, name string, n, scale int, seed uint64, faultSpec string) error {
+	if faultSpec != "" && name != "bfm98-dist" {
+		return fmt.Errorf("cli: -faults requires algo bfm98-dist (the message-passing protocol); %q runs on the atomic simulator", name)
+	}
 	switch name {
 	case "bfm98", "bfm98-pre":
 		c := core.DefaultConfig(n)
@@ -62,7 +69,15 @@ func InstallAlgo(cfg *sim.Config, name string, n, scale int, seed uint64) error 
 		}
 		cfg.Balancer = b
 	case "bfm98-dist":
-		b, err := proto.New(n, proto.DefaultConfig(n))
+		c := proto.DefaultConfig(n)
+		if faultSpec != "" {
+			plan, err := faults.ParsePlan(faultSpec)
+			if err != nil {
+				return err
+			}
+			c.Faults = &plan
+		}
+		b, err := proto.New(n, c)
 		if err != nil {
 			return err
 		}

@@ -28,7 +28,7 @@ func TestInstallAlgoAllNames(t *testing.T) {
 			t.Fatal(err)
 		}
 		cfg := sim.Config{N: 256, Model: model, Seed: 1}
-		if err := InstallAlgo(&cfg, name, 256, 1, 1); err != nil {
+		if err := InstallAlgo(&cfg, name, 256, 1, 1, ""); err != nil {
 			t.Fatalf("InstallAlgo(%q) failed: %v", name, err)
 		}
 		if cfg.Balancer == nil && cfg.Placer == nil {
@@ -41,7 +41,7 @@ func TestInstallAlgoAllNames(t *testing.T) {
 		m.Run(20) // smoke: every algo survives a short run
 	}
 	cfg := sim.Config{}
-	if err := InstallAlgo(&cfg, "nope", 256, 1, 1); err == nil {
+	if err := InstallAlgo(&cfg, "nope", 256, 1, 1, ""); err == nil {
 		t.Fatal("unknown algorithm accepted")
 	}
 }
@@ -52,7 +52,7 @@ func TestInstallAlgoScale(t *testing.T) {
 		t.Fatal(err)
 	}
 	cfg := sim.Config{N: 1024, Model: model, Seed: 1}
-	if err := InstallAlgo(&cfg, "bfm98", 1024, 4, 1); err != nil {
+	if err := InstallAlgo(&cfg, "bfm98", 1024, 4, 1, ""); err != nil {
 		t.Fatal(err)
 	}
 	m, err := sim.New(cfg)
@@ -81,5 +81,27 @@ func TestBurstModelSmallN(t *testing.T) {
 	machine.Run(50)
 	if machine.Generated() == 0 {
 		t.Fatal("burst adversary generated nothing at n=16")
+	}
+}
+
+func TestInstallAlgoFaults(t *testing.T) {
+	model, err := BuildModel("single", 256, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := sim.Config{N: 256, Model: model, Seed: 1}
+	if err := InstallAlgo(&cfg, "bfm98-dist", 256, 1, 1, "lossy:0.1,crash:0.05@100-500"); err != nil {
+		t.Fatalf("fault spec rejected: %v", err)
+	}
+	m, err := sim.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Run(50) // smoke: faulted protocol survives
+	if err := InstallAlgo(&sim.Config{}, "bfm98", 256, 1, 1, "lossy:0.1"); err == nil {
+		t.Fatal("faults accepted for a non-distributed algorithm")
+	}
+	if err := InstallAlgo(&sim.Config{}, "bfm98-dist", 256, 1, 1, "lossy:nope"); err == nil {
+		t.Fatal("malformed fault spec accepted")
 	}
 }

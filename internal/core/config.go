@@ -165,6 +165,19 @@ type PhaseStats struct {
 	// Steps is the number of machine steps' worth of protocol time
 	// the collision games consumed (Lemma 1 accounting).
 	Steps int
+
+	// Fault-injection accounting (all zero in fault-free runs).
+	//
+	// Retries counts query volleys re-sent beyond the first per game;
+	// Released counts light-processor reservations freed because the
+	// reserving boss crashed; Abandoned counts heavy roots that ended
+	// the phase without a partner while faults were active; LateMatched
+	// counts matches completed in the idle tail because the deciding id
+	// message was delayed past the schedule end.
+	Retries     int
+	Released    int
+	Abandoned   int
+	LateMatched int
 }
 
 // RequestsPerHeavy returns the mean number of balancing requests

@@ -24,6 +24,10 @@ type RunConfig struct {
 	Seed uint64
 	// Workers is the simulator shard count (<= 0: GOMAXPROCS).
 	Workers int
+	// Faults is an optional fault-plan spec (see faults.ParsePlan,
+	// e.g. "lossy:0.05,crash:0.1@100-500"); experiments that support
+	// fault injection (E21) add a custom scenario row driven by it.
+	Faults string
 }
 
 // Result is the rendered outcome of one experiment.

@@ -1,0 +1,62 @@
+package faults
+
+import (
+	"testing"
+)
+
+// FuzzPlan fuzzes Plan parameters and asserts the package invariants:
+// normalization clamps every probability into [0, 1], the same seed
+// always produces the identical fault trace, and no fate ever delivers
+// a message to (or from) a crashed processor.
+func FuzzPlan(f *testing.F) {
+	f.Add(uint64(1), 0.05, 0.01, 0.1, 3, 4, int64(100), 0.1, 4, 2, int64(50))
+	f.Add(uint64(7), 1.5, -0.5, 2.0, -1, 100, int64(-5), 2.0, 0, -3, int64(0))
+	f.Add(uint64(0), 0.0, 0.0, 0.0, 0, 0, int64(0), 0.0, 0, 0, int64(0))
+	f.Fuzz(func(t *testing.T, seed uint64, drop, dup, delay float64, maxDelay, crashK int,
+		crashAt int64, stragFrac float64, slowdown, groups int, until int64) {
+		plan := Plan{
+			Seed: seed, Drop: drop, Dup: dup, Delay: delay, MaxDelay: maxDelay,
+			CrashK: crashK, CrashAt: crashAt, CrashRecover: crashAt + 100,
+			StragglerFrac: stragFrac, Slowdown: slowdown,
+			PartitionGroups: groups, PartitionUntil: until,
+		}
+		norm := plan.Normalized()
+		for _, p := range []float64{norm.Drop, norm.Dup, norm.Delay, norm.CrashFrac, norm.StragglerFrac} {
+			if p < 0 || p > 1 {
+				t.Fatalf("probability %v escaped [0, 1] in %+v", p, norm)
+			}
+		}
+		if norm.Delay > 0 && norm.MaxDelay < 1 {
+			t.Fatalf("delay enabled with MaxDelay %d", norm.MaxDelay)
+		}
+
+		const n = 16
+		a, err := NewInjector(n, plan)
+		if err != nil {
+			t.Fatalf("NewInjector rejected a fuzzed plan: %v", err)
+		}
+		b, err := NewInjector(n, plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 512; i++ {
+			step := int64(i / n)
+			seq := int64(i)
+			from := int32(i % n)
+			to := int32((i * 5) % n)
+			fa, fb := a.Fate(step, seq, from, to), b.Fate(step, seq, from, to)
+			if fa != fb {
+				t.Fatalf("same seed, different trace at %d: %+v vs %+v", i, fa, fb)
+			}
+			if a.Crashed(to, step) && !fa.Drop {
+				t.Fatalf("fate %+v delivers to crashed processor %d at step %d", fa, to, step)
+			}
+			if a.Crashed(from, step) && !fa.Drop {
+				t.Fatalf("fate %+v lets crashed processor %d send at step %d", fa, from, step)
+			}
+			if fa.Delay < 0 {
+				t.Fatalf("negative delay %d", fa.Delay)
+			}
+		}
+	})
+}

@@ -1,0 +1,149 @@
+package faults
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParsePlan parses the -faults command-line syntax: a comma-separated
+// list of directives, each enabling one fault family.
+//
+//	lossy:P              drop each message with probability P
+//	dup:P                duplicate each message with probability P
+//	delay:P@D            delay w.p. P by 1..D extra steps
+//	crash:K@A-B          crash K processors (K < 1: fraction of n) at
+//	                     step A, recover at step B; "-B" optional
+//	                     (omitted: never recover)
+//	straggle:F@S         slow fraction F of processors by factor S
+//	partition:G@S        G groups, cross-traffic cut for the first S steps
+//	seed:N               fault seed (default: the run seed)
+//	redistribute         scatter a recovering processor's queue
+//
+// Example: "lossy:0.05,crash:0.1@2000-4000,straggle:0.1@4".
+func ParsePlan(spec string) (Plan, error) {
+	var p Plan
+	if strings.TrimSpace(spec) == "" {
+		return p, nil
+	}
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		key, arg, _ := strings.Cut(part, ":")
+		switch key {
+		case "lossy":
+			v, err := parseProb(key, arg)
+			if err != nil {
+				return Plan{}, err
+			}
+			p.Drop = v
+		case "dup":
+			v, err := parseProb(key, arg)
+			if err != nil {
+				return Plan{}, err
+			}
+			p.Dup = v
+		case "delay":
+			prob, span, err := splitAt(key, arg)
+			if err != nil {
+				return Plan{}, err
+			}
+			v, err := parseProb(key, prob)
+			if err != nil {
+				return Plan{}, err
+			}
+			d, err := strconv.Atoi(span)
+			if err != nil || d < 1 {
+				return Plan{}, fmt.Errorf("faults: delay span %q must be a positive integer", span)
+			}
+			p.Delay, p.MaxDelay = v, d
+		case "crash":
+			amount, window, _ := strings.Cut(arg, "@")
+			k, err := strconv.ParseFloat(amount, 64)
+			if err != nil || k <= 0 {
+				return Plan{}, fmt.Errorf("faults: crash amount %q must be positive", amount)
+			}
+			if k < 1 {
+				p.CrashFrac = k
+			} else {
+				p.CrashK = int(k)
+			}
+			p.CrashAt, p.CrashRecover = 0, -1
+			if window != "" {
+				from, to, hasTo := strings.Cut(window, "-")
+				at, err := strconv.ParseInt(from, 10, 64)
+				if err != nil {
+					return Plan{}, fmt.Errorf("faults: crash window %q: bad start", window)
+				}
+				p.CrashAt = at
+				if hasTo {
+					rec, err := strconv.ParseInt(to, 10, 64)
+					if err != nil || rec <= at {
+						return Plan{}, fmt.Errorf("faults: crash window %q: recovery must follow the crash", window)
+					}
+					p.CrashRecover = rec
+				}
+			}
+		case "straggle":
+			frac, factor, err := splitAt(key, arg)
+			if err != nil {
+				return Plan{}, err
+			}
+			v, err := parseProb(key, frac)
+			if err != nil {
+				return Plan{}, err
+			}
+			s, err := strconv.Atoi(factor)
+			if err != nil || s < 2 {
+				return Plan{}, fmt.Errorf("faults: straggle factor %q must be an integer >= 2", factor)
+			}
+			p.StragglerFrac, p.Slowdown = v, s
+		case "partition":
+			groups, span, err := splitAt(key, arg)
+			if err != nil {
+				return Plan{}, err
+			}
+			g, err := strconv.Atoi(groups)
+			if err != nil || g < 2 {
+				return Plan{}, fmt.Errorf("faults: partition groups %q must be an integer >= 2", groups)
+			}
+			until, err := strconv.ParseInt(span, 10, 64)
+			if err != nil || until < 1 {
+				return Plan{}, fmt.Errorf("faults: partition span %q must be a positive integer", span)
+			}
+			p.PartitionGroups, p.PartitionUntil = g, until
+		case "seed":
+			v, err := strconv.ParseUint(arg, 10, 64)
+			if err != nil {
+				return Plan{}, fmt.Errorf("faults: seed %q must be an unsigned integer", arg)
+			}
+			p.Seed = v
+		case "redistribute":
+			p.Redistribute = true
+		default:
+			return Plan{}, fmt.Errorf("faults: unknown directive %q (have lossy, dup, delay, crash, straggle, partition, seed, redistribute)", key)
+		}
+	}
+	return p, nil
+}
+
+// parseProb parses a probability argument, rejecting values outside
+// [0, 1] (explicit specs should not rely on clamping).
+func parseProb(key, arg string) (float64, error) {
+	v, err := strconv.ParseFloat(arg, 64)
+	if err != nil || v < 0 || v > 1 {
+		return 0, fmt.Errorf("faults: %s probability %q must be in [0, 1]", key, arg)
+	}
+	return v, nil
+}
+
+// splitAt splits "X@Y", requiring both halves.
+func splitAt(key, arg string) (string, string, error) {
+	a, b, ok := strings.Cut(arg, "@")
+	if !ok || a == "" || b == "" {
+		return "", "", fmt.Errorf("faults: %s wants the form value@factor, got %q", key, arg)
+	}
+	return a, b, nil
+}

@@ -1,0 +1,111 @@
+package live
+
+import (
+	"testing"
+
+	"plb/internal/faults"
+)
+
+// TestFaultFreeDropsZero: without an active fault plan, the Drops
+// counter must be exactly zero.
+func TestFaultFreeDropsZero(t *testing.T) {
+	st, err := Run(defaultConfig(64), 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Drops != 0 {
+		t.Fatalf("fault-free run reported %d drops", st.Drops)
+	}
+}
+
+// TestLossyConservation: dropping control messages must never lose
+// tasks — only probes and accepts are lossy, task blocks ride a
+// reliable transport.
+func TestLossyConservation(t *testing.T) {
+	cfg := defaultConfig(128)
+	plan := faults.Lossy(0.2)
+	cfg.Faults = &plan
+	st, err := Run(cfg, 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Generated != st.Completed+st.Queued {
+		t.Fatalf("conservation violated under loss: %d != %d + %d",
+			st.Generated, st.Completed, st.Queued)
+	}
+	if st.Drops == 0 {
+		t.Fatal("20% loss dropped nothing")
+	}
+	if st.Completed == 0 {
+		t.Fatal("system stopped working under loss")
+	}
+}
+
+// TestCrashConservation: crashing a fraction of the processors freezes
+// their queues but must not lose or mint tasks, and the system must
+// keep completing work throughout.
+func TestCrashConservation(t *testing.T) {
+	cfg := defaultConfig(128)
+	plan := faults.CrashWindow(12, 500, 2000)
+	cfg.Faults = &plan
+	st, err := Run(cfg, 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Generated != st.Completed+st.Queued {
+		t.Fatalf("conservation violated across crash window: %d != %d + %d",
+			st.Generated, st.Completed, st.Queued)
+	}
+	if st.Completed == 0 {
+		t.Fatal("no work completed")
+	}
+}
+
+// TestStragglersShedLoad: slow consumers pile up work, cross the heavy
+// threshold, and the threshold rule must route their excess to the
+// rest of the machine — transfers happen, and the straggler queues
+// stay bounded well below what a 1/8-rate consumer would accumulate
+// unaided.
+func TestStragglersShedLoad(t *testing.T) {
+	cfg := defaultConfig(128)
+	plan := faults.Stragglers(0.1, 8)
+	cfg.Faults = &plan
+	steps := 4000
+	st, err := Run(cfg, steps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Transfers == 0 {
+		t.Fatal("stragglers never shed load")
+	}
+	// Unaided, a straggler's drift is p - (p+eps)/8 ≈ 0.34 tasks/step:
+	// thousands of queued tasks by the end. With balancing it must stay
+	// within a few transfer blocks of the heavy threshold.
+	limit := cfg.HeavyThreshold + 4*cfg.TransferAmount
+	if st.FinalMaxLoad > limit {
+		t.Fatalf("final max load %d exceeds %d — balancer not routing around stragglers",
+			st.FinalMaxLoad, limit)
+	}
+	if st.Generated != st.Completed+st.Queued {
+		t.Fatalf("conservation violated with stragglers: %d != %d + %d",
+			st.Generated, st.Completed, st.Queued)
+	}
+}
+
+// TestRedistributeOnRecoveryConserves: the scatter-on-recovery policy
+// moves the frozen backlog in blocks; every task must still be
+// accounted for.
+func TestRedistributeOnRecoveryConserves(t *testing.T) {
+	cfg := defaultConfig(64)
+	plan := faults.CrashWindow(6, 200, 1200)
+	plan.Redistribute = true
+	cfg.Faults = &plan
+	st, err := Run(cfg, 2500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Generated != st.Completed+st.Queued {
+		t.Fatalf("conservation violated with redistribute: %d != %d + %d",
+			st.Generated, st.Completed, st.Queued)
+	}
+}

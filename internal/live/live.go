@@ -24,6 +24,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"plb/internal/faults"
 	"plb/internal/xrand"
 )
 
@@ -45,6 +46,17 @@ type Config struct {
 	Cooldown int
 	// Seed derives every processor's private stream.
 	Seed uint64
+	// Faults, if non-nil and active, perturbs the run: control
+	// messages (probes and accepts) are dropped per the plan's
+	// drop/partition verdicts, crashed processors freeze (no
+	// generation, consumption, probing, or answering — in-flight task
+	// blocks still bank into their frozen queue, so conservation
+	// holds), stragglers consume at 1/Slowdown rate, and with
+	// Redistribute a recovering processor scatters its backlog in
+	// blocks to distinct random peers. Task-block messages are never
+	// dropped (they ride a reliable transport); a plan seed of zero
+	// inherits Seed.
+	Faults *faults.Plan
 }
 
 // Validate checks the configuration.
@@ -85,6 +97,10 @@ type Stats struct {
 	Messages int64
 	// Transfers counts completed balance actions.
 	Transfers int64
+	// Drops counts control messages lost to fault injection (drop
+	// coins, partition cuts, and messages to or from crashed
+	// processors). Zero in every fault-free run.
+	Drops int64
 }
 
 // message kinds on the live network.
@@ -146,14 +162,34 @@ func Run(cfg Config, steps int) (Stats, error) {
 		return Stats{}, fmt.Errorf("live: steps must be >= 1")
 	}
 	n := cfg.N
+	var inj *faults.Injector
+	if cfg.Faults != nil {
+		plan := *cfg.Faults
+		if plan.Seed == 0 {
+			plan.Seed = cfg.Seed
+		}
+		if plan.Active() {
+			var err error
+			inj, err = faults.NewInjector(n, plan)
+			if err != nil {
+				return Stats{}, err
+			}
+		}
+	}
 	// Mailboxes sized so a worst-case step (every processor probing
-	// the same target, plus replies and transfers) cannot block.
+	// the same target, plus replies and transfers) cannot block; under
+	// fault injection recovery scatters add up to one extra block per
+	// recovering peer.
+	boxCap := n + cfg.Probes + 4
+	if inj != nil {
+		boxCap *= 2
+	}
 	boxes := make([]chan message, n)
 	for i := range boxes {
-		boxes[i] = make(chan message, n+cfg.Probes+4)
+		boxes[i] = make(chan message, boxCap)
 	}
 	loads := make([]int64, n) // owned by each goroutine; read via atomic at barriers
-	var generated, completed, messages, transfers int64
+	var generated, completed, messages, transfers, drops int64
 	var stepMax int64
 
 	bar := newBarrier(n)
@@ -171,9 +207,32 @@ func Run(cfg Config, steps int) (Stats, error) {
 			r := streams[p]
 			load := int64(0)
 			nextTry := 0
-			myGen, myDone, myMsg, myMoves := int64(0), int64(0), int64(0), int64(0)
+			myGen, myDone, myMsg, myMoves, myDrops := int64(0), int64(0), int64(0), int64(0), int64(0)
 			targets := make([]int, cfg.Probes)
 			var probesIn, acceptsIn []message
+			seq := int64(0)
+			wasDown := false
+			slow := 1
+			if inj != nil && inj.Straggler(int32(p)) {
+				slow = inj.Plan().Slowdown
+			}
+			// sendCtl sends a control message (probe or accept) through
+			// the fault injector: a drop verdict — drop coin, partition
+			// cut, or crashed endpoint — loses it. Task blocks bypass
+			// this (reliable transport keeps conservation exact); in
+			// live, dup/delay verdicts degrade to on-time single
+			// delivery because channels have no timing to perturb.
+			sendCtl := func(step, to int, kind msgKind) {
+				myMsg++
+				if inj != nil {
+					seq++
+					if f := inj.Fate(int64(step), seq, int32(p), int32(to)); f.Drop {
+						myDrops++
+						return
+					}
+				}
+				boxes[to] <- message{kind: kind, from: int32(p)}
+			}
 			// drainAll empties the mailbox, dispatching by kind.
 			// Within a sub-step there is no barrier between another
 			// goroutine's send and our drain, so any kind may arrive
@@ -199,23 +258,53 @@ func Run(cfg Config, steps int) (Stats, error) {
 			for step := 0; step < steps; step++ {
 				probesIn = probesIn[:0]
 				acceptsIn = acceptsIn[:0]
-				// Sub-step 1: generate and consume locally.
-				if r.Bernoulli(cfg.P) {
-					load++
-					myGen++
+				down := inj != nil && inj.Crashed(int32(p), int64(step))
+				if inj != nil && wasDown && !down && inj.Redistribute() && load > 0 {
+					// Recovery with the redistribute policy: scatter the
+					// frozen backlog in blocks to distinct random peers
+					// (at most one block each, so mailboxes cannot
+					// overflow); any remainder stays local.
+					blocks := int(load) / cfg.TransferAmount
+					if blocks > n-1 {
+						blocks = n - 1
+					}
+					if blocks > 0 {
+						scat := make([]int, blocks)
+						r.SampleDistinct(scat, blocks, n, p)
+						for _, tgt := range scat {
+							load -= int64(cfg.TransferAmount)
+							boxes[tgt] <- message{kind: msgTasks, from: int32(p), k: int32(cfg.TransferAmount)}
+							myMsg++
+							myMoves++
+						}
+					}
 				}
-				if load > 0 && r.Bernoulli(cfg.P+cfg.Eps) {
-					load--
-					myDone++
-				}
+				wasDown = down
+				// Sub-step 1: generate and consume locally (a crashed
+				// processor does neither; a straggler consumes at
+				// 1/slow rate, so its backlog grows until the balancer
+				// routes load away from it).
 				probing := false
-				if step >= nextTry && load >= int64(cfg.HeavyThreshold) {
-					probing = true
-					nextTry = step + cfg.Cooldown + 1
-					r.SampleDistinct(targets, cfg.Probes, n, p)
-					for _, tgt := range targets {
-						boxes[tgt] <- message{kind: msgProbe, from: int32(p)}
-						myMsg++
+				if !down {
+					if r.Bernoulli(cfg.P) {
+						load++
+						myGen++
+					}
+					consumeP := cfg.P + cfg.Eps
+					if slow > 1 {
+						consumeP /= float64(slow)
+					}
+					if load > 0 && r.Bernoulli(consumeP) {
+						load--
+						myDone++
+					}
+					if step >= nextTry && load >= int64(cfg.HeavyThreshold) {
+						probing = true
+						nextTry = step + cfg.Cooldown + 1
+						r.SampleDistinct(targets, cfg.Probes, n, p)
+						for _, tgt := range targets {
+							sendCtl(step, tgt, msgProbe)
+						}
 					}
 				}
 				atomic.StoreInt64(&loads[p], load)
@@ -226,10 +315,9 @@ func Run(cfg Config, steps int) (Stats, error) {
 				// light). All of this step's probes are in the box by
 				// now (senders passed the barrier after sending).
 				drainAll()
-				if len(probesIn) > 0 && len(probesIn) <= cfg.Collide &&
+				if !down && len(probesIn) > 0 && len(probesIn) <= cfg.Collide &&
 					load <= int64(cfg.LightThreshold) {
-					boxes[probesIn[0].from] <- message{kind: msgAccept, from: int32(p)}
-					myMsg++
+					sendCtl(step, int(probesIn[0].from), msgAccept)
 				}
 				bar.await()
 
@@ -274,13 +362,15 @@ func Run(cfg Config, steps int) (Stats, error) {
 			atomic.AddInt64(&completed, myDone)
 			atomic.AddInt64(&messages, myMsg)
 			atomic.AddInt64(&transfers, myMoves)
+			atomic.AddInt64(&drops, myDrops)
 			atomic.StoreInt64(&loads[p], load)
 		}(p)
 	}
 	wg.Wait()
 
 	st := Stats{Steps: steps, Generated: generated, Completed: completed,
-		Messages: messages, Transfers: transfers, MaxLoad: int(atomic.LoadInt64(&stepMax))}
+		Messages: messages, Transfers: transfers, Drops: drops,
+		MaxLoad: int(atomic.LoadInt64(&stepMax))}
 	for p := 0; p < n; p++ {
 		l := atomic.LoadInt64(&loads[p])
 		st.Queued += l

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"sort"
 
+	"plb/internal/faults"
 	"plb/internal/xrand"
 )
 
@@ -72,6 +73,15 @@ type Network struct {
 
 	dropProb float64
 	dropRng  *xrand.Stream
+
+	// Fault injection (nil when disabled; every hook below is a nil
+	// check away from the perfect-network fast path).
+	inj       *faults.Injector
+	step      int64               // Deliver calls so far
+	delayed   map[int64][]Message // step -> messages due then
+	dup       int64
+	late      int64
+	crashLost int64
 }
 
 // New creates a network among n processors.
@@ -99,6 +109,18 @@ func (nw *Network) InjectLoss(p float64, seed uint64) {
 	nw.dropRng = xrand.New(seed ^ 0x10c5)
 }
 
+// SetFaults installs a fault injector: subsequent sends consult it for
+// drop/duplicate/delay verdicts, and deliveries to processors the
+// injector reports crashed are discarded. nil disables injection; with
+// no injector the network behaves exactly as before (zero-cost
+// abstraction — the perfect-network path has only nil checks added).
+func (nw *Network) SetFaults(inj *faults.Injector) {
+	nw.inj = inj
+	if inj != nil && nw.delayed == nil {
+		nw.delayed = make(map[int64][]Message)
+	}
+}
+
 // Send enqueues m for delivery at the next Deliver call. It panics on
 // out-of-range endpoints (a protocol bug, not a runtime condition).
 // Sent messages count even when loss injection drops them (the sender
@@ -116,7 +138,32 @@ func (nw *Network) Send(m Message) {
 		nw.dropped++
 		return
 	}
+	if nw.inj != nil {
+		f := nw.inj.Fate(nw.step, nw.sent, m.From, m.To)
+		if f.Drop {
+			nw.dropped++
+			return
+		}
+		if f.Dup {
+			nw.dup++
+			nw.enqueue(m, f.Delay)
+		}
+		nw.enqueue(m, f.Delay)
+		return
+	}
 	nw.next[m.To] = append(nw.next[m.To], m)
+}
+
+// enqueue routes a message either into the next delivery window or,
+// when delayed, into the future-delivery buffer.
+func (nw *Network) enqueue(m Message, delay int) {
+	if delay <= 0 {
+		nw.next[m.To] = append(nw.next[m.To], m)
+		return
+	}
+	due := nw.step + 1 + int64(delay)
+	nw.delayed[due] = append(nw.delayed[due], m)
+	nw.late++
 }
 
 // PeakSendDegree returns the largest number of messages any single
@@ -125,19 +172,53 @@ func (nw *Network) Send(m Message) {
 // so a protocol on netsim should keep this O(a + c).
 func (nw *Network) PeakSendDegree() int { return nw.peakSend }
 
-// Dropped returns how many messages loss injection has discarded.
+// Dropped returns how many messages loss injection (InjectLoss or a
+// fault plan's drop/partition/crash verdicts) has discarded at send
+// time.
 func (nw *Network) Dropped() int64 { return nw.dropped }
+
+// Duplicated returns how many messages fault injection delivered twice.
+func (nw *Network) Duplicated() int64 { return nw.dup }
+
+// Delayed returns how many messages fault injection delivered late.
+func (nw *Network) Delayed() int64 { return nw.late }
+
+// CrashLost returns how many already-sent messages were discarded at
+// delivery time because their recipient was crashed when they arrived
+// (a message can out-survive its sender's knowledge of the crash).
+func (nw *Network) CrashLost() int64 { return nw.crashLost }
+
+// Step returns the number of Deliver calls so far — the network's
+// clock, which fault schedules are keyed on (it advances in lockstep
+// with the machine step of the protocol driving the network).
+func (nw *Network) Step() int64 { return nw.step }
 
 // Deliver advances the network one step: everything sent since the
 // last Deliver becomes readable, sorted per inbox by (From, send
-// order). Previously delivered messages are dropped.
+// order). Previously delivered messages are dropped. With a fault
+// injector installed, messages whose delay expires this step join
+// their inbox, and inboxes of crashed recipients are emptied.
 func (nw *Network) Deliver() {
+	nw.step++
 	for p := range nw.sendCnt {
 		nw.sendCnt[p] = 0
+	}
+	if nw.inj != nil {
+		if due := nw.delayed[nw.step]; len(due) > 0 {
+			for _, m := range due {
+				nw.next[m.To] = append(nw.next[m.To], m)
+			}
+			delete(nw.delayed, nw.step)
+		}
 	}
 	for p := 0; p < nw.n; p++ {
 		nw.current[p] = nw.current[p][:0]
 		inbox := nw.next[p]
+		if nw.inj != nil && len(inbox) > 0 && nw.inj.Crashed(int32(p), nw.step) {
+			nw.crashLost += int64(len(inbox))
+			nw.next[p] = nw.next[p][:0]
+			continue
+		}
 		// Stable sort by sender keeps send order among equal senders.
 		sort.SliceStable(inbox, func(i, j int) bool { return inbox[i].From < inbox[j].From })
 		nw.current[p] = append(nw.current[p], inbox...)
@@ -161,10 +242,14 @@ func (nw *Network) Sent() int64 { return nw.sent }
 // (not the reading) is capped.
 func (nw *Network) PeakInbox() int { return nw.peak }
 
-// Reset drops all queued and delivered messages, keeping counters.
+// Reset drops all queued, delayed, and delivered messages, keeping
+// counters.
 func (nw *Network) Reset() {
 	for p := 0; p < nw.n; p++ {
 		nw.current[p] = nw.current[p][:0]
 		nw.next[p] = nw.next[p][:0]
+	}
+	for due := range nw.delayed {
+		delete(nw.delayed, due)
 	}
 }

@@ -51,6 +51,7 @@ import (
 
 	"plb/internal/collision"
 	"plb/internal/core"
+	"plb/internal/faults"
 	"plb/internal/netsim"
 	"plb/internal/sim"
 	"plb/internal/xrand"
@@ -91,6 +92,20 @@ type Config struct {
 	// — only the unmatched heavies start query trees. Costs one extra
 	// schedule step (accounted for by Validate).
 	PreRound bool
+	// Faults, if non-nil and active, injects the plan's faults into
+	// the run: the network drops/duplicates/delays messages and the
+	// plan's crash schedule freezes processors (no generation, no
+	// consumption, no protocol participation; messages to them are
+	// discarded). A plan seed of zero inherits Seed. With Faults nil
+	// the balancer is byte-identical to the fault-free implementation.
+	Faults *faults.Plan
+	// MaxRetries bounds the re-query volleys a searcher sends per
+	// collision game. 0 means "derive": unlimited without faults (the
+	// paper's retry-until-level-end cadence), Rounds+2 with an active
+	// fault plan (hardening: a searcher whose accepts keep vanishing
+	// stops flooding a lossy network). Explicitly negative values mean
+	// unlimited even under faults.
+	MaxRetries int
 }
 
 // ScheduleLen returns the number of machine steps the distributed
@@ -181,6 +196,12 @@ type procState struct {
 	// As root: light processors that sent id messages (arrival order).
 	candidates []int32
 	matched    bool
+
+	// Fault hardening: who holds this processor's reservation (so it
+	// can be released if that boss crashes) and how many query volleys
+	// the current game has cost (the bounded-retry counter).
+	reservedFor int32
+	volleys     int16
 }
 
 // Balancer is the distributed implementation; it satisfies
@@ -199,6 +220,16 @@ type Balancer struct {
 
 	totalPhases  int64
 	totalMatched int64
+
+	// Fault-injection state (inj nil ⇒ every hardening path below is
+	// skipped and the balancer behaves exactly as the fault-free
+	// implementation).
+	inj        *faults.Injector
+	maxRetries int // resolved retry bound; <= 0 means unlimited
+	scatterRng *xrand.Stream
+	prevDown   []bool // crash state last step, for recovery detection
+	accounted  int64  // phase messages already pushed into sim metrics
+	dropMark   int64  // drops+crash losses already pushed into metrics
 }
 
 var _ sim.Balancer = (*Balancer)(nil)
@@ -208,7 +239,24 @@ func New(n int, cfg Config) (*Balancer, error) {
 	if err := cfg.Validate(n); err != nil {
 		return nil, err
 	}
-	return &Balancer{cfg: cfg, n: n}, nil
+	b := &Balancer{cfg: cfg, n: n, maxRetries: cfg.MaxRetries}
+	if cfg.Faults != nil {
+		plan := *cfg.Faults
+		if plan.Seed == 0 {
+			plan.Seed = cfg.Seed
+		}
+		if plan.Active() {
+			inj, err := faults.NewInjector(n, plan)
+			if err != nil {
+				return nil, err
+			}
+			b.inj = inj
+			if b.maxRetries == 0 {
+				b.maxRetries = cfg.Rounds + 2
+			}
+		}
+	}
+	return b, nil
 }
 
 // Name implements sim.Balancer.
@@ -238,6 +286,17 @@ func (b *Balancer) Init(m *sim.Machine) {
 	if b.cfg.LossProb > 0 {
 		b.nw.InjectLoss(b.cfg.LossProb, b.cfg.Seed)
 	}
+	if b.inj != nil {
+		b.nw.SetFaults(b.inj)
+		// The fault clock is the netsim step, which runs one ahead of
+		// the machine step during a balancer step (Deliver happens
+		// first); translate so schedules mean the same instant in both.
+		m.SetDown(func(p int, now int64) bool {
+			return b.inj.Crashed(int32(p), now+1)
+		})
+		b.scatterRng = xrand.New(b.cfg.Seed ^ 0x5ca7)
+		b.prevDown = make([]bool, b.n)
+	}
 	b.procs = make([]procState, b.n)
 	for p := range b.procs {
 		b.procs[p].choices = make([]int32, b.cfg.Collision.A)
@@ -253,6 +312,9 @@ func (b *Balancer) Init(m *sim.Machine) {
 func (b *Balancer) Step(m *sim.Machine) {
 	offset := int(m.Now() % int64(b.cfg.PhaseLen))
 	b.nw.Deliver()
+	if b.inj != nil {
+		b.faultSweep(m)
+	}
 
 	pre := 0
 	if b.cfg.PreRound {
@@ -283,9 +345,86 @@ func (b *Balancer) Step(m *sim.Machine) {
 			b.settle(m)
 		}
 	default:
-		// Idle tail of the phase: the protocol has settled; stray
-		// messages (none are expected) are dropped by Deliver.
+		// Idle tail of the phase: fault-free runs have no traffic here
+		// (stray messages are dropped by Deliver), but under injection
+		// delayed id messages keep trickling in — keep banking them and
+		// let roots that only now heard from a light processor settle
+		// late rather than abandon the phase.
+		if b.inj != nil {
+			b.collectIDs(m.Now())
+			b.lateSettle(m)
+		}
 	}
+}
+
+// faultSweep runs once per step under fault injection: it detects
+// crash→alive transitions (optionally scattering the recovered queue),
+// and releases light-processor reservations whose boss has crashed so
+// other trees can still reserve them.
+func (b *Balancer) faultSweep(m *sim.Machine) {
+	now := b.nw.Step()
+	for p := 0; p < b.n; p++ {
+		down := b.inj.Crashed(int32(p), now)
+		if b.prevDown[p] && !down && b.inj.Redistribute() {
+			m.ScatterFrom(p, b.scatterRng)
+		}
+		b.prevDown[p] = down
+		st := &b.procs[p]
+		if st.assigned && b.inj.Crashed(st.reservedFor, now) {
+			st.assigned = false
+			b.ps.Released++
+		}
+	}
+}
+
+// down reports whether p is crashed on the current fault clock.
+func (b *Balancer) down(p int32) bool {
+	return b.inj != nil && b.inj.Crashed(p, b.nw.Step())
+}
+
+// pickPartner returns the first candidate that is still alive (the
+// first candidate outright when faults are off), or -1.
+func (b *Balancer) pickPartner(st *procState) int32 {
+	for _, c := range st.candidates {
+		if !b.down(c) {
+			return c
+		}
+	}
+	return -1
+}
+
+// lateSettle lets a root whose id messages were delayed past the
+// schedule end still transfer during the idle tail (fault runs only).
+func (b *Balancer) lateSettle(m *sim.Machine) {
+	for _, h := range b.heavies {
+		st := &b.procs[h]
+		if st.matched || len(st.candidates) == 0 || b.down(h) {
+			continue
+		}
+		partner := b.pickPartner(st)
+		if partner < 0 {
+			continue
+		}
+		moved := m.Transfer(int(h), int(partner), b.cfg.TransferAmount)
+		b.nw.Send(netsim.Message{From: h, To: partner, Kind: netsim.KindTransfer, A: int32(moved)})
+		st.matched = true
+		b.ps.Matched++
+		b.ps.LateMatched++
+		b.ps.Transferred += int64(moved)
+	}
+	b.syncMessages(m)
+}
+
+// syncMessages pushes this phase's message count into the machine
+// metrics incrementally, so late-tail traffic is accounted without
+// double-counting what settle already reported.
+func (b *Balancer) syncMessages(m *sim.Machine) {
+	cur := b.nw.Sent() - b.sentAt
+	if cur > b.accounted {
+		m.AddMessages(cur - b.accounted)
+		b.accounted = cur
+	}
+	b.ps.Messages = cur
 }
 
 // processProbes handles the Section 4.3 pre-round on the target side.
@@ -308,6 +447,7 @@ func (b *Balancer) processProbes() {
 			continue
 		}
 		st.assigned = true
+		st.reservedFor = probe.From
 		b.nw.Send(netsim.Message{From: int32(p), To: probe.From, Kind: netsim.KindID})
 	}
 }
@@ -317,8 +457,10 @@ func (b *Balancer) processProbes() {
 func (b *Balancer) preSettle(m *sim.Machine) {
 	for _, h := range b.heavies {
 		st := &b.procs[h]
-		if len(st.candidates) > 0 {
-			partner := st.candidates[0]
+		if b.down(h) {
+			continue // crashed prober: no transfer, no tree
+		}
+		if partner := b.pickPartner(st); partner >= 0 {
 			moved := m.Transfer(int(h), int(partner), b.cfg.TransferAmount)
 			b.nw.Send(netsim.Message{From: h, To: partner, Kind: netsim.KindTransfer, A: int32(moved)})
 			st.matched = true
@@ -336,11 +478,12 @@ func (b *Balancer) preSettle(m *sim.Machine) {
 func (b *Balancer) beginPhase(m *sim.Machine) {
 	// Close out the previous phase's stats.
 	if b.phaseOpen {
-		b.finishPhase()
+		b.finishPhase(m)
 	}
 	b.phaseOpen = true
 	b.ps = core.PhaseStats{Start: m.Now(), Steps: b.cfg.ScheduleSteps()}
 	b.sentAt = b.nw.Sent()
+	b.accounted = 0
 	b.heavies = b.heavies[:0]
 
 	snap := m.Snapshot()
@@ -357,6 +500,14 @@ func (b *Balancer) beginPhase(m *sim.Machine) {
 		st.candidates = st.candidates[:0]
 		st.accFrom = st.accFrom[:0]
 		st.accApp = st.accApp[:0]
+		if b.down(int32(p)) {
+			// A crashed processor sits the phase out entirely: it is
+			// neither light (it cannot accept a reservation) nor a
+			// heavy root (it cannot run a tree), whatever its frozen
+			// queue says.
+			st.lightAt = false
+			continue
+		}
 		if st.lightAt {
 			b.ps.Light++
 		}
@@ -391,6 +542,7 @@ func (b *Balancer) startSearch(s, boss int32, now int64) {
 	st.searching = true
 	st.satisfied = false
 	st.boss = boss
+	st.volleys = 0
 	st.accFrom = st.accFrom[:0]
 	st.accApp = st.accApp[:0]
 	buf := make([]int, b.cfg.Collision.A)
@@ -407,6 +559,7 @@ func (b *Balancer) startSearch(s, boss int32, now int64) {
 func (b *Balancer) sendQueries(s int32, now int64) {
 	st := &b.procs[s]
 	st.lastSent = now
+	st.volleys++
 	for i, tgt := range st.choices {
 		if st.acceptedBy[i] {
 			continue
@@ -445,6 +598,7 @@ func (b *Balancer) processQueries() {
 			if applicative {
 				flag = 1
 				st.assigned = true
+				st.reservedFor = msg.A
 				// The id message goes straight to the tree root.
 				b.nw.Send(netsim.Message{From: int32(p), To: msg.A, Kind: netsim.KindID})
 			}
@@ -461,6 +615,9 @@ func (b *Balancer) tallyAccepts(now int64) {
 		st := &b.procs[p]
 		if !st.searching || st.satisfied {
 			continue
+		}
+		if b.down(int32(p)) {
+			continue // crashed searchers send nothing
 		}
 		for _, msg := range b.nw.Inbox(p) {
 			if msg.Kind != netsim.KindAccept {
@@ -480,6 +637,12 @@ func (b *Balancer) tallyAccepts(now int64) {
 			continue
 		}
 		if now-st.lastSent >= 2 {
+			if b.maxRetries > 0 && int(st.volleys) > b.maxRetries {
+				continue // retry budget exhausted for this game
+			}
+			if b.inj != nil {
+				b.ps.Retries++
+			}
 			b.sendQueries(int32(p), now) // re-query non-accepting targets
 		}
 	}
@@ -499,6 +662,9 @@ func (b *Balancer) levelWrapUp(level int, now int64) {
 			continue
 		}
 		st.searching = false
+		if b.down(int32(p)) {
+			continue // a crashed node neither forwards nor retries
+		}
 		if !st.satisfied {
 			if !lastLevel {
 				retry = append(retry, int32(p))
@@ -556,23 +722,44 @@ func (b *Balancer) collectIDs(now int64) {
 func (b *Balancer) settle(m *sim.Machine) {
 	for _, h := range b.heavies {
 		st := &b.procs[h]
-		if st.matched || len(st.candidates) == 0 {
+		if st.matched || len(st.candidates) == 0 || b.down(h) {
 			continue
 		}
-		partner := st.candidates[0]
+		partner := b.pickPartner(st)
+		if partner < 0 {
+			continue
+		}
 		moved := m.Transfer(int(h), int(partner), b.cfg.TransferAmount)
 		b.nw.Send(netsim.Message{From: h, To: partner, Kind: netsim.KindTransfer, A: int32(moved)})
 		st.matched = true
 		b.ps.Matched++
 		b.ps.Transferred += int64(moved)
 	}
-	b.ps.Messages = b.nw.Sent() - b.sentAt
-	m.AddMessages(b.ps.Messages)
+	b.syncMessages(m)
 	m.AddCommRounds(int64(b.cfg.Levels * b.cfg.Rounds))
 }
 
-// finishPhase publishes the completed phase's stats.
-func (b *Balancer) finishPhase() {
+// finishPhase publishes the completed phase's stats and, under fault
+// injection, rolls the phase's fault accounting into the machine
+// metrics (abandoned roots, retry volleys, dropped messages).
+func (b *Balancer) finishPhase(m *sim.Machine) {
+	if b.inj != nil {
+		for _, h := range b.heavies {
+			if !b.procs[h].matched {
+				b.ps.Abandoned++
+			}
+		}
+		if b.ps.Abandoned > 0 {
+			m.AddAbandonedPhases(int64(b.ps.Abandoned))
+		}
+		if b.ps.Retries > 0 {
+			m.AddRetries(int64(b.ps.Retries))
+		}
+	}
+	if lost := b.nw.Dropped() + b.nw.CrashLost() - b.dropMark; lost > 0 {
+		m.AddDrops(lost)
+		b.dropMark += lost
+	}
 	b.totalPhases++
 	b.totalMatched += int64(b.ps.Matched)
 	if b.cfg.OnPhase != nil {

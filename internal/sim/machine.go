@@ -70,6 +70,18 @@ type Metrics struct {
 	// CommRounds counts synchronous communication rounds consumed by
 	// the balancer (e.g. collision-game rounds).
 	CommRounds int64
+	// Retries counts re-query volleys the balancer sent while fault
+	// injection was active (the hardened protocol's recovery traffic).
+	// Zero in every fault-free run.
+	Retries int64
+	// Drops counts balancer messages lost to fault injection — drop
+	// coins, partition cuts, and messages discarded because an
+	// endpoint was crashed. Zero in every fault-free run.
+	Drops int64
+	// AbandonedPhases counts phases a heavy root gave up without a
+	// partner while fault injection was active (its timeout expired
+	// with no id message heard). Zero in every fault-free run.
+	AbandonedPhases int64
 }
 
 // Config configures a Machine.
@@ -114,6 +126,7 @@ type Machine struct {
 	metrics   Metrics
 	stepAware gen.StepAware
 	placer    Placer
+	down      func(p int, now int64) bool
 }
 
 // New constructs a Machine. All processors start empty.
@@ -361,8 +374,55 @@ func (m *Machine) Scatter(r *xrand.Stream) int64 {
 	return moved
 }
 
+// SetDown installs a crash oracle: a processor for which fn reports
+// true is down at that step — it generates nothing, consumes nothing,
+// and its queue is frozen until fn reports it up again. Balancers that
+// inject processor crashes (internal/proto with a fault plan) install
+// this from Init so generation and protocol agree on who is alive.
+// nil restores the immortal-processor default.
+func (m *Machine) SetDown(fn func(p int, now int64) bool) { m.down = fn }
+
+// Down reports whether processor p is crashed at the current step
+// (always false without a SetDown oracle).
+func (m *Machine) Down(p int) bool { return m.down != nil && m.down(p, m.now) }
+
+// ScatterFrom removes every task queued on processor p and re-places
+// each on an independently, uniformly random other processor — the
+// "redistribute on recovery" policy for a processor rejoining after a
+// crash. Each moved task's hop count increases; the move is accounted
+// as one balance action.
+func (m *Machine) ScatterFrom(p int, r *xrand.Stream) int64 {
+	q := &m.queues[p]
+	block := q.TakeBack(q.Len())
+	if len(block) == 0 {
+		return 0
+	}
+	for _, t := range block {
+		dest := r.Intn(m.n - 1)
+		if dest >= p {
+			dest++
+		}
+		t.Hops++
+		m.queues[dest].PushBack(t)
+		m.wloads[p] -= int64(t.Remaining)
+		m.wloads[dest] += int64(t.Remaining)
+	}
+	atomic.AddInt64(&m.metrics.TasksMoved, int64(len(block)))
+	atomic.AddInt64(&m.metrics.BalanceActions, 1)
+	return int64(len(block))
+}
+
 // AddMessages accounts k balancer messages.
 func (m *Machine) AddMessages(k int64) { atomic.AddInt64(&m.metrics.Messages, k) }
+
+// AddRetries accounts k fault-recovery re-query volleys.
+func (m *Machine) AddRetries(k int64) { atomic.AddInt64(&m.metrics.Retries, k) }
+
+// AddDrops accounts k messages lost to fault injection.
+func (m *Machine) AddDrops(k int64) { atomic.AddInt64(&m.metrics.Drops, k) }
+
+// AddAbandonedPhases accounts k fault-abandoned phases.
+func (m *Machine) AddAbandonedPhases(k int64) { atomic.AddInt64(&m.metrics.AbandonedPhases, k) }
 
 // AddCommRounds accounts k synchronous communication rounds.
 func (m *Machine) AddCommRounds(k int64) { atomic.AddInt64(&m.metrics.CommRounds, k) }
@@ -432,6 +492,9 @@ func (m *Machine) stepLocal() {
 	par.Ranges(m.n, m.workers, func(shard, lo, hi int) {
 		rec := &m.recs[shard]
 		for p := lo; p < hi; p++ {
+			if m.down != nil && m.down(p, m.now) {
+				continue // crashed: no generation, no consumption
+			}
 			r := m.streams[p]
 			q := &m.queues[p]
 			g := m.model.Generate(p, r, m.now)
@@ -451,6 +514,9 @@ func (m *Machine) stepLocal() {
 func (m *Machine) stepPlaced() {
 	rec := &m.recs[0]
 	for p := 0; p < m.n; p++ {
+		if m.down != nil && m.down(p, m.now) {
+			continue // crashed: no generation, no consumption
+		}
 		r := m.streams[p]
 		g := m.model.Generate(p, r, m.now)
 		m.gens[0] += int64(g)

@@ -382,3 +382,87 @@ func benchName(n int) string {
 		return "n"
 	}
 }
+
+func TestSetDownFreezesProcessor(t *testing.T) {
+	m, err := New(Config{N: 4, Model: gen.Single{P: 1, Eps: 0}, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.SetDown(func(p int, now int64) bool { return p == 2 })
+	m.Inject(2, 5)
+	m.Run(50)
+	// Single(1, 0) generates every step and consumes every step; the
+	// crashed processor must do neither: its queue stays frozen at 5.
+	if got := m.Load(2); got != 5 {
+		t.Fatalf("crashed processor load = %d, want frozen 5", got)
+	}
+	if !m.Down(2) || m.Down(1) {
+		t.Fatal("Down oracle wrong")
+	}
+	m.SetDown(nil)
+	if m.Down(2) {
+		t.Fatal("nil oracle still reports down")
+	}
+}
+
+// sinkPlacer routes every task to processor 0 (test stub).
+type sinkPlacer struct{}
+
+func (sinkPlacer) Name() string                           { return "sink" }
+func (sinkPlacer) Init(*Machine)                          {}
+func (sinkPlacer) Place(*Machine, int, *xrand.Stream) int { return 0 }
+
+func TestSetDownPlacedPath(t *testing.T) {
+	m, err := New(Config{N: 4, Model: gen.Single{P: 1, Eps: 0}, Seed: 1, Placer: sinkPlacer{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.SetDown(func(p int, now int64) bool { return p == 0 })
+	m.Run(20)
+	// Processor 0 is down: it generates nothing and consumes nothing,
+	// so its queue holds exactly the tasks the three live processors
+	// placed on it (one each per step).
+	if got := m.Load(0); got != 60 {
+		t.Fatalf("sink load = %d, want 60 (3 live generators x 20 steps)", got)
+	}
+	if m.Generated() != 60 {
+		t.Fatalf("Generated = %d, want 60 (crashed processor generated)", m.Generated())
+	}
+}
+
+func TestScatterFromRedistributes(t *testing.T) {
+	m, err := New(Config{N: 8, Model: gen.Single{P: 0.0001, Eps: 0.5}, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Inject(5, 64)
+	before := m.TotalLoad()
+	moved := m.ScatterFrom(5, xrand.New(11))
+	if moved != 64 {
+		t.Fatalf("moved %d tasks, want 64", moved)
+	}
+	if m.Load(5) != 0 {
+		t.Fatalf("source still holds %d tasks", m.Load(5))
+	}
+	if m.TotalLoad() != before {
+		t.Fatalf("tasks not conserved: %d -> %d", before, m.TotalLoad())
+	}
+	if m.WeightedLoad(5) != 0 {
+		t.Fatalf("source weight %d, want 0", m.WeightedLoad(5))
+	}
+	var elsewhere int64
+	for p := 0; p < 8; p++ {
+		if p != 5 {
+			elsewhere += int64(m.Load(p))
+			if int64(m.Load(p)) != m.WeightedLoad(p) {
+				t.Fatalf("weight/count mismatch on %d", p)
+			}
+		}
+	}
+	if elsewhere != 64 {
+		t.Fatalf("recipients hold %d, want 64", elsewhere)
+	}
+	if m.ScatterFrom(5, xrand.New(11)) != 0 {
+		t.Fatal("empty scatter moved tasks")
+	}
+}
