@@ -1,8 +1,9 @@
 # Convenience targets; everything is plain `go` underneath.
 
 GO ?= go
+BENCH_JSON ?= BENCH_plb.json
 
-.PHONY: all build test race bench experiments experiments-quick faults lint clean
+.PHONY: all build test race bench bench-smoke experiments experiments-quick faults lint clean
 
 all: build test
 
@@ -15,8 +16,20 @@ test:
 race:
 	$(GO) test -race ./...
 
+# bench prints the usual go-test benchmark text and additionally emits
+# a machine-readable $(BENCH_JSON) (ns/op, B/op, allocs/op per
+# benchmark) via cmd/benchjson.
 bench:
-	$(GO) test -bench=. -benchmem ./...
+	$(GO) test -bench=. -benchmem ./... > bench.out || (cat bench.out; rm -f bench.out; exit 1)
+	$(GO) run ./cmd/benchjson -o $(BENCH_JSON) < bench.out
+	@rm -f bench.out
+
+# bench-smoke is the CI variant: every benchmark once, same JSON
+# artifact.
+bench-smoke:
+	$(GO) test -run XXX -bench=. -benchtime=1x -benchmem ./... > bench.out || (cat bench.out; rm -f bench.out; exit 1)
+	$(GO) run ./cmd/benchjson -o $(BENCH_JSON) < bench.out
+	@rm -f bench.out
 
 # Full reproduction of the paper's evaluation (laptop-minutes).
 experiments:
@@ -31,9 +44,12 @@ experiments-quick:
 faults:
 	$(GO) run ./cmd/experiments -run E21 -quick
 
+# lint fails (not just lists) on unformatted files, then vets.
 lint:
-	gofmt -l .
+	@unformatted="$$(gofmt -l .)"; if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; fi
 	$(GO) vet ./...
 
 clean:
 	$(GO) clean ./...
+	@rm -f bench.out $(BENCH_JSON)

@@ -1,0 +1,144 @@
+// Command benchjson converts `go test -bench` output into a
+// machine-readable JSON file while passing the text through unchanged,
+// so it can sit at the end of a benchmark pipe:
+//
+//	go test -bench=. -benchmem ./... | benchjson -o BENCH_plb.json
+//
+// The JSON carries one record per benchmark result line (name,
+// parallelism suffix, iterations, ns/op, and the -benchmem B/op and
+// allocs/op when present) plus the host Go environment — enough for a
+// CI artifact that trend dashboards or quick diffs can consume without
+// re-parsing the text format.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Result is one benchmark measurement.
+type Result struct {
+	// Name is the benchmark name without the -P parallelism suffix.
+	Name string `json:"name"`
+	// Package is the Go package the benchmark ran in (from the
+	// surrounding "pkg:" / "ok" lines; empty if not determinable).
+	Package string `json:"package,omitempty"`
+	// Procs is the GOMAXPROCS suffix (1 if absent).
+	Procs      int     `json:"procs"`
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	// BytesPerOp and AllocsPerOp are present with -benchmem.
+	BytesPerOp  int64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64 `json:"allocs_per_op,omitempty"`
+}
+
+// File is the JSON document benchjson writes.
+type File struct {
+	GoVersion string   `json:"go_version"`
+	GOOS      string   `json:"goos"`
+	GOARCH    string   `json:"goarch"`
+	Generated string   `json:"generated"`
+	Results   []Result `json:"results"`
+}
+
+func main() {
+	out := flag.String("o", "BENCH_plb.json", "output JSON path")
+	flag.Parse()
+
+	results, err := parse(os.Stdin, os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	doc := File{
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		Results:   results,
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: %d results -> %s\n", len(results), *out)
+}
+
+// parse scans go-test benchmark output from r, echoing every line to
+// echo, and returns the parsed benchmark results.
+func parse(r io.Reader, echo io.Writer) ([]Result, error) {
+	var results []Result
+	pkg := ""
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if echo != nil {
+			fmt.Fprintln(echo, line)
+		}
+		switch {
+		case strings.HasPrefix(line, "pkg: "):
+			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg: "))
+		case strings.HasPrefix(line, "ok  "), strings.HasPrefix(line, "ok \t"):
+			pkg = ""
+		}
+		if res, ok := parseLine(line, pkg); ok {
+			results = append(results, res)
+		}
+	}
+	return results, sc.Err()
+}
+
+// parseLine parses one "BenchmarkX-8  N  ns/op [B/op allocs/op]" line.
+func parseLine(line, pkg string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Result{}, false
+	}
+	res := Result{Name: fields[0], Procs: 1, Package: pkg}
+	if i := strings.LastIndex(fields[0], "-"); i > 0 {
+		if p, err := strconv.Atoi(fields[0][i+1:]); err == nil && p > 0 {
+			res.Name, res.Procs = fields[0][:i], p
+		}
+	}
+	iter, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	res.Iterations = iter
+	seen := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Result{}, false
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			res.NsPerOp, seen = v, true
+		case "B/op":
+			res.BytesPerOp = int64(v)
+		case "allocs/op":
+			res.AllocsPerOp = int64(v)
+		}
+	}
+	return res, seen
+}

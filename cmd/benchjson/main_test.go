@@ -1,0 +1,61 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: plb/internal/sim
+cpu: some cpu
+BenchmarkStep-8         	    1000	   1234.5 ns/op	     456 B/op	       7 allocs/op
+BenchmarkStepSerial     	     500	   2000 ns/op
+PASS
+ok  	plb/internal/sim	1.234s
+pkg: plb/internal/core
+BenchmarkPhase-16       	   20000	     99.5 ns/op	       0 B/op	       0 allocs/op
+ok  	plb/internal/core	0.5s
+`
+
+func TestParse(t *testing.T) {
+	var echoed strings.Builder
+	results, err := parse(strings.NewReader(sample), &echoed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if echoed.String() != sample {
+		t.Fatalf("pass-through altered the output:\n%q\nvs\n%q", echoed.String(), sample)
+	}
+	if len(results) != 3 {
+		t.Fatalf("results = %d, want 3: %+v", len(results), results)
+	}
+	r := results[0]
+	if r.Name != "BenchmarkStep" || r.Procs != 8 || r.Package != "plb/internal/sim" {
+		t.Fatalf("first result = %+v", r)
+	}
+	if r.Iterations != 1000 || r.NsPerOp != 1234.5 || r.BytesPerOp != 456 || r.AllocsPerOp != 7 {
+		t.Fatalf("first result measurements = %+v", r)
+	}
+	r = results[1]
+	if r.Name != "BenchmarkStepSerial" || r.Procs != 1 || r.NsPerOp != 2000 || r.BytesPerOp != 0 {
+		t.Fatalf("second result = %+v", r)
+	}
+	r = results[2]
+	if r.Name != "BenchmarkPhase" || r.Procs != 16 || r.Package != "plb/internal/core" {
+		t.Fatalf("third result = %+v", r)
+	}
+}
+
+func TestParseLineRejectsNoise(t *testing.T) {
+	for _, line := range []string{
+		"PASS",
+		"ok  	plb/internal/sim	1.2s",
+		"Benchmark only two",
+		"BenchmarkBad-8 notanumber 12 ns/op",
+	} {
+		if res, ok := parseLine(line, ""); ok {
+			t.Fatalf("parsed noise %q into %+v", line, res)
+		}
+	}
+}

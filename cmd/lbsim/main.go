@@ -4,55 +4,96 @@
 // Usage:
 //
 //	lbsim [-n 4096] [-steps 5000] [-algo bfm98] [-model single] [-seed 1]
+//	lbsim -backend live -n 1024 -steps 500
+//	lbsim -json ...   # machine-readable summary (unified engine metrics)
 //
-// Algorithms: bfm98 (the paper, default), bfm98-pre (with the
-// adversarial pre-round), unbalanced, greedy1, greedy2, rsu, lm,
-// lauer, throwair.
-// Models: single, geometric, multi, burst, tree, hotspot.
+// Backends: sim (default, lockstep), live (goroutine per processor),
+// shmem (PRAM shared-memory simulation).
+// Algorithms (sim backend): bfm98 (the paper, default), bfm98-pre
+// (with the adversarial pre-round), bfm98-dist (message-passing),
+// unbalanced, greedy1, greedy2, rsu, lm, lauer, throwair.
+// Models (sim backend): single, geometric, multi, burst, tree, hotspot.
+//
+// Every backend is driven through engine.Drive, so the summary columns
+// mean the same thing regardless of substrate.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 
 	"plb/internal/cli"
+	"plb/internal/engine"
 	"plb/internal/sim"
 	"plb/internal/stats"
 	"plb/internal/trace"
 )
 
+// summary is the -json output: the engine drive report plus
+// tool-level derived statistics. The sim-only task-lifetime fields are
+// omitted for backends that do not track task identity.
+type summary struct {
+	engine.Report
+	PaperT       int      `json:"paper_t"`
+	Fairness     float64  `json:"jain_fairness"`
+	MeanWait     *float64 `json:"mean_wait,omitempty"`
+	MaxWait      *int64   `json:"max_wait,omitempty"`
+	Locality     *float64 `json:"locality_fraction,omitempty"`
+	MeanHops     *float64 `json:"mean_hops,omitempty"`
+	TraceSamples int      `json:"trace_samples,omitempty"`
+	TraceFile    string   `json:"trace_file,omitempty"`
+}
+
 func main() {
 	var (
 		n       = flag.Int("n", 4096, "number of processors")
 		steps   = flag.Int("steps", 5000, "simulation steps")
-		algo    = flag.String("algo", "bfm98", "algorithm (see cli.AlgoNames)")
-		model   = flag.String("model", "single", "workload: single, geometric, multi, burst, tree, hotspot")
+		backend = flag.String("backend", "sim", "substrate: sim, live, shmem")
+		algo    = flag.String("algo", "bfm98", "algorithm (see cli.AlgoNames; sim backend only)")
+		model   = flag.String("model", "single", "workload: single, geometric, multi, burst, tree, hotspot (sim backend only)")
 		seed    = flag.Uint64("seed", 1, "random seed")
 		scale   = flag.Int("scale", 1, "multiplier on T=(log log n)^2 for the bfm98 config")
 		wrk     = flag.Int("workers", 0, "worker shards (0 = GOMAXPROCS)")
 		traceTo = flag.String("trace", "", "write a time-series CSV (step, max load, ...) to this file")
 		every   = flag.Int("trace-every", 50, "trace sampling cadence in steps")
 		hist    = flag.Bool("hist", false, "print an ASCII histogram of the final load distribution")
-		faultsF = flag.String("faults", "", "fault plan for -algo bfm98-dist, e.g. lossy:0.05,crash:0.1@100-500 (see docs/ALGORITHM.md)")
+		jsonOut = flag.Bool("json", false, "print a machine-readable JSON summary instead of the text table")
+		faultsF = flag.String("faults", "", "fault plan, e.g. lossy:0.05,crash:0.1@100-500 (algo bfm98-dist or backend live; see docs/ALGORITHM.md)")
 	)
 	flag.Parse()
 
-	mod, err := cli.BuildModel(*model, *n, *seed)
+	r, err := cli.BuildRunner(*backend, *algo, *model, *n, *scale, *seed, *wrk, *faultsF)
 	if err != nil {
 		fail(err)
 	}
-	cfg := sim.Config{N: *n, Model: mod, Seed: *seed, Workers: *wrk}
-	if err := cli.InstallAlgo(&cfg, *algo, *n, *scale, *seed, *faultsF); err != nil {
-		fail(err)
+	if c, ok := r.(interface{ Close() }); ok {
+		defer c.Close()
 	}
-	m, err := sim.New(cfg)
-	if err != nil {
-		fail(err)
-	}
+
+	dc := engine.DriveConfig{Steps: *steps}
+	var rec *trace.Recorder
 	if *traceTo != "" {
-		rec := trace.NewRecorder(*every)
-		rec.Run(m, *steps)
+		rec = trace.NewRecorder(*every)
+		dc.SampleEvery = *every
+		dc.Observers = []engine.Observer{rec}
+	}
+	rep, err := engine.Drive(r, dc)
+	if err != nil {
+		fail(err)
+	}
+	sum := summary{Report: rep, PaperT: stats.PaperT(*n), Fairness: stats.JainFairness(r.Loads())}
+	if m, ok := r.(*sim.Machine); ok {
+		if lrec := m.Recorder(); lrec.Completed > 0 {
+			mw, xw := lrec.MeanWait(), lrec.MaxWait
+			lf, mh := lrec.LocalityFraction(), lrec.MeanHops()
+			sum.MeanWait, sum.MaxWait, sum.Locality, sum.MeanHops = &mw, &xw, &lf, &mh
+		}
+	}
+
+	if rec != nil {
 		f, err := os.Create(*traceTo)
 		if err != nil {
 			fail(err)
@@ -63,32 +104,61 @@ func main() {
 		if err := f.Close(); err != nil {
 			fail(err)
 		}
-		fmt.Printf("trace: %d samples -> %s (peak max load %d)\n",
-			len(rec.Points()), *traceTo, rec.PeakMaxLoad())
-	} else {
-		m.Run(*steps)
+		sum.TraceSamples, sum.TraceFile = len(rec.Points()), *traceTo
 	}
 
-	t := stats.PaperT(*n)
-	met := m.Metrics()
-	rec := m.Recorder()
-	fmt.Printf("n=%d steps=%d algo=%s model=%s seed=%d\n", *n, *steps, m.BalancerName(), mod.Name(), *seed)
-	fmt.Printf("T=(log log n)^2 = %d\n", t)
-	fmt.Printf("max load        = %d (%.2f x T)\n", m.MaxLoad(), float64(m.MaxLoad())/float64(t))
-	fmt.Printf("total load      = %d (%.2f per processor)\n", m.TotalLoad(), float64(m.TotalLoad())/float64(*n))
-	fmt.Printf("fairness        = %.4f (Jain index; 1 = perfectly even)\n", stats.JainFairness(m.Snapshot()))
-	fmt.Printf("messages        = %d (%.2f per step)\n", met.Messages, float64(met.Messages)/float64(*steps))
-	fmt.Printf("balance actions = %d, tasks moved = %d\n", met.BalanceActions, met.TasksMoved)
-	fmt.Printf("completed tasks = %d\n", rec.Completed)
-	if rec.Completed > 0 {
-		fmt.Printf("mean wait       = %.2f steps (max %d)\n", rec.MeanWait(), rec.MaxWait)
-		fmt.Printf("locality        = %.4f executed at origin (mean hops %.4f)\n",
-			rec.LocalityFraction(), rec.MeanHops())
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(sum); err != nil {
+			fail(err)
+		}
+		return
 	}
-	if *hist {
+	printText(r, sum, *steps, *hist)
+}
+
+// printText renders the human-readable summary from the unified
+// metrics, with the sim backend's extra task-lifetime lines when
+// available.
+func printText(r engine.Runner, sum summary, steps int, hist bool) {
+	meta, em := sum.Meta, sum.Final
+	fmt.Printf("n=%d steps=%d backend=%s algo=%s model=%s seed=%d\n",
+		meta.N, steps, meta.Backend, meta.Algorithm, meta.Model, meta.Seed)
+	fmt.Printf("T=(log log n)^2 = %d\n", sum.PaperT)
+	fmt.Printf("max load        = %d (%.2f x T)\n", em.MaxLoad, float64(em.MaxLoad)/float64(sum.PaperT))
+	fmt.Printf("total load      = %d (%.2f per processor)\n", em.TotalLoad, float64(em.TotalLoad)/float64(meta.N))
+	fmt.Printf("fairness        = %.4f (Jain index; 1 = perfectly even)\n", sum.Fairness)
+	fmt.Printf("messages        = %d (%.2f per step)\n", em.Messages, float64(em.Messages)/float64(steps))
+	fmt.Printf("balance actions = %d, tasks moved = %d\n", em.BalanceActions, em.TasksMoved)
+	fmt.Printf("completed tasks = %d\n", em.Completed)
+	if sum.MeanWait != nil {
+		fmt.Printf("mean wait       = %.2f steps (max %d)\n", *sum.MeanWait, *sum.MaxWait)
+		fmt.Printf("locality        = %.4f executed at origin (mean hops %.4f)\n", *sum.Locality, *sum.MeanHops)
+	}
+	if len(em.Extra) > 0 {
+		fmt.Printf("backend extras  =")
+		for _, k := range sortedKeys(em.Extra) {
+			fmt.Printf(" %s=%d", k, em.Extra[k])
+		}
+		fmt.Println()
+	}
+	if sum.TraceFile != "" {
+		fmt.Printf("trace: %d samples -> %s (peak max load %d)\n", sum.TraceSamples, sum.TraceFile, sum.PeakMaxLoad)
+	}
+	if hist {
 		fmt.Printf("\nload distribution (processors per load value):\n%s",
-			stats.AsciiHistogram(m.Snapshot(), 2*t, 48))
+			stats.AsciiHistogram(r.Loads(), 2*sum.PaperT, 48))
 	}
+}
+
+func sortedKeys(m map[string]int64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 func fail(err error) {

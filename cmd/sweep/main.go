@@ -1,13 +1,15 @@
 // Command sweep regenerates figure-style data series as CSV.
 //
 // The paper has no numeric figures (it is an extended abstract), but
-// its claims are curves; sweep produces the two canonical ones:
+// its claims are curves; sweep produces the canonical ones:
 //
 //	sweep -figure maxload   # mean max load vs n, one column per algorithm
 //	sweep -figure recovery  # max load over time after a worst-case pile
 //	sweep -figure messages  # messages per step vs n, per algorithm
 //
-// Output goes to stdout (redirect to a .csv).
+// Output goes to stdout (redirect to a .csv). Every run is driven
+// through engine.Drive; the sampled columns come from the drive
+// report's unified metrics.
 package main
 
 import (
@@ -17,6 +19,7 @@ import (
 
 	"plb/internal/baselines"
 	"plb/internal/core"
+	"plb/internal/engine"
 	"plb/internal/gen"
 	"plb/internal/sim"
 	"plb/internal/stats"
@@ -24,18 +27,18 @@ import (
 
 type system struct {
 	name  string
-	build func(n int, seed uint64) (*sim.Machine, error)
+	build func(n int, seed uint64) (engine.Runner, error)
 }
 
 func systems(seed uint64) []system {
 	model := gen.Single{P: 0.4, Eps: 0.1}
-	mkBal := func(b func(seed uint64) sim.Balancer) func(n int, seed uint64) (*sim.Machine, error) {
-		return func(n int, seed uint64) (*sim.Machine, error) {
+	mkBal := func(b func(seed uint64) sim.Balancer) func(n int, seed uint64) (engine.Runner, error) {
+		return func(n int, seed uint64) (engine.Runner, error) {
 			return sim.New(sim.Config{N: n, Model: model, Balancer: b(seed), Seed: seed})
 		}
 	}
 	return []system{
-		{"bfm98", func(n int, seed uint64) (*sim.Machine, error) {
+		{"bfm98", func(n int, seed uint64) (engine.Runner, error) {
 			b, err := core.New(n, core.Config{Seed: seed})
 			if err != nil {
 				return nil, err
@@ -43,7 +46,7 @@ func systems(seed uint64) []system {
 			return sim.New(sim.Config{N: n, Model: model, Balancer: b, Seed: seed})
 		}},
 		{"unbalanced", mkBal(func(uint64) sim.Balancer { return baselines.Unbalanced{} })},
-		{"greedy2", func(n int, seed uint64) (*sim.Machine, error) {
+		{"greedy2", func(n int, seed uint64) (engine.Runner, error) {
 			g, err := baselines.NewGreedyD(2)
 			if err != nil {
 				return nil, err
@@ -76,7 +79,12 @@ func main() {
 	}
 }
 
-// sweepByN prints one row per n, one column per algorithm.
+// sweepByN prints one row per n, one column per algorithm. Each cell
+// is one engine.Drive: a warmup drive to read the pre-sampling message
+// count, then a sampled drive whose mean max load / message delta
+// feeds the cell. The step batching (one warm chunk, then ten
+// gap-sized chunks) matches the historical manual loop, so the series
+// are bit-identical to pre-engine output.
 func sweepByN(metric string, seed uint64, steps, maxN int) {
 	sys := systems(seed)
 	fmt.Print("n,T")
@@ -87,24 +95,29 @@ func sweepByN(metric string, seed uint64, steps, maxN int) {
 	for n := 1 << 9; n <= maxN; n <<= 1 {
 		fmt.Printf("%d,%d", n, stats.PaperT(n))
 		for _, s := range sys {
-			m, err := s.build(n, seed)
+			r, err := s.build(n, seed)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "sweep:", err)
 				os.Exit(1)
 			}
 			warm := steps / 4
-			m.Run(warm)
-			before := m.Metrics().Messages
-			var peak stats.Running
-			for i := 0; i < 10; i++ {
-				m.Run((steps - warm) / 10)
-				peak.Add(float64(m.MaxLoad()))
+			warmRep, err := engine.Drive(r, engine.DriveConfig{Steps: warm})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "sweep:", err)
+				os.Exit(1)
+			}
+			before := warmRep.Final.Messages
+			gap := (steps - warm) / 10
+			rep, err := engine.Drive(r, engine.DriveConfig{Steps: 10 * gap, SampleEvery: gap})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "sweep:", err)
+				os.Exit(1)
 			}
 			switch metric {
 			case "maxload":
-				fmt.Printf(",%.2f", peak.Mean())
+				fmt.Printf(",%.2f", rep.MeanMaxLoad)
 			case "messages":
-				msgs := m.Metrics().Messages - before
+				msgs := rep.Final.Messages - before
 				fmt.Printf(",%.2f", float64(msgs)/float64(steps-warm))
 			}
 		}
@@ -112,33 +125,44 @@ func sweepByN(metric string, seed uint64, steps, maxN int) {
 	}
 }
 
-// recoverySeries prints max load over time after a worst-case pile.
+// recoverySeries prints max load over time after a worst-case pile:
+// one engine.Drive per algorithm at the sampling cadence, with an
+// observer collecting that algorithm's column.
 func recoverySeries(seed uint64) {
 	const n = 1 << 10
 	const pile = 16 * n
 	const horizon = 20000
 	const every = 100
 	sys := systems(seed)
-	machines := make([]*sim.Machine, len(sys))
+	columns := make([][]int64, len(sys))
 	for i, s := range sys {
-		m, err := s.build(n, seed)
+		r, err := s.build(n, seed)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "sweep:", err)
 			os.Exit(1)
 		}
-		m.Inject(0, pile)
-		machines[i] = m
+		r.(*sim.Machine).Inject(0, pile)
+		col := &columns[i]
+		if _, err := engine.Drive(r, engine.DriveConfig{
+			Steps:       horizon,
+			SampleEvery: every,
+			Observers: []engine.Observer{engine.ObserverFunc(func(_ engine.Runner, m engine.Metrics) {
+				*col = append(*col, m.MaxLoad)
+			})},
+		}); err != nil {
+			fmt.Fprintln(os.Stderr, "sweep:", err)
+			os.Exit(1)
+		}
 	}
 	fmt.Print("step")
 	for _, s := range sys {
 		fmt.Printf(",%s", s.name)
 	}
 	fmt.Println()
-	for step := every; step <= horizon; step += every {
-		fmt.Printf("%d", step)
-		for _, m := range machines {
-			m.Run(every)
-			fmt.Printf(",%d", m.MaxLoad())
+	for row := 0; row < horizon/every; row++ {
+		fmt.Printf("%d", (row+1)*every)
+		for _, col := range columns {
+			fmt.Printf(",%d", col[row])
 		}
 		fmt.Println()
 	}

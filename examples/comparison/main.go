@@ -2,7 +2,10 @@
 //
 // Runs every algorithm shipped with the library on the same Single
 // workload and prints the positioning table of Section 1.1: max load
-// vs message rate vs locality.
+// vs message rate vs locality. One harness, many backends: every row
+// — the lockstep simulator rows and the goroutine-per-processor live
+// row — is an engine Runner driven by the same plb.Drive call and
+// measured through the same unified plb.RunMetrics.
 //
 //	go run ./examples/comparison
 package main
@@ -18,24 +21,40 @@ const (
 	n     = 4096
 	steps = 4000
 	seed  = 3
+	// One real goroutine per processor: the live row runs at a
+	// smaller n (and fewer steps) than the simulated rows.
+	liveN     = 1024
+	liveSteps = 1200
 )
 
 func main() {
 	type system struct {
 		name  string
-		build func(model plb.Model) (*plb.Machine, error)
+		build func() (plb.Runner, error)
 	}
-	bal := func(b plb.Balancer) func(model plb.Model) (*plb.Machine, error) {
-		return func(model plb.Model) (*plb.Machine, error) {
+	bal := func(b plb.Balancer) func() (plb.Runner, error) {
+		return func() (plb.Runner, error) {
+			model, err := plb.NewSingleModel(0.4, 0.1)
+			if err != nil {
+				return nil, err
+			}
 			return plb.NewMachine(plb.MachineConfig{N: n, Model: model, Balancer: b, Seed: seed})
 		}
 	}
 	systems := []system{
-		{"bfm98 (paper)", func(model plb.Model) (*plb.Machine, error) {
+		{"bfm98 (paper)", func() (plb.Runner, error) {
+			model, err := plb.NewSingleModel(0.4, 0.1)
+			if err != nil {
+				return nil, err
+			}
 			return plb.NewBalancedMachine(plb.MachineConfig{N: n, Model: model, Seed: seed})
 		}},
 		{"unbalanced", bal(plb.NewUnbalanced())},
-		{"greedy d=2 (supermarket)", func(model plb.Model) (*plb.Machine, error) {
+		{"greedy d=2 (supermarket)", func() (plb.Runner, error) {
+			model, err := plb.NewSingleModel(0.4, 0.1)
+			if err != nil {
+				return nil, err
+			}
 			g, err := plb.NewGreedyPlacer(2)
 			if err != nil {
 				return nil, err
@@ -46,33 +65,46 @@ func main() {
 		{"lm93", bal(plb.NewLM(2, seed))},
 		{"lauer95", bal(plb.NewLauer(2, seed))},
 		{"throwair", bal(plb.NewThrowAir(4, seed))},
+		{"threshold (live backend)", func() (plb.Runner, error) {
+			return plb.NewLiveSystem(plb.DefaultLiveConfig(liveN, plb.PaperT(liveN), seed))
+		}},
 	}
 
 	t := plb.PaperT(n)
-	fmt.Printf("n=%d, Single(0.4, 0.1), %d steps, T=(log log n)^2=%d\n\n", n, steps, t)
-	fmt.Printf("%-26s %9s %7s %11s %9s %10s\n",
-		"algorithm", "max load", "max/T", "msgs/step", "locality", "mean wait")
+	fmt.Printf("n=%d, Single(0.4, 0.1), %d steps, T=(log log n)^2=%d\n", n, steps, t)
+	fmt.Printf("(live row: n=%d, %d steps, T=%d)\n\n", liveN, liveSteps, plb.PaperT(liveN))
+	fmt.Printf("%-26s %8s %9s %7s %11s %9s %10s\n",
+		"algorithm", "backend", "max load", "max/T", "msgs/step", "locality", "mean wait")
 	for _, s := range systems {
-		model, err := plb.NewSingleModel(0.4, 0.1)
+		r, err := s.build()
 		if err != nil {
 			log.Fatal(err)
 		}
-		m, err := s.build(model)
+		runSteps, runT := steps, t
+		if sys, ok := r.(*plb.LiveSystem); ok {
+			defer sys.Close()
+			runSteps, runT = liveSteps, plb.PaperT(liveN)
+		}
+		warm := runSteps / 4
+		rep, err := plb.Drive(r, plb.DriveConfig{
+			Warmup:      warm,
+			Steps:       runSteps - warm,
+			SampleEvery: (runSteps - warm) / 15,
+		})
 		if err != nil {
 			log.Fatal(err)
 		}
-		worst := 0
-		m.Run(steps / 4)
-		for i := 0; i < 15; i++ {
-			m.Run(3 * steps / 4 / 15)
-			if l := m.MaxLoad(); l > worst {
-				worst = l
-			}
+		met := rep.Final
+		locality, wait := "      —", "         —"
+		if m, ok := r.(*plb.Machine); ok {
+			rec := m.Recorder()
+			locality = fmt.Sprintf("%6.1f%%", 100*rec.LocalityFraction())
+			wait = fmt.Sprintf("%10.2f", rec.MeanWait())
 		}
-		rec := m.Recorder()
-		fmt.Printf("%-26s %9d %7.2f %11.1f %8.1f%% %10.2f\n",
-			s.name, worst, float64(worst)/float64(t),
-			float64(m.Metrics().Messages)/float64(m.Now()),
-			100*rec.LocalityFraction(), rec.MeanWait())
+		fmt.Printf("%-26s %8s %9d %7.2f %11.1f %9s %s\n",
+			s.name, rep.Meta.Backend, rep.PeakMaxLoad,
+			float64(rep.PeakMaxLoad)/float64(runT),
+			float64(met.Messages)/float64(met.Steps),
+			locality, wait)
 	}
 }

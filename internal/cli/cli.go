@@ -1,5 +1,6 @@
-// Package cli holds the workload/algorithm construction shared by the
-// command-line tools, factored out of the mains so it is testable.
+// Package cli holds the workload/algorithm/backend construction shared
+// by the command-line tools, factored out of the mains so it is
+// testable.
 package cli
 
 import (
@@ -7,9 +8,12 @@ import (
 
 	"plb/internal/baselines"
 	"plb/internal/core"
+	"plb/internal/engine"
 	"plb/internal/faults"
 	"plb/internal/gen"
+	"plb/internal/live"
 	"plb/internal/proto"
+	"plb/internal/shmem"
 	"plb/internal/sim"
 	"plb/internal/stats"
 )
@@ -114,6 +118,75 @@ func InstallAlgo(cfg *sim.Config, name string, n, scale int, seed uint64, faultS
 		return fmt.Errorf("cli: unknown algorithm %q (have %v)", name, AlgoNames())
 	}
 	return nil
+}
+
+// BackendNames lists the backends BuildRunner accepts.
+func BackendNames() []string { return []string{"sim", "live", "shmem"} }
+
+// BuildRunner constructs an engine.Runner for a named backend.
+//
+//   - "sim" (default) wires a model + algorithm into the lockstep
+//     machine; algo bfm98-dist rides it as the message-passing proto
+//     backend.
+//   - "live" builds the goroutine-per-processor system. It runs its
+//     own threshold algorithm over its own Single(0.4, 0.1) generator,
+//     so algo/model must be left at their defaults (or named
+//     "threshold"/"single"); scale multiplies its T.
+//   - "shmem" builds the PRAM shared-memory simulation driven by a
+//     synthetic access stream; it runs the collision protocol at the
+//     Lemma 1 operating point (a=5, b=2, c=1) and accepts algo
+//     "collision" or the default.
+//
+// Callers that need backend-specific knobs beyond these should build
+// the runner directly; this covers the common command-line surface.
+func BuildRunner(backend, algo, model string, n, scale int, seed uint64, workers int, faultSpec string) (engine.Runner, error) {
+	switch backend {
+	case "", "sim":
+		mod, err := BuildModel(model, n, seed)
+		if err != nil {
+			return nil, err
+		}
+		cfg := sim.Config{N: n, Model: mod, Seed: seed, Workers: workers}
+		if err := InstallAlgo(&cfg, algo, n, scale, seed, faultSpec); err != nil {
+			return nil, err
+		}
+		return sim.New(cfg)
+	case "live":
+		if algo != "" && algo != "bfm98" && algo != "threshold" {
+			return nil, fmt.Errorf("cli: the live backend runs its own threshold algorithm; -algo %q is not available there", algo)
+		}
+		if model != "" && model != "single" {
+			return nil, fmt.Errorf("cli: the live backend generates its own Single(0.4, 0.1) workload; -model %q is not available there", model)
+		}
+		t := stats.PaperT(n)
+		if scale > 1 {
+			t *= scale
+		}
+		c := live.DefaultConfig(n, t, seed)
+		if faultSpec != "" {
+			plan, err := faults.ParsePlan(faultSpec)
+			if err != nil {
+				return nil, err
+			}
+			c.Faults = &plan
+		}
+		return live.NewSystem(c)
+	case "shmem":
+		if algo != "" && algo != "bfm98" && algo != "collision" {
+			return nil, fmt.Errorf("cli: the shmem backend runs the collision protocol; -algo %q is not available there", algo)
+		}
+		if model != "" && model != "single" {
+			return nil, fmt.Errorf("cli: the shmem backend generates its own PRAM access stream; -model %q is not available there", model)
+		}
+		if faultSpec != "" {
+			return nil, fmt.Errorf("cli: the shmem backend has no fault injection")
+		}
+		return shmem.NewRunner(shmem.RunnerConfig{
+			Mem: shmem.Config{Procs: n, Modules: n, Copies: 5, Quorum: 3, ModuleCap: 1, Seed: seed},
+		})
+	default:
+		return nil, fmt.Errorf("cli: unknown backend %q (have %v)", backend, BackendNames())
+	}
 }
 
 func maxInt(a, b int) int {

@@ -105,3 +105,62 @@ func TestInstallAlgoFaults(t *testing.T) {
 		t.Fatal("malformed fault spec accepted")
 	}
 }
+
+func TestBuildRunnerBackends(t *testing.T) {
+	for _, backend := range BackendNames() {
+		r, err := BuildRunner(backend, "bfm98", "single", 64, 1, 1, 0, "")
+		if err != nil {
+			t.Fatalf("BuildRunner(%q) failed: %v", backend, err)
+		}
+		if c, ok := r.(interface{ Close() }); ok {
+			defer c.Close()
+		}
+		if got := r.Meta().Backend; got != backend {
+			t.Fatalf("BuildRunner(%q) reports backend %q", backend, got)
+		}
+		r.Steps(4)
+		if m := r.Collect(); m.Steps != 4 {
+			t.Fatalf("backend %q: steps = %d, want 4", backend, m.Steps)
+		}
+	}
+	if _, err := BuildRunner("nope", "bfm98", "single", 64, 1, 1, 0, ""); err == nil {
+		t.Fatal("unknown backend accepted")
+	}
+}
+
+func TestBuildRunnerProtoBackend(t *testing.T) {
+	r, err := BuildRunner("sim", "bfm98-dist", "single", 64, 1, 1, 0, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Meta().Backend; got != "proto" {
+		t.Fatalf("bfm98-dist reports backend %q, want proto", got)
+	}
+}
+
+func TestBuildRunnerRejectsMismatches(t *testing.T) {
+	cases := []struct{ backend, algo, model, faults string }{
+		{"live", "rsu", "single", ""},
+		{"live", "bfm98", "burst", ""},
+		{"shmem", "greedy2", "single", ""},
+		{"shmem", "bfm98", "tree", ""},
+		{"shmem", "bfm98", "single", "lossy:0.1"},
+	}
+	for _, c := range cases {
+		if _, err := BuildRunner(c.backend, c.algo, c.model, 64, 1, 1, 0, c.faults); err == nil {
+			t.Fatalf("BuildRunner(%q, %q, %q, faults=%q) accepted", c.backend, c.algo, c.model, c.faults)
+		}
+	}
+}
+
+func TestBuildRunnerLiveFaults(t *testing.T) {
+	r, err := BuildRunner("live", "threshold", "single", 32, 1, 1, 0, "lossy:0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.(interface{ Close() }).Close()
+	r.Steps(50)
+	if m := r.Collect(); m.Drops == 0 {
+		t.Fatalf("lossy live run recorded no drops: %+v", m)
+	}
+}

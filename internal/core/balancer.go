@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"plb/internal/collision"
+	"plb/internal/engine"
 	"plb/internal/sim"
 	"plb/internal/xrand"
 )
@@ -54,6 +55,18 @@ func (b *Balancer) Name() string {
 
 // Config returns the fully-defaulted configuration in use.
 func (b *Balancer) Config() Config { return b.cfg }
+
+// ExtendMetrics implements sim.MetricsExtender, contributing the
+// phase-based balancer's extension counters (completed phases,
+// classified-heavy processors, matches, collision requests and rounds)
+// to the unified engine metrics.
+func (b *Balancer) ExtendMetrics(m *engine.Metrics) {
+	m.AddExtra("phases", b.totalPhases)
+	m.AddExtra("heavy", b.totalHeavy)
+	m.AddExtra("matched", b.totalMatched)
+	m.AddExtra("requests", b.totalRequests)
+	m.AddExtra("collision_rounds", b.sumRounds)
+}
 
 // Init implements sim.Balancer.
 func (b *Balancer) Init(m *sim.Machine) {

@@ -5,6 +5,8 @@ import (
 
 	"plb/internal/baselines"
 	"plb/internal/core"
+	"plb/internal/engine"
+	"plb/internal/live"
 	"plb/internal/sim"
 	"plb/internal/stats"
 	"plb/internal/supermarket"
@@ -27,10 +29,10 @@ func runE12(cfg RunConfig) (*Result, error) {
 
 	type entry struct {
 		name  string
-		build func() (*sim.Machine, error)
+		build func() (engine.Runner, error)
 	}
-	mk := func(b sim.Balancer, p sim.Placer) func() (*sim.Machine, error) {
-		return func() (*sim.Machine, error) {
+	mk := func(b sim.Balancer, p sim.Placer) func() (engine.Runner, error) {
+		return func() (engine.Runner, error) {
 			return sim.New(sim.Config{N: n, Model: model, Balancer: b, Placer: p, Seed: cfg.Seed + 12, Workers: cfg.Workers})
 		}
 	}
@@ -42,18 +44,26 @@ func runE12(cfg RunConfig) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The live goroutine-per-processor backend joins the faceoff
+	// through the same engine harness, at a capped scale (one real
+	// goroutine per processor makes the paper's n unaffordable here).
+	liveN := n
+	if liveN > 1<<10 {
+		liveN = 1 << 10
+	}
+	liveSteps := pick(cfg, 800, 2500)
 	entries := []entry{
-		{"bfm98 (ours)", func() (*sim.Machine, error) {
+		{"bfm98 (ours)", func() (engine.Runner, error) {
 			m, _, err := ours(n, model, cfg.Seed+12, cfg.Workers, nil)
 			return m, err
 		}},
-		{"bfm98 (T x2)", func() (*sim.Machine, error) {
+		{"bfm98 (T x2)", func() (engine.Runner, error) {
 			m, _, err := ours(n, model, cfg.Seed+12, cfg.Workers, func(c *core.Config) {
 				*c = core.Config{Scale: 2, Seed: cfg.Seed + 12}
 			})
 			return m, err
 		}},
-		{"bfm98 (phaseless)", func() (*sim.Machine, error) {
+		{"bfm98 (phaseless)", func() (engine.Runner, error) {
 			b, err := core.NewPhaseless(n, cfg.Seed+12)
 			if err != nil {
 				return nil, err
@@ -67,42 +77,55 @@ func runE12(cfg RunConfig) (*Result, error) {
 		{"lm93", mk(&baselines.LM{K: 2, Seed: cfg.Seed}, nil)},
 		{"lauer95", mk(&baselines.Lauer{C: 2, Seed: cfg.Seed}, nil)},
 		{"throwair", mk(&baselines.ThrowAir{Interval: 4, Seed: cfg.Seed}, nil)},
+		{"threshold (live backend)", func() (engine.Runner, error) {
+			return live.NewSystem(live.DefaultConfig(liveN, stats.PaperT(liveN), cfg.Seed+12))
+		}},
 	}
 
 	res := &Result{
 		ID:         "E12",
 		Title:      "Baseline face-off",
 		PaperClaim: "ours: max load O((log log n)^2), o(n) messages per phase, locality preserved",
-		Columns:    []string{"algorithm", "mean max", "max/T", "msgs/step", "locality", "mean wait"},
+		Columns:    []string{"algorithm", "backend", "mean max", "max/T", "msgs/step", "locality", "mean wait"},
 	}
 	for _, e := range entries {
-		m, err := e.build()
+		r, err := e.build()
 		if err != nil {
 			return nil, err
 		}
-		var peak stats.Running
-		warm := steps / 4
-		m.Run(warm)
-		for i := 0; i < 16; i++ {
-			m.Run((steps - warm) / 16)
-			peak.Add(float64(m.MaxLoad()))
+		runSteps, runT := steps, t
+		if sys, ok := r.(*live.System); ok {
+			defer sys.Close()
+			runSteps, runT = liveSteps, float64(stats.PaperT(liveN))
 		}
-		met := m.Metrics()
-		rec := m.Recorder()
+		warm := runSteps / 4
+		peak, rep, err := driveProfile(r, warm, 16, (runSteps-warm)/16, nil)
+		if err != nil {
+			return nil, err
+		}
+		em := rep.Final
+		locality, wait := "—", "—"
+		if m, ok := r.(*sim.Machine); ok {
+			rec := m.Recorder()
+			locality = fmt.Sprintf("%.3f", rec.LocalityFraction())
+			wait = fmtF(rec.MeanWait())
+		}
 		res.Rows = append(res.Rows, []string{
 			e.name,
+			rep.Meta.Backend,
 			fmtF(peak.Mean()),
-			fmt.Sprintf("%.2f", peak.Mean()/t),
-			fmtF(float64(met.Messages) / float64(m.Now())),
-			fmt.Sprintf("%.3f", rec.LocalityFraction()),
-			fmtF(rec.MeanWait()),
+			fmt.Sprintf("%.2f", peak.Mean()/runT),
+			fmtF(float64(em.Messages) / float64(em.Steps)),
+			locality,
+			wait,
 		})
 	}
 	lambda := model.P / (model.P + model.Eps)
 	res.Notes = append(res.Notes,
-		fmt.Sprintf("n=%s, Single(0.4, 0.1), %d steps; T=(log log n)^2=%d", fmtN(n), steps, int(t)),
+		fmt.Sprintf("n=%s, Single(0.4, 0.1), %d steps; T=(log log n)^2=%d; every row driven through engine.Drive with metrics from the unified engine.Metrics", fmtN(n), steps, int(t)),
+		fmt.Sprintf("the live row runs the goroutine-per-processor backend at n=%d for %d steps (its max/T column uses that n's T=%d); locality/wait are simulator-side lifetime statistics the live substrate does not record", liveN, liveSteps, stats.PaperT(liveN)),
 		fmt.Sprintf("greedy(d=2) under continuous generation is the discrete supermarket model (Mitzenmacher); its mean-field fixed point predicts max load ~%d at this utilization (measured above), vs ~%d for single choice",
 			supermarket.ExpectedMaxLoad(lambda, 2, n), supermarket.ExpectedMaxLoad(lambda, 1, n)))
-	res.Verdict = "ours holds max load within a small multiple of T at a tiny fraction of the message cost, with near-perfect locality — matching the paper's positioning"
+	res.Verdict = "ours holds max load within a small multiple of T at a tiny fraction of the message cost, with near-perfect locality — matching the paper's positioning; the live backend's threshold variant lands in the same load band through the same harness"
 	return res, nil
 }

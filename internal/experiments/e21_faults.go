@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 
+	"plb/internal/engine"
 	"plb/internal/faults"
 	"plb/internal/gen"
 	"plb/internal/proto"
@@ -22,37 +23,56 @@ func init() {
 // and reports the load/overhead trajectory.
 type e21Run struct {
 	worst, final int64
-	met          sim.Metrics
+	met          engine.Metrics
 }
 
-func e21Drive(n int, seed uint64, workers, phases int, plan *faults.Plan) (e21Run, error) {
+// e21Machine builds the standard E21 machine: the hardened distributed
+// balancer under plan, with k piles of pileSize tasks pre-injected.
+func e21Machine(n int, seed uint64, workers int, plan *faults.Plan, piles, pileSize int) (*sim.Machine, proto.Config, error) {
 	cfg := proto.DefaultConfig(n)
 	cfg.Seed = seed
 	cfg.Faults = plan
 	b, err := proto.New(n, cfg)
 	if err != nil {
-		return e21Run{}, err
+		return nil, cfg, err
 	}
 	m, err := sim.New(sim.Config{N: n, Model: gen.Single{P: 0.4, Eps: 0.1}, Seed: seed, Balancer: b, Workers: workers})
 	if err != nil {
-		return e21Run{}, err
+		return nil, cfg, err
 	}
+	for i := 0; i < piles; i++ {
+		m.Inject((i*n)/piles, pileSize)
+	}
+	return m, cfg, nil
+}
+
+func e21Drive(n int, seed uint64, workers, phases int, plan *faults.Plan) (e21Run, error) {
 	// A worst-case-ish start: several piles that the protocol must
 	// drain while faults interfere.
-	for i := 0; i < 8; i++ {
-		m.Inject((i*n)/8, cfg.HeavyThreshold*3)
+	m, cfg, err := e21Machine(n, seed, workers, plan, 8, cfg3Heavy(n))
+	if err != nil {
+		return e21Run{}, err
 	}
 	var out e21Run
-	for ph := 0; ph < phases; ph++ {
-		m.Run(cfg.PhaseLen)
-		if l := int64(m.MaxLoad()); l > out.worst {
-			out.worst = l
-		}
+	rep, err := engine.Drive(m, engine.DriveConfig{
+		Steps:       phases * cfg.PhaseLen,
+		SampleEvery: cfg.PhaseLen,
+		Observers: []engine.Observer{engine.ObserverFunc(func(_ engine.Runner, em engine.Metrics) {
+			if em.MaxLoad > out.worst {
+				out.worst = em.MaxLoad
+			}
+		})},
+	})
+	if err != nil {
+		return e21Run{}, err
 	}
-	out.final = int64(m.MaxLoad())
-	out.met = m.Metrics()
+	out.final = rep.Final.MaxLoad
+	out.met = rep.Final
 	return out, nil
 }
+
+// cfg3Heavy returns three heavy thresholds' worth of tasks for n.
+func cfg3Heavy(n int) int { return proto.DefaultConfig(n).HeavyThreshold * 3 }
 
 func runE21(cfg RunConfig) (*Result, error) {
 	n := pick(cfg, 256, 1024)
@@ -107,7 +127,8 @@ func runE21(cfg RunConfig) (*Result, error) {
 
 	// Mass-crash recovery: 10% of the processors crash with a full
 	// backlog frozen in their queues, recover together, and we count
-	// the phases until the max load is back under the heavy threshold.
+	// the phases until the max load is back under the heavy threshold
+	// (the drive's stop condition).
 	k := n / 10
 	crashPhases := pick(cfg, 4, 8)
 	recSteps := int64(crashPhases * phaseLen)
@@ -131,32 +152,43 @@ func runE21(cfg RunConfig) (*Result, error) {
 		for i := 0; i < k; i++ {
 			m.Inject(i, pc.HeavyThreshold*3)
 		}
-		m.Run(int(recSteps) + 1) // through the crash window
-		rec := -1
-		for ph := 0; ph < recoveryLimit; ph++ {
-			if m.MaxLoad() <= pc.HeavyThreshold {
-				rec = ph
-				break
+		// Through the crash window, then sample at phase cadence until
+		// the max load is back under the heavy threshold. The window
+		// runs outside the sampled drive so a system already balanced
+		// at recovery reports zero recovery phases.
+		m.Steps(int(recSteps) + 1)
+		recovered := int64(m.MaxLoad()) <= int64(pc.HeavyThreshold)
+		phasesRun := 0
+		met := m.Collect()
+		if !recovered {
+			rep, err := engine.Drive(m, engine.DriveConfig{
+				Steps:       recoveryLimit * phaseLen,
+				SampleEvery: phaseLen,
+				StopWhen: func(em engine.Metrics) bool {
+					return em.MaxLoad <= int64(pc.HeavyThreshold)
+				},
+			})
+			if err != nil {
+				return nil, err
 			}
-			m.Run(phaseLen)
+			recovered, phasesRun, met = rep.Stopped, rep.Samples, rep.Final
 		}
 		name := "crash 10% (frozen queues)"
 		if redistribute {
 			name = "crash 10% (redistribute)"
 		}
 		recStr := fmt.Sprintf(">%d", recoveryLimit)
-		if rec >= 0 {
-			recStr = fmt.Sprintf("recovered in %d phases", rec)
+		if recovered {
+			recStr = fmt.Sprintf("recovered in %d phases", phasesRun)
 		}
-		met := m.Metrics()
 		res.Rows = append(res.Rows, []string{
-			name, fmtI(int64(m.MaxLoad())), recStr,
+			name, fmtI(met.MaxLoad), recStr,
 			fmtI(met.Messages), fmtI(met.Drops), fmtI(met.Retries), fmtI(met.AbandonedPhases),
 		})
 	}
 
 	res.Notes = append(res.Notes,
-		fmt.Sprintf("n=%s, %d phases of %d steps, 8 piles of 3x heavy threshold; crash rows freeze %d loaded processors for %d phases, then count phases until max load <= heavy threshold", fmtN(n), phases, phaseLen, k, crashPhases),
+		fmt.Sprintf("n=%s, %d phases of %d steps, 8 piles of 3x heavy threshold; crash rows freeze %d loaded processors for %d phases, then count phases until max load <= heavy threshold (the engine.Drive stop condition)", fmtN(n), phases, phaseLen, k, crashPhases),
 		fmt.Sprintf("fault-free reference: worst max %d, %d messages — overhead columns are read against these", freeWorst, freeMsgs),
 		"drops/retries/abandoned are exactly zero in the fault-free row by construction (the counters are gated on an active fault plan)",
 		"the hardened protocol bounds retries at Rounds+2 volleys per game and releases light-processor reservations when the reserving root crashes, so lossy rows degrade in throughput, not in correctness")

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"plb/internal/core"
+	"plb/internal/engine"
 	"plb/internal/gen"
 	"plb/internal/sim"
 	"plb/internal/stats"
@@ -41,17 +42,38 @@ func ours(n int, model gen.Model, seed uint64, workers int, mutate func(*core.Co
 	return m, b, nil
 }
 
-// maxLoadProfile warms the machine for warm steps, then runs samples
-// segments of gap steps each, recording the max load after each
-// segment. It returns the observations.
-func maxLoadProfile(m *sim.Machine, warm, samples, gap int) stats.Running {
-	var r stats.Running
-	m.Run(warm)
-	for i := 0; i < samples; i++ {
-		m.Run(gap)
-		r.Add(float64(m.MaxLoad()))
+// maxLoadProfile warms the runner for warm steps, then samples the max
+// load every gap steps for samples segments, all through the unified
+// engine.Drive loop. It returns the observations. The step batching
+// (warm, then gap-sized chunks) is identical to the pre-engine manual
+// loop, so deterministic backends produce bit-identical trajectories.
+func maxLoadProfile(r engine.Runner, warm, samples, gap int) stats.Running {
+	obs, _, err := driveProfile(r, warm, samples, gap, nil)
+	if err != nil {
+		// Drive only fails on configuration errors, which the
+		// experiment scales rule out.
+		panic(fmt.Sprintf("experiments: driveProfile: %v", err))
 	}
-	return r
+	return obs
+}
+
+// driveProfile is the engine-backed sampling loop shared by the
+// experiments: warm up, then record MaxLoad at a gap cadence,
+// optionally stopping early. It returns the per-sample observations
+// and the drive report (whose Final metrics are the unified
+// cross-backend counters).
+func driveProfile(r engine.Runner, warm, samples, gap int, stop func(engine.Metrics) bool) (stats.Running, engine.Report, error) {
+	var obs stats.Running
+	rep, err := engine.Drive(r, engine.DriveConfig{
+		Warmup:      warm,
+		Steps:       samples * gap,
+		SampleEvery: gap,
+		Observers: []engine.Observer{engine.ObserverFunc(func(_ engine.Runner, m engine.Metrics) {
+			obs.Add(float64(m.MaxLoad))
+		})},
+		StopWhen: stop,
+	})
+	return obs, rep, err
 }
 
 // ratioRow renders a standard (n, T, measured, bound-ratio) table row.

@@ -17,6 +17,12 @@
 // step accepts one and receives TransferAmount tasks. Tests validate
 // the same invariants as the deterministic implementations —
 // conservation, bounded load, message accounting — statistically.
+//
+// The substrate is packaged as a System: a persistent set of worker
+// goroutines advanced in batches of steps through the engine.Runner
+// interface (System.Steps), so the same engine.Drive loop that drives
+// the lockstep backends drives this one. Run remains as the one-shot
+// convenience wrapper.
 package live
 
 import (
@@ -24,6 +30,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"plb/internal/engine"
 	"plb/internal/faults"
 	"plb/internal/xrand"
 )
@@ -57,6 +64,31 @@ type Config struct {
 	// dropped (they ride a reliable transport); a plan seed of zero
 	// inherits Seed.
 	Faults *faults.Plan
+}
+
+// DefaultConfig derives the threshold constants from the paper's
+// T = (log log n)^2 the same way the lockstep balancer does: heavy at
+// T/2, light at T/16, T/4 tasks per transfer, the Lemma 1 probe count,
+// collision value 1.
+func DefaultConfig(n int, t int, seed uint64) Config {
+	maxOf := func(a, b int) int {
+		if a > b {
+			return a
+		}
+		return b
+	}
+	probes := 5
+	if probes > n-1 {
+		probes = n - 1
+	}
+	return Config{
+		N: n, P: 0.4, Eps: 0.1,
+		HeavyThreshold: maxOf(2, t/2),
+		LightThreshold: maxOf(1, t/16),
+		TransferAmount: maxOf(1, t/4),
+		Probes:         maxOf(1, probes), Collide: 1, Cooldown: 1,
+		Seed: seed,
+	}
 }
 
 // Validate checks the configuration.
@@ -120,12 +152,11 @@ type message struct {
 
 // barrier is a reusable cyclic barrier for n parties.
 type barrier struct {
-	mu     sync.Mutex
-	cond   *sync.Cond
-	n      int
-	count  int
-	phase  uint64
-	closed bool
+	mu    sync.Mutex
+	cond  *sync.Cond
+	n     int
+	count int
+	phase uint64
 }
 
 func newBarrier(n int) *barrier {
@@ -152,30 +183,188 @@ func (b *barrier) await() {
 	b.mu.Unlock()
 }
 
-// Run executes steps synchronous steps with one goroutine per
-// processor and returns the aggregated statistics.
-func Run(cfg Config, steps int) (Stats, error) {
+// System is the persistent goroutine-per-processor substrate. Worker
+// goroutines spawn lazily on the first Steps call and park at a batch
+// barrier between calls, so mailbox contents and per-processor state
+// carry across batches exactly as they would across steps of a single
+// long run. Close releases the goroutines; a System is not safe for
+// concurrent driving, matching the engine.Runner contract.
+type System struct {
+	cfg Config
+	n   int
+	inj *faults.Injector
+
+	loads   []int64 // owned by each goroutine; read via atomic at barriers
+	stepMax int64   // peak max load at any step boundary (atomic)
+	now     int64   // completed steps
+
+	// Per-worker cumulative counters, published at batch boundaries.
+	genC, doneC, msgC, movesC, movedC, dropC []int64
+
+	start, done *barrier // n+1 parties: the workers plus the coordinator
+	batch       int      // steps per granted batch; written before start.await
+	quit        bool     // set before start.await to terminate workers
+
+	snap    []int32 // Loads scratch
+	started bool
+	closed  bool
+	wg      sync.WaitGroup
+}
+
+// NewSystem validates the configuration and prepares a System. No
+// goroutines run until the first Steps call.
+func NewSystem(cfg Config) (*System, error) {
 	if err := cfg.Validate(); err != nil {
-		return Stats{}, err
-	}
-	if steps < 1 {
-		return Stats{}, fmt.Errorf("live: steps must be >= 1")
+		return nil, err
 	}
 	n := cfg.N
-	var inj *faults.Injector
-	if cfg.Faults != nil {
-		plan := *cfg.Faults
-		if plan.Seed == 0 {
-			plan.Seed = cfg.Seed
-		}
-		if plan.Active() {
-			var err error
-			inj, err = faults.NewInjector(n, plan)
-			if err != nil {
-				return Stats{}, err
-			}
-		}
+	s := &System{
+		cfg:   cfg,
+		n:     n,
+		loads: make([]int64, n),
+		genC:  make([]int64, n), doneC: make([]int64, n),
+		msgC: make([]int64, n), movesC: make([]int64, n),
+		movedC: make([]int64, n), dropC: make([]int64, n),
+		start: newBarrier(n + 1), done: newBarrier(n + 1),
+		snap: make([]int32, n),
 	}
+	if err := s.buildInjector(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// buildInjector materializes cfg.Faults into s.inj (nil when absent or
+// inactive).
+func (s *System) buildInjector() error {
+	s.inj = nil
+	if s.cfg.Faults == nil {
+		return nil
+	}
+	plan := *s.cfg.Faults
+	if plan.Seed == 0 {
+		plan.Seed = s.cfg.Seed
+	}
+	if !plan.Active() {
+		return nil
+	}
+	inj, err := faults.NewInjector(s.n, plan)
+	if err != nil {
+		return err
+	}
+	s.inj = inj
+	return nil
+}
+
+// AttachFaults implements engine.FaultAware: install a fault plan
+// after construction. Only legal before the first Steps call (the
+// workers capture the injector when they spawn).
+func (s *System) AttachFaults(plan *faults.Plan) error {
+	if s.started {
+		return fmt.Errorf("live: AttachFaults after the system started")
+	}
+	s.cfg.Faults = plan
+	return s.buildInjector()
+}
+
+// Meta implements engine.Runner.
+func (s *System) Meta() engine.Meta {
+	return engine.Meta{
+		Backend: "live",
+		Algorithm: fmt.Sprintf("threshold(heavy=%d,light=%d,probes=%d)",
+			s.cfg.HeavyThreshold, s.cfg.LightThreshold, s.cfg.Probes),
+		Model: fmt.Sprintf("single(p=%g,eps=%g)", s.cfg.P, s.cfg.Eps),
+		N:     s.n,
+		Seed:  s.cfg.Seed,
+	}
+}
+
+// Now implements engine.Runner: completed steps.
+func (s *System) Now() int64 { return s.now }
+
+// Loads implements engine.Runner: the per-processor queue lengths at
+// the last batch boundary. The slice is owned by the System.
+func (s *System) Loads() []int32 {
+	for p := 0; p < s.n; p++ {
+		s.snap[p] = int32(atomic.LoadInt64(&s.loads[p]))
+	}
+	return s.snap
+}
+
+// Collect implements engine.Runner: the unified metrics at the last
+// batch boundary. The exact per-step peak the workers track (a tighter
+// observation than sampled maxima) rides in Extra["peak_max_load"].
+func (s *System) Collect() engine.Metrics {
+	m := engine.Metrics{Steps: s.now}
+	for p := 0; p < s.n; p++ {
+		l := atomic.LoadInt64(&s.loads[p])
+		m.TotalLoad += l
+		if l > m.MaxLoad {
+			m.MaxLoad = l
+		}
+		m.Generated += atomic.LoadInt64(&s.genC[p])
+		m.Completed += atomic.LoadInt64(&s.doneC[p])
+		m.Messages += atomic.LoadInt64(&s.msgC[p])
+		m.BalanceActions += atomic.LoadInt64(&s.movesC[p])
+		m.TasksMoved += atomic.LoadInt64(&s.movedC[p])
+		m.Drops += atomic.LoadInt64(&s.dropC[p])
+	}
+	m.AddExtra("peak_max_load", atomic.LoadInt64(&s.stepMax))
+	return m
+}
+
+// Stats aggregates the run so far in the package's classic form.
+func (s *System) Stats() Stats {
+	m := s.Collect()
+	st := Stats{
+		Steps:     int(s.now),
+		Generated: m.Generated, Completed: m.Completed, Queued: m.TotalLoad,
+		MaxLoad:      int(m.Extra["peak_max_load"]),
+		FinalMaxLoad: int(m.MaxLoad),
+		Messages:     m.Messages, Transfers: m.BalanceActions, Drops: m.Drops,
+	}
+	return st
+}
+
+// Steps implements engine.Runner: advance all workers by k steps in
+// lockstep batches. It blocks until every worker has finished the
+// batch; k <= 0 is a no-op.
+func (s *System) Steps(k int) {
+	if k <= 0 || s.closed {
+		return
+	}
+	if !s.started {
+		s.spawn()
+		s.started = true
+	}
+	s.batch = k
+	s.start.await()
+	s.done.await()
+	s.now += int64(k)
+}
+
+// Close terminates the worker goroutines. The System's counters and
+// loads remain readable; Steps becomes a no-op.
+func (s *System) Close() {
+	if s.closed {
+		return
+	}
+	s.closed = true
+	if s.started {
+		s.quit = true
+		s.start.await()
+		s.wg.Wait()
+	}
+}
+
+// spawn launches the n worker goroutines. Each parks at the start
+// barrier between batches; all per-processor protocol state (queue
+// load, cooldown clock, crash history, mailbox backlog) lives in the
+// goroutine and persists across batches.
+func (s *System) spawn() {
+	cfg := s.cfg
+	n := s.n
+	inj := s.inj
 	// Mailboxes sized so a worst-case step (every processor probing
 	// the same target, plus replies and transfers) cannot block; under
 	// fault injection recovery scatters add up to one extra block per
@@ -188,10 +377,6 @@ func Run(cfg Config, steps int) (Stats, error) {
 	for i := range boxes {
 		boxes[i] = make(chan message, boxCap)
 	}
-	loads := make([]int64, n) // owned by each goroutine; read via atomic at barriers
-	var generated, completed, messages, transfers, drops int64
-	var stepMax int64
-
 	bar := newBarrier(n)
 	root := xrand.New(cfg.Seed)
 	streams := make([]*xrand.Stream, n)
@@ -199,22 +384,33 @@ func Run(cfg Config, steps int) (Stats, error) {
 		streams[i] = root.Split(uint64(i))
 	}
 
-	var wg sync.WaitGroup
-	wg.Add(n)
+	s.wg.Add(n)
 	for p := 0; p < n; p++ {
 		go func(p int) {
-			defer wg.Done()
+			defer s.wg.Done()
 			r := streams[p]
 			load := int64(0)
 			nextTry := 0
-			myGen, myDone, myMsg, myMoves, myDrops := int64(0), int64(0), int64(0), int64(0), int64(0)
+			myGen, myDone, myMsg, myMoves, myMoved, myDrops := int64(0), int64(0), int64(0), int64(0), int64(0), int64(0)
 			targets := make([]int, cfg.Probes)
 			var probesIn, acceptsIn []message
 			seq := int64(0)
+			step := 0
 			wasDown := false
 			slow := 1
 			if inj != nil && inj.Straggler(int32(p)) {
 				slow = inj.Plan().Slowdown
+			}
+			// publish pushes the worker's cumulative counters and load
+			// where the coordinator reads them (batch boundaries).
+			publish := func() {
+				atomic.StoreInt64(&s.genC[p], myGen)
+				atomic.StoreInt64(&s.doneC[p], myDone)
+				atomic.StoreInt64(&s.msgC[p], myMsg)
+				atomic.StoreInt64(&s.movesC[p], myMoves)
+				atomic.StoreInt64(&s.movedC[p], myMoved)
+				atomic.StoreInt64(&s.dropC[p], myDrops)
+				atomic.StoreInt64(&s.loads[p], load)
 			}
 			// sendCtl sends a control message (probe or accept) through
 			// the fault injector: a drop verdict — drop coin, partition
@@ -255,128 +451,137 @@ func Run(cfg Config, steps int) (Stats, error) {
 					}
 				}
 			}
-			for step := 0; step < steps; step++ {
-				probesIn = probesIn[:0]
-				acceptsIn = acceptsIn[:0]
-				down := inj != nil && inj.Crashed(int32(p), int64(step))
-				if inj != nil && wasDown && !down && inj.Redistribute() && load > 0 {
-					// Recovery with the redistribute policy: scatter the
-					// frozen backlog in blocks to distinct random peers
-					// (at most one block each, so mailboxes cannot
-					// overflow); any remainder stays local.
-					blocks := int(load) / cfg.TransferAmount
-					if blocks > n-1 {
-						blocks = n - 1
+			for {
+				s.start.await()
+				if s.quit {
+					publish()
+					return
+				}
+				for i := 0; i < s.batch; i++ {
+					probesIn = probesIn[:0]
+					acceptsIn = acceptsIn[:0]
+					down := inj != nil && inj.Crashed(int32(p), int64(step))
+					if inj != nil && wasDown && !down && inj.Redistribute() && load > 0 {
+						// Recovery with the redistribute policy: scatter the
+						// frozen backlog in blocks to distinct random peers
+						// (at most one block each, so mailboxes cannot
+						// overflow); any remainder stays local.
+						blocks := int(load) / cfg.TransferAmount
+						if blocks > n-1 {
+							blocks = n - 1
+						}
+						if blocks > 0 {
+							scat := make([]int, blocks)
+							r.SampleDistinct(scat, blocks, n, p)
+							for _, tgt := range scat {
+								load -= int64(cfg.TransferAmount)
+								boxes[tgt] <- message{kind: msgTasks, from: int32(p), k: int32(cfg.TransferAmount)}
+								myMsg++
+								myMoves++
+								myMoved += int64(cfg.TransferAmount)
+							}
+						}
 					}
-					if blocks > 0 {
-						scat := make([]int, blocks)
-						r.SampleDistinct(scat, blocks, n, p)
-						for _, tgt := range scat {
-							load -= int64(cfg.TransferAmount)
-							boxes[tgt] <- message{kind: msgTasks, from: int32(p), k: int32(cfg.TransferAmount)}
+					wasDown = down
+					// Sub-step 1: generate and consume locally (a crashed
+					// processor does neither; a straggler consumes at
+					// 1/slow rate, so its backlog grows until the balancer
+					// routes load away from it).
+					probing := false
+					if !down {
+						if r.Bernoulli(cfg.P) {
+							load++
+							myGen++
+						}
+						consumeP := cfg.P + cfg.Eps
+						if slow > 1 {
+							consumeP /= float64(slow)
+						}
+						if load > 0 && r.Bernoulli(consumeP) {
+							load--
+							myDone++
+						}
+						if step >= nextTry && load >= int64(cfg.HeavyThreshold) {
+							probing = true
+							nextTry = step + cfg.Cooldown + 1
+							r.SampleDistinct(targets, cfg.Probes, n, p)
+							for _, tgt := range targets {
+								sendCtl(step, tgt, msgProbe)
+							}
+						}
+					}
+					atomic.StoreInt64(&s.loads[p], load)
+					bar.await()
+
+					// Sub-step 2: answer probes (collision rule: answer
+					// only when at most Collide arrived; accept only when
+					// light). All of this step's probes are in the box by
+					// now (senders passed the barrier after sending).
+					drainAll()
+					if !down && len(probesIn) > 0 && len(probesIn) <= cfg.Collide &&
+						load <= int64(cfg.LightThreshold) {
+						sendCtl(step, int(probesIn[0].from), msgAccept)
+					}
+					bar.await()
+
+					// Sub-step 3: probers collect accepts and ship blocks.
+					drainAll()
+					if probing && len(acceptsIn) > 0 {
+						k := int64(cfg.TransferAmount)
+						if k > load {
+							k = load
+						}
+						if k > 0 {
+							load -= k
+							boxes[acceptsIn[0].from] <- message{kind: msgTasks, from: int32(p), k: int32(k)}
 							myMsg++
 							myMoves++
+							myMoved += k
 						}
 					}
-				}
-				wasDown = down
-				// Sub-step 1: generate and consume locally (a crashed
-				// processor does neither; a straggler consumes at
-				// 1/slow rate, so its backlog grows until the balancer
-				// routes load away from it).
-				probing := false
-				if !down {
-					if r.Bernoulli(cfg.P) {
-						load++
-						myGen++
-					}
-					consumeP := cfg.P + cfg.Eps
-					if slow > 1 {
-						consumeP /= float64(slow)
-					}
-					if load > 0 && r.Bernoulli(consumeP) {
-						load--
-						myDone++
-					}
-					if step >= nextTry && load >= int64(cfg.HeavyThreshold) {
-						probing = true
-						nextTry = step + cfg.Cooldown + 1
-						r.SampleDistinct(targets, cfg.Probes, n, p)
-						for _, tgt := range targets {
-							sendCtl(step, tgt, msgProbe)
-						}
-					}
-				}
-				atomic.StoreInt64(&loads[p], load)
-				bar.await()
+					bar.await()
 
-				// Sub-step 2: answer probes (collision rule: answer
-				// only when at most Collide arrived; accept only when
-				// light). All of this step's probes are in the box by
-				// now (senders passed the barrier after sending).
-				drainAll()
-				if !down && len(probesIn) > 0 && len(probesIn) <= cfg.Collide &&
-					load <= int64(cfg.LightThreshold) {
-					sendCtl(step, int(probesIn[0].from), msgAccept)
-				}
-				bar.await()
-
-				// Sub-step 3: probers collect accepts and ship blocks.
-				drainAll()
-				if probing && len(acceptsIn) > 0 {
-					k := int64(cfg.TransferAmount)
-					if k > load {
-						k = load
-					}
-					if k > 0 {
-						load -= k
-						boxes[acceptsIn[0].from] <- message{kind: msgTasks, from: int32(p), k: int32(k)}
-						myMsg++
-						myMoves++
-					}
-				}
-				bar.await()
-
-				// Sub-step 4: receive shipped blocks.
-				drainAll()
-				atomic.StoreInt64(&loads[p], load)
-				if p == 0 {
-					// One party samples the global max each step; the
-					// values it reads are barrier-fresh.
-					max := int64(0)
-					for q := 0; q < n; q++ {
-						if l := atomic.LoadInt64(&loads[q]); l > max {
-							max = l
+					// Sub-step 4: receive shipped blocks.
+					drainAll()
+					atomic.StoreInt64(&s.loads[p], load)
+					if p == 0 {
+						// One party samples the global max each step; the
+						// values it reads are barrier-fresh.
+						max := int64(0)
+						for q := 0; q < n; q++ {
+							if l := atomic.LoadInt64(&s.loads[q]); l > max {
+								max = l
+							}
+						}
+						for {
+							cur := atomic.LoadInt64(&s.stepMax)
+							if max <= cur || atomic.CompareAndSwapInt64(&s.stepMax, cur, max) {
+								break
+							}
 						}
 					}
-					for {
-						cur := atomic.LoadInt64(&stepMax)
-						if max <= cur || atomic.CompareAndSwapInt64(&stepMax, cur, max) {
-							break
-						}
-					}
+					bar.await()
+					step++
 				}
-				bar.await()
+				publish()
+				s.done.await()
 			}
-			atomic.AddInt64(&generated, myGen)
-			atomic.AddInt64(&completed, myDone)
-			atomic.AddInt64(&messages, myMsg)
-			atomic.AddInt64(&transfers, myMoves)
-			atomic.AddInt64(&drops, myDrops)
-			atomic.StoreInt64(&loads[p], load)
 		}(p)
 	}
-	wg.Wait()
+}
 
-	st := Stats{Steps: steps, Generated: generated, Completed: completed,
-		Messages: messages, Transfers: transfers, Drops: drops,
-		MaxLoad: int(atomic.LoadInt64(&stepMax))}
-	for p := 0; p < n; p++ {
-		l := atomic.LoadInt64(&loads[p])
-		st.Queued += l
-		if int(l) > st.FinalMaxLoad {
-			st.FinalMaxLoad = int(l)
-		}
+// Run executes steps synchronous steps with one goroutine per
+// processor and returns the aggregated statistics — the one-shot
+// wrapper over System.
+func Run(cfg Config, steps int) (Stats, error) {
+	if steps < 1 {
+		return Stats{}, fmt.Errorf("live: steps must be >= 1")
 	}
-	return st, nil
+	s, err := NewSystem(cfg)
+	if err != nil {
+		return Stats{}, err
+	}
+	defer s.Close()
+	s.Steps(steps)
+	return s.Stats(), nil
 }

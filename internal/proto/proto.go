@@ -51,6 +51,7 @@ import (
 
 	"plb/internal/collision"
 	"plb/internal/core"
+	"plb/internal/engine"
 	"plb/internal/faults"
 	"plb/internal/netsim"
 	"plb/internal/sim"
@@ -220,6 +221,7 @@ type Balancer struct {
 
 	totalPhases  int64
 	totalMatched int64
+	totalHeavy   int64
 
 	// Fault-injection state (inj nil ⇒ every hardening path below is
 	// skipped and the balancer behaves exactly as the fault-free
@@ -270,6 +272,29 @@ func (b *Balancer) Config() Config { return b.cfg }
 // Totals returns (phases completed, heavy->light matches performed).
 func (b *Balancer) Totals() (phases, matched int64) {
 	return b.totalPhases, b.totalMatched
+}
+
+// BackendName implements sim.BackendNamer: a machine carrying this
+// balancer reports itself as the "proto" backend through engine.Runner.
+func (b *Balancer) BackendName() string { return "proto" }
+
+// ExtendMetrics implements sim.MetricsExtender, contributing the
+// distributed protocol's extension counters to the unified metrics:
+// completed phases, classified-heavy roots, performed matches, and the
+// netsim fault-delivery counters.
+func (b *Balancer) ExtendMetrics(m *engine.Metrics) {
+	m.AddExtra("phases", b.totalPhases)
+	m.AddExtra("heavy", b.totalHeavy)
+	m.AddExtra("matched", b.totalMatched)
+	if b.nw != nil {
+		m.AddExtra("net_sent", b.nw.Sent())
+		if d := b.nw.Duplicated(); d > 0 {
+			m.AddExtra("net_duplicated", d)
+		}
+		if d := b.nw.Delayed(); d > 0 {
+			m.AddExtra("net_delayed", d)
+		}
+	}
 }
 
 // Init implements sim.Balancer.
@@ -762,6 +787,7 @@ func (b *Balancer) finishPhase(m *sim.Machine) {
 	}
 	b.totalPhases++
 	b.totalMatched += int64(b.ps.Matched)
+	b.totalHeavy += int64(b.ps.Heavy)
 	if b.cfg.OnPhase != nil {
 		b.cfg.OnPhase(b.ps)
 	}

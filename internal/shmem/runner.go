@@ -1,0 +1,167 @@
+package shmem
+
+import (
+	"fmt"
+
+	"plb/internal/engine"
+	"plb/internal/xrand"
+)
+
+// RunnerConfig parameterizes a steppable PRAM workload over a Memory.
+type RunnerConfig struct {
+	// Mem is the memory configuration.
+	Mem Config
+	// AccessesPerStep is the number of memory accesses issued per PRAM
+	// step (one per processor when 0).
+	AccessesPerStep int
+	// WriteFraction is the probability an access is a write (default
+	// 0.5 when exactly 0 and ReadOnly is unset).
+	WriteFraction float64
+	// ReadOnly forces WriteFraction to 0.
+	ReadOnly bool
+	// Cells is the logical address-space size accesses draw from
+	// (default 8 * Mem.Modules).
+	Cells int64
+	// Batch bounds concurrent requests per collision batch — the
+	// protocol only guarantees progress for a constant fraction of
+	// n/a requests (default Mem.Modules / (2 * Mem.Copies), floored
+	// at 1).
+	Batch int
+	// Seed drives the access generator; 0 inherits Mem.Seed.
+	Seed uint64
+}
+
+// Runner drives a Memory with a synthetic PRAM access stream, one
+// batch-completed PRAM step per engine step. It implements
+// engine.Runner: "load" is memory occupancy — the number of resident
+// cell replicas per module — so MaxLoad measures how evenly the
+// replication hash spreads cells.
+type Runner struct {
+	cfg  RunnerConfig
+	mem  *Memory
+	rng  *xrand.Stream
+	now  int64
+	snap []int32
+
+	generated, completed int64
+	batches              int64
+	shrunkBatches        int64
+	scratch              []Access
+}
+
+// NewRunner validates the configuration and builds the runner.
+func NewRunner(cfg RunnerConfig) (*Runner, error) {
+	mem, err := New(cfg.Mem)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.AccessesPerStep <= 0 {
+		cfg.AccessesPerStep = cfg.Mem.Procs
+	}
+	if cfg.ReadOnly {
+		cfg.WriteFraction = 0
+	} else if cfg.WriteFraction == 0 {
+		cfg.WriteFraction = 0.5
+	}
+	if cfg.WriteFraction < 0 || cfg.WriteFraction > 1 {
+		return nil, fmt.Errorf("shmem: write fraction %v out of [0, 1]", cfg.WriteFraction)
+	}
+	if cfg.Cells <= 0 {
+		cfg.Cells = int64(8 * cfg.Mem.Modules)
+	}
+	if cfg.Batch <= 0 {
+		cfg.Batch = cfg.Mem.Modules / (2 * cfg.Mem.Copies)
+		if cfg.Batch < 1 {
+			cfg.Batch = 1
+		}
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = cfg.Mem.Seed
+	}
+	return &Runner{
+		cfg:     cfg,
+		mem:     mem,
+		rng:     xrand.New(cfg.Seed ^ 0x7a11),
+		snap:    make([]int32, cfg.Mem.Modules),
+		scratch: make([]Access, cfg.AccessesPerStep),
+	}, nil
+}
+
+// Memory exposes the underlying memory (for direct Read/Write checks).
+func (r *Runner) Memory() *Memory { return r.mem }
+
+// Meta implements engine.Runner.
+func (r *Runner) Meta() engine.Meta {
+	return engine.Meta{
+		Backend: "shmem",
+		Algorithm: fmt.Sprintf("collision(a=%d,b=%d,c=%d)",
+			r.cfg.Mem.Copies, r.cfg.Mem.Quorum, r.cfg.Mem.ModuleCap),
+		Model: fmt.Sprintf("pram(accesses=%d,writes=%.2f)",
+			r.cfg.AccessesPerStep, r.cfg.WriteFraction),
+		N:    r.cfg.Mem.Modules,
+		Seed: r.cfg.Seed,
+	}
+}
+
+// Now implements engine.Runner.
+func (r *Runner) Now() int64 { return r.now }
+
+// Steps implements engine.Runner: each step issues AccessesPerStep
+// random accesses and completes all of them through batched collision
+// rounds (RunAll).
+func (r *Runner) Steps(k int) {
+	for i := 0; i < k; i++ {
+		for j := range r.scratch {
+			a := Access{
+				Proc: int32(r.rng.Intn(r.cfg.Mem.Procs)),
+				Cell: int64(r.rng.Intn(int(r.cfg.Cells))),
+			}
+			if r.cfg.WriteFraction > 0 && r.rng.Bernoulli(r.cfg.WriteFraction) {
+				a.Write = true
+				a.Value = int64(j) + r.now*int64(len(r.scratch))
+			}
+			r.scratch[j] = a
+		}
+		_, batches := r.mem.RunAll(r.scratch, r.cfg.Batch)
+		r.generated += int64(len(r.scratch))
+		r.completed += int64(len(r.scratch)) // RunAll retries to completion
+		r.batches += int64(batches)
+		if min := (len(r.scratch) + r.cfg.Batch - 1) / r.cfg.Batch; batches > min {
+			r.shrunkBatches += int64(batches - min)
+		}
+		r.now++
+	}
+}
+
+// Loads implements engine.Runner: resident cell replicas per module.
+func (r *Runner) Loads() []int32 {
+	for mod := range r.mem.store {
+		r.snap[mod] = int32(len(r.mem.store[mod]))
+	}
+	return r.snap
+}
+
+// Collect implements engine.Runner. Messages and CommRounds are the
+// collision protocol's cumulative request/reply and round counts;
+// Extra carries the batching behaviour ("batches" consumed, and
+// "extra_batches" beyond the contention-free minimum).
+func (r *Runner) Collect() engine.Metrics {
+	m := engine.Metrics{
+		Steps:      r.now,
+		Generated:  r.generated,
+		Completed:  r.completed,
+		Messages:   r.mem.Messages,
+		CommRounds: r.mem.Rounds,
+	}
+	for _, l := range r.Loads() {
+		if int64(l) > m.MaxLoad {
+			m.MaxLoad = int64(l)
+		}
+		m.TotalLoad += int64(l)
+	}
+	m.AddExtra("batches", r.batches)
+	if r.shrunkBatches > 0 {
+		m.AddExtra("extra_batches", r.shrunkBatches)
+	}
+	return m
+}

@@ -113,6 +113,7 @@ type Machine struct {
 	model   gen.Model
 	bal     Balancer
 	workers int
+	seed    uint64
 	now     int64
 
 	queues  []deque.Deque[task.Task]
@@ -142,6 +143,7 @@ func New(cfg Config) (*Machine, error) {
 		model:   cfg.Model,
 		bal:     cfg.Balancer,
 		workers: cfg.Workers,
+		seed:    cfg.Seed,
 		queues:  make([]deque.Deque[task.Task], cfg.N),
 		streams: make([]*xrand.Stream, cfg.N),
 		loads:   make([]int32, cfg.N),

@@ -1,0 +1,101 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"plb/internal/live"
+)
+
+// The recorder must work against a non-sim Runner with the exact same
+// semantics: the tests below drive the goroutine-per-processor live
+// backend, whose stepping is genuinely concurrent.
+
+func liveSystem(t *testing.T) *live.System {
+	t.Helper()
+	s, err := live.NewSystem(live.DefaultConfig(16, 9, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func TestRecorderLiveCadence(t *testing.T) {
+	s := liveSystem(t)
+	r := NewRecorder(10)
+	r.Run(s, 105) // 10, 20, ..., 100, 105
+	pts := r.Points()
+	if len(pts) != 11 {
+		t.Fatalf("points = %d, want 11", len(pts))
+	}
+	for i := 0; i < 10; i++ {
+		if pts[i].Step != int64((i+1)*10) {
+			t.Fatalf("point %d at step %d, want %d", i, pts[i].Step, (i+1)*10)
+		}
+	}
+	if pts[10].Step != 105 {
+		t.Fatalf("tail sample at step %d, want 105", pts[10].Step)
+	}
+	if r.Meta().Backend != "live" {
+		t.Fatalf("recorded backend %q, want live", r.Meta().Backend)
+	}
+}
+
+func TestRecorderLiveCountersMonotone(t *testing.T) {
+	s := liveSystem(t)
+	r := NewRecorder(5)
+	r.Run(s, 200)
+	var prev Point
+	for i, p := range r.Points() {
+		if p.Step <= prev.Step {
+			t.Fatalf("point %d: step %d not after %d", i, p.Step, prev.Step)
+		}
+		if p.Messages < prev.Messages || p.TasksMoved < prev.TasksMoved || p.BalanceActions < prev.BalanceActions {
+			t.Fatalf("point %d: cumulative counters regressed: %+v after %+v", i, p, prev)
+		}
+		if p.MaxLoad < 0 || p.TotalLoad < p.MaxLoad {
+			t.Fatalf("point %d: inconsistent loads %+v", i, p)
+		}
+		prev = p
+	}
+	if prev.Messages == 0 {
+		t.Fatal("live system recorded no messages in 200 steps")
+	}
+}
+
+func TestRecorderLiveRoundTrip(t *testing.T) {
+	s := liveSystem(t)
+	r := NewRecorder(25)
+	r.Run(s, 100)
+
+	var csv strings.Builder
+	if err := r.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(csv.String()), "\n")
+	if len(lines) != 1+len(r.Points()) {
+		t.Fatalf("csv lines = %d, want %d:\n%s", len(lines), 1+len(r.Points()), csv.String())
+	}
+
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	series, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if series.Meta != r.Meta() {
+		t.Fatalf("meta round-trip: got %+v, want %+v", series.Meta, r.Meta())
+	}
+	if len(series.Points) != len(r.Points()) {
+		t.Fatalf("points round-trip: got %d, want %d", len(series.Points), len(r.Points()))
+	}
+	for i, p := range series.Points {
+		if p != r.Points()[i] {
+			t.Fatalf("point %d round-trip: got %+v, want %+v", i, p, r.Points()[i])
+		}
+	}
+}

@@ -1,33 +1,56 @@
-// Package trace records time series from a running simulation — the
+// Package trace records time series from any engine.Runner — the
 // "figures" companion to the experiment tables: max/total load,
 // message and movement counters sampled at a fixed cadence, written as
-// CSV for plotting.
+// CSV or JSON for plotting. Because it speaks the unified engine
+// surface, the same Recorder plots the lockstep simulator, the
+// distributed protocol, the live harness, and the shmem PRAM.
 package trace
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 
-	"plb/internal/sim"
+	"plb/internal/engine"
 )
 
-// Point is one sample of the machine's observable state.
+// Point is one sample of a runner's observable state.
 type Point struct {
-	// Step is the machine time of the sample.
-	Step int64
+	// Step is the runner time of the sample.
+	Step int64 `json:"step"`
 	// MaxLoad and TotalLoad are the instantaneous load statistics.
-	MaxLoad   int
-	TotalLoad int64
+	MaxLoad   int64 `json:"max_load"`
+	TotalLoad int64 `json:"total_load"`
 	// Messages, BalanceActions and TasksMoved are cumulative counters
 	// at the sample time.
-	Messages       int64
-	BalanceActions int64
-	TasksMoved     int64
+	Messages       int64 `json:"messages"`
+	BalanceActions int64 `json:"balance_actions"`
+	TasksMoved     int64 `json:"tasks_moved"`
+	// Drops is the cumulative fault-injection loss counter (zero in
+	// every fault-free run; omitted from the CSV for compatibility).
+	Drops int64 `json:"drops,omitempty"`
 }
 
-// Recorder samples a machine at a fixed cadence.
+// pointOf projects the unified metrics onto a Point.
+func pointOf(m engine.Metrics) Point {
+	return Point{
+		Step:           m.Steps,
+		MaxLoad:        m.MaxLoad,
+		TotalLoad:      m.TotalLoad,
+		Messages:       m.Messages,
+		BalanceActions: m.BalanceActions,
+		TasksMoved:     m.TasksMoved,
+		Drops:          m.Drops,
+	}
+}
+
+// Recorder samples a runner at a fixed cadence. It implements
+// engine.Observer, so it can ride an engine.Drive as one of the
+// observers; Run remains the standalone entry point.
 type Recorder struct {
 	every  int
+	meta   engine.Meta
+	got    bool
 	points []Point
 }
 
@@ -39,46 +62,49 @@ func NewRecorder(every int) *Recorder {
 	return &Recorder{every: every}
 }
 
-// Run advances m by steps steps, sampling along the way (and once at
-// the end if the last segment is partial).
-func (r *Recorder) Run(m *sim.Machine, steps int) {
-	done := 0
-	for done < steps {
-		chunk := r.every
-		if rest := steps - done; chunk > rest {
-			chunk = rest
-		}
-		m.Run(chunk)
-		done += chunk
-		r.Sample(m)
+// Run advances r by steps steps, sampling along the way (and once at
+// the end if the last segment is partial). It is a thin wrap of
+// engine.Drive with the recorder as the only observer.
+func (r *Recorder) Run(run engine.Runner, steps int) {
+	if _, err := engine.Drive(run, engine.DriveConfig{
+		Steps:       steps,
+		SampleEvery: r.every,
+		Observers:   []engine.Observer{r},
+	}); err != nil {
+		// The only failure modes are configuration errors (steps < 1);
+		// keep the legacy tolerant no-op behaviour.
+		return
 	}
 }
 
-// Sample records the machine's current state.
-func (r *Recorder) Sample(m *sim.Machine) {
-	met := m.Metrics()
-	r.points = append(r.points, Point{
-		Step:           m.Now(),
-		MaxLoad:        m.MaxLoad(),
-		TotalLoad:      m.TotalLoad(),
-		Messages:       met.Messages,
-		BalanceActions: met.BalanceActions,
-		TasksMoved:     met.TasksMoved,
-	})
+// Observe implements engine.Observer.
+func (r *Recorder) Observe(run engine.Runner, m engine.Metrics) {
+	if !r.got {
+		r.meta = run.Meta()
+		r.got = true
+	}
+	r.points = append(r.points, pointOf(m))
 }
+
+// Sample records the runner's current state outside a drive.
+func (r *Recorder) Sample(run engine.Runner) { r.Observe(run, run.Collect()) }
 
 // Points returns the recorded samples.
 func (r *Recorder) Points() []Point { return r.points }
 
+// Meta returns the metadata of the recorded runner (zero until the
+// first sample).
+func (r *Recorder) Meta() engine.Meta { return r.meta }
+
 // PeakMaxLoad returns the largest sampled max load (0 if no samples).
 func (r *Recorder) PeakMaxLoad() int {
-	peak := 0
+	peak := int64(0)
 	for _, p := range r.points {
 		if p.MaxLoad > peak {
 			peak = p.MaxLoad
 		}
 	}
-	return peak
+	return int(peak)
 }
 
 // WriteCSV writes the series with a header row.
@@ -93,4 +119,25 @@ func (r *Recorder) WriteCSV(w io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// Series is the JSON shape of a recorded trace.
+type Series struct {
+	Meta   engine.Meta `json:"meta"`
+	Points []Point     `json:"points"`
+}
+
+// WriteJSON writes the series (with the runner metadata) as indented
+// JSON.
+func (r *Recorder) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(Series{Meta: r.meta, Points: r.points})
+}
+
+// ReadJSON parses a series written by WriteJSON.
+func ReadJSON(rd io.Reader) (Series, error) {
+	var s Series
+	err := json.NewDecoder(rd).Decode(&s)
+	return s, err
 }

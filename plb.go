@@ -32,9 +32,11 @@ import (
 	"plb/internal/baselines"
 	"plb/internal/collision"
 	"plb/internal/core"
+	"plb/internal/engine"
 	"plb/internal/gen"
 	"plb/internal/live"
 	"plb/internal/proto"
+	"plb/internal/shmem"
 	"plb/internal/sim"
 	"plb/internal/stats"
 	"plb/internal/xrand"
@@ -230,3 +232,61 @@ func NewDistributedBalancer(n int, cfg DistributedConfig) (Balancer, error) {
 func NewPhaselessBalancer(n int, seed uint64) (Balancer, error) {
 	return core.NewPhaseless(n, seed)
 }
+
+// Unified engine surface: one Runner abstraction over every backend
+// (see docs/ENGINE.md). *Machine, *LiveSystem and *ShmemRunner all
+// implement Runner, so one harness drives them all through Drive.
+
+// Runner is a steppable backend with the unified observable surface.
+type Runner = engine.Runner
+
+// RunMeta identifies a run (backend, algorithm, model, n, seed).
+type RunMeta = engine.Meta
+
+// RunMetrics is the unified cross-backend metrics snapshot.
+type RunMetrics = engine.Metrics
+
+// Observer receives a metrics sample at every drive cadence point;
+// ObserverFunc adapts a plain function.
+type Observer = engine.Observer
+
+// ObserverFunc adapts a function to the Observer interface.
+type ObserverFunc = engine.ObserverFunc
+
+// DriveConfig parameterizes Drive (steps, warmup, sampling cadence,
+// observers, stop condition, fault plan).
+type DriveConfig = engine.DriveConfig
+
+// DriveReport aggregates a drive (final metrics, sample count, peak
+// and mean max load).
+type DriveReport = engine.Report
+
+// Drive is the single run loop over any backend: warm up, then step at
+// the sampling cadence, notifying observers and honoring the stop
+// condition.
+func Drive(r Runner, cfg DriveConfig) (DriveReport, error) { return engine.Drive(r, cfg) }
+
+// LiveSystem is the steppable goroutine-per-processor backend.
+type LiveSystem = live.System
+
+// DefaultLiveConfig derives the live backend's thresholds from n and
+// T (the paper's formulas at laptop scale).
+func DefaultLiveConfig(n, t int, seed uint64) LiveConfig { return live.DefaultConfig(n, t, seed) }
+
+// NewLiveSystem builds the live backend as a steppable Runner (one
+// goroutine per processor; Close releases them).
+func NewLiveSystem(cfg LiveConfig) (*LiveSystem, error) { return live.NewSystem(cfg) }
+
+// ShmemRunner drives the MSS95 shared-memory simulation — the
+// collision protocol's historical home — as a Runner.
+type ShmemRunner = shmem.Runner
+
+// ShmemRunnerConfig parameterizes NewShmemRunner.
+type ShmemRunnerConfig = shmem.RunnerConfig
+
+// ShmemConfig parameterizes the simulated memory itself.
+type ShmemConfig = shmem.Config
+
+// NewShmemRunner builds the shared-memory simulation as a steppable
+// Runner issuing a synthetic PRAM access stream.
+func NewShmemRunner(cfg ShmemRunnerConfig) (*ShmemRunner, error) { return shmem.NewRunner(cfg) }
