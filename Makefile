@@ -3,7 +3,7 @@
 GO ?= go
 BENCH_JSON ?= BENCH_plb.json
 
-.PHONY: all build test race bench bench-smoke experiments experiments-quick faults lint clean
+.PHONY: all build test race bench bench-smoke bench-compare experiments experiments-quick faults lint clean
 
 all: build test
 
@@ -30,6 +30,14 @@ bench-smoke:
 	$(GO) test -run XXX -bench=. -benchtime=1x -benchmem ./... > bench.out || (cat bench.out; rm -f bench.out; exit 1)
 	$(GO) run ./cmd/benchjson -o $(BENCH_JSON) < bench.out
 	@rm -f bench.out
+
+# bench-compare diffs a fresh benchmark JSON (BENCH_NEW, default the
+# bench-smoke output) against the committed baseline. Warn-only: it
+# prints the delta table and flags >15% ns/op regressions without
+# failing, so the committed baseline only moves deliberately.
+BENCH_NEW ?= $(BENCH_JSON)
+bench-compare:
+	$(GO) run ./cmd/benchjson -compare BENCH_plb.json $(BENCH_NEW)
 
 # Full reproduction of the paper's evaluation (laptop-minutes).
 experiments:

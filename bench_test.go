@@ -58,6 +58,8 @@ func BenchmarkE17RecoveryTrajectory(b *testing.B)    { benchExperiment(b, "E17")
 func BenchmarkE18WeightedExtension(b *testing.B)     { benchExperiment(b, "E18") }
 func BenchmarkE19CollisionParams(b *testing.B)       { benchExperiment(b, "E19") }
 func BenchmarkE20Estimation(b *testing.B)            { benchExperiment(b, "E20") }
+func BenchmarkE21FaultInjection(b *testing.B)        { benchExperiment(b, "E21") }
+func BenchmarkE22SelfSpeedup(b *testing.B)           { benchExperiment(b, "E22") }
 
 // BenchmarkMachineStep measures raw simulator throughput
 // (processor-steps per second) for the balanced and unbalanced system.
@@ -83,6 +85,37 @@ func BenchmarkMachineStep(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					m.Step()
+				}
+				b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "proc-steps/s")
+			})
+		}
+	}
+}
+
+// BenchmarkMachineStepWorkers measures full-machine step throughput of
+// the paper's balancer across worker counts at the ISSUE's reference
+// sizes — the self-speedup anchor recorded in BENCH_plb.json. The
+// trajectory is bit-identical across the workers axis (see the golden
+// worker-invariance tests); only the wall clock may differ.
+func BenchmarkMachineStepWorkers(b *testing.B) {
+	for _, n := range []int{1 << 14, 1 << 16, 1 << 18} {
+		for _, workers := range []int{1, 2, 8} {
+			name := "bfm98/n=" + strconv.Itoa(n) + "/workers=" + strconv.Itoa(workers)
+			b.Run(name, func(b *testing.B) {
+				model, err := plb.NewSingleModel(0.4, 0.1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				m, err := plb.NewBalancedMachine(plb.MachineConfig{N: n, Model: model, Seed: 1, Workers: workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+				m.Inject(0, n/4) // give the balancer real work
+				m.Steps(32)      // warm up past the first phases
 				b.ReportAllocs()
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {

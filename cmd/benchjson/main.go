@@ -47,11 +47,28 @@ type File struct {
 	GOARCH    string   `json:"goarch"`
 	Generated string   `json:"generated"`
 	Results   []Result `json:"results"`
+	// Before optionally carries the previous baseline (-before), so a
+	// committed file documents its own before/after delta.
+	Before *File `json:"before,omitempty"`
 }
 
 func main() {
 	out := flag.String("o", "BENCH_plb.json", "output JSON path")
+	before := flag.String("before", "", "prior benchmark JSON to embed as the 'before' field")
+	compare := flag.Bool("compare", false, "compare two benchmark JSON files: benchjson -compare old.json new.json (prints a delta table; regressions warn, exit stays 0)")
 	flag.Parse()
+
+	if *compare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "benchjson: -compare needs exactly two files: old.json new.json")
+			os.Exit(2)
+		}
+		if err := runCompare(flag.Arg(0), flag.Arg(1), os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	results, err := parse(os.Stdin, os.Stdout)
 	if err != nil {
@@ -64,6 +81,15 @@ func main() {
 		GOARCH:    runtime.GOARCH,
 		Generated: time.Now().UTC().Format(time.RFC3339),
 		Results:   results,
+	}
+	if *before != "" {
+		prev, err := load(*before)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		prev.Before = nil // one level of history, no recursion
+		doc.Before = prev
 	}
 	f, err := os.Create(*out)
 	if err != nil {
@@ -81,6 +107,79 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: %d results -> %s\n", len(results), *out)
+}
+
+// load reads a benchmark JSON file.
+func load(path string) (*File, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &f, nil
+}
+
+// regressThreshold is the ns/op growth beyond which a comparison row is
+// flagged. Single-run benches on shared CI hosts jitter; the threshold
+// keeps the warn-only signal from crying wolf on noise.
+const regressThreshold = 0.15
+
+// runCompare prints a benchstat-style delta table of new vs old.
+// Regressions are flagged in the table and summarized on stderr, but
+// never change the exit code — the committed baseline moves only when a
+// human decides it should.
+func runCompare(oldPath, newPath string, w io.Writer) error {
+	oldF, err := load(oldPath)
+	if err != nil {
+		return err
+	}
+	newF, err := load(newPath)
+	if err != nil {
+		return err
+	}
+	type key struct {
+		name  string
+		procs int
+	}
+	oldBy := make(map[key]Result, len(oldF.Results))
+	for _, r := range oldF.Results {
+		oldBy[key{r.Name, r.Procs}] = r
+	}
+	fmt.Fprintf(w, "benchjson compare: %s (old, %s) vs %s (new, %s)\n",
+		oldPath, oldF.Generated, newPath, newF.Generated)
+	fmt.Fprintf(w, "%-64s %14s %14s %8s %10s\n", "benchmark", "old ns/op", "new ns/op", "delta", "allocs/op")
+	regressions := 0
+	matched := 0
+	for _, nr := range newF.Results {
+		or, ok := oldBy[key{nr.Name, nr.Procs}]
+		if !ok || or.NsPerOp == 0 {
+			continue
+		}
+		matched++
+		delta := nr.NsPerOp/or.NsPerOp - 1
+		flag := ""
+		if delta > regressThreshold {
+			flag = "  WARN: regression"
+			regressions++
+		}
+		allocs := fmt.Sprintf("%d->%d", or.AllocsPerOp, nr.AllocsPerOp)
+		if nr.AllocsPerOp == or.AllocsPerOp {
+			allocs = fmt.Sprintf("%d", nr.AllocsPerOp)
+		}
+		fmt.Fprintf(w, "%-64s %14.1f %14.1f %+7.1f%% %10s%s\n",
+			nr.Name, or.NsPerOp, nr.NsPerOp, delta*100, allocs, flag)
+	}
+	if matched == 0 {
+		fmt.Fprintln(w, "(no common benchmarks)")
+	}
+	if regressions > 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: %d benchmark(s) regressed more than %.0f%% (warn-only)\n",
+			regressions, regressThreshold*100)
+	}
+	return nil
 }
 
 // parse scans go-test benchmark output from r, echoing every line to

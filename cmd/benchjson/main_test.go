@@ -1,6 +1,9 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -57,5 +60,88 @@ func TestParseLineRejectsNoise(t *testing.T) {
 		if res, ok := parseLine(line, ""); ok {
 			t.Fatalf("parsed noise %q into %+v", line, res)
 		}
+	}
+}
+
+// writeFile marshals a File to dir/name for the compare tests.
+func writeFile(t *testing.T, dir, name string, f File) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	data, err := json.Marshal(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunCompare(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeFile(t, dir, "old.json", File{Generated: "then", Results: []Result{
+		{Name: "BenchmarkA", Procs: 1, NsPerOp: 100, AllocsPerOp: 10},
+		{Name: "BenchmarkB", Procs: 1, NsPerOp: 100, AllocsPerOp: 5},
+		{Name: "BenchmarkOldOnly", Procs: 1, NsPerOp: 1},
+	}})
+	newPath := writeFile(t, dir, "new.json", File{Generated: "now", Results: []Result{
+		{Name: "BenchmarkA", Procs: 1, NsPerOp: 50, AllocsPerOp: 0},  // improved
+		{Name: "BenchmarkB", Procs: 1, NsPerOp: 200, AllocsPerOp: 5}, // regressed
+		{Name: "BenchmarkNewOnly", Procs: 1, NsPerOp: 1},
+	}})
+	var out strings.Builder
+	if err := runCompare(oldPath, newPath, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "BenchmarkA") || !strings.Contains(got, "-50.0%") {
+		t.Fatalf("improvement row missing:\n%s", got)
+	}
+	if !strings.Contains(got, "BenchmarkB") || !strings.Contains(got, "WARN: regression") {
+		t.Fatalf("regression not flagged:\n%s", got)
+	}
+	if strings.Contains(got, "BenchmarkOldOnly") || strings.Contains(got, "BenchmarkNewOnly") {
+		t.Fatalf("unmatched benchmarks should be skipped:\n%s", got)
+	}
+	if !strings.Contains(got, "10->0") {
+		t.Fatalf("allocs delta missing:\n%s", got)
+	}
+}
+
+func TestRunCompareNoCommon(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeFile(t, dir, "old.json", File{Results: []Result{{Name: "BenchmarkX", Procs: 1, NsPerOp: 1}}})
+	newPath := writeFile(t, dir, "new.json", File{Results: []Result{{Name: "BenchmarkY", Procs: 1, NsPerOp: 1}}})
+	var out strings.Builder
+	if err := runCompare(oldPath, newPath, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "no common benchmarks") {
+		t.Fatalf("missing no-common notice:\n%s", out.String())
+	}
+}
+
+func TestRunCompareMissingFile(t *testing.T) {
+	if err := runCompare("does-not-exist.json", "also-missing.json", &strings.Builder{}); err == nil {
+		t.Fatal("expected an error for missing input files")
+	}
+}
+
+func TestLoadEmbeddedBefore(t *testing.T) {
+	dir := t.TempDir()
+	path := writeFile(t, dir, "with-before.json", File{
+		Generated: "now",
+		Results:   []Result{{Name: "BenchmarkA", Procs: 1, NsPerOp: 50}},
+		Before: &File{
+			Generated: "then",
+			Results:   []Result{{Name: "BenchmarkA", Procs: 1, NsPerOp: 100}},
+		},
+	})
+	f, err := load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Before == nil || f.Before.Generated != "then" || len(f.Before.Results) != 1 {
+		t.Fatalf("before field not round-tripped: %+v", f.Before)
 	}
 }

@@ -22,12 +22,21 @@
 // Lemma 1 instantiates a=5, b=2, c=1: within 5 log log n steps each
 // request has two accepted queries and no processor is assigned more
 // than one, w.h.p.
+//
+// The kernel is data-parallel: within a round, a processor's accept
+// decision is a pure function of its cumulative accept count and this
+// round's arrival count, so arrival counting and acceptance are
+// sharded over par.Ranges with per-shard private buffers and a
+// deterministic shard-order merge. Results are bit-identical for every
+// worker count (including 1). Scratch makes repeated executions
+// allocation-free in steady state.
 package collision
 
 import (
 	"fmt"
 	"math"
 
+	"plb/internal/par"
 	"plb/internal/xrand"
 )
 
@@ -97,6 +106,9 @@ func (p Params) DefaultRounds(n int) int {
 func (p Params) StepsPerRound() int { return p.A * p.C }
 
 // Result reports the outcome of a protocol execution.
+//
+// When produced by Scratch.Run, every slice views the Scratch's
+// reusable memory and is valid only until that Scratch's next Run.
 type Result struct {
 	// Accepted[i] lists the processors that accepted queries of
 	// request i, in acceptance order (length >= b iff Satisfied[i]).
@@ -117,6 +129,50 @@ type Result struct {
 	AcceptCount []int8
 }
 
+// parMinActive is the smallest active-request count for which the
+// sharded round kernel beats the sequential one; below it a round runs
+// inline. The cutover is invisible in the results (both paths are
+// bit-identical), it only moves the constant.
+const parMinActive = 256
+
+// Scratch holds the collision kernel's reusable working memory: the
+// fixed random choices, per-choice accept flags, the Result backing
+// arrays, the per-processor arrival/accept counters, and the per-shard
+// private buffers of the parallel round kernel. The zero value is
+// ready to use; after the first Run at a given size, subsequent Runs
+// at the same (or smaller) size perform no heap allocations.
+type Scratch struct {
+	// Per-request state, a = Params.A entries per request, flat.
+	choices   []int32   // choices[i*a+j]: j-th target of request i
+	accepted  []bool    // accepted[i*a+j]: target accepted already
+	accBack   []int32   // backing array for Result.Accepted
+	accHdr    [][]int32 // Result.Accepted headers into accBack
+	satisfied []bool
+	active    []int // indices of still-unsatisfied requests
+	sample    []int // SampleDistinct output buffer
+
+	// Per-processor state.
+	acceptCnt []int8  // cumulative accepts (Result.AcceptCount)
+	arrivals  []int32 // queries delivered this round
+	touched   []int32 // arrivals entries to reset after the round
+	dirty     []int32 // acceptCnt entries dirtied, cleared on next Run
+
+	// Per-shard private buffers of the parallel kernel.
+	shardArrivals [][]int32
+	shardTouched  [][]int32
+	shardCounts   []int64
+
+	// Round-kernel dispatch state: the shard closures are created once
+	// (first sharded round) and capture only the Scratch, reading the
+	// round's inputs from these fields — so dispatching a round
+	// allocates nothing.
+	curActive []int
+	curA      int
+	curC      int
+	countFn   func(sh, lo, hi int)
+	acceptFn  func(sh, lo, hi int)
+}
+
 // Run executes the protocol among n processors for the given
 // requesters (processor ids issuing one request each; a requester's
 // own id is excluded from its random choices). r supplies all
@@ -124,7 +180,30 @@ type Result struct {
 //
 // Run panics if params fail Validate; callers are expected to
 // validate configuration at setup time.
+//
+// Run allocates a fresh execution's worth of memory and runs the
+// rounds sequentially; hot paths that execute the protocol repeatedly
+// should hold a Scratch and call its Run method, which reuses buffers
+// and shards the rounds over a worker pool. Both produce bit-identical
+// results for the same stream.
 func Run(n int, requesters []int32, p Params, r *xrand.Stream, maxRounds int) Result {
+	var s Scratch
+	return s.Run(n, requesters, p, r, maxRounds, 1)
+}
+
+// Run executes the protocol exactly as the package-level Run does,
+// reusing the Scratch's buffers and sharding each round's arrival
+// counting and acceptance over workers par shards (workers <= 0:
+// GOMAXPROCS). The returned Result views the Scratch's memory and is
+// valid until the next Run on the same Scratch.
+//
+// Determinism: the random choices are drawn from r in request order
+// exactly as in the sequential kernel; within a round every accept
+// decision is a pure function of state fixed before the round's
+// parallel section, and per-shard arrival counts merge in shard order
+// by addition. Results are therefore bit-identical for every worker
+// count.
+func (s *Scratch) Run(n int, requesters []int32, p Params, r *xrand.Stream, maxRounds, workers int) Result {
 	if err := p.Validate(n); err != nil {
 		panic(err)
 	}
@@ -132,83 +211,93 @@ func Run(n int, requesters []int32, p Params, r *xrand.Stream, maxRounds int) Re
 		maxRounds = p.DefaultRounds(n)
 	}
 	nr := len(requesters)
+	a := p.A
+
+	// Clear the processor counters dirtied by the previous Run (the
+	// arrival counters are already zero: every round resets the
+	// entries it touched).
+	if s.acceptCnt != nil {
+		full := s.acceptCnt[:cap(s.acceptCnt)]
+		for _, t := range s.dirty {
+			full[t] = 0
+		}
+	}
+	s.dirty = s.dirty[:0]
+	if cap(s.acceptCnt) < n {
+		s.acceptCnt = make([]int8, n)
+	} else {
+		s.acceptCnt = s.acceptCnt[:n]
+	}
+	if cap(s.arrivals) < n {
+		s.arrivals = make([]int32, n)
+	} else {
+		s.arrivals = s.arrivals[:n]
+	}
+
 	res := Result{
-		Accepted:    make([][]int32, nr),
-		Satisfied:   make([]bool, nr),
-		AcceptCount: make([]int8, n),
+		Accepted:    growHdr(&s.accHdr, nr),
+		Satisfied:   growBool(&s.satisfied, nr),
+		AcceptCount: s.acceptCnt,
 	}
 	if nr == 0 {
 		res.AllSatisfied = true
 		return res
 	}
 
-	// Random choices: fixed once, reused every round.
-	choices := make([][]int32, nr)
-	accepted := make([][]bool, nr) // per choice: accepted already
-	buf := make([]int, p.A)
+	// Random choices: fixed once, reused every round, drawn from r in
+	// request order (the stream consumption matches the sequential
+	// kernel exactly).
+	need := nr * a
+	s.choices = growI32(s.choices, need)
+	s.accBack = growI32(s.accBack, need)
+	s.accepted = growBoolSlice(s.accepted, need)
+	clear(s.accepted)
+	clear(res.Satisfied)
+	if cap(s.sample) < a {
+		s.sample = make([]int, a)
+	}
+	buf := s.sample[:a]
 	for i, req := range requesters {
-		r.SampleDistinct(buf, p.A, n, int(req))
-		cs := make([]int32, p.A)
+		r.SampleDistinct(buf, a, n, int(req))
+		base := i * a
 		for j, v := range buf {
-			cs[j] = int32(v)
+			s.choices[base+j] = int32(v)
 		}
-		choices[i] = cs
-		accepted[i] = make([]bool, p.A)
+		res.Accepted[i] = s.accBack[base : base : base+a]
 	}
 
-	active := make([]int, nr)
+	if cap(s.active) < nr {
+		s.active = make([]int, nr)
+	}
+	active := s.active[:nr]
 	for i := range active {
 		active[i] = i
 	}
-	// arrivals[tgt] counts queries delivered to tgt this round;
-	// touched tracks which entries to reset (keeps rounds O(active)).
-	arrivals := make([]int32, n)
-	delta := make([]int8, n)
-	touched := make([]int32, 0, nr*p.A)
+	s.touched = s.touched[:0]
 
 	for round := 0; round < maxRounds && len(active) > 0; round++ {
 		res.Rounds++
-		// Deliver queries: each active request re-queries its
-		// not-yet-accepting targets.
-		for _, i := range active {
-			for j, tgt := range choices[i] {
-				if accepted[i][j] {
-					continue
+		if workers != 1 && len(active) >= parMinActive && par.NumShards(len(active), workers) > 1 {
+			res.Messages += s.runRoundSharded(active, p, workers)
+		} else {
+			res.Messages += s.runRoundInline(active, p)
+		}
+		// Commit this round's accepts and reset the arrival counters:
+		// a target that stayed within c accepted all of its arrivals.
+		for _, tgt := range s.touched {
+			if int(s.acceptCnt[tgt])+int(s.arrivals[tgt]) <= p.C {
+				if s.acceptCnt[tgt] == 0 {
+					s.dirty = append(s.dirty, tgt)
 				}
-				if arrivals[tgt] == 0 {
-					touched = append(touched, tgt)
-				}
-				arrivals[tgt]++
-				res.Messages++
+				s.acceptCnt[tgt] += int8(s.arrivals[tgt])
 			}
+			s.arrivals[tgt] = 0
 		}
-		// Accept or collide: a target accepts all of this round's
-		// arrivals iff its cumulative total stays within c. The
-		// decision is a pure function of (AcceptCount, arrivals), so
-		// iterating requests in index order is deterministic.
-		for _, i := range active {
-			for j, tgt := range choices[i] {
-				if accepted[i][j] {
-					continue
-				}
-				if int(res.AcceptCount[tgt])+int(arrivals[tgt]) <= p.C {
-					accepted[i][j] = true
-					res.Accepted[i] = append(res.Accepted[i], tgt)
-					delta[tgt]++
-					res.Messages++ // accept message
-				}
-			}
-		}
-		for _, tgt := range touched {
-			res.AcceptCount[tgt] += delta[tgt]
-			arrivals[tgt] = 0
-			delta[tgt] = 0
-		}
-		touched = touched[:0]
+		s.touched = s.touched[:0]
 		// Requests with >= b accepts leave the game.
 		remaining := active[:0]
 		for _, i := range active {
-			if len(res.Accepted[i]) >= p.B {
+			if len(s.accHdr[i]) >= p.B {
 				res.Satisfied[i] = true
 				continue
 			}
@@ -221,9 +310,188 @@ func Run(n int, requesters []int32, p Params, r *xrand.Stream, maxRounds int) Re
 	return res
 }
 
-func max(a, b int) int {
-	if a > b {
-		return a
+// runRoundInline is the sequential round kernel: deliver queries, then
+// accept or collide. The accept decision for a query at tgt is a pure
+// function of (acceptCnt[tgt], arrivals[tgt]), both fixed before the
+// acceptance pass, so iteration order is irrelevant to the outcome.
+// It returns the round's message count.
+func (s *Scratch) runRoundInline(active []int, p Params) int64 {
+	a := p.A
+	var msgs int64
+	for _, i := range active {
+		base := i * a
+		for j := 0; j < a; j++ {
+			if s.accepted[base+j] {
+				continue
+			}
+			tgt := s.choices[base+j]
+			if s.arrivals[tgt] == 0 {
+				s.touched = append(s.touched, tgt)
+			}
+			s.arrivals[tgt]++
+			msgs++
+		}
 	}
-	return b
+	for _, i := range active {
+		base := i * a
+		for j := 0; j < a; j++ {
+			if s.accepted[base+j] {
+				continue
+			}
+			tgt := s.choices[base+j]
+			if int(s.acceptCnt[tgt])+int(s.arrivals[tgt]) <= p.C {
+				s.accepted[base+j] = true
+				s.accHdr[i] = append(s.accHdr[i], tgt)
+				msgs++ // accept message
+			}
+		}
+	}
+	return msgs
+}
+
+// runRoundSharded is the parallel round kernel. Arrival counting
+// shards the active requests over private per-shard counters that
+// merge into the global counters in shard order; since the merge is
+// pure addition, the totals equal the sequential kernel's for any
+// shard count. Acceptance then shards again: each decision reads only
+// the (now frozen) global counters and writes request-private state.
+// It returns the round's message count.
+func (s *Scratch) runRoundSharded(active []int, p Params, workers int) int64 {
+	shards := par.NumShards(len(active), workers)
+	s.ensureShards(shards, len(s.arrivals))
+	s.curActive = active
+	s.curA = p.A
+	s.curC = p.C
+	if s.countFn == nil {
+		s.countFn = s.countShard
+		s.acceptFn = s.acceptShard
+	}
+
+	var msgs int64
+	par.Ranges(len(active), workers, s.countFn)
+	for sh := 0; sh < shards; sh++ {
+		msgs += s.shardCounts[sh]
+		arr := s.shardArrivals[sh]
+		for _, tgt := range s.shardTouched[sh] {
+			if s.arrivals[tgt] == 0 {
+				s.touched = append(s.touched, tgt)
+			}
+			s.arrivals[tgt] += arr[tgt]
+			arr[tgt] = 0 // restore the all-zero shard-buffer invariant
+		}
+	}
+
+	par.Ranges(len(active), workers, s.acceptFn)
+	for sh := 0; sh < shards; sh++ {
+		msgs += s.shardCounts[sh]
+	}
+	return msgs
+}
+
+// countShard is the arrival-counting shard body: queries of the
+// shard's active requests are tallied into the shard's private
+// counters.
+func (s *Scratch) countShard(sh, lo, hi int) {
+	a := s.curA
+	arr := s.shardArrivals[sh]
+	tch := s.shardTouched[sh][:0]
+	var msgs int64
+	for k := lo; k < hi; k++ {
+		base := s.curActive[k] * a
+		for j := 0; j < a; j++ {
+			if s.accepted[base+j] {
+				continue
+			}
+			tgt := s.choices[base+j]
+			if arr[tgt] == 0 {
+				tch = append(tch, tgt)
+			}
+			arr[tgt]++
+			msgs++
+		}
+	}
+	s.shardTouched[sh] = tch
+	s.shardCounts[sh] = msgs
+}
+
+// acceptShard is the acceptance shard body: decisions read only the
+// frozen global counters and write request-private state.
+func (s *Scratch) acceptShard(sh, lo, hi int) {
+	a := s.curA
+	var msgs int64
+	for k := lo; k < hi; k++ {
+		i := s.curActive[k]
+		base := i * a
+		for j := 0; j < a; j++ {
+			if s.accepted[base+j] {
+				continue
+			}
+			tgt := s.choices[base+j]
+			if int(s.acceptCnt[tgt])+int(s.arrivals[tgt]) <= s.curC {
+				s.accepted[base+j] = true
+				s.accHdr[i] = append(s.accHdr[i], tgt)
+				msgs++ // accept message
+			}
+		}
+	}
+	s.shardCounts[sh] = msgs
+}
+
+// ensureShards sizes the per-shard buffers for shards shards over n
+// processors. Shard arrival buffers hold the all-zero invariant
+// between rounds, so reslicing within capacity needs no clearing.
+func (s *Scratch) ensureShards(shards, n int) {
+	if len(s.shardArrivals) < shards {
+		arr := make([][]int32, shards)
+		copy(arr, s.shardArrivals)
+		s.shardArrivals = arr
+		tch := make([][]int32, shards)
+		copy(tch, s.shardTouched)
+		s.shardTouched = tch
+	}
+	if len(s.shardCounts) < shards {
+		s.shardCounts = make([]int64, shards)
+	}
+	for i := 0; i < shards; i++ {
+		if cap(s.shardArrivals[i]) < n {
+			s.shardArrivals[i] = make([]int32, n)
+		} else {
+			s.shardArrivals[i] = s.shardArrivals[i][:n]
+		}
+	}
+}
+
+// growI32 reslices buf to n entries, reallocating when capacity is
+// short; contents are unspecified.
+func growI32(buf []int32, n int) []int32 {
+	if cap(buf) < n {
+		return make([]int32, n)
+	}
+	return buf[:n]
+}
+
+// growBoolSlice reslices buf to n entries without clearing.
+func growBoolSlice(buf []bool, n int) []bool {
+	if cap(buf) < n {
+		return make([]bool, n)
+	}
+	return buf[:n]
+}
+
+// growBool resizes *buf to n entries and returns it.
+func growBool(buf *[]bool, n int) []bool {
+	if cap(*buf) < n {
+		*buf = make([]bool, n)
+	}
+	*buf = (*buf)[:n]
+	return *buf
+}
+
+// growHdr resizes *hdr to n entries and returns it.
+func growHdr(hdr *[][]int32, n int) [][]int32 {
+	if cap(*hdr) < n {
+		*hdr = make([][]int32, n)
+	}
+	*hdr = (*hdr)[:n]
+	return *hdr
 }

@@ -1,6 +1,7 @@
 package collision
 
 import (
+	"fmt"
 	"testing"
 	"testing/quick"
 
@@ -292,6 +293,146 @@ func TestHigherCollisionValue(t *testing.T) {
 	}
 }
 
+// sampleRequesters draws nReq distinct requester ids out of n from r.
+func sampleRequesters(r *xrand.Stream, nReq, n int) []int32 {
+	buf := make([]int, nReq)
+	r.SampleDistinct(buf, nReq, n, -1)
+	reqs := make([]int32, nReq)
+	for i, v := range buf {
+		reqs[i] = int32(v)
+	}
+	return reqs
+}
+
+// resultsEqual compares two Results field by field (deep on slices).
+func resultsEqual(t *testing.T, tag string, a, b Result) {
+	t.Helper()
+	if a.Rounds != b.Rounds || a.Steps != b.Steps || a.Messages != b.Messages || a.AllSatisfied != b.AllSatisfied {
+		t.Fatalf("%s: scalar fields diverged: %+v vs %+v", tag,
+			[4]int64{int64(a.Rounds), int64(a.Steps), a.Messages, boolToI64(a.AllSatisfied)},
+			[4]int64{int64(b.Rounds), int64(b.Steps), b.Messages, boolToI64(b.AllSatisfied)})
+	}
+	if len(a.Accepted) != len(b.Accepted) {
+		t.Fatalf("%s: request counts diverged", tag)
+	}
+	for i := range a.Accepted {
+		if a.Satisfied[i] != b.Satisfied[i] {
+			t.Fatalf("%s: request %d satisfied diverged", tag, i)
+		}
+		if len(a.Accepted[i]) != len(b.Accepted[i]) {
+			t.Fatalf("%s: request %d accept counts diverged: %v vs %v", tag, i, a.Accepted[i], b.Accepted[i])
+		}
+		for j := range a.Accepted[i] {
+			if a.Accepted[i][j] != b.Accepted[i][j] {
+				t.Fatalf("%s: request %d accept lists diverged: %v vs %v", tag, i, a.Accepted[i], b.Accepted[i])
+			}
+		}
+	}
+	for p := range a.AcceptCount {
+		if a.AcceptCount[p] != b.AcceptCount[p] {
+			t.Fatalf("%s: AcceptCount[%d] diverged: %d vs %d", tag, p, a.AcceptCount[p], b.AcceptCount[p])
+		}
+	}
+}
+
+func boolToI64(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// cloneResult deep-copies a Result so a Scratch-backed view survives
+// the Scratch's next Run.
+func cloneResult(res Result) Result {
+	out := res
+	out.Accepted = make([][]int32, len(res.Accepted))
+	for i, acc := range res.Accepted {
+		out.Accepted[i] = append([]int32(nil), acc...)
+	}
+	out.Satisfied = append([]bool(nil), res.Satisfied...)
+	out.AcceptCount = append([]int8(nil), res.AcceptCount...)
+	return out
+}
+
+func TestScratchMatchesRunAcrossWorkers(t *testing.T) {
+	// The tentpole's oracle at kernel granularity: the Scratch kernel
+	// must be bit-identical to the package-level sequential Run for
+	// every worker count, including instances large enough to take the
+	// sharded round path (nReq >= parMinActive).
+	p := Lemma1Params()
+	cases := []struct {
+		n, nReq int
+		seed    uint64
+	}{
+		{64, 8, 1},
+		{1024, 64, 2},
+		{4096, 700, 3},  // above parMinActive: sharded rounds
+		{8192, 1200, 4}, // heavier contention, multiple rounds
+	}
+	for _, c := range cases {
+		ref := Run(c.n, sampleRequesters(xrand.New(c.seed), c.nReq, c.n), p, xrand.New(^c.seed), 0)
+		for _, workers := range []int{1, 2, 3, 8} {
+			var s Scratch
+			// Run twice on the same Scratch: the second pass exercises
+			// the buffer-reuse (dirty-clearing) path.
+			for pass := 0; pass < 2; pass++ {
+				reqs := sampleRequesters(xrand.New(c.seed), c.nReq, c.n)
+				got := s.Run(c.n, reqs, p, xrand.New(^c.seed), 0, workers)
+				tag := fmt.Sprintf("n=%d nReq=%d workers=%d pass=%d", c.n, c.nReq, workers, pass)
+				resultsEqual(t, tag, ref, got)
+			}
+		}
+	}
+}
+
+func TestScratchReuseAcrossSizes(t *testing.T) {
+	// A Scratch must stay correct when reused across different n and
+	// request counts, including shrinking (stale acceptCnt entries from
+	// a larger previous run must not leak in).
+	p := Lemma1Params()
+	var s Scratch
+	sizes := []struct {
+		n, nReq int
+	}{{4096, 600}, {64, 8}, {1024, 200}, {64, 8}, {8192, 900}}
+	for pass, c := range sizes {
+		seed := uint64(pass + 1)
+		reqs := sampleRequesters(xrand.New(seed), c.nReq, c.n)
+		ref := Run(c.n, sampleRequesters(xrand.New(seed), c.nReq, c.n), p, xrand.New(^seed), 0)
+		got := s.Run(c.n, reqs, p, xrand.New(^seed), 0, 4)
+		resultsEqual(t, fmt.Sprintf("pass=%d n=%d nReq=%d", pass, c.n, c.nReq), ref, got)
+	}
+}
+
+func TestScratchZeroAllocSteadyState(t *testing.T) {
+	// The zero-alloc claim: after a warm-up Run, repeated Runs at the
+	// same size allocate nothing, on both the inline and sharded paths.
+	p := Lemma1Params()
+	for _, c := range []struct {
+		name    string
+		n, nReq int
+		workers int
+	}{
+		{"inline", 1024, 100, 1},
+		{"sharded", 4096, 700, 4},
+	} {
+		t.Run(c.name, func(t *testing.T) {
+			var s Scratch
+			reqs := sampleRequesters(xrand.New(7), c.nReq, c.n)
+			r0 := *xrand.New(99) // value copy: reset the stream without allocating
+			r := r0
+			s.Run(c.n, reqs, p, &r, 0, c.workers) // warm up
+			allocs := testing.AllocsPerRun(10, func() {
+				r = r0
+				s.Run(c.n, reqs, p, &r, 0, c.workers)
+			})
+			if allocs != 0 {
+				t.Fatalf("steady-state Scratch.Run allocated %.1f times per run", allocs)
+			}
+		})
+	}
+}
+
 func BenchmarkRunLemma1(b *testing.B) {
 	n := 4096
 	p := Lemma1Params()
@@ -303,5 +444,31 @@ func BenchmarkRunLemma1(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		r := xrand.New(uint64(i))
 		Run(n, requesters, p, r, 0)
+	}
+}
+
+// BenchmarkCollisionRun measures the Scratch kernel at the ISSUE's
+// reference sizes with a Lemma-1 request load (n/(4a) requesters, the
+// operating point the balancer actually produces). allocs/op must be 0
+// in steady state — run with -benchmem.
+func BenchmarkCollisionRun(b *testing.B) {
+	p := Lemma1Params()
+	for _, n := range []int{1 << 10, 1 << 16, 1 << 18} {
+		nReq := n / (4 * p.A)
+		reqs := sampleRequesters(xrand.New(31), nReq, n)
+		for _, workers := range []int{1, 2, 8} {
+			b.Run(fmt.Sprintf("n=%d/workers=%d", n, workers), func(b *testing.B) {
+				var s Scratch
+				r0 := *xrand.New(63)
+				r := r0
+				s.Run(n, reqs, p, &r, 0, workers) // warm up
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					r = r0
+					s.Run(n, reqs, p, &r, 0, workers)
+				}
+			})
+		}
 	}
 }

@@ -1,6 +1,7 @@
 package collision
 
 import (
+	"fmt"
 	"testing"
 
 	"plb/internal/xrand"
@@ -56,6 +57,22 @@ func FuzzRunInvariants(f *testing.F) {
 		}
 		if res.Rounds > p.DefaultRounds(n) {
 			t.Fatalf("rounds %d exceeded budget", res.Rounds)
+		}
+		// The parallel Scratch kernel must reproduce the sequential
+		// result bit for bit at every worker count.
+		for _, workers := range []int{2, 8} {
+			var s Scratch
+			r2 := xrand.New(seed)
+			reqs2 := make([]int32, nReq)
+			if nReq > 0 {
+				buf := make([]int, nReq)
+				r2.SampleDistinct(buf, nReq, n, -1)
+				for i, v := range buf {
+					reqs2[i] = int32(v)
+				}
+			}
+			got := s.Run(n, reqs2, p, r2, 0, workers)
+			resultsEqual(t, fmt.Sprintf("workers=%d", workers), res, got)
 		}
 	})
 }

@@ -2,19 +2,30 @@ package core
 
 import (
 	"fmt"
+	"slices"
 
 	"plb/internal/collision"
 	"plb/internal/engine"
+	"plb/internal/par"
 	"plb/internal/sim"
 	"plb/internal/xrand"
 )
 
 // Balancer is the paper's phase-based threshold balancing algorithm.
 // It implements sim.Balancer. Construct with New.
+//
+// The phase hot path is data-parallel and allocation-free in steady
+// state: classification runs as one sharded pass over the load
+// snapshot (per-shard heavy lists concatenated in shard order, so the
+// result is identical for every worker count), the collision games run
+// on the sharded collision kernel, and every per-phase buffer lives in
+// a reusable arena. See docs/PERFORMANCE.md for the determinism
+// argument.
 type Balancer struct {
-	cfg Config
-	n   int
-	rng *xrand.Stream
+	cfg     Config
+	n       int
+	workers int
+	rng     *xrand.Stream
 
 	// Per-phase scratch, reused across phases.
 	lightAt  []bool  // light at phase start
@@ -23,6 +34,22 @@ type Balancer struct {
 	boss     []int32 // tree root of each participating processor
 	partner  []int32 // boss -> chosen light partner (-1 none)
 	matched  []bool  // boss -> already matched this phase
+
+	// Phase arena: classification, searcher and settle buffers plus
+	// the collision kernel's scratch, all reused so steady-state
+	// phases allocate nothing.
+	heavyShard  [][]int32 // per-shard heavy lists
+	lightShard  []int64   // per-shard light counts
+	heavies     []int32   // concatenated heavy list, shard order
+	searchA     []int32   // searcher ping-pong buffers
+	searchB     []int32
+	newPartners []int32 // roots partnered this round, settle queue
+	col         collision.Scratch
+
+	// Pre-round (Section 4.3) scratch.
+	preTargets []int32
+	preHits    []int32 // probes received per processor
+	preTouched []int32 // preHits entries to reset
 
 	// Pending streamed transfers (StreamTransfers mode): each entry
 	// moves perStep tasks from src to dst every step until drained.
@@ -68,11 +95,13 @@ func (b *Balancer) ExtendMetrics(m *engine.Metrics) {
 	m.AddExtra("collision_rounds", b.sumRounds)
 }
 
-// Init implements sim.Balancer.
+// Init implements sim.Balancer. The balancer adopts the machine's
+// worker-shard count; any count produces bit-identical trajectories.
 func (b *Balancer) Init(m *sim.Machine) {
 	if m.N() != b.n {
 		panic(fmt.Sprintf("core: balancer built for n=%d installed on n=%d", b.n, m.N()))
 	}
+	b.workers = m.Workers()
 	b.rng = xrand.New(b.cfg.Seed ^ 0xb5c0_ffee)
 	b.lightAt = make([]bool, b.n)
 	b.assigned = make([]bool, b.n)
@@ -80,6 +109,14 @@ func (b *Balancer) Init(m *sim.Machine) {
 	b.boss = make([]int32, b.n)
 	b.partner = make([]int32, b.n)
 	b.matched = make([]bool, b.n)
+	shards := par.NumShards(b.n, b.workers)
+	b.heavyShard = make([][]int32, shards)
+	b.lightShard = make([]int64, shards)
+	b.heavies = b.heavies[:0]
+	b.newPartners = b.newPartners[:0]
+	if b.cfg.PreRound {
+		b.preHits = make([]int32, b.n)
+	}
 	b.streams = nil
 }
 
@@ -167,33 +204,51 @@ func (b *Balancer) runPhase(m *sim.Machine) {
 	ps := PhaseStats{Start: m.Now()}
 
 	// Phase-start classification (Section 3), by task count or by
-	// remaining service weight.
-	var heavies []int32
-	for p := 0; p < b.n; p++ {
-		var l int
-		if cfg.ByWeight {
-			l = int(wsnap[p])
-		} else {
-			l = int(snap[p])
+	// remaining service weight, fused into one sharded pass over the
+	// snapshot. Per-shard heavy lists concatenate in shard order —
+	// shards partition [0, n) in ascending contiguous ranges, so the
+	// heavy list comes out in processor-id order for every worker
+	// count, exactly as the sequential scan produced it.
+	shards := par.NumShards(b.n, b.workers)
+	par.Ranges(b.n, b.workers, func(s, lo, hi int) {
+		heavy := b.heavyShard[s][:0]
+		var light int64
+		for p := lo; p < hi; p++ {
+			var l int
+			if cfg.ByWeight {
+				l = int(wsnap[p])
+			} else {
+				l = int(snap[p])
+			}
+			isLight := l <= cfg.LightThreshold
+			b.lightAt[p] = isLight
+			b.assigned[p] = false
+			b.inTree[p] = false
+			b.matched[p] = false
+			b.partner[p] = -1
+			if l >= cfg.HeavyThreshold {
+				heavy = append(heavy, int32(p))
+			}
+			if isLight {
+				light++
+			}
 		}
-		b.lightAt[p] = l <= cfg.LightThreshold
-		b.assigned[p] = false
-		b.inTree[p] = false
-		b.matched[p] = false
-		b.partner[p] = -1
-		if l >= cfg.HeavyThreshold {
-			heavies = append(heavies, int32(p))
-		}
-		if b.lightAt[p] {
-			ps.Light++
-		}
+		b.heavyShard[s] = heavy
+		b.lightShard[s] = light
+	})
+	heavies := b.heavies[:0]
+	for s := 0; s < shards; s++ {
+		heavies = append(heavies, b.heavyShard[s]...)
+		ps.Light += int(b.lightShard[s])
 	}
+	b.heavies = heavies
 	ps.Heavy = len(heavies)
 
 	if len(heavies) > 0 {
-		searchers := heavies
+		searchers := append(b.searchA[:0], heavies...)
+		b.searchA = searchers
 		if cfg.PreRound {
-			searchers = b.preRound(m, heavies, &ps)
+			searchers = b.preRound(m, searchers, &ps)
 		}
 		for _, s := range searchers {
 			b.boss[s] = s
@@ -217,19 +272,25 @@ func (b *Balancer) runPhase(m *sim.Machine) {
 // preRound is the Section 4.3 modification for the adversarial model:
 // every heavy processor probes one random processor; a light,
 // unreserved processor hit by exactly one probe balances immediately.
-// It returns the heavy processors that remain unmatched.
+// It filters the heavy list in place and returns the processors that
+// remain unmatched.
 func (b *Balancer) preRound(m *sim.Machine, heavies []int32, ps *PhaseStats) []int32 {
-	targets := make([]int32, len(heavies))
-	counts := make(map[int32]int, len(heavies))
-	for i := range heavies {
-		targets[i] = int32(b.rng.Intn(b.n))
-		counts[targets[i]]++
+	targets := b.preTargets[:0]
+	touched := b.preTouched[:0]
+	for range heavies {
+		t := int32(b.rng.Intn(b.n))
+		targets = append(targets, t)
+		if b.preHits[t] == 0 {
+			touched = append(touched, t)
+		}
+		b.preHits[t]++
 	}
+	b.preTargets = targets
 	ps.Messages += int64(len(heavies)) // one probe per heavy processor
-	var remaining []int32
+	remaining := heavies[:0]
 	for i, h := range heavies {
 		t := targets[i]
-		if counts[t] == 1 && t != h && b.lightAt[t] && !b.assigned[t] {
+		if b.preHits[t] == 1 && t != h && b.lightAt[t] && !b.assigned[t] {
 			b.assigned[t] = true
 			moved := b.transferBlock(m, h, t)
 			ps.Transferred += int64(moved)
@@ -240,6 +301,10 @@ func (b *Balancer) preRound(m *sim.Machine, heavies []int32, ps *PhaseStats) []i
 		}
 		remaining = append(remaining, h)
 	}
+	for _, t := range touched {
+		b.preHits[t] = 0
+	}
+	b.preTouched = touched[:0]
 	return remaining
 }
 
@@ -247,16 +312,17 @@ func (b *Balancer) preRound(m *sim.Machine, heavies []int32, ps *PhaseStats) []i
 // messages (the body of Figure 2).
 func (b *Balancer) growTrees(m *sim.Machine, searchers []int32, ps *PhaseStats) {
 	cfg := &b.cfg
+	next := b.searchB[:0]
 	for round := 0; round < cfg.TreeDepth && len(searchers) > 0; round++ {
 		ps.Rounds++
 		ps.Requests += int64(len(searchers))
 
-		res := collision.Run(b.n, searchers, cfg.Collision, b.rng, 0)
+		res := b.col.Run(b.n, searchers, cfg.Collision, b.rng, 0, b.workers)
 		ps.Messages += res.Messages
 		ps.Steps += res.Steps
 		m.AddCommRounds(int64(res.Rounds))
 
-		var next []int32
+		next = next[:0]
 		for i, s := range searchers {
 			b.inTree[s] = false
 			root := b.boss[s]
@@ -306,8 +372,10 @@ func (b *Balancer) growTrees(m *sim.Machine, searchers []int32, ps *PhaseStats) 
 			}
 			alive = append(alive, s)
 		}
-		searchers = alive
+		searchers, next = alive, searchers
 	}
+	// Keep the (possibly grown) buffers for the next phase.
+	b.searchA, b.searchB = searchers[:0], next[:0]
 }
 
 // applicative reports whether processor t can be reserved as a
@@ -317,26 +385,31 @@ func (b *Balancer) applicative(t int32) bool {
 }
 
 // sendID delivers an id message from light processor t to root. The
-// root keeps the first arrival ("an arbitrary one is selected").
+// root keeps the first arrival ("an arbitrary one is selected") and
+// joins the settle queue.
 func (b *Balancer) sendID(root, t int32, ps *PhaseStats) {
 	ps.Messages++
 	if b.partner[root] < 0 {
 		b.partner[root] = t
+		b.newPartners = append(b.newPartners, root)
 	}
 }
 
-// settle performs the transfers for all newly partnered roots.
+// settle performs the transfers for all newly partnered roots, in
+// ascending root order (the order the old full-array scan used), so
+// the transfer sequence is independent of id-message arrival order.
 func (b *Balancer) settle(m *sim.Machine, ps *PhaseStats) {
-	for root := 0; root < b.n; root++ {
-		p := b.partner[root]
-		if p < 0 || b.matched[root] {
-			continue
-		}
-		moved := b.transferBlock(m, int32(root), p)
+	if len(b.newPartners) == 0 {
+		return
+	}
+	slices.Sort(b.newPartners)
+	for _, root := range b.newPartners {
+		moved := b.transferBlock(m, root, b.partner[root])
 		ps.Transferred += int64(moved)
 		b.matched[root] = true
 		ps.Matched++
 	}
+	b.newPartners = b.newPartners[:0]
 }
 
 // appendSearcher adds s to the next-round searcher set under root,

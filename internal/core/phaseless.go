@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"plb/internal/par"
 	"plb/internal/sim"
 	"plb/internal/xrand"
 )
@@ -41,11 +42,21 @@ type Phaseless struct {
 	Seed uint64
 
 	n        int
+	workers  int
 	rng      *xrand.Stream
 	nextTry  []int64
 	probeCnt []int32 // probes received this step
 	reserved []bool  // already promised a block this step
 	touched  []int32
+
+	// Reused per-step scratch: the initiator scan is sharded (per-shard
+	// lists concatenate in shard order, i.e. ascending processor id,
+	// identical to the sequential scan) and the probe rows live in one
+	// flat buffer, so steady-state steps allocate nothing.
+	initShard [][]int32
+	inits     []int32
+	probes    []int32 // flat len(inits) x Probes rows
+	probeBuf  []int
 }
 
 var _ sim.Balancer = (*Phaseless)(nil)
@@ -97,50 +108,66 @@ func (b *Phaseless) Name() string {
 // Init implements sim.Balancer.
 func (b *Phaseless) Init(m *sim.Machine) {
 	b.n = m.N()
+	b.workers = m.Workers()
 	b.rng = xrand.New(b.Seed ^ 0x9a5e)
 	b.nextTry = make([]int64, b.n)
 	b.probeCnt = make([]int32, b.n)
 	b.reserved = make([]bool, b.n)
 	b.touched = b.touched[:0]
+	b.initShard = make([][]int32, par.NumShards(b.n, b.workers))
+	b.probeBuf = make([]int, b.Probes)
 }
 
 // Step implements sim.Balancer.
 func (b *Phaseless) Step(m *sim.Machine) {
 	now := m.Now()
-	// Collect this step's initiators.
-	var initiators []int32
-	for p := 0; p < b.n; p++ {
-		if now < b.nextTry[p] {
-			continue
+	// Collect this step's initiators: a sharded read-only scan whose
+	// per-shard lists concatenate in ascending processor order.
+	shards := par.NumShards(b.n, b.workers)
+	par.Ranges(b.n, b.workers, func(s, lo, hi int) {
+		list := b.initShard[s][:0]
+		for p := lo; p < hi; p++ {
+			if now < b.nextTry[p] {
+				continue
+			}
+			if m.Load(p) >= b.HeavyThreshold {
+				list = append(list, int32(p))
+			}
 		}
-		if m.Load(p) >= b.HeavyThreshold {
-			initiators = append(initiators, int32(p))
-		}
+		b.initShard[s] = list
+	})
+	initiators := b.inits[:0]
+	for s := 0; s < shards; s++ {
+		initiators = append(initiators, b.initShard[s]...)
 	}
+	b.inits = initiators
 	if len(initiators) == 0 {
 		return
 	}
 	// Deliver all probes, then resolve with the per-step collision
 	// rule — deterministic because initiators are processed in id
-	// order both times.
-	probes := make([][]int32, len(initiators))
-	buf := make([]int, b.Probes)
+	// order both times. Probe rows live in one flat reused buffer.
+	a := b.Probes
+	if need := len(initiators) * a; cap(b.probes) < need {
+		b.probes = make([]int32, need)
+	}
+	probes := b.probes[:len(initiators)*a]
+	buf := b.probeBuf
 	for i, src := range initiators {
-		b.rng.SampleDistinct(buf, b.Probes, b.n, int(src))
-		row := make([]int32, b.Probes)
+		b.rng.SampleDistinct(buf, a, b.n, int(src))
+		row := probes[i*a : (i+1)*a]
 		for j, v := range buf {
 			row[j] = int32(v)
-			if b.probeCnt[int32(v)] == 0 {
+			if b.probeCnt[v] == 0 {
 				b.touched = append(b.touched, int32(v))
 			}
 			b.probeCnt[v]++
 		}
-		probes[i] = row
-		m.AddMessages(int64(b.Probes))
+		m.AddMessages(int64(a))
 		b.nextTry[src] = now + int64(b.Cooldown) + 1
 	}
 	for i, src := range initiators {
-		for _, tgt := range probes[i] {
+		for _, tgt := range probes[i*a : (i+1)*a] {
 			if b.probeCnt[tgt] > int32(b.Collide) {
 				continue // collision: the target answers nobody
 			}

@@ -134,6 +134,34 @@ func (d *Deque[T]) TakeBack(k int) []T {
 	return out
 }
 
+// TakeBackInto removes up to k elements from the back into buf,
+// reusing its capacity (buf may be nil), and returns the filled slice
+// in original queue order. The allocation-free variant of TakeBack for
+// hot paths that move blocks repeatedly.
+func (d *Deque[T]) TakeBackInto(buf []T, k int) []T {
+	if k > d.count {
+		k = d.count
+	}
+	if k <= 0 {
+		return buf[:0]
+	}
+	if cap(buf) < k {
+		buf = make([]T, k)
+	}
+	out := buf[:k]
+	start := d.count - k
+	for i := 0; i < k; i++ {
+		out[i] = d.buf[d.index(start+i)]
+	}
+	var zero T
+	for i := start; i < d.count; i++ {
+		d.buf[d.index(i)] = zero
+	}
+	d.count -= k
+	d.shrink()
+	return out
+}
+
 // PushBackAll appends all elements of vs at the back, in order.
 func (d *Deque[T]) PushBackAll(vs []T) {
 	for _, v := range vs {

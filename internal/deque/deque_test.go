@@ -120,6 +120,37 @@ func TestTakeBackMoreThanLen(t *testing.T) {
 	}
 }
 
+func TestTakeBackInto(t *testing.T) {
+	var d Deque[int]
+	for i := 0; i < 10; i++ {
+		d.PushBack(i)
+	}
+	buf := make([]int, 0, 8)
+	got := d.TakeBackInto(buf, 4)
+	if len(got) != 4 || cap(got) != 8 {
+		t.Fatalf("TakeBackInto len=%d cap=%d, want 4 within the given buffer", len(got), cap(got))
+	}
+	for i, v := range got {
+		if v != 6+i {
+			t.Fatalf("TakeBackInto[%d] = %d, want %d", i, v, 6+i)
+		}
+	}
+	if d.Len() != 6 {
+		t.Fatalf("after TakeBackInto: Len=%d", d.Len())
+	}
+	// Undersized (and nil) buffers reallocate; over-ask caps at Len.
+	got = d.TakeBackInto(nil, 100)
+	if len(got) != 6 || got[0] != 0 || got[5] != 5 {
+		t.Fatalf("TakeBackInto over-ask = %v", got)
+	}
+	if d.Len() != 0 {
+		t.Fatalf("deque not emptied: %d", d.Len())
+	}
+	if got = d.TakeBackInto(buf, 3); len(got) != 0 {
+		t.Fatalf("TakeBackInto on empty = %v", got)
+	}
+}
+
 func TestTakeBackZeroAndNegative(t *testing.T) {
 	var d Deque[int]
 	d.PushBack(1)

@@ -1,0 +1,122 @@
+package engine_test
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"plb/internal/core"
+	"plb/internal/gen"
+	"plb/internal/sim"
+)
+
+// The tentpole invariant of the parallel balancing phase: the worker
+// count is purely an accelerator. A run's load trajectory must be
+// bit-identical for every Workers value — the golden digests double as
+// the oracle, so any worker-dependent divergence (shard-merge order,
+// racy RNG consumption, reordered transfers) fails against the same
+// constants that pin the sequential seed.
+
+// TestGoldenCoreWorkerInvariance pins the core-balancer trajectory to
+// the golden digest for Workers in {1, 2, 8} (the seed digest was
+// captured at Workers=4).
+func TestGoldenCoreWorkerInvariance(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			b, err := core.New(goldenN, core.Config{Seed: goldenSeed})
+			if err != nil {
+				t.Fatal(err)
+			}
+			m, err := sim.New(sim.Config{N: goldenN, Model: gen.Single{P: 0.4, Eps: 0.1},
+				Balancer: b, Seed: goldenSeed, Workers: workers})
+			if err != nil {
+				t.Fatal(err)
+			}
+			m.Inject(0, 64)
+			if got := snapshotDigest(t, m, goldenCoreSteps); got != goldenSimCore {
+				t.Fatalf("workers=%d diverged from golden digest: %s, want %s", workers, got, goldenSimCore)
+			}
+		})
+	}
+}
+
+// TestGoldenPhaselessWorkerInvariance checks the phaseless variant the
+// same way: all worker counts must produce one digest (pinned to the
+// Workers=1 run rather than a constant — the variant has no golden
+// seed digest).
+func TestGoldenPhaselessWorkerInvariance(t *testing.T) {
+	digest := func(workers int) string {
+		b, err := core.NewPhaseless(goldenN, goldenSeed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := sim.New(sim.Config{N: goldenN, Model: gen.Single{P: 0.4, Eps: 0.1},
+			Balancer: b, Seed: goldenSeed, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.Inject(0, 64)
+		return snapshotDigest(t, m, goldenCoreSteps)
+	}
+	want := digest(1)
+	for _, workers := range []int{2, 8} {
+		if got := digest(workers); got != want {
+			t.Fatalf("phaseless workers=%d digest %s != workers=1 digest %s", workers, got, want)
+		}
+	}
+}
+
+// TestRandomizedConfigWorkerEquality is the fuzz-style leg: random
+// configurations (sizes, thresholds, feature flags crossing the
+// pre-round, streaming and weighted paths) run at Workers=1 and again
+// at Workers=GOMAXPROCS, and the trajectories must match exactly.
+func TestRandomizedConfigWorkerEquality(t *testing.T) {
+	maxprocs := runtime.GOMAXPROCS(0)
+	cases := []struct {
+		name   string
+		n      int
+		seed   uint64
+		mut    func(*core.Config)
+		weigh  gen.Weigher
+		inject int
+	}{
+		{"defaults-small", 128, 7, nil, nil, 200},
+		{"defaults-large", 1024, 11, nil, nil, 900},
+		{"preround", 512, 13, func(c *core.Config) { c.PreRound = true }, nil, 600},
+		{"streaming", 512, 17, func(c *core.Config) { c.StreamTransfers = true }, nil, 600},
+		{"weighted", 256, 19, func(c *core.Config) { c.ByWeight = true }, gen.UniformWeight{Min: 1, Max: 4}, 300},
+		{"preround+streaming", 384, 23, func(c *core.Config) {
+			c.PreRound = true
+			c.StreamTransfers = true
+		}, nil, 500},
+	}
+	run := func(tc int, workers int) string {
+		c := cases[tc]
+		cfg := core.Config{Seed: c.seed}
+		if c.mut != nil {
+			c.mut(&cfg)
+		}
+		b, err := core.New(c.n, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := sim.New(sim.Config{N: c.n, Model: gen.Single{P: 0.4, Eps: 0.1},
+			Balancer: b, Seed: c.seed, Weigher: c.weigh, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.Inject(0, c.inject)
+		m.Inject(c.n/2, c.inject/2)
+		return snapshotDigest(t, m, 300)
+	}
+	for i, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			seq := run(i, 1)
+			for _, workers := range []int{maxprocs, 8} {
+				if got := run(i, workers); got != seq {
+					t.Fatalf("%s: workers=%d digest %s != workers=1 digest %s", c.name, workers, got, seq)
+				}
+			}
+		})
+	}
+}

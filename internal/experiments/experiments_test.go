@@ -7,8 +7,8 @@ import (
 
 func TestRegistryComplete(t *testing.T) {
 	all := All()
-	if len(all) != 21 {
-		t.Fatalf("registered %d experiments, want 21", len(all))
+	if len(all) != 22 {
+		t.Fatalf("registered %d experiments, want 22", len(all))
 	}
 	for i, e := range all {
 		want := i + 1

@@ -1,0 +1,53 @@
+package par
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkRanges measures the dispatch overhead of a sharded loop
+// with a near-trivial body, across the sizes the simulator actually
+// dispatches (small per-step scans up to full-machine passes). The
+// buffered task channel plus the small-n shard floor is what keeps the
+// small sizes close to the inline loop.
+func BenchmarkRanges(b *testing.B) {
+	for _, n := range []int{64, 1 << 10, 1 << 14, 1 << 18} {
+		for _, w := range []int{1, 2, 8} {
+			b.Run(fmt.Sprintf("n=%d/workers=%d", n, w), func(b *testing.B) {
+				buf := make([]int32, n)
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					Ranges(n, w, func(_, lo, hi int) {
+						for j := lo; j < hi; j++ {
+							buf[j]++
+						}
+					})
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkRangesReduce measures the shard-reduce helper against the
+// same sizes (one small result slice per call is its documented cost).
+func BenchmarkRangesReduce(b *testing.B) {
+	for _, n := range []int{1 << 10, 1 << 18} {
+		for _, w := range []int{1, 8} {
+			b.Run(fmt.Sprintf("n=%d/workers=%d", n, w), func(b *testing.B) {
+				buf := make([]int32, n)
+				b.ReportAllocs()
+				var sink int64
+				for i := 0; i < b.N; i++ {
+					sink = RangesReduce(n, w, func(_, lo, hi int) int64 {
+						var s int64
+						for j := lo; j < hi; j++ {
+							s += int64(buf[j])
+						}
+						return s
+					}, func(a, c int64) int64 { return a + c })
+				}
+				_ = sink
+			})
+		}
+	}
+}

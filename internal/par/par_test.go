@@ -25,7 +25,7 @@ func TestRangesCoversExactly(t *testing.T) {
 }
 
 func TestRangesShardIDs(t *testing.T) {
-	n, w := 100, 4
+	n, w := 4*minShardLen, 4
 	shards := NumShards(n, w)
 	if shards != 4 {
 		t.Fatalf("NumShards = %d", shards)
@@ -45,11 +45,59 @@ func TestRangesShardIDs(t *testing.T) {
 }
 
 func TestNumShardsSmallN(t *testing.T) {
-	if got := NumShards(2, 16); got != 2 {
+	// Below the shard floor everything collapses to one inline shard:
+	// a cross-goroutine handoff is never worth a 2-element loop.
+	if got := NumShards(2, 16); got != 1 {
 		t.Fatalf("NumShards(2,16) = %d", got)
 	}
 	if got := NumShards(0, 4); got != 0 {
 		t.Fatalf("NumShards(0,4) = %d", got)
+	}
+	if got := NumShards(minShardLen, 8); got != 1 {
+		t.Fatalf("NumShards(%d,8) = %d", minShardLen, got)
+	}
+	if got := NumShards(2*minShardLen, 8); got != 2 {
+		t.Fatalf("NumShards(%d,8) = %d", 2*minShardLen, got)
+	}
+	// The floor caps, it never raises: a single worker stays inline.
+	if got := NumShards(1_000_000, 1); got != 1 {
+		t.Fatalf("NumShards(1M,1) = %d", got)
+	}
+}
+
+func TestRangesReduce(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 63, 64, 1000, 4096} {
+		for _, w := range []int{0, 1, 2, 8} {
+			sum := RangesReduce(n, w, func(_, lo, hi int) int64 {
+				var s int64
+				for i := lo; i < hi; i++ {
+					s += int64(i)
+				}
+				return s
+			}, func(a, b int64) int64 { return a + b })
+			want := int64(n) * int64(n-1) / 2
+			if n == 0 {
+				want = 0
+			}
+			if sum != want {
+				t.Fatalf("n=%d w=%d: sum = %d, want %d", n, w, sum, want)
+			}
+		}
+	}
+}
+
+func TestRangesReduceMergeOrder(t *testing.T) {
+	// The fold must be left-to-right in shard order, so even a
+	// non-commutative merge is deterministic.
+	n, w := 4*minShardLen, 4
+	if NumShards(n, w) != 4 {
+		t.Fatalf("NumShards = %d", NumShards(n, w))
+	}
+	got := RangesReduce(n, w, func(s, _, _ int) string {
+		return string(rune('a' + s))
+	}, func(a, b string) string { return a + b })
+	if got != "abcd" {
+		t.Fatalf("merge order = %q, want \"abcd\"", got)
 	}
 }
 

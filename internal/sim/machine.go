@@ -123,6 +123,7 @@ type Machine struct {
 	gens    []int64 // per-shard generated-task counters
 	wloads  []int64 // per-processor remaining service weight
 	weigher gen.Weigher
+	xferBuf []task.Task // Transfer block scratch (balancer phase is sequential)
 
 	metrics   Metrics
 	stepAware gen.StepAware
@@ -210,38 +211,26 @@ func (m *Machine) Snapshot() []int32 {
 
 // MaxLoad returns the largest queue length.
 func (m *Machine) MaxLoad() int {
-	shards := par.NumShards(m.n, m.workers)
-	maxes := make([]int, shards)
-	par.Ranges(m.n, m.workers, func(s, lo, hi int) {
+	return par.RangesReduce(m.n, m.workers, func(_, lo, hi int) int {
+		best := 0
 		for p := lo; p < hi; p++ {
-			if l := m.queues[p].Len(); l > maxes[s] {
-				maxes[s] = l
+			if l := m.queues[p].Len(); l > best {
+				best = l
 			}
 		}
-	})
-	max := 0
-	for _, v := range maxes {
-		if v > max {
-			max = v
-		}
-	}
-	return max
+		return best
+	}, func(a, b int) int { return max(a, b) })
 }
 
 // TotalLoad returns the total number of queued tasks in the system.
 func (m *Machine) TotalLoad() int64 {
-	shards := par.NumShards(m.n, m.workers)
-	sums := make([]int64, shards)
-	par.Ranges(m.n, m.workers, func(s, lo, hi int) {
+	return par.RangesReduce(m.n, m.workers, func(_, lo, hi int) int64 {
+		var sum int64
 		for p := lo; p < hi; p++ {
-			sums[s] += int64(m.queues[p].Len())
+			sum += int64(m.queues[p].Len())
 		}
-	})
-	var total int64
-	for _, v := range sums {
-		total += v
-	}
-	return total
+		return sum
+	}, func(a, b int64) int64 { return a + b })
 }
 
 // Inject pushes k fresh tasks onto processor p's queue (used to set up
@@ -287,7 +276,7 @@ func (m *Machine) Transfer(from, to, k int) int {
 	if from == to || k <= 0 {
 		return 0
 	}
-	block := m.queues[from].TakeBack(k)
+	block := m.queues[from].TakeBackInto(m.xferBuf, k)
 	var weight int64
 	for i := range block {
 		block[i].Hops++
@@ -296,6 +285,7 @@ func (m *Machine) Transfer(from, to, k int) int {
 	m.wloads[from] -= weight
 	m.wloads[to] += weight
 	m.queues[to].PushBackAll(block)
+	m.xferBuf = block[:0]
 	atomic.AddInt64(&m.metrics.TasksMoved, int64(len(block)))
 	atomic.AddInt64(&m.metrics.BalanceActions, 1)
 	return len(block)
