@@ -47,10 +47,12 @@ experiments:
 experiments-quick:
 	$(GO) run ./cmd/experiments -quick
 
-# Fault-injection degradation curve (E21) at quick scale — exercises
-# the lossy/crash/straggler paths end to end.
+# Fault-injection smoke: the protocol degradation curve (E21) and the
+# live-backend sojourn degradation table (E23) at quick scale —
+# exercises the lossy/crash/straggler paths end to end on both
+# substrates.
 faults:
-	$(GO) run ./cmd/experiments -run E21 -quick
+	$(GO) run ./cmd/experiments -run E21,E23 -quick
 
 # lint fails (not just lists) on unformatted files, then vets.
 lint:

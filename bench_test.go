@@ -15,7 +15,10 @@ import (
 	"testing"
 
 	"plb"
+	"plb/internal/engine"
 	"plb/internal/experiments"
+	"plb/internal/live"
+	"plb/internal/stats"
 )
 
 // benchExperiment runs one registered experiment per iteration.
@@ -60,6 +63,38 @@ func BenchmarkE19CollisionParams(b *testing.B)       { benchExperiment(b, "E19")
 func BenchmarkE20Estimation(b *testing.B)            { benchExperiment(b, "E20") }
 func BenchmarkE21FaultInjection(b *testing.B)        { benchExperiment(b, "E21") }
 func BenchmarkE22SelfSpeedup(b *testing.B)           { benchExperiment(b, "E22") }
+func BenchmarkE23FaultLatency(b *testing.B)          { benchExperiment(b, "E23") }
+
+// BenchmarkLiveTaskFlow measures end-to-end task flow through the live
+// goroutine-per-processor backend and surfaces the sojourn statistics
+// as custom metrics (mean_wait/op, p99_wait/op), so BENCH_plb.json
+// records the latency surface next to the timing via benchjson's
+// extra-unit capture.
+func BenchmarkLiveTaskFlow(b *testing.B) {
+	const n, steps = 256, 400
+	var meanWait, p99Wait float64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys, err := live.NewSystem(live.DefaultConfig(n, stats.PaperT(n), uint64(i+1)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		rep, err := engine.Drive(sys, engine.DriveConfig{Steps: steps})
+		sys.Close()
+		if err != nil {
+			b.Fatal(err)
+		}
+		ts := rep.Final.Tasks
+		if ts == nil || ts.Completed == 0 {
+			b.Fatal("live run completed no tasks")
+		}
+		meanWait += ts.MeanWait
+		p99Wait += float64(ts.P99Wait)
+	}
+	b.ReportMetric(meanWait/float64(b.N), "mean_wait/op")
+	b.ReportMetric(p99Wait/float64(b.N), "p99_wait/op")
+}
 
 // BenchmarkMachineStep measures raw simulator throughput
 // (processor-steps per second) for the balanced and unbalanced system.

@@ -38,6 +38,10 @@ type Result struct {
 	// BytesPerOp and AllocsPerOp are present with -benchmem.
 	BytesPerOp  int64 `json:"bytes_per_op,omitempty"`
 	AllocsPerOp int64 `json:"allocs_per_op,omitempty"`
+	// Extra carries custom b.ReportMetric units (e.g. the experiment
+	// benchmarks' mean_wait/op and p99_wait/op task-latency metrics),
+	// keyed by the unit string with the trailing "/op" trimmed.
+	Extra map[string]float64 `json:"extra,omitempty"`
 }
 
 // File is the JSON document benchjson writes.
@@ -230,13 +234,22 @@ func parseLine(line, pkg string) (Result, bool) {
 		if err != nil {
 			return Result{}, false
 		}
-		switch fields[i+1] {
+		switch unit := fields[i+1]; unit {
 		case "ns/op":
 			res.NsPerOp, seen = v, true
 		case "B/op":
 			res.BytesPerOp = int64(v)
 		case "allocs/op":
 			res.AllocsPerOp = int64(v)
+		default:
+			// Custom units (b.ReportMetric) end in "/op"; anything else
+			// (e.g. MB/s throughput) is ignored as before.
+			if strings.HasSuffix(unit, "/op") {
+				if res.Extra == nil {
+					res.Extra = make(map[string]float64)
+				}
+				res.Extra[strings.TrimSuffix(unit, "/op")] = v
+			}
 		}
 	}
 	return res, seen

@@ -50,6 +50,61 @@ func TestParse(t *testing.T) {
 	}
 }
 
+func TestParseLineCustomMetrics(t *testing.T) {
+	// Experiment benchmarks report task-latency statistics through
+	// b.ReportMetric, which go test prints as extra "<value> <unit>/op"
+	// column pairs. They must land in Extra without disturbing the
+	// standard fields.
+	line := "BenchmarkE23-8    3    4567 ns/op    3.50 mean_wait/op    16 p99_wait/op    24 max_wait/op    128 B/op    2 allocs/op"
+	res, ok := parseLine(line, "plb")
+	if !ok {
+		t.Fatalf("custom-metric line rejected: %q", line)
+	}
+	if res.Name != "BenchmarkE23" || res.NsPerOp != 4567 || res.BytesPerOp != 128 || res.AllocsPerOp != 2 {
+		t.Fatalf("standard fields disturbed: %+v", res)
+	}
+	want := map[string]float64{"mean_wait": 3.5, "p99_wait": 16, "max_wait": 24}
+	if len(res.Extra) != len(want) {
+		t.Fatalf("extra = %v, want %v", res.Extra, want)
+	}
+	for k, v := range want {
+		if res.Extra[k] != v {
+			t.Fatalf("extra[%q] = %v, want %v", k, res.Extra[k], v)
+		}
+	}
+	// Non-/op units (MB/s throughput) are ignored, not recorded.
+	res, ok = parseLine("BenchmarkIO-4  100  50 ns/op  200 MB/s", "")
+	if !ok || res.Extra != nil {
+		t.Fatalf("MB/s handling changed: ok=%v %+v", ok, res)
+	}
+}
+
+func TestResultExtraJSONRoundTrip(t *testing.T) {
+	// The latency metrics must survive a write/load cycle so -compare
+	// and dashboards can read them back from committed artifacts.
+	dir := t.TempDir()
+	orig := File{Generated: "now", Results: []Result{
+		{Name: "BenchmarkE23", Procs: 8, Iterations: 3, NsPerOp: 4567,
+			Extra: map[string]float64{"mean_wait": 3.5, "p99_wait": 16}},
+		{Name: "BenchmarkPlain", Procs: 1, Iterations: 10, NsPerOp: 12},
+	}}
+	path := writeFile(t, dir, "latency.json", orig)
+	got, err := load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Results) != 2 {
+		t.Fatalf("results = %+v", got.Results)
+	}
+	r := got.Results[0]
+	if r.Extra["mean_wait"] != 3.5 || r.Extra["p99_wait"] != 16 || len(r.Extra) != 2 {
+		t.Fatalf("extra did not round-trip: %+v", r.Extra)
+	}
+	if got.Results[1].Extra != nil {
+		t.Fatalf("empty extra should stay nil (omitempty): %+v", got.Results[1])
+	}
+}
+
 func TestParseLineRejectsNoise(t *testing.T) {
 	for _, line := range []string{
 		"PASS",

@@ -27,19 +27,22 @@ import (
 
 	"plb/internal/cli"
 	"plb/internal/engine"
-	"plb/internal/sim"
 	"plb/internal/stats"
 	"plb/internal/trace"
 )
 
 // summary is the -json output: the engine drive report plus
-// tool-level derived statistics. The sim-only task-lifetime fields are
-// omitted for backends that do not track task identity.
+// tool-level derived statistics. The task-lifetime fields mirror
+// Report.Final.Tasks (kept at the top level for script compatibility)
+// and are omitted for backends that do not track task identity
+// (shmem) or completed nothing.
 type summary struct {
 	engine.Report
 	PaperT       int      `json:"paper_t"`
 	Fairness     float64  `json:"jain_fairness"`
 	MeanWait     *float64 `json:"mean_wait,omitempty"`
+	P50Wait      *int64   `json:"p50_wait,omitempty"`
+	P99Wait      *int64   `json:"p99_wait,omitempty"`
 	MaxWait      *int64   `json:"max_wait,omitempty"`
 	Locality     *float64 `json:"locality_fraction,omitempty"`
 	MeanHops     *float64 `json:"mean_hops,omitempty"`
@@ -85,12 +88,9 @@ func main() {
 		fail(err)
 	}
 	sum := summary{Report: rep, PaperT: stats.PaperT(*n), Fairness: stats.JainFairness(r.Loads())}
-	if m, ok := r.(*sim.Machine); ok {
-		if lrec := m.Recorder(); lrec.Completed > 0 {
-			mw, xw := lrec.MeanWait(), lrec.MaxWait
-			lf, mh := lrec.LocalityFraction(), lrec.MeanHops()
-			sum.MeanWait, sum.MaxWait, sum.Locality, sum.MeanHops = &mw, &xw, &lf, &mh
-		}
+	if ts := rep.Final.Tasks; ts != nil && ts.Completed > 0 {
+		sum.MeanWait, sum.P50Wait, sum.P99Wait, sum.MaxWait = &ts.MeanWait, &ts.P50Wait, &ts.P99Wait, &ts.MaxWait
+		sum.Locality, sum.MeanHops = &ts.Locality, &ts.MeanHops
 	}
 
 	if rec != nil {
@@ -133,7 +133,8 @@ func printText(r engine.Runner, sum summary, steps int, hist bool) {
 	fmt.Printf("balance actions = %d, tasks moved = %d\n", em.BalanceActions, em.TasksMoved)
 	fmt.Printf("completed tasks = %d\n", em.Completed)
 	if sum.MeanWait != nil {
-		fmt.Printf("mean wait       = %.2f steps (max %d)\n", *sum.MeanWait, *sum.MaxWait)
+		fmt.Printf("task wait       = mean %.2f, p50 <%d, p99 <%d, max %d steps\n",
+			*sum.MeanWait, *sum.P50Wait, *sum.P99Wait, *sum.MaxWait)
 		fmt.Printf("locality        = %.4f executed at origin (mean hops %.4f)\n", *sum.Locality, *sum.MeanHops)
 	}
 	if len(em.Extra) > 0 {

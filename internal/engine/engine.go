@@ -33,6 +33,7 @@ import (
 	"fmt"
 
 	"plb/internal/faults"
+	"plb/internal/task"
 )
 
 // Meta identifies a run: which backend, which algorithm, which
@@ -82,6 +83,14 @@ type Metrics struct {
 	// "phases" and "matched", live's "peak_max_load", shmem's
 	// "batches"). May be nil.
 	Extra map[string]int64 `json:"extra,omitempty"`
+	// Tasks is the task-lifecycle summary (sojourn-time quantiles,
+	// locality, hops) for backends whose unit of work carries identity
+	// end to end: sim, proto-on-sim, and live populate it; it is nil
+	// where the unit of work has no per-task trajectory (shmem's
+	// access stream). A non-nil Summary with Completed == 0 means the
+	// backend tracks tasks but none finished yet. Like the counters it
+	// is cumulative over the run.
+	Tasks *task.Summary `json:"tasks,omitempty"`
 }
 
 // AddExtra increments an extension counter, allocating the map on

@@ -109,3 +109,57 @@ func TestRedistributeOnRecoveryConserves(t *testing.T) {
 			st.Generated, st.Completed, st.Queued)
 	}
 }
+
+// TestCrashRecoveryRecorderMerge is the full task-lifecycle audit
+// under the harshest fault path: processors crash with queued tasks,
+// recover, and scatter their backlog in blocks to random peers. Every
+// task must remain accounted for (Generated == Completed + Queued) and
+// the merged recorders must stay internally consistent — histogram
+// mass equals completions, scattered tasks carry their hops, and the
+// frozen tasks' aged waits surface in the sojourn tail.
+func TestCrashRecoveryRecorderMerge(t *testing.T) {
+	cfg := defaultConfig(96)
+	plan := faults.CrashWindow(10, 200, 1200)
+	plan.Redistribute = true
+	cfg.Faults = &plan
+	s, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	// Uneven batch grants on purpose: recorder publication must be
+	// correct at every batch-grant barrier, not just a final one.
+	for _, k := range []int{150, 1, 649, 1200, 500} {
+		s.Steps(k)
+		m := s.Collect()
+		if m.Generated != m.Completed+m.TotalLoad {
+			t.Fatalf("after %d steps: conservation violated: %d != %d + %d",
+				s.Now(), m.Generated, m.Completed, m.TotalLoad)
+		}
+	}
+	rec := s.Recorder()
+	if rec.Completed == 0 {
+		t.Fatal("no tasks completed")
+	}
+	var hist int64
+	for _, c := range rec.WaitHist {
+		hist += c
+	}
+	if hist != rec.Completed {
+		t.Fatalf("recorder histogram mass %d != completed %d after recovery scatter",
+			hist, rec.Completed)
+	}
+	if rec.SumHops == 0 {
+		t.Fatal("recovery scatter moved blocks but no completed task carries a hop")
+	}
+	m := s.Collect()
+	if m.Tasks == nil || m.Tasks.MaxWait != rec.MaxWait {
+		t.Fatalf("published summary out of sync with recorder: %+v vs max %d",
+			m.Tasks, rec.MaxWait)
+	}
+	// Tasks frozen in a crashed queue for most of a 1000-step window
+	// age far beyond the fault-free tail.
+	if rec.MaxWait < 100 {
+		t.Fatalf("max wait %d suspiciously small for 1000-step crash windows", rec.MaxWait)
+	}
+}

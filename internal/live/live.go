@@ -18,6 +18,16 @@
 // the same invariants as the deterministic implementations —
 // conservation, bounded load, message accounting — statistically.
 //
+// The unit of work is task.Task, exactly as in the lockstep simulator:
+// every goroutine owns a real FIFO task queue, transfer messages carry
+// the task blocks themselves (origin, birth step, hop count riding
+// along), and each goroutine owns a task.Recorder that accounts
+// sojourn time and locality as it consumes. Recorders are published at
+// batch-grant barriers and merged on demand, so the live backend
+// reports the same task-lifecycle surface (engine.Metrics.Tasks) as
+// sim and proto — Corollary 1's waiting-time claim is measurable on
+// all three from one harness.
+//
 // The substrate is packaged as a System: a persistent set of worker
 // goroutines advanced in batches of steps through the engine.Runner
 // interface (System.Steps), so the same engine.Drive loop that drives
@@ -30,8 +40,10 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"plb/internal/deque"
 	"plb/internal/engine"
 	"plb/internal/faults"
+	"plb/internal/task"
 	"plb/internal/xrand"
 )
 
@@ -133,6 +145,9 @@ type Stats struct {
 	// coins, partition cuts, and messages to or from crashed
 	// processors). Zero in every fault-free run.
 	Drops int64
+	// Tasks is the task-lifecycle summary (sojourn quantiles,
+	// locality, hops) merged from the per-goroutine recorders.
+	Tasks task.Summary
 }
 
 // message kinds on the live network.
@@ -145,9 +160,9 @@ const (
 )
 
 type message struct {
-	kind msgKind
-	from int32
-	k    int32 // task count for msgTasks
+	kind  msgKind
+	from  int32
+	tasks []task.Task // the moved block for msgTasks (nil otherwise)
 }
 
 // barrier is a reusable cyclic barrier for n parties.
@@ -199,7 +214,11 @@ type System struct {
 	now     int64   // completed steps
 
 	// Per-worker cumulative counters, published at batch boundaries.
-	genC, doneC, msgC, movesC, movedC, dropC []int64
+	genC, msgC, movesC, movedC, dropC []int64
+	// Per-worker task recorders, published (copied) at batch
+	// boundaries. The batch barrier's mutex orders the workers' writes
+	// before the coordinator's reads, so plain copies suffice.
+	recs []task.Recorder
 
 	start, done *barrier // n+1 parties: the workers plus the coordinator
 	batch       int      // steps per granted batch; written before start.await
@@ -222,9 +241,10 @@ func NewSystem(cfg Config) (*System, error) {
 		cfg:   cfg,
 		n:     n,
 		loads: make([]int64, n),
-		genC:  make([]int64, n), doneC: make([]int64, n),
-		msgC: make([]int64, n), movesC: make([]int64, n),
-		movedC: make([]int64, n), dropC: make([]int64, n),
+		genC:  make([]int64, n), msgC: make([]int64, n),
+		movesC: make([]int64, n), movedC: make([]int64, n),
+		dropC: make([]int64, n),
+		recs:  make([]task.Recorder, n),
 		start: newBarrier(n + 1), done: newBarrier(n + 1),
 		snap: make([]int32, n),
 	}
@@ -291,9 +311,21 @@ func (s *System) Loads() []int32 {
 	return s.snap
 }
 
+// Recorder returns the merged task-lifetime statistics as of the last
+// batch boundary — the same surface sim.Machine.Recorder exposes.
+func (s *System) Recorder() task.Recorder {
+	var merged task.Recorder
+	for p := range s.recs {
+		merged.Merge(&s.recs[p])
+	}
+	return merged
+}
+
 // Collect implements engine.Runner: the unified metrics at the last
-// batch boundary. The exact per-step peak the workers track (a tighter
-// observation than sampled maxima) rides in Extra["peak_max_load"].
+// batch boundary, including the task-lifecycle summary merged from
+// the per-goroutine recorders (Metrics.Tasks). The exact per-step
+// peak the workers track (a tighter observation than sampled maxima)
+// rides in Extra["peak_max_load"].
 func (s *System) Collect() engine.Metrics {
 	m := engine.Metrics{Steps: s.now}
 	for p := 0; p < s.n; p++ {
@@ -303,12 +335,15 @@ func (s *System) Collect() engine.Metrics {
 			m.MaxLoad = l
 		}
 		m.Generated += atomic.LoadInt64(&s.genC[p])
-		m.Completed += atomic.LoadInt64(&s.doneC[p])
 		m.Messages += atomic.LoadInt64(&s.msgC[p])
 		m.BalanceActions += atomic.LoadInt64(&s.movesC[p])
 		m.TasksMoved += atomic.LoadInt64(&s.movedC[p])
 		m.Drops += atomic.LoadInt64(&s.dropC[p])
 	}
+	rec := s.Recorder()
+	m.Completed = rec.Completed
+	sum := rec.Summary()
+	m.Tasks = &sum
 	m.AddExtra("peak_max_load", atomic.LoadInt64(&s.stepMax))
 	return m
 }
@@ -322,6 +357,7 @@ func (s *System) Stats() Stats {
 		MaxLoad:      int(m.Extra["peak_max_load"]),
 		FinalMaxLoad: int(m.MaxLoad),
 		Messages:     m.Messages, Transfers: m.BalanceActions, Drops: m.Drops,
+		Tasks: *m.Tasks,
 	}
 	return st
 }
@@ -389,9 +425,10 @@ func (s *System) spawn() {
 		go func(p int) {
 			defer s.wg.Done()
 			r := streams[p]
-			load := int64(0)
+			var q deque.Deque[task.Task] // the processor's real FIFO task queue
+			var rec task.Recorder        // task-lifetime accounting, merged at batch grants
 			nextTry := 0
-			myGen, myDone, myMsg, myMoves, myMoved, myDrops := int64(0), int64(0), int64(0), int64(0), int64(0), int64(0)
+			myGen, myMsg, myMoves, myMoved, myDrops := int64(0), int64(0), int64(0), int64(0), int64(0)
 			targets := make([]int, cfg.Probes)
 			var probesIn, acceptsIn []message
 			seq := int64(0)
@@ -401,16 +438,39 @@ func (s *System) spawn() {
 			if inj != nil && inj.Straggler(int32(p)) {
 				slow = inj.Plan().Slowdown
 			}
-			// publish pushes the worker's cumulative counters and load
-			// where the coordinator reads them (batch boundaries).
+			// publish pushes the worker's cumulative counters, load and
+			// recorder where the coordinator reads them (batch
+			// boundaries). The recorder copy rides the barrier's
+			// happens-before edge rather than atomics.
 			publish := func() {
 				atomic.StoreInt64(&s.genC[p], myGen)
-				atomic.StoreInt64(&s.doneC[p], myDone)
 				atomic.StoreInt64(&s.msgC[p], myMsg)
 				atomic.StoreInt64(&s.movesC[p], myMoves)
 				atomic.StoreInt64(&s.movedC[p], myMoved)
 				atomic.StoreInt64(&s.dropC[p], myDrops)
-				atomic.StoreInt64(&s.loads[p], load)
+				atomic.StoreInt64(&s.loads[p], int64(q.Len()))
+				s.recs[p] = rec
+			}
+			// ship takes a block of up to k tasks off the back of the
+			// queue (the paper's balancing move, preserving their
+			// order), stamps the hop, and sends it to target. Task
+			// blocks ride the reliable transport — never dropped — so
+			// conservation is exact even under fault plans.
+			ship := func(target int, k int) {
+				if k > q.Len() {
+					k = q.Len()
+				}
+				if k <= 0 {
+					return
+				}
+				block := q.TakeBack(k)
+				for i := range block {
+					block[i].Hops++
+				}
+				boxes[target] <- message{kind: msgTasks, from: int32(p), tasks: block}
+				myMsg++
+				myMoves++
+				myMoved += int64(len(block))
 			}
 			// sendCtl sends a control message (probe or accept) through
 			// the fault injector: a drop verdict — drop coin, partition
@@ -432,8 +492,9 @@ func (s *System) spawn() {
 			// drainAll empties the mailbox, dispatching by kind.
 			// Within a sub-step there is no barrier between another
 			// goroutine's send and our drain, so any kind may arrive
-			// "early"; messages are banked per kind (tasks applied to
-			// the load immediately) and never dropped.
+			// "early"; messages are banked per kind (task blocks
+			// appended to the queue immediately, old order preserved)
+			// and never dropped.
 			drainAll := func() {
 				for {
 					select {
@@ -444,7 +505,7 @@ func (s *System) spawn() {
 						case msgAccept:
 							acceptsIn = append(acceptsIn, m)
 						case msgTasks:
-							load += int64(m.k)
+							q.PushBackAll(m.tasks)
 						}
 					default:
 						return
@@ -461,12 +522,12 @@ func (s *System) spawn() {
 					probesIn = probesIn[:0]
 					acceptsIn = acceptsIn[:0]
 					down := inj != nil && inj.Crashed(int32(p), int64(step))
-					if inj != nil && wasDown && !down && inj.Redistribute() && load > 0 {
+					if inj != nil && wasDown && !down && inj.Redistribute() && q.Len() > 0 {
 						// Recovery with the redistribute policy: scatter the
 						// frozen backlog in blocks to distinct random peers
 						// (at most one block each, so mailboxes cannot
 						// overflow); any remainder stays local.
-						blocks := int(load) / cfg.TransferAmount
+						blocks := q.Len() / cfg.TransferAmount
 						if blocks > n-1 {
 							blocks = n - 1
 						}
@@ -474,11 +535,7 @@ func (s *System) spawn() {
 							scat := make([]int, blocks)
 							r.SampleDistinct(scat, blocks, n, p)
 							for _, tgt := range scat {
-								load -= int64(cfg.TransferAmount)
-								boxes[tgt] <- message{kind: msgTasks, from: int32(p), k: int32(cfg.TransferAmount)}
-								myMsg++
-								myMoves++
-								myMoved += int64(cfg.TransferAmount)
+								ship(tgt, cfg.TransferAmount)
 							}
 						}
 					}
@@ -490,18 +547,17 @@ func (s *System) spawn() {
 					probing := false
 					if !down {
 						if r.Bernoulli(cfg.P) {
-							load++
+							q.PushBack(task.Task{Origin: int32(p), Birth: int64(step), Weight: 1, Remaining: 1})
 							myGen++
 						}
 						consumeP := cfg.P + cfg.Eps
 						if slow > 1 {
 							consumeP /= float64(slow)
 						}
-						if load > 0 && r.Bernoulli(consumeP) {
-							load--
-							myDone++
+						if q.Len() > 0 && r.Bernoulli(consumeP) {
+							rec.Complete(q.PopFront(), int32(p), int64(step))
 						}
-						if step >= nextTry && load >= int64(cfg.HeavyThreshold) {
+						if step >= nextTry && q.Len() >= cfg.HeavyThreshold {
 							probing = true
 							nextTry = step + cfg.Cooldown + 1
 							r.SampleDistinct(targets, cfg.Probes, n, p)
@@ -510,7 +566,7 @@ func (s *System) spawn() {
 							}
 						}
 					}
-					atomic.StoreInt64(&s.loads[p], load)
+					atomic.StoreInt64(&s.loads[p], int64(q.Len()))
 					bar.await()
 
 					// Sub-step 2: answer probes (collision rule: answer
@@ -519,7 +575,7 @@ func (s *System) spawn() {
 					// now (senders passed the barrier after sending).
 					drainAll()
 					if !down && len(probesIn) > 0 && len(probesIn) <= cfg.Collide &&
-						load <= int64(cfg.LightThreshold) {
+						q.Len() <= cfg.LightThreshold {
 						sendCtl(step, int(probesIn[0].from), msgAccept)
 					}
 					bar.await()
@@ -527,23 +583,13 @@ func (s *System) spawn() {
 					// Sub-step 3: probers collect accepts and ship blocks.
 					drainAll()
 					if probing && len(acceptsIn) > 0 {
-						k := int64(cfg.TransferAmount)
-						if k > load {
-							k = load
-						}
-						if k > 0 {
-							load -= k
-							boxes[acceptsIn[0].from] <- message{kind: msgTasks, from: int32(p), k: int32(k)}
-							myMsg++
-							myMoves++
-							myMoved += k
-						}
+						ship(int(acceptsIn[0].from), cfg.TransferAmount)
 					}
 					bar.await()
 
 					// Sub-step 4: receive shipped blocks.
 					drainAll()
-					atomic.StoreInt64(&s.loads[p], load)
+					atomic.StoreInt64(&s.loads[p], int64(q.Len()))
 					if p == 0 {
 						// One party samples the global max each step; the
 						// values it reads are barrier-fresh.

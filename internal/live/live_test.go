@@ -1,6 +1,7 @@
 package live
 
 import (
+	"runtime"
 	"testing"
 
 	"plb/internal/stats"
@@ -140,5 +141,92 @@ func TestBeatsUnbalancedTail(t *testing.T) {
 	}
 	if balanced.MaxLoad >= unbalanced.MaxLoad {
 		t.Fatalf("live balancing did not help: %d vs %d", balanced.MaxLoad, unbalanced.MaxLoad)
+	}
+}
+
+func TestTaskRecorderConsistency(t *testing.T) {
+	// The per-goroutine recorders, merged at the batch-grant barrier,
+	// must tell one coherent story: the merged completion count is the
+	// engine Completed counter, the histogram mass equals the
+	// completion count, and conservation holds against the task
+	// queues.
+	s, err := NewSystem(defaultConfig(128))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.Steps(1500)
+	m := s.Collect()
+	rec := s.Recorder()
+	if m.Tasks == nil {
+		t.Fatal("live Collect did not publish Metrics.Tasks")
+	}
+	if rec.Completed == 0 {
+		t.Fatal("no tasks completed")
+	}
+	if m.Completed != rec.Completed || m.Tasks.Completed != rec.Completed {
+		t.Fatalf("completion counts disagree: metrics %d, summary %d, recorder %d",
+			m.Completed, m.Tasks.Completed, rec.Completed)
+	}
+	var hist int64
+	for _, c := range rec.WaitHist {
+		hist += c
+	}
+	if hist != rec.Completed {
+		t.Fatalf("histogram mass %d != completed %d", hist, rec.Completed)
+	}
+	if m.Generated != m.Completed+m.TotalLoad {
+		t.Fatalf("conservation violated: %d != %d + %d", m.Generated, m.Completed, m.TotalLoad)
+	}
+	if rec.OnOrigin > rec.Completed || m.Tasks.Locality < 0 || m.Tasks.Locality > 1 {
+		t.Fatalf("locality out of range: %+v", m.Tasks)
+	}
+	if m.Tasks.MaxWait < m.Tasks.P50Wait/2 {
+		t.Fatalf("max wait %d below p50 bucket floor %d", m.Tasks.MaxWait, m.Tasks.P50Wait/2)
+	}
+}
+
+func TestTransfersCarryIdentity(t *testing.T) {
+	// Force heavy balancing and check the moved tasks' hop counts show
+	// up in the lifetime statistics: identity rides the transfer
+	// messages, it is not re-minted at the receiver.
+	cfg := defaultConfig(128)
+	cfg.HeavyThreshold = 3
+	cfg.LightThreshold = 1
+	cfg.TransferAmount = 2
+	st, err := Run(cfg, 1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Transfers == 0 {
+		t.Fatal("no transfers")
+	}
+	if st.Tasks.MeanHops == 0 {
+		t.Fatal("transfers happened but no completed task recorded a hop")
+	}
+	if st.Tasks.Locality >= 1 {
+		t.Fatal("every task completed at its origin despite transfers")
+	}
+}
+
+func TestConservationAcrossGOMAXPROCS(t *testing.T) {
+	// The task-flow invariants cannot depend on real parallelism: with
+	// the scheduler pinned to one OS thread the goroutines interleave
+	// completely differently, and the same books must still balance.
+	for _, procs := range []int{1, runtime.GOMAXPROCS(0)} {
+		prev := runtime.GOMAXPROCS(procs)
+		st, err := Run(defaultConfig(96), 1200)
+		runtime.GOMAXPROCS(prev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Generated != st.Completed+st.Queued {
+			t.Fatalf("GOMAXPROCS=%d: conservation violated: %d != %d + %d",
+				procs, st.Generated, st.Completed, st.Queued)
+		}
+		if st.Tasks.Completed != st.Completed {
+			t.Fatalf("GOMAXPROCS=%d: recorder count %d != stats count %d",
+				procs, st.Tasks.Completed, st.Completed)
+		}
 	}
 }

@@ -46,7 +46,9 @@ func (m *Machine) Steps(k int) { m.Run(k) }
 func (m *Machine) Loads() []int32 { return m.Snapshot() }
 
 // Collect assembles the unified engine.Metrics from the machine's
-// cost counters, conservation totals, and current load state. The
+// cost counters, conservation totals, and current load state — tasks
+// flow through the machine with full identity, so Collect also
+// publishes the merged task-lifecycle summary (Metrics.Tasks). The
 // installed balancer may extend it via MetricsExtender.
 func (m *Machine) Collect() engine.Metrics {
 	rec := m.Recorder()
@@ -64,6 +66,8 @@ func (m *Machine) Collect() engine.Metrics {
 		Drops:           m.metrics.Drops,
 		AbandonedPhases: m.metrics.AbandonedPhases,
 	}
+	sum := rec.Summary()
+	em.Tasks = &sum
 	if ext, ok := m.bal.(MetricsExtender); ok {
 		ext.ExtendMetrics(&em)
 	}

@@ -253,6 +253,43 @@ func (h *Hist) Merge(other *Hist) {
 	h.total += other.total
 }
 
+// QuantileFromPow2Hist returns an upper bound for the q-quantile
+// (0 < q <= 1) of a distribution summarized by a power-of-two
+// histogram: bucket i counts values in [2^i, 2^(i+1)), with bucket 0
+// holding {0, 1}. The returned value is the exclusive upper edge of
+// the bucket containing the nearest-rank q-quantile — a conservative
+// (never under-reporting) read of the tail, which is the right
+// direction for verifying "at most O(...)" waiting-time claims.
+//
+// The last bucket is a saturated catch-all (histogram writers clamp
+// larger values into it); when the quantile lands there the upper edge
+// 2^len(hist) is returned, honest only in the sense that the true
+// value is at least 2^(len(hist)-1). total is the observation count
+// (callers track it alongside the buckets); a zero or negative total,
+// or an empty histogram, returns 0.
+func QuantileFromPow2Hist(hist []int64, total int64, q float64) int64 {
+	if total <= 0 || len(hist) == 0 {
+		return 0
+	}
+	target := int64(q * float64(total))
+	if target < 1 {
+		target = 1
+	}
+	if target > total {
+		target = total
+	}
+	var seen int64
+	for i, c := range hist {
+		seen += c
+		if seen >= target {
+			return int64(1) << uint(i+1) // exclusive upper edge of bucket i
+		}
+	}
+	// Fewer histogram entries than total claims (caller undercounted);
+	// report the histogram's full range.
+	return int64(1) << uint(len(hist))
+}
+
 // LinearFit returns slope and intercept of the least-squares line
 // through (x[i], y[i]). It panics if lengths differ or fewer than two
 // points are given.

@@ -429,3 +429,61 @@ func TestJainFairness(t *testing.T) {
 		t.Fatal("spreading load did not increase fairness")
 	}
 }
+
+func TestQuantileFromPow2HistEmpty(t *testing.T) {
+	if got := QuantileFromPow2Hist(nil, 0, 0.5); got != 0 {
+		t.Fatalf("empty hist quantile = %d", got)
+	}
+	if got := QuantileFromPow2Hist([]int64{0, 0, 0}, 0, 0.99); got != 0 {
+		t.Fatalf("zero-total quantile = %d", got)
+	}
+	if got := QuantileFromPow2Hist([]int64{1}, -3, 0.5); got != 0 {
+		t.Fatalf("negative-total quantile = %d", got)
+	}
+}
+
+func TestQuantileFromPow2HistSingleBucket(t *testing.T) {
+	// All mass in bucket 2 ([4, 8)): every quantile reports the
+	// exclusive upper edge 8.
+	hist := []int64{0, 0, 100}
+	for _, q := range []float64{0.001, 0.5, 0.99, 1} {
+		if got := QuantileFromPow2Hist(hist, 100, q); got != 8 {
+			t.Fatalf("q=%v: got %d, want 8", q, got)
+		}
+	}
+	// q <= 0 clamps to rank 1 rather than reading garbage.
+	if got := QuantileFromPow2Hist(hist, 100, 0); got != 8 {
+		t.Fatalf("q=0: got %d, want 8", got)
+	}
+}
+
+func TestQuantileFromPow2HistTwoBuckets(t *testing.T) {
+	// 90 observations in bucket 0 ({0,1}), 10 in bucket 3 ([8,16)).
+	hist := []int64{90, 0, 0, 10}
+	if got := QuantileFromPow2Hist(hist, 100, 0.5); got != 2 {
+		t.Fatalf("p50 = %d, want 2", got)
+	}
+	if got := QuantileFromPow2Hist(hist, 100, 0.90); got != 2 {
+		t.Fatalf("p90 = %d, want 2 (rank 90 is the last bucket-0 point)", got)
+	}
+	if got := QuantileFromPow2Hist(hist, 100, 0.91); got != 16 {
+		t.Fatalf("p91 = %d, want 16", got)
+	}
+	if got := QuantileFromPow2Hist(hist, 100, 1); got != 16 {
+		t.Fatalf("p100 = %d, want 16", got)
+	}
+}
+
+func TestQuantileFromPow2HistSaturatedTail(t *testing.T) {
+	// Writers clamp oversized values into the last bucket; the quantile
+	// answers with that bucket's upper edge, 2^len.
+	hist := []int64{1, 0, 0, 0, 7}
+	if got, want := QuantileFromPow2Hist(hist, 8, 0.99), int64(1)<<5; got != want {
+		t.Fatalf("saturated p99 = %d, want %d", got, want)
+	}
+	// A caller that overstates total beyond the histogram mass still
+	// gets the histogram's full range, not a silent zero.
+	if got, want := QuantileFromPow2Hist(hist, 100, 0.99), int64(1)<<5; got != want {
+		t.Fatalf("overstated-total p99 = %d, want %d", got, want)
+	}
+}

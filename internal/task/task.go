@@ -13,6 +13,8 @@
 // Recorder aggregates sojourn times and locality when tasks complete.
 package task
 
+import "plb/internal/stats"
+
 // Task is one unit of load. The paper's tasks are unit weight; the
 // weighted extension (cf. Berenbrink, Meyer auf der Heide and Schröder
 // for the static case) gives each task a service weight: a processor
@@ -36,7 +38,11 @@ type Task struct {
 // Recorder aggregates statistics over completed tasks. The zero value
 // is ready to use. Recorder is not safe for concurrent use; in the
 // parallel simulator each shard owns a Recorder and the shards are
-// merged at a barrier.
+// merged at a barrier. Merging is exact, not approximate: every field
+// — including MaxWait and the WaitHist buckets — is a sum or max of
+// per-task contributions, so folding any partition of the completions
+// through Merge yields the identical Recorder a single sequential
+// observer would have produced (property-tested in task_test.go).
 type Recorder struct {
 	// Completed is the number of tasks consumed.
 	Completed int64
@@ -86,7 +92,10 @@ func bucket(wait int64) int {
 	return b
 }
 
-// Merge folds other into r.
+// Merge folds other into r. The result is bit-identical to a single
+// Recorder that observed both recorders' completions in any order:
+// counters and sums add, MaxWait takes the max, and WaitHist merges
+// bucket-wise — no information beyond the original bucketing is lost.
 func (r *Recorder) Merge(other *Recorder) {
 	r.Completed += other.Completed
 	r.OnOrigin += other.OnOrigin
@@ -130,19 +139,56 @@ func (r *Recorder) MeanHops() float64 {
 // WaitQuantile returns an upper bound for the q-quantile (0 < q <= 1)
 // of the sojourn-time distribution using the power-of-two histogram.
 func (r *Recorder) WaitQuantile(q float64) int64 {
-	if r.Completed == 0 {
-		return 0
+	return stats.QuantileFromPow2Hist(r.WaitHist[:], r.Completed, q)
+}
+
+// Summary is the compact, JSON-serializable form of a Recorder — the
+// task-lifecycle surface backends publish through engine.Metrics.
+// Wait quantiles are conservative upper bounds read from the
+// power-of-two histogram (see stats.QuantileFromPow2Hist); WaitHist
+// carries the histogram itself with trailing zero buckets trimmed, so
+// downstream consumers can re-derive any quantile.
+type Summary struct {
+	// Completed is the number of tasks consumed.
+	Completed int64 `json:"completed"`
+	// MeanWait is the average sojourn time in steps.
+	MeanWait float64 `json:"mean_wait"`
+	// P50Wait, P99Wait and MaxWait characterize the sojourn tail; the
+	// quantiles are exclusive upper bucket edges, MaxWait is exact.
+	P50Wait int64 `json:"p50_wait"`
+	P99Wait int64 `json:"p99_wait"`
+	MaxWait int64 `json:"max_wait"`
+	// Locality is the fraction of tasks consumed on their origin
+	// processor; MeanHops is the average number of balancing transfers
+	// per completed task.
+	Locality float64 `json:"locality"`
+	MeanHops float64 `json:"mean_hops"`
+	// WaitHist is the power-of-two sojourn histogram (bucket i counts
+	// waits in [2^i, 2^(i+1)), bucket 0 holds {0, 1}) with trailing
+	// zeros trimmed; empty when no tasks completed.
+	WaitHist []int64 `json:"wait_hist,omitempty"`
+}
+
+// Summary extracts the compact form. The returned value owns its
+// histogram copy, so it stays valid after the Recorder advances.
+func (r *Recorder) Summary() Summary {
+	s := Summary{
+		Completed: r.Completed,
+		MeanWait:  r.MeanWait(),
+		P50Wait:   r.WaitQuantile(0.50),
+		P99Wait:   r.WaitQuantile(0.99),
+		MaxWait:   r.MaxWait,
+		Locality:  r.LocalityFraction(),
+		MeanHops:  r.MeanHops(),
 	}
-	target := int64(q * float64(r.Completed))
-	if target < 1 {
-		target = 1
-	}
-	var seen int64
+	last := -1
 	for i, c := range r.WaitHist {
-		seen += c
-		if seen >= target {
-			return int64(1) << uint(i+1) // exclusive upper edge of bucket i
+		if c != 0 {
+			last = i
 		}
 	}
-	return r.MaxWait
+	if last >= 0 {
+		s.WaitHist = append([]int64(nil), r.WaitHist[:last+1]...)
+	}
+	return s
 }

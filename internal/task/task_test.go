@@ -1,8 +1,12 @@
 package task
 
 import (
+	"encoding/json"
+	"reflect"
 	"testing"
 	"testing/quick"
+
+	"plb/internal/stats"
 )
 
 func TestCompleteBasic(t *testing.T) {
@@ -158,5 +162,92 @@ func TestQuickQuantileBoundsWait(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestMergeExactnessAnyOrder(t *testing.T) {
+	// Merge is exact and order-insensitive: folding shards in any
+	// order reproduces the sequential recorder field-for-field,
+	// including MaxWait and every WaitHist bucket.
+	waits := []int64{0, 1, 1, 2, 5, 9, 9, 130, 131, 1 << 20}
+	var global Recorder
+	var shards [3]Recorder
+	for i, w := range waits {
+		tk := Task{Origin: int32(i), Hops: int32(i % 4)}
+		global.Complete(tk, int32(i%2), w)
+		shards[i%3].Complete(tk, int32(i%2), w)
+	}
+	for _, order := range [][]int{{0, 1, 2}, {2, 1, 0}, {1, 2, 0}} {
+		var merged Recorder
+		for _, s := range order {
+			merged.Merge(&shards[s])
+		}
+		if merged != global {
+			t.Fatalf("merge order %v diverged:\n merged %+v\n global %+v", order, merged, global)
+		}
+	}
+}
+
+func TestSummaryEmpty(t *testing.T) {
+	var r Recorder
+	s := r.Summary()
+	if s.Completed != 0 || s.MeanWait != 0 || s.P50Wait != 0 || s.P99Wait != 0 ||
+		s.MaxWait != 0 || s.Locality != 0 || s.MeanHops != 0 || s.WaitHist != nil {
+		t.Fatalf("empty summary not zero: %+v", s)
+	}
+}
+
+func TestSummaryMatchesRecorder(t *testing.T) {
+	var r Recorder
+	for i := 0; i < 90; i++ {
+		r.Complete(Task{Origin: 1, Hops: 1}, 1, 1)
+	}
+	for i := 0; i < 10; i++ {
+		r.Complete(Task{Origin: 1}, 3, 100)
+	}
+	s := r.Summary()
+	if s.Completed != r.Completed || s.MaxWait != r.MaxWait {
+		t.Fatalf("summary counters diverge: %+v vs %+v", s, r)
+	}
+	if s.MeanWait != r.MeanWait() || s.Locality != r.LocalityFraction() || s.MeanHops != r.MeanHops() {
+		t.Fatalf("summary means diverge: %+v", s)
+	}
+	if s.P50Wait != r.WaitQuantile(0.50) || s.P99Wait != r.WaitQuantile(0.99) {
+		t.Fatalf("summary quantiles diverge: %+v", s)
+	}
+	// 100-step waits land in bucket 6 ([64, 128)): the trimmed
+	// histogram keeps exactly buckets 0..6.
+	if len(s.WaitHist) != 7 || s.WaitHist[0] != 90 || s.WaitHist[6] != 10 {
+		t.Fatalf("trimmed histogram wrong: %v", s.WaitHist)
+	}
+	// The copy is independent of the recorder's ongoing life.
+	r.Complete(Task{}, 0, 1)
+	if s.WaitHist[0] != 90 {
+		t.Fatal("summary histogram aliases the recorder")
+	}
+}
+
+func TestSummaryJSONRoundTrip(t *testing.T) {
+	var r Recorder
+	for i := 0; i < 50; i++ {
+		r.Complete(Task{Origin: int32(i % 3), Hops: int32(i % 2)}, int32(i%3), int64(i))
+	}
+	s := r.Summary()
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Summary
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s, back) {
+		t.Fatalf("round trip diverged:\n in  %+v\n out %+v", s, back)
+	}
+	// Quantiles re-derived from the shipped histogram agree with the
+	// summary's own fields — the compact form loses nothing the
+	// quantile surface needs.
+	if got := stats.QuantileFromPow2Hist(back.WaitHist, back.Completed, 0.99); got != back.P99Wait {
+		t.Fatalf("re-derived p99 %d != shipped %d", got, back.P99Wait)
 	}
 }

@@ -99,3 +99,31 @@ func TestRecorderLiveRoundTrip(t *testing.T) {
 		}
 	}
 }
+
+func TestRecorderLiveLatencySeries(t *testing.T) {
+	// The live backend publishes Metrics.Tasks, so the recorded series
+	// must carry the sojourn statistics: present, and with the
+	// cumulative ones (MaxWait) monotone across samples. A cumulative
+	// p99 may dip as fast tasks dilute the tail, but it can never
+	// exceed the cumulative max.
+	s := liveSystem(t)
+	r := NewRecorder(20)
+	r.Run(s, 400)
+	var prevMax int64
+	sawWait := false
+	for i, p := range r.Points() {
+		if p.MeanWait > 0 || p.MaxWait > 0 {
+			sawWait = true
+		}
+		if p.MaxWait < prevMax {
+			t.Fatalf("point %d: cumulative MaxWait regressed %d -> %d", i, prevMax, p.MaxWait)
+		}
+		prevMax = p.MaxWait
+		if p.P99Wait > 0 && p.MaxWait > 0 && p.P99Wait/2 > p.MaxWait {
+			t.Fatalf("point %d: p99 bucket floor %d above max %d", i, p.P99Wait/2, p.MaxWait)
+		}
+	}
+	if !sawWait {
+		t.Fatal("400 live steps produced no sojourn statistics in the trace")
+	}
+}

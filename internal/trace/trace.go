@@ -29,11 +29,18 @@ type Point struct {
 	// Drops is the cumulative fault-injection loss counter (zero in
 	// every fault-free run; omitted from the CSV for compatibility).
 	Drops int64 `json:"drops,omitempty"`
+	// MeanWait, P99Wait and MaxWait are the cumulative task sojourn
+	// statistics at the sample time, present for backends that publish
+	// Metrics.Tasks (sim, proto, live) and zero/omitted elsewhere.
+	// Like Drops they stay out of the CSV for compatibility.
+	MeanWait float64 `json:"mean_wait,omitempty"`
+	P99Wait  int64   `json:"p99_wait,omitempty"`
+	MaxWait  int64   `json:"max_wait,omitempty"`
 }
 
 // pointOf projects the unified metrics onto a Point.
 func pointOf(m engine.Metrics) Point {
-	return Point{
+	p := Point{
 		Step:           m.Steps,
 		MaxLoad:        m.MaxLoad,
 		TotalLoad:      m.TotalLoad,
@@ -42,6 +49,12 @@ func pointOf(m engine.Metrics) Point {
 		TasksMoved:     m.TasksMoved,
 		Drops:          m.Drops,
 	}
+	if m.Tasks != nil {
+		p.MeanWait = m.Tasks.MeanWait
+		p.P99Wait = m.Tasks.P99Wait
+		p.MaxWait = m.Tasks.MaxWait
+	}
+	return p
 }
 
 // Recorder samples a runner at a fixed cadence. It implements
