@@ -47,12 +47,13 @@ experiments:
 experiments-quick:
 	$(GO) run ./cmd/experiments -quick
 
-# Fault-injection smoke: the protocol degradation curve (E21) and the
-# live-backend sojourn degradation table (E23) at quick scale —
-# exercises the lossy/crash/straggler paths end to end on both
-# substrates.
+# Fault-injection smoke: the protocol degradation curve (E21), the
+# live-backend sojourn degradation table (E23) and the failure-detector
+# tuning sweep (E24) at quick scale — exercises the lossy/crash/
+# straggler/flap paths, the suspicion machinery and the acked-transfer
+# retry pump end to end.
 faults:
-	$(GO) run ./cmd/experiments -run E21,E23 -quick
+	$(GO) run ./cmd/experiments -run E21,E23,E24 -quick
 
 # lint fails (not just lists) on unformatted files, then vets.
 lint:

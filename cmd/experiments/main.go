@@ -28,7 +28,8 @@ func main() {
 		wrk      = flag.Int("workers", 0, "simulator worker shards (0 = GOMAXPROCS)")
 		list     = flag.Bool("list", false, "list experiments and exit")
 		parallel = flag.Bool("parallel", false, "run the selected experiments concurrently (results print in order)")
-		faultsF  = flag.String("faults", "", "custom fault plan for fault-aware experiments (E21), e.g. lossy:0.05,crash:0.1@100-500")
+		faultsF  = flag.String("faults", "", "custom fault plan for fault-aware experiments (E21, E24), e.g. lossy:0.05,flap:k=4,period=200")
+		detectF  = flag.String("detect", "", "custom failure-detector tuning for detector experiments (E24), e.g. suspect=20,hb=4")
 	)
 	flag.Parse()
 
@@ -53,7 +54,7 @@ func main() {
 		}
 	}
 
-	cfg := experiments.RunConfig{Quick: *quick, Seed: *seed, Workers: *wrk, Faults: *faultsF}
+	cfg := experiments.RunConfig{Quick: *quick, Seed: *seed, Workers: *wrk, Faults: *faultsF, Detect: *detectF}
 	type outcome struct {
 		res     *experiments.Result
 		err     error

@@ -64,11 +64,12 @@ func main() {
 		every   = flag.Int("trace-every", 50, "trace sampling cadence in steps")
 		hist    = flag.Bool("hist", false, "print an ASCII histogram of the final load distribution")
 		jsonOut = flag.Bool("json", false, "print a machine-readable JSON summary instead of the text table")
-		faultsF = flag.String("faults", "", "fault plan, e.g. lossy:0.05,crash:0.1@100-500 (algo bfm98-dist or backend live; see docs/ALGORITHM.md)")
+		faultsF = flag.String("faults", "", "fault plan, e.g. lossy:0.05,crash:0.1@100-500,flap:k=4,period=200 (algo bfm98-dist or backend live; see docs/ALGORITHM.md)")
+		detectF = flag.String("detect", "", "failure-detector tuning for a faulted bfm98-dist run, e.g. suspect=20,hb=4 (see docs/ALGORITHM.md)")
 	)
 	flag.Parse()
 
-	r, err := cli.BuildRunner(*backend, *algo, *model, *n, *scale, *seed, *wrk, *faultsF)
+	r, err := cli.BuildRunner(*backend, *algo, *model, *n, *scale, *seed, *wrk, *faultsF, *detectF)
 	if err != nil {
 		fail(err)
 	}
@@ -137,9 +138,41 @@ func printText(r engine.Runner, sum summary, steps int, hist bool) {
 			*sum.MeanWait, *sum.P50Wait, *sum.P99Wait, *sum.MaxWait)
 		fmt.Printf("locality        = %.4f executed at origin (mean hops %.4f)\n", *sum.Locality, *sum.MeanHops)
 	}
-	if len(em.Extra) > 0 {
+	printed := map[string]bool{}
+	if _, ok := em.Extra["net_dropped"]; ok {
+		// A faulted run surfaces the link counters unconditionally, so
+		// degraded runs are diagnosable from the summary alone.
+		fmt.Printf("link faults     = dropped %d, duplicated %d, delayed %d, crash-lost %d\n",
+			em.Extra["net_dropped"], em.Extra["net_duplicated"], em.Extra["net_delayed"], em.Extra["net_crash_lost"])
+		for _, k := range []string{"net_dropped", "net_duplicated", "net_delayed", "net_crash_lost"} {
+			printed[k] = true
+		}
+	}
+	if _, ok := em.Extra["det_suspicions"]; ok {
+		lat := "-"
+		if d := em.Extra["det_detections"]; d > 0 {
+			lat = fmt.Sprintf("%.1f", float64(em.Extra["det_latency_sum"])/float64(d))
+		}
+		fmt.Printf("detector        = suspicions %d (%d false), readmissions %d, detections %d (mean latency %s), missed windows %d, heartbeats %d\n",
+			em.Extra["det_suspicions"], em.Extra["det_false_suspicions"], em.Extra["det_readmissions"],
+			em.Extra["det_detections"], lat, em.Extra["det_missed_windows"], em.Extra["hb_sent"])
+		fmt.Printf("acked transfers = acked %d, retries %d, requeued %d, dup-dropped %d\n",
+			em.Extra["xfer_acked"], em.Extra["xfer_retries"], em.Extra["xfer_requeued"], em.Extra["xfer_dup_dropped"])
+		for _, k := range []string{"det_suspicions", "det_false_suspicions", "det_readmissions", "det_detections",
+			"det_latency_sum", "det_missed_windows", "hb_sent",
+			"xfer_acked", "xfer_retries", "xfer_requeued", "xfer_dup_dropped"} {
+			printed[k] = true
+		}
+	}
+	rest := make([]string, 0, len(em.Extra))
+	for _, k := range sortedKeys(em.Extra) {
+		if !printed[k] {
+			rest = append(rest, k)
+		}
+	}
+	if len(rest) > 0 {
 		fmt.Printf("backend extras  =")
-		for _, k := range sortedKeys(em.Extra) {
+		for _, k := range rest {
 			fmt.Printf(" %s=%d", k, em.Extra[k])
 		}
 		fmt.Println()

@@ -8,6 +8,7 @@ import (
 
 	"plb/internal/baselines"
 	"plb/internal/core"
+	"plb/internal/detect"
 	"plb/internal/engine"
 	"plb/internal/faults"
 	"plb/internal/gen"
@@ -54,10 +55,16 @@ func BuildModel(name string, n int, seed uint64) (gen.Model, error) {
 // Placer). scale > 1 multiplies T for the bfm98 configurations.
 // faultSpec, when non-empty, is a faults.ParsePlan spec injected into
 // the run; only the distributed protocol (bfm98-dist) executes over a
-// perturbable network, so any other algorithm rejects it.
-func InstallAlgo(cfg *sim.Config, name string, n, scale int, seed uint64, faultSpec string) error {
+// perturbable network, so any other algorithm rejects it. detectSpec,
+// when non-empty, is a detect.ParseConfig failure-detector tuning and
+// additionally requires an active fault plan (the fault-free protocol
+// runs no detector).
+func InstallAlgo(cfg *sim.Config, name string, n, scale int, seed uint64, faultSpec, detectSpec string) error {
 	if faultSpec != "" && name != "bfm98-dist" {
 		return fmt.Errorf("cli: -faults requires algo bfm98-dist (the message-passing protocol); %q runs on the atomic simulator", name)
+	}
+	if detectSpec != "" && faultSpec == "" {
+		return fmt.Errorf("cli: -detect tunes the failure detector of a faulted run; it requires -faults")
 	}
 	switch name {
 	case "bfm98", "bfm98-pre":
@@ -80,6 +87,13 @@ func InstallAlgo(cfg *sim.Config, name string, n, scale int, seed uint64, faultS
 				return err
 			}
 			c.Faults = &plan
+		}
+		if detectSpec != "" {
+			dc, err := detect.ParseConfig(detectSpec)
+			if err != nil {
+				return err
+			}
+			c.Detect = dc
 		}
 		b, err := proto.New(n, c)
 		if err != nil {
@@ -139,7 +153,7 @@ func BackendNames() []string { return []string{"sim", "live", "shmem"} }
 //
 // Callers that need backend-specific knobs beyond these should build
 // the runner directly; this covers the common command-line surface.
-func BuildRunner(backend, algo, model string, n, scale int, seed uint64, workers int, faultSpec string) (engine.Runner, error) {
+func BuildRunner(backend, algo, model string, n, scale int, seed uint64, workers int, faultSpec, detectSpec string) (engine.Runner, error) {
 	switch backend {
 	case "", "sim":
 		mod, err := BuildModel(model, n, seed)
@@ -147,11 +161,14 @@ func BuildRunner(backend, algo, model string, n, scale int, seed uint64, workers
 			return nil, err
 		}
 		cfg := sim.Config{N: n, Model: mod, Seed: seed, Workers: workers}
-		if err := InstallAlgo(&cfg, algo, n, scale, seed, faultSpec); err != nil {
+		if err := InstallAlgo(&cfg, algo, n, scale, seed, faultSpec, detectSpec); err != nil {
 			return nil, err
 		}
 		return sim.New(cfg)
 	case "live":
+		if detectSpec != "" {
+			return nil, fmt.Errorf("cli: -detect tunes the distributed protocol's failure detector; the live backend has none")
+		}
 		if algo != "" && algo != "bfm98" && algo != "threshold" {
 			return nil, fmt.Errorf("cli: the live backend runs its own threshold algorithm; -algo %q is not available there", algo)
 		}
@@ -178,7 +195,7 @@ func BuildRunner(backend, algo, model string, n, scale int, seed uint64, workers
 		if model != "" && model != "single" {
 			return nil, fmt.Errorf("cli: the shmem backend generates its own PRAM access stream; -model %q is not available there", model)
 		}
-		if faultSpec != "" {
+		if faultSpec != "" || detectSpec != "" {
 			return nil, fmt.Errorf("cli: the shmem backend has no fault injection")
 		}
 		return shmem.NewRunner(shmem.RunnerConfig{

@@ -28,7 +28,7 @@ func TestInstallAlgoAllNames(t *testing.T) {
 			t.Fatal(err)
 		}
 		cfg := sim.Config{N: 256, Model: model, Seed: 1}
-		if err := InstallAlgo(&cfg, name, 256, 1, 1, ""); err != nil {
+		if err := InstallAlgo(&cfg, name, 256, 1, 1, "", ""); err != nil {
 			t.Fatalf("InstallAlgo(%q) failed: %v", name, err)
 		}
 		if cfg.Balancer == nil && cfg.Placer == nil {
@@ -41,7 +41,7 @@ func TestInstallAlgoAllNames(t *testing.T) {
 		m.Run(20) // smoke: every algo survives a short run
 	}
 	cfg := sim.Config{}
-	if err := InstallAlgo(&cfg, "nope", 256, 1, 1, ""); err == nil {
+	if err := InstallAlgo(&cfg, "nope", 256, 1, 1, "", ""); err == nil {
 		t.Fatal("unknown algorithm accepted")
 	}
 }
@@ -52,7 +52,7 @@ func TestInstallAlgoScale(t *testing.T) {
 		t.Fatal(err)
 	}
 	cfg := sim.Config{N: 1024, Model: model, Seed: 1}
-	if err := InstallAlgo(&cfg, "bfm98", 1024, 4, 1, ""); err != nil {
+	if err := InstallAlgo(&cfg, "bfm98", 1024, 4, 1, "", ""); err != nil {
 		t.Fatal(err)
 	}
 	m, err := sim.New(cfg)
@@ -90,7 +90,7 @@ func TestInstallAlgoFaults(t *testing.T) {
 		t.Fatal(err)
 	}
 	cfg := sim.Config{N: 256, Model: model, Seed: 1}
-	if err := InstallAlgo(&cfg, "bfm98-dist", 256, 1, 1, "lossy:0.1,crash:0.05@100-500"); err != nil {
+	if err := InstallAlgo(&cfg, "bfm98-dist", 256, 1, 1, "lossy:0.1,crash:0.05@100-500", ""); err != nil {
 		t.Fatalf("fault spec rejected: %v", err)
 	}
 	m, err := sim.New(cfg)
@@ -98,17 +98,17 @@ func TestInstallAlgoFaults(t *testing.T) {
 		t.Fatal(err)
 	}
 	m.Run(50) // smoke: faulted protocol survives
-	if err := InstallAlgo(&sim.Config{}, "bfm98", 256, 1, 1, "lossy:0.1"); err == nil {
+	if err := InstallAlgo(&sim.Config{}, "bfm98", 256, 1, 1, "lossy:0.1", ""); err == nil {
 		t.Fatal("faults accepted for a non-distributed algorithm")
 	}
-	if err := InstallAlgo(&sim.Config{}, "bfm98-dist", 256, 1, 1, "lossy:nope"); err == nil {
+	if err := InstallAlgo(&sim.Config{}, "bfm98-dist", 256, 1, 1, "lossy:nope", ""); err == nil {
 		t.Fatal("malformed fault spec accepted")
 	}
 }
 
 func TestBuildRunnerBackends(t *testing.T) {
 	for _, backend := range BackendNames() {
-		r, err := BuildRunner(backend, "bfm98", "single", 64, 1, 1, 0, "")
+		r, err := BuildRunner(backend, "bfm98", "single", 64, 1, 1, 0, "", "")
 		if err != nil {
 			t.Fatalf("BuildRunner(%q) failed: %v", backend, err)
 		}
@@ -123,13 +123,13 @@ func TestBuildRunnerBackends(t *testing.T) {
 			t.Fatalf("backend %q: steps = %d, want 4", backend, m.Steps)
 		}
 	}
-	if _, err := BuildRunner("nope", "bfm98", "single", 64, 1, 1, 0, ""); err == nil {
+	if _, err := BuildRunner("nope", "bfm98", "single", 64, 1, 1, 0, "", ""); err == nil {
 		t.Fatal("unknown backend accepted")
 	}
 }
 
 func TestBuildRunnerProtoBackend(t *testing.T) {
-	r, err := BuildRunner("sim", "bfm98-dist", "single", 64, 1, 1, 0, "")
+	r, err := BuildRunner("sim", "bfm98-dist", "single", 64, 1, 1, 0, "", "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -147,14 +147,14 @@ func TestBuildRunnerRejectsMismatches(t *testing.T) {
 		{"shmem", "bfm98", "single", "lossy:0.1"},
 	}
 	for _, c := range cases {
-		if _, err := BuildRunner(c.backend, c.algo, c.model, 64, 1, 1, 0, c.faults); err == nil {
+		if _, err := BuildRunner(c.backend, c.algo, c.model, 64, 1, 1, 0, c.faults, ""); err == nil {
 			t.Fatalf("BuildRunner(%q, %q, %q, faults=%q) accepted", c.backend, c.algo, c.model, c.faults)
 		}
 	}
 }
 
 func TestBuildRunnerLiveFaults(t *testing.T) {
-	r, err := BuildRunner("live", "threshold", "single", 32, 1, 1, 0, "lossy:0.5")
+	r, err := BuildRunner("live", "threshold", "single", 32, 1, 1, 0, "lossy:0.5", "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -162,5 +162,26 @@ func TestBuildRunnerLiveFaults(t *testing.T) {
 	r.Steps(50)
 	if m := r.Collect(); m.Drops == 0 {
 		t.Fatalf("lossy live run recorded no drops: %+v", m)
+	}
+}
+
+func TestInstallAlgoDetect(t *testing.T) {
+	mod, _ := BuildModel("single", 256, 1)
+	cfg := sim.Config{N: 256, Model: mod, Seed: 1}
+	if err := InstallAlgo(&cfg, "bfm98-dist", 256, 1, 1, "lossy:0.1", "suspect=20,hb=4"); err != nil {
+		t.Fatalf("detect spec rejected: %v", err)
+	}
+	// -detect without -faults is meaningless (no detector runs).
+	if err := InstallAlgo(&sim.Config{}, "bfm98-dist", 256, 1, 1, "", "suspect=20"); err == nil {
+		t.Fatal("-detect without -faults accepted")
+	}
+	if err := InstallAlgo(&sim.Config{}, "bfm98-dist", 256, 1, 1, "lossy:0.1", "suspect=nope"); err == nil {
+		t.Fatal("bad detect spec accepted")
+	}
+	if _, err := BuildRunner("live", "threshold", "single", 32, 1, 1, 0, "lossy:0.5", "suspect=20"); err == nil {
+		t.Fatal("live backend accepted -detect")
+	}
+	if _, err := BuildRunner("shmem", "collision", "single", 32, 1, 1, 0, "", "suspect=20"); err == nil {
+		t.Fatal("shmem backend accepted -detect")
 	}
 }

@@ -1,0 +1,197 @@
+package detect
+
+import (
+	"testing"
+)
+
+func mustNew(t *testing.T, n int, cfg Config) *Detector {
+	t.Helper()
+	d, err := New(n, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+var testCfg = Config{SuspectAfter: 5, DownAfter: 20, HeartbeatEvery: 2, Seed: 1}
+
+// TestLifecycle walks one peer through the full state machine:
+// alive -> suspected -> down -> re-admitted, with the counters
+// tracking each transition.
+func TestLifecycle(t *testing.T) {
+	d := mustNew(t, 2, testCfg)
+	tick := func(now int64) {
+		d.Heard(0, now) // keep the control peer fresh so only peer 1's transitions count
+		d.Tick(now)
+	}
+	d.Heard(1, 3)
+	tick(4)
+	if got := d.State(1); got != Alive {
+		t.Fatalf("fresh peer state = %v, want alive", got)
+	}
+	// Silence of exactly SuspectAfter is still within the deadline.
+	tick(8)
+	if got := d.State(1); got != Alive {
+		t.Fatalf("state at deadline = %v, want alive (deadline is exclusive)", got)
+	}
+	tick(9)
+	if got := d.State(1); got != Suspected {
+		t.Fatalf("state past deadline = %v, want suspected", got)
+	}
+	if d.Suspicions() != 1 {
+		t.Fatalf("suspicions = %d, want 1", d.Suspicions())
+	}
+	tick(24)
+	if got := d.State(1); got != Down {
+		t.Fatalf("state past DownAfter = %v, want down", got)
+	}
+	if d.ConfirmedDown() != 1 {
+		t.Fatalf("confirmed = %d, want 1", d.ConfirmedDown())
+	}
+	// Fresh traffic re-admits instantly, whatever the prior state.
+	d.Heard(1, 25)
+	if got := d.State(1); got != Alive {
+		t.Fatalf("state after fresh traffic = %v, want alive", got)
+	}
+	if d.Readmissions() != 1 {
+		t.Fatalf("readmissions = %d, want 1", d.Readmissions())
+	}
+	// A second suspicion of the same peer counts again.
+	tick(31)
+	if d.Suspicions() != 2 {
+		t.Fatalf("re-suspicion not counted: %d", d.Suspicions())
+	}
+}
+
+// TestDirectDownCountsOneSuspicion: a Tick gap that jumps straight
+// past DownAfter still counts exactly one suspicion and one
+// confirmation (no intermediate Suspected tick ever ran).
+func TestDirectDownCountsOneSuspicion(t *testing.T) {
+	d := mustNew(t, 2, testCfg)
+	d.Heard(0, 1)
+	d.Tick(100)
+	if got := d.State(0); got != Down {
+		t.Fatalf("state = %v, want down", got)
+	}
+	if d.Suspicions() != 2 || d.ConfirmedDown() != 2 { // both peers silent
+		t.Fatalf("suspicions=%d confirmed=%d, want 2 and 2", d.Suspicions(), d.ConfirmedDown())
+	}
+}
+
+// TestStaleHeardDoesNotRewindDeadline: delayed messages carry old
+// evidence; hearing "from the past" must not push the deadline back.
+func TestStaleHeardDoesNotRewindDeadline(t *testing.T) {
+	d := mustNew(t, 2, testCfg)
+	d.Heard(0, 10)
+	d.Heard(0, 4) // a delayed duplicate, delivered after newer traffic
+	d.Tick(14)
+	if got := d.State(0); got != Alive {
+		t.Fatalf("state = %v, want alive (deadline anchored at 10)", got)
+	}
+	d.Tick(16)
+	if got := d.State(0); got != Suspected {
+		t.Fatalf("state = %v, want suspected (stale Heard must not extend)", got)
+	}
+}
+
+// TestDeterminism: two detectors with the same config and call
+// sequence agree on every verdict, heartbeat slot, and gossip target.
+func TestDeterminism(t *testing.T) {
+	a := mustNew(t, 32, testCfg)
+	b := mustNew(t, 32, testCfg)
+	for now := int64(1); now <= 60; now++ {
+		for p := int32(0); p < 32; p++ {
+			if p%3 == 0 {
+				a.Heard(p, now)
+				b.Heard(p, now)
+			}
+			if a.Due(p, now) != b.Due(p, now) {
+				t.Fatalf("heartbeat slots diverged for %d at %d", p, now)
+			}
+			if a.Due(p, now) {
+				if a.Target(p) != b.Target(p) {
+					t.Fatalf("gossip targets diverged for %d at %d", p, now)
+				}
+			}
+		}
+		a.Tick(now)
+		b.Tick(now)
+		for p := int32(0); p < 32; p++ {
+			if a.State(p) != b.State(p) {
+				t.Fatalf("verdicts diverged for %d at %d: %v vs %v", p, now, a.State(p), b.State(p))
+			}
+		}
+	}
+}
+
+// TestHeartbeatCadence: every processor hits exactly one due slot per
+// cadence window, and targets never point at the sender.
+func TestHeartbeatCadence(t *testing.T) {
+	const n = 64
+	d := mustNew(t, n, Config{SuspectAfter: 9, DownAfter: 18, HeartbeatEvery: 4, Seed: 7})
+	for p := int32(0); p < n; p++ {
+		due := 0
+		for now := int64(0); now < 4; now++ {
+			if d.Due(p, now) {
+				due++
+				if tgt := d.Target(p); tgt == p {
+					t.Fatalf("processor %d heartbeats itself", p)
+				}
+			}
+		}
+		if due != 1 {
+			t.Fatalf("processor %d due %d times per window, want 1", p, due)
+		}
+	}
+}
+
+// TestOutOfRangePeersAreNeverCondemned: verdicts about ids the
+// detector does not track default to alive (never suspected).
+func TestOutOfRangePeersAreNeverCondemned(t *testing.T) {
+	d := mustNew(t, 4, testCfg)
+	d.Tick(1000)
+	if d.Suspected(-1) || d.Suspected(99) {
+		t.Fatal("out-of-range peer suspected")
+	}
+	d.Heard(-1, 5) // must not panic or corrupt state
+	d.Heard(99, 5)
+}
+
+// TestConfigMergeAndValidate: overrides land field-wise; inconsistent
+// tunings are rejected.
+func TestConfigMergeAndValidate(t *testing.T) {
+	base := DefaultConfig(16)
+	if err := base.Validate(); err != nil {
+		t.Fatalf("derived default invalid: %v", err)
+	}
+	got := base.Merge(Config{SuspectAfter: 40})
+	if got.SuspectAfter != 40 || got.HeartbeatEvery != base.HeartbeatEvery {
+		t.Fatalf("merge mis-applied: %+v", got)
+	}
+	if err := (Config{SuspectAfter: 10, DownAfter: 5, HeartbeatEvery: 2}).Validate(); err == nil {
+		t.Fatal("DownAfter < SuspectAfter accepted")
+	}
+	if err := (Config{SuspectAfter: 10, DownAfter: 20}).Validate(); err == nil {
+		t.Fatal("zero heartbeat cadence accepted")
+	}
+}
+
+// TestParseConfig covers the -detect grammar.
+func TestParseConfig(t *testing.T) {
+	c, err := ParseConfig("suspect=20,hb=4,down=80,seed=9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Config{SuspectAfter: 20, DownAfter: 80, HeartbeatEvery: 4, Seed: 9}
+	if c != want {
+		t.Fatalf("parsed %+v, want %+v", c, want)
+	}
+	if c, err := ParseConfig("  "); err != nil || c != (Config{}) {
+		t.Fatalf("empty spec: %+v, %v", c, err)
+	}
+	for _, bad := range []string{"suspect=0", "hb=-3", "nope=1", "suspect:20", "seed=x"} {
+		if _, err := ParseConfig(bad); err == nil {
+			t.Fatalf("spec %q accepted", bad)
+		}
+	}
+}

@@ -81,7 +81,12 @@ type Metrics struct {
 	AbandonedPhases int64 `json:"abandoned_phases"`
 	// Extra carries backend-specific extension counters (e.g. proto's
 	// "phases" and "matched", live's "peak_max_load", shmem's
-	// "batches"). May be nil.
+	// "batches"). Faulted proto runs add the link counters (net_*),
+	// the failure-detector family (det_suspicions,
+	// det_false_suspicions, det_readmissions, det_detections,
+	// det_latency_sum, det_missed_windows, hb_sent) and the
+	// acknowledged-transfer family (xfer_acked, xfer_retries,
+	// xfer_requeued, xfer_dup_dropped); see docs/ENGINE.md. May be nil.
 	Extra map[string]int64 `json:"extra,omitempty"`
 	// Tasks is the task-lifecycle summary (sojourn-time quantiles,
 	// locality, hops) for backends whose unit of work carries identity

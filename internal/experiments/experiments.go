@@ -26,8 +26,12 @@ type RunConfig struct {
 	Workers int
 	// Faults is an optional fault-plan spec (see faults.ParsePlan,
 	// e.g. "lossy:0.05,crash:0.1@100-500"); experiments that support
-	// fault injection (E21) add a custom scenario row driven by it.
+	// fault injection (E21, E24) add a custom scenario row driven by it.
 	Faults string
+	// Detect is an optional failure-detector tuning spec (see
+	// detect.ParseConfig, e.g. "suspect=20,hb=4"); experiments that
+	// sweep the detector (E24) add a custom tuning row driven by it.
+	Detect string
 }
 
 // Result is the rendered outcome of one experiment.

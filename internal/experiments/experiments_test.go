@@ -7,8 +7,8 @@ import (
 
 func TestRegistryComplete(t *testing.T) {
 	all := All()
-	if len(all) != 23 {
-		t.Fatalf("registered %d experiments, want 23", len(all))
+	if len(all) != 24 {
+		t.Fatalf("registered %d experiments, want 24", len(all))
 	}
 	for i, e := range all {
 		want := i + 1

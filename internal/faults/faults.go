@@ -87,6 +87,20 @@ type Plan struct {
 	// effect; forced to 2 when StragglerFrac > 0 and Slowdown < 2).
 	Slowdown int
 
+	// FlapK (a count) or FlapFrac (a fraction of n, used when
+	// FlapK == 0) marks that many distinct random processors as
+	// flappers: each repeats crash/recover cycles of FlapPeriod steps,
+	// down for the first FlapDuty fraction of every cycle. Cycles are
+	// staggered per processor (a seeded offset in [0, FlapPeriod)), so
+	// the flapping population churns continuously instead of dying in
+	// lockstep — the adversarial input that punishes naive failure
+	// detectors, whose suspicion timeouts must chase peers that come
+	// back just after being written off.
+	FlapK      int
+	FlapFrac   float64
+	FlapPeriod int64
+	FlapDuty   float64
+
 	// Redistribute makes a recovering processor scatter its frozen
 	// queue across the system instead of resuming with it (the
 	// "redistribute on recovery" policy).
@@ -118,6 +132,14 @@ func CrashWindow(k int, at, recover int64) Plan {
 // factor slowdown.
 func Stragglers(frac float64, slowdown int) Plan {
 	return Plan{StragglerFrac: frac, Slowdown: slowdown}
+}
+
+// Flap returns a plan making k distinct random processors cycle
+// through repeated crash/recover windows: each cycle lasts period
+// steps and the processor is down for the first duty fraction of it
+// (staggered per processor).
+func Flap(k int, period int64, duty float64) Plan {
+	return Plan{FlapK: k, FlapPeriod: period, FlapDuty: duty}
 }
 
 // Merge overlays q on p: probabilities and factors take q's value
@@ -152,6 +174,10 @@ func (p Plan) Merge(q Plan) Plan {
 	if q.StragglerFrac != 0 {
 		out.StragglerFrac = q.StragglerFrac
 		out.Slowdown = q.Slowdown
+	}
+	if q.FlapK != 0 || q.FlapFrac != 0 {
+		out.FlapK, out.FlapFrac = q.FlapK, q.FlapFrac
+		out.FlapPeriod, out.FlapDuty = q.FlapPeriod, q.FlapDuty
 	}
 	out.Redistribute = p.Redistribute || q.Redistribute
 	return out
@@ -192,7 +218,21 @@ func (p Plan) Normalized() Plan {
 	if p.CrashK < 0 {
 		p.CrashK = 0
 	}
+	p.FlapFrac = clamp01(p.FlapFrac)
+	p.FlapDuty = clamp01(p.FlapDuty)
+	if p.FlapK < 0 {
+		p.FlapK = 0
+	}
+	if (p.FlapK > 0 || p.FlapFrac > 0) && p.FlapPeriod < 2 {
+		p.FlapPeriod = 2
+	}
 	return p
+}
+
+// flapActive reports whether a normalized plan has a live flap
+// schedule (some flappers, and a duty cycle that actually crashes).
+func (p Plan) flapActive() bool {
+	return (p.FlapK > 0 || p.FlapFrac > 0) && p.FlapDuty > 0 && p.FlapPeriod >= 2
 }
 
 // Active reports whether the plan injects any fault at all.
@@ -200,7 +240,8 @@ func (p Plan) Active() bool {
 	p = p.Normalized()
 	return p.Drop > 0 || p.Dup > 0 || p.Delay > 0 ||
 		p.PartitionGroups > 1 || len(p.Crashes) > 0 ||
-		p.CrashK > 0 || p.CrashFrac > 0 || p.StragglerFrac > 0
+		p.CrashK > 0 || p.CrashFrac > 0 || p.StragglerFrac > 0 ||
+		p.flapActive()
 }
 
 // Fate is the verdict for one message send.
@@ -223,6 +264,8 @@ type Injector struct {
 	n         int
 	outages   [][]Crash // per-processor outage windows
 	straggler []bool
+	flapOff   []int64 // per-processor flap cycle offset; -1 = not flapping
+	flapDown  int64   // steps down per flap cycle
 }
 
 // NewInjector builds the injector for n processors. The plan is
@@ -267,6 +310,33 @@ func NewInjector(n int, p Plan) (*Injector, error) {
 			inj.straggler[v] = true
 		}
 	}
+	if p.flapActive() {
+		fk := p.FlapK
+		if fk == 0 {
+			fk = int(p.FlapFrac * float64(n))
+		}
+		if fk > n {
+			fk = n
+		}
+		if fk > 0 {
+			inj.flapOff = make([]int64, n)
+			for i := range inj.flapOff {
+				inj.flapOff[i] = -1
+			}
+			inj.flapDown = int64(p.FlapDuty * float64(p.FlapPeriod))
+			if inj.flapDown < 1 {
+				inj.flapDown = 1
+			}
+			picks := make([]int, fk)
+			r := xrand.New(p.Seed ^ 0xf1a9_90b5)
+			r.SampleDistinct(picks, fk, n, -1)
+			for _, v := range picks {
+				// Staggered cycle start, so flappers churn continuously
+				// instead of crashing in lockstep.
+				inj.flapOff[v] = int64(r.Intn(int(p.FlapPeriod)))
+			}
+		}
+	}
 	return inj, nil
 }
 
@@ -290,7 +360,27 @@ func (inj *Injector) Crashed(p int32, step int64) bool {
 			return true
 		}
 	}
+	if inj.flapOff != nil && inj.flapOff[p] >= 0 && step >= 0 {
+		if (step+inj.flapOff[p])%inj.plan.FlapPeriod < inj.flapDown {
+			return true
+		}
+	}
 	return false
+}
+
+// DownOracle returns a crash oracle in the shape sim.Machine.SetDown
+// wants. skew translates the machine clock to the fault clock (the
+// distributed protocol's netsim step runs one ahead of the machine
+// step during a balancer step). This is the substrate simulating
+// physics — a dead processor executes nothing — not a protocol
+// decision; protocol-visible liveness comes from internal/detect.
+func (inj *Injector) DownOracle(skew int64) func(p int, now int64) bool {
+	return func(p int, now int64) bool { return inj.Crashed(int32(p), now+skew) }
+}
+
+// Flapper reports whether processor p is in the flapping set.
+func (inj *Injector) Flapper(p int32) bool {
+	return inj.flapOff != nil && p >= 0 && int(p) < inj.n && inj.flapOff[p] >= 0
 }
 
 // Straggler reports whether processor p is in the straggler set.

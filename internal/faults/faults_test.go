@@ -249,3 +249,103 @@ func TestParsePlanRejects(t *testing.T) {
 		}
 	}
 }
+
+func TestFlapPresetAndParse(t *testing.T) {
+	if p := Flap(4, 100, 0.5); p.FlapK != 4 || p.FlapPeriod != 100 || p.FlapDuty != 0.5 || !p.Active() {
+		t.Fatalf("Flap: %+v", p)
+	}
+	p, err := ParsePlan("flap:k=4,period=200,duty=0.25")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.FlapK != 4 || p.FlapPeriod != 200 || p.FlapDuty != 0.25 {
+		t.Fatalf("parsed flap wrong: %+v", p)
+	}
+	// Fraction form, default duty, arbitrary argument order, composition
+	// with other directives.
+	p, err = ParsePlan("lossy:0.1,flap:period=40,k=0.25")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.FlapFrac != 0.25 || p.FlapK != 0 || p.FlapPeriod != 40 || p.FlapDuty != 0.5 || p.Drop != 0.1 {
+		t.Fatalf("fraction flap wrong: %+v", p)
+	}
+	for _, spec := range []string{
+		"flap:k=4", "flap:period=40", "flap:k=0,period=40", "flap:k=4,period=1",
+		"flap:k=4,period=40,duty=0", "flap:k=4,period=40,duty=1.5",
+		"flap:k=4,period=40,nope=1", "flap:k",
+	} {
+		if _, err := ParsePlan(spec); err == nil {
+			t.Errorf("spec %q accepted", spec)
+		}
+	}
+}
+
+func TestFlapMergeAndNormalize(t *testing.T) {
+	p := Lossy(0.05).Merge(Flap(4, 100, 0.5))
+	if p.Drop != 0.05 || p.FlapK != 4 || p.FlapPeriod != 100 {
+		t.Fatalf("merge lost flap: %+v", p)
+	}
+	n := Plan{FlapK: -2, FlapFrac: 1.5, FlapPeriod: 1, FlapDuty: -0.5}.Normalized()
+	if n.FlapK != 0 || n.FlapFrac != 1 || n.FlapDuty != 0 {
+		t.Fatalf("flap fields not clamped: %+v", n)
+	}
+	a := Plan{FlapK: 2, FlapPeriod: 1, FlapDuty: 0.5}.Normalized()
+	if a.FlapPeriod != 2 {
+		t.Fatalf("active flap period not raised to 2: %+v", a)
+	}
+}
+
+// TestFlapSchedule: exactly k processors flap; each spends FlapDuty of
+// every period down; offsets are staggered so the fleet does not blink
+// in lockstep; the schedule repeats, is deterministic, and never
+// touches non-flagged processors.
+func TestFlapSchedule(t *testing.T) {
+	const n, period = 32, 100
+	inj, err := NewInjector(n, Flap(4, period, 0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	flappers := 0
+	phases := map[int64]bool{}
+	for p := int32(0); p < n; p++ {
+		down := 0
+		firstDown := int64(-1)
+		for s := int64(0); s < period; s++ {
+			if inj.Crashed(p, s) {
+				down++
+				if firstDown < 0 {
+					firstDown = s
+				}
+			}
+			if inj.Crashed(p, s) != inj.Crashed(p, s+period) {
+				t.Fatalf("schedule for %d not periodic at step %d", p, s)
+			}
+		}
+		if !inj.Flapper(p) {
+			if down != 0 {
+				t.Fatalf("non-flagged processor %d down %d steps", p, down)
+			}
+			continue
+		}
+		flappers++
+		if down != period/2 {
+			t.Fatalf("flapper %d down %d steps per period, want %d", p, down, period/2)
+		}
+		phases[firstDown] = true
+	}
+	if flappers != 4 {
+		t.Fatalf("flagged %d processors, want 4", flappers)
+	}
+	if len(phases) < 2 {
+		t.Fatal("all flappers share one phase: stagger missing")
+	}
+	again, _ := NewInjector(n, Flap(4, period, 0.5))
+	for p := int32(0); p < n; p++ {
+		for s := int64(0); s < 2*period; s++ {
+			if inj.Crashed(p, s) != again.Crashed(p, s) {
+				t.Fatalf("flap schedule not deterministic at p=%d s=%d", p, s)
+			}
+		}
+	}
+}

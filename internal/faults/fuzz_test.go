@@ -1,6 +1,7 @@
 package faults
 
 import (
+	"fmt"
 	"testing"
 )
 
@@ -9,16 +10,19 @@ import (
 // always produces the identical fault trace, and no fate ever delivers
 // a message to (or from) a crashed processor.
 func FuzzPlan(f *testing.F) {
-	f.Add(uint64(1), 0.05, 0.01, 0.1, 3, 4, int64(100), 0.1, 4, 2, int64(50))
-	f.Add(uint64(7), 1.5, -0.5, 2.0, -1, 100, int64(-5), 2.0, 0, -3, int64(0))
-	f.Add(uint64(0), 0.0, 0.0, 0.0, 0, 0, int64(0), 0.0, 0, 0, int64(0))
+	f.Add(uint64(1), 0.05, 0.01, 0.1, 3, 4, int64(100), 0.1, 4, 2, int64(50), 0, int64(0), 0.0)
+	f.Add(uint64(7), 1.5, -0.5, 2.0, -1, 100, int64(-5), 2.0, 0, -3, int64(0), -4, int64(1), 1.5)
+	f.Add(uint64(0), 0.0, 0.0, 0.0, 0, 0, int64(0), 0.0, 0, 0, int64(0), 0, int64(0), 0.0)
+	f.Add(uint64(3), 0.0, 0.0, 0.0, 0, 0, int64(0), 0.0, 0, 0, int64(0), 4, int64(40), 0.5)
 	f.Fuzz(func(t *testing.T, seed uint64, drop, dup, delay float64, maxDelay, crashK int,
-		crashAt int64, stragFrac float64, slowdown, groups int, until int64) {
+		crashAt int64, stragFrac float64, slowdown, groups int, until int64,
+		flapK int, flapPeriod int64, flapDuty float64) {
 		plan := Plan{
 			Seed: seed, Drop: drop, Dup: dup, Delay: delay, MaxDelay: maxDelay,
 			CrashK: crashK, CrashAt: crashAt, CrashRecover: crashAt + 100,
 			StragglerFrac: stragFrac, Slowdown: slowdown,
 			PartitionGroups: groups, PartitionUntil: until,
+			FlapK: flapK, FlapPeriod: flapPeriod, FlapDuty: flapDuty,
 		}
 		norm := plan.Normalized()
 		for _, p := range []float64{norm.Drop, norm.Dup, norm.Delay, norm.CrashFrac, norm.StragglerFrac} {
@@ -56,6 +60,56 @@ func FuzzPlan(f *testing.F) {
 			}
 			if fa.Delay < 0 {
 				t.Fatalf("negative delay %d", fa.Delay)
+			}
+		}
+	})
+}
+
+// FuzzParsePlan fuzzes the -faults grammar: any spec ParsePlan accepts
+// must build a working, deterministic injector, and parsing must be a
+// pure function of the spec string.
+func FuzzParsePlan(f *testing.F) {
+	f.Add("lossy:0.05,crash:0.1@2000-4000,straggle:0.1@4")
+	f.Add("flap:k=4,period=200,duty=0.5")
+	f.Add("flap:k=0.25,period=40")
+	f.Add("flap:duty=0.9,k=2,period=7,lossy:0.1")
+	f.Add("dup:0.01,delay:0.1@3,partition:2@500,seed:42,redistribute")
+	f.Add("flap:k=4")
+	f.Add(",,flap:period=2,k=1,")
+	f.Add("crash:8")
+	f.Fuzz(func(t *testing.T, spec string) {
+		p, err := ParsePlan(spec)
+		if err != nil {
+			return // rejected specs are out of scope; they must only not panic
+		}
+		q, err2 := ParsePlan(spec)
+		if err2 != nil || fmt.Sprintf("%+v", p) != fmt.Sprintf("%+v", q) {
+			t.Fatalf("parse not deterministic: %+v / %v vs %+v", p, err2, q)
+		}
+		norm := p.Normalized()
+		for _, pr := range []float64{norm.Drop, norm.Dup, norm.Delay, norm.CrashFrac, norm.StragglerFrac, norm.FlapFrac, norm.FlapDuty} {
+			if pr < 0 || pr > 1 {
+				t.Fatalf("probability %v escaped [0, 1] in %+v", pr, norm)
+			}
+		}
+		const n = 16
+		a, err := NewInjector(n, p)
+		if err != nil {
+			t.Fatalf("NewInjector rejected a parsed plan %+v: %v", p, err)
+		}
+		b, _ := NewInjector(n, p)
+		for i := 0; i < 128; i++ {
+			step := int64(i)
+			from, to := int32(i%n), int32((i*3+1)%n)
+			if a.Crashed(to, step) != b.Crashed(to, step) {
+				t.Fatalf("crash verdicts diverged at step %d", step)
+			}
+			fa, fb := a.Fate(step, int64(i), from, to), b.Fate(step, int64(i), from, to)
+			if fa != fb {
+				t.Fatalf("same spec, different trace at %d", i)
+			}
+			if a.Crashed(to, step) && !fa.Drop {
+				t.Fatalf("fate %+v delivers to crashed processor %d at step %d", fa, to, step)
 			}
 		}
 	})

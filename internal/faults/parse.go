@@ -17,18 +17,32 @@ import (
 //	                     (omitted: never recover)
 //	straggle:F@S         slow fraction F of processors by factor S
 //	partition:G@S        G groups, cross-traffic cut for the first S steps
+//	flap:k=K,period=P,duty=D
+//	                     K processors (K < 1: fraction of n) cycle
+//	                     crash/recover forever: down for the first D
+//	                     fraction of every P-step period, staggered per
+//	                     processor; duty defaults to 0.5
 //	seed:N               fault seed (default: the run seed)
 //	redistribute         scatter a recovering processor's queue
 //
-// Example: "lossy:0.05,crash:0.1@2000-4000,straggle:0.1@4".
+// Example: "lossy:0.05,crash:0.1@2000-4000,straggle:0.1@4". The flap
+// directive owns its comma-separated key=value arguments: any part
+// after "flap:" that looks like key=value (no ":") attaches to it.
 func ParsePlan(spec string) (Plan, error) {
 	var p Plan
 	if strings.TrimSpace(spec) == "" {
 		return p, nil
 	}
+	var flapSeen, flapHasK, flapHasPeriod bool
 	for _, part := range strings.Split(spec, ",") {
 		part = strings.TrimSpace(part)
 		if part == "" {
+			continue
+		}
+		if flapSeen && !strings.Contains(part, ":") && strings.Contains(part, "=") {
+			if err := applyFlapArg(&p, part, &flapHasK, &flapHasPeriod); err != nil {
+				return Plan{}, err
+			}
 			continue
 		}
 		key, arg, _ := strings.Cut(part, ":")
@@ -114,6 +128,14 @@ func ParsePlan(spec string) (Plan, error) {
 				return Plan{}, fmt.Errorf("faults: partition span %q must be a positive integer", span)
 			}
 			p.PartitionGroups, p.PartitionUntil = g, until
+		case "flap":
+			flapSeen = true
+			if p.FlapDuty == 0 {
+				p.FlapDuty = 0.5
+			}
+			if err := applyFlapArg(&p, arg, &flapHasK, &flapHasPeriod); err != nil {
+				return Plan{}, err
+			}
 		case "seed":
 			v, err := strconv.ParseUint(arg, 10, 64)
 			if err != nil {
@@ -123,10 +145,50 @@ func ParsePlan(spec string) (Plan, error) {
 		case "redistribute":
 			p.Redistribute = true
 		default:
-			return Plan{}, fmt.Errorf("faults: unknown directive %q (have lossy, dup, delay, crash, straggle, partition, seed, redistribute)", key)
+			return Plan{}, fmt.Errorf("faults: unknown directive %q (have lossy, dup, delay, crash, straggle, partition, flap, seed, redistribute)", key)
 		}
 	}
+	if flapSeen && (!flapHasK || !flapHasPeriod) {
+		return Plan{}, fmt.Errorf("faults: flap wants at least k and period (e.g. flap:k=4,period=200,duty=0.5)")
+	}
 	return p, nil
+}
+
+// applyFlapArg parses one key=value argument of the flap directive.
+func applyFlapArg(p *Plan, part string, hasK, hasPeriod *bool) error {
+	key, arg, ok := strings.Cut(part, "=")
+	if !ok {
+		return fmt.Errorf("faults: flap argument %q wants key=value", part)
+	}
+	switch key {
+	case "k":
+		v, err := strconv.ParseFloat(arg, 64)
+		if err != nil || v <= 0 {
+			return fmt.Errorf("faults: flap k %q must be positive", arg)
+		}
+		if v < 1 {
+			p.FlapFrac, p.FlapK = v, 0
+		} else {
+			p.FlapK, p.FlapFrac = int(v), 0
+		}
+		*hasK = true
+	case "period":
+		v, err := strconv.ParseInt(arg, 10, 64)
+		if err != nil || v < 2 {
+			return fmt.Errorf("faults: flap period %q must be an integer >= 2", arg)
+		}
+		p.FlapPeriod = v
+		*hasPeriod = true
+	case "duty":
+		v, err := strconv.ParseFloat(arg, 64)
+		if err != nil || v <= 0 || v > 1 {
+			return fmt.Errorf("faults: flap duty %q must be in (0, 1]", arg)
+		}
+		p.FlapDuty = v
+	default:
+		return fmt.Errorf("faults: unknown flap argument %q (have k, period, duty)", key)
+	}
+	return nil
 }
 
 // parseProb parses a probability argument, rejecting values outside

@@ -1,0 +1,73 @@
+package integration
+
+import (
+	"fmt"
+	"testing"
+
+	"plb/internal/faults"
+	"plb/internal/gen"
+	"plb/internal/proto"
+	"plb/internal/sim"
+)
+
+// TestChaosSoakConservationMatrix is the randomized chaos soak for the
+// oracle-free failure detection stack: the distributed protocol runs
+// under every adversarial plan family at once — flapping crashes,
+// loss, duplication, delay, stragglers — across seeds, and the task
+// ledger must balance exactly (generated == completed + queued) at
+// every checkpoint. The acked-transfer design moves custody at
+// delivery, so there is never an "in flight" term to excuse a gap.
+// Meant to run under -race (the CI race job includes this package).
+func TestChaosSoakConservationMatrix(t *testing.T) {
+	plans := []string{
+		"flap:k=8,period=120,duty=0.5",
+		"flap:k=8,period=90,duty=0.4,lossy:0.1",
+		"flap:k=4,period=150,duty=0.5,delay:0.3@4,dup:0.05",
+		"crash:0.1@50-400,straggle:0.1@4,redistribute",
+		"flap:k=0.1,period=60,duty=0.3,dup:0.2",
+	}
+	seeds := []uint64{1, 31}
+	if testing.Short() {
+		plans = plans[:2]
+		seeds = seeds[:1]
+	}
+	const n = 256
+	for _, spec := range plans {
+		for _, seed := range seeds {
+			spec, seed := spec, seed
+			t.Run(fmt.Sprintf("%s/seed=%d", spec, seed), func(t *testing.T) {
+				t.Parallel()
+				plan, err := faults.ParsePlan(spec)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cfg := proto.DefaultConfig(n)
+				cfg.Seed = seed
+				cfg.Faults = &plan
+				b, err := proto.New(n, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				m, err := sim.New(sim.Config{N: n, Model: gen.Single{P: 0.4, Eps: 0.1}, Seed: seed, Balancer: b})
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i := 0; i < 4; i++ {
+					m.Inject((i*n)/4, cfg.HeavyThreshold*3)
+				}
+				const phases = 30
+				for chunk := 0; chunk < 10; chunk++ {
+					m.Run(phases / 10 * cfg.PhaseLen)
+					rec := m.Recorder()
+					if got, want := rec.Completed+m.TotalLoad(), m.Generated(); got != want {
+						t.Fatalf("step %d: completed %d + queued %d = %d, want generated %d",
+							m.Now(), rec.Completed, m.TotalLoad(), got, want)
+					}
+				}
+				if m.Metrics().BalanceActions == 0 {
+					t.Fatal("chaos plan suppressed all balancing — soak is vacuous")
+				}
+			})
+		}
+	}
+}

@@ -41,10 +41,18 @@ const (
 	// A is the boss.
 	KindForward
 	// KindTransfer announces a block of tasks; A is the task count.
+	// Under a fault plan transfers are acknowledged: B carries the
+	// transfer sequence number the recipient must echo in its ack.
 	KindTransfer
 	// KindProbe is the adversarial pre-round probe; A is the sender's
 	// load.
 	KindProbe
+	// KindHeartbeat is an explicit liveness probe from the failure
+	// detector; it carries no payload — its arrival is the signal.
+	KindHeartbeat
+	// KindTransferAck confirms a task transfer was applied; A is the
+	// task count moved, B echoes the transfer sequence number.
+	KindTransferAck
 )
 
 // Message is one point-to-point datagram.

@@ -1,0 +1,178 @@
+package proto
+
+import (
+	"testing"
+
+	"plb/internal/detect"
+	"plb/internal/engine"
+	"plb/internal/faults"
+)
+
+// TestStragglerFalseSuspicion: a quiet-but-alive peer must be falsely
+// suspected under an aggressive suspicion timeout, then re-admitted by
+// its own heartbeat — and the mistake must cost no tasks.
+func TestStragglerFalseSuspicion(t *testing.T) {
+	n := 128
+	cfg := DefaultConfig(n)
+	// One remote crash activates the fault machinery; the detector is
+	// tuned so aggressively (suspicion after 2 silent steps, heartbeat
+	// only every 8) that idle processors are suspected between their
+	// own heartbeats — the classic trigger-happy false positive.
+	cfg.Faults = &faults.Plan{Crashes: []faults.Crash{{Proc: int32(n - 1), At: 1, Recover: -1}}}
+	cfg.Detect = detect.Config{SuspectAfter: 2, DownAfter: 200, HeartbeatEvery: 8}
+	m, b := distMachine(t, n, cfg, 11)
+	m.Inject(3, cfg.HeavyThreshold*2)
+	m.Run(8 * cfg.PhaseLen)
+	if b.falseSuspicions == 0 {
+		t.Fatal("aggressive timeout produced no false suspicions — test is vacuous")
+	}
+	if b.det.Readmissions() == 0 {
+		t.Fatal("falsely suspected peers were never re-admitted")
+	}
+	if m.Metrics().BalanceActions == 0 {
+		t.Fatal("false suspicions halted balancing entirely")
+	}
+	if got, want := m.Recorder().Completed+m.TotalLoad(), m.Generated(); got != want {
+		t.Fatalf("tasks lost to false suspicion: completed+queued=%d, generated=%d", got, want)
+	}
+}
+
+// TestDuplicateTransferSuppressed: with the network duplicating
+// messages, the same sequence-numbered block arrives more than once;
+// the receiver must apply it exactly once (re-acking the copy) or
+// tasks would be conjured from nothing.
+func TestDuplicateTransferSuppressed(t *testing.T) {
+	n := 128
+	cfg := DefaultConfig(n)
+	plan := faults.Plan{Dup: 0.6, Crashes: []faults.Crash{{Proc: int32(n - 1), At: 1, Recover: -1}}}
+	cfg.Faults = &plan
+	m, b := distMachine(t, n, cfg, 7)
+	for p := 0; p < 4; p++ {
+		m.Inject(p*30, cfg.HeavyThreshold*2)
+	}
+	m.Run(10 * cfg.PhaseLen)
+	if b.xferApplied == 0 {
+		t.Fatal("no transfers applied — test is vacuous")
+	}
+	if b.xferDup == 0 {
+		t.Fatal("60% duplication never exercised the duplicate-transfer suppression")
+	}
+	if got, want := m.Recorder().Completed+m.TotalLoad(), m.Generated(); got != want {
+		t.Fatalf("duplicate transfer conjured or lost tasks: completed+queued=%d, generated=%d", got, want)
+	}
+}
+
+// TestAckLossRetriesThenAcks: heavy uniform loss drops both transfers
+// and acks; the bounded-backoff retry loop must still land blocks
+// (acked > 0), give up cleanly when the budget runs out (requeued
+// accounted), and conserve every task throughout.
+func TestAckLossRetriesThenAcks(t *testing.T) {
+	n := 128
+	cfg := DefaultConfig(n)
+	plan := faults.Lossy(0.35)
+	cfg.Faults = &plan
+	m, b := distMachine(t, n, cfg, 3)
+	for p := 0; p < 6; p++ {
+		m.Inject(p*20, cfg.HeavyThreshold*2)
+	}
+	m.Run(12 * cfg.PhaseLen)
+	if b.xferAcked == 0 {
+		t.Fatal("no transfer ever acknowledged under 35% loss")
+	}
+	if b.xferRetries == 0 {
+		t.Fatal("35% loss triggered no transfer retries")
+	}
+	if got, want := m.Recorder().Completed+m.TotalLoad(), m.Generated(); got != want {
+		t.Fatalf("tasks leaked under ack loss: completed+queued=%d, generated=%d", got, want)
+	}
+}
+
+// TestFlapConservationAndReadmission: flapping processors cycle
+// crash/recover for the whole run — the adversarial input for a naive
+// detector. The detector must keep re-admitting them (readmissions
+// grow), detect real windows (detections > 0), and the task ledger
+// must balance exactly at every phase boundary.
+func TestFlapConservationAndReadmission(t *testing.T) {
+	n := 128
+	cfg := DefaultConfig(n)
+	plan := faults.Flap(8, int64(3*cfg.PhaseLen), 0.4)
+	cfg.Faults = &plan
+	m, b := distMachine(t, n, cfg, 5)
+	m.Inject(3, cfg.HeavyThreshold*3)
+	for i := 0; i < 12; i++ {
+		m.Run(cfg.PhaseLen)
+		if got, want := m.Recorder().Completed+m.TotalLoad(), m.Generated(); got != want {
+			t.Fatalf("phase %d: completed+queued=%d, generated=%d", i, got, want)
+		}
+	}
+	if b.detDetections == 0 {
+		t.Fatal("no flap crash window was ever detected")
+	}
+	if b.det.Readmissions() == 0 {
+		t.Fatal("recovered flappers were never re-admitted")
+	}
+}
+
+// TestDetectorCountersSurfaced: a faulted run publishes the whole
+// detection/transfer counter family through engine.Metrics.Extra, and
+// the link counters appear unconditionally so degraded runs are
+// diagnosable from the output alone.
+func TestDetectorCountersSurfaced(t *testing.T) {
+	n := 64
+	cfg := DefaultConfig(n)
+	plan := faults.Lossy(0.2)
+	cfg.Faults = &plan
+	m, b := distMachine(t, n, cfg, 2)
+	m.Inject(0, cfg.HeavyThreshold*2)
+	m.Run(4 * cfg.PhaseLen)
+	var em engine.Metrics
+	b.ExtendMetrics(&em)
+	for _, key := range []string{
+		"net_dropped", "net_duplicated", "net_delayed", "net_crash_lost",
+		"det_suspicions", "det_false_suspicions", "det_readmissions",
+		"det_detections", "det_latency_sum", "det_missed_windows",
+		"hb_sent", "xfer_acked", "xfer_retries", "xfer_requeued", "xfer_dup_dropped",
+	} {
+		if _, ok := em.Extra[key]; !ok {
+			t.Errorf("faulted run missing Extra[%q]", key)
+		}
+	}
+	if em.Extra["hb_sent"] == 0 {
+		t.Error("no heartbeats sent over four phases")
+	}
+
+	// Fault-free runs must not grow the new keys.
+	free, bf := distMachine(t, n, DefaultConfig(n), 2)
+	free.Run(cfg.PhaseLen)
+	var fm engine.Metrics
+	bf.ExtendMetrics(&fm)
+	for key := range fm.Extra {
+		switch key {
+		case "phases", "heavy", "matched", "net_sent", "net_duplicated", "net_delayed":
+		default:
+			t.Errorf("fault-free run grew Extra[%q]", key)
+		}
+	}
+}
+
+// TestDetectionLatencyMeasured: a single clean crash window long
+// enough for the default timeouts must be detected, with a positive
+// latency bounded by the suspicion timeout plus one sweep.
+func TestDetectionLatencyMeasured(t *testing.T) {
+	n := 64
+	cfg := DefaultConfig(n)
+	cfg.Faults = &faults.Plan{Crashes: []faults.Crash{{Proc: 5, At: 3, Recover: -1}}}
+	m, b := distMachine(t, n, cfg, 13)
+	m.Inject(0, cfg.HeavyThreshold*2)
+	m.Run(6 * cfg.PhaseLen)
+	if b.detDetections != 1 {
+		t.Fatalf("detections = %d, want exactly 1 (one crash window)", b.detDetections)
+	}
+	if b.missedWindows != 0 {
+		t.Fatalf("permanent crash counted as a missed window: %d", b.missedWindows)
+	}
+	maxLat := cfg.detectConfig().SuspectAfter + 2
+	if b.detLatencySum < 1 || b.detLatencySum > maxLat {
+		t.Fatalf("detection latency %d outside (0, %d]", b.detLatencySum, maxLat)
+	}
+}

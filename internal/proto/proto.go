@@ -51,6 +51,7 @@ import (
 
 	"plb/internal/collision"
 	"plb/internal/core"
+	"plb/internal/detect"
 	"plb/internal/engine"
 	"plb/internal/faults"
 	"plb/internal/netsim"
@@ -107,6 +108,20 @@ type Config struct {
 	// stops flooding a lossy network). Explicitly negative values mean
 	// unlimited even under faults.
 	MaxRetries int
+	// Detect overrides the failure-detector tuning used under an active
+	// fault plan; zero fields derive from the schedule (see
+	// detect.DefaultConfig) and a zero Seed derives from Seed. Ignored
+	// with Faults nil — the fault-free protocol needs no detector.
+	Detect detect.Config
+	// XferTimeout is the ack deadline (in steps) for the first attempt
+	// of an acknowledged task transfer; each retry doubles it. 0
+	// derives 4 (one network round trip plus slack). Only used under an
+	// active fault plan.
+	XferTimeout int
+	// XferAttempts bounds the send attempts per transfer block before
+	// the sender gives up and keeps the tasks (they never left its
+	// queue). 0 derives 4.
+	XferAttempts int
 }
 
 // ScheduleLen returns the number of machine steps the distributed
@@ -168,7 +183,22 @@ func (c Config) Validate(n int) error {
 	if c.LossProb < 0 || c.LossProb >= 1 {
 		return fmt.Errorf("proto: loss probability %v out of [0, 1)", c.LossProb)
 	}
+	if c.XferTimeout < 0 || c.XferAttempts < 0 {
+		return fmt.Errorf("proto: transfer timeout %d and attempts %d must be >= 0",
+			c.XferTimeout, c.XferAttempts)
+	}
 	return c.Collision.Validate(n)
+}
+
+// detectConfig resolves the failure-detector tuning: schedule-derived
+// defaults, overridden field-wise by Config.Detect, seeded from the run
+// seed when no explicit detector seed is given.
+func (c Config) detectConfig() detect.Config {
+	dc := detect.DefaultConfig(c.PhaseLen).Merge(c.Detect)
+	if dc.Seed == 0 {
+		dc.Seed = c.Seed ^ 0xde7ec7
+	}
+	return dc
 }
 
 // procState is one processor's protocol variables (Figure 2's arrays,
@@ -199,10 +229,26 @@ type procState struct {
 	matched    bool
 
 	// Fault hardening: who holds this processor's reservation (so it
-	// can be released if that boss crashes) and how many query volleys
-	// the current game has cost (the bounded-retry counter).
+	// can be released if that boss is suspected down) and how many
+	// query volleys the current game has cost (the bounded-retry
+	// counter).
 	reservedFor int32
 	volleys     int16
+
+	// Acknowledged-transfer state (fault runs only). As sender: the one
+	// outstanding block — tasks stay in the local queue until the
+	// recipient applies the transfer, so a timeout "re-queue" is simply
+	// giving up on the send. As receiver: a ring of recently applied
+	// transfer sequence numbers, so a retry whose ack was lost is
+	// re-acked instead of applied twice.
+	xferOpen   bool
+	xferSeq    int32
+	xferTo     int32
+	xferAmt    int32
+	xferSentAt int64
+	xferTries  int8
+	seen       [8]int32
+	seenIdx    int8
 }
 
 // Balancer is the distributed implementation; it satisfies
@@ -232,6 +278,37 @@ type Balancer struct {
 	prevDown   []bool // crash state last step, for recovery detection
 	accounted  int64  // phase messages already pushed into sim metrics
 	dropMark   int64  // drops+crash losses already pushed into metrics
+
+	// Oracle-free failure detection (fault runs only). det is the only
+	// liveness authority protocol decisions consult; mach mirrors the
+	// installed machine so handlers can ask the physics question "is
+	// this processor frozen right now" without touching the injector.
+	det  *detect.Detector
+	mach *sim.Machine
+
+	// Acknowledged-transfer plumbing.
+	xferSeq      int32
+	xferTimeout  int64
+	xferAttempts int
+
+	// Ground-truth comparison (the one place the injector's view is
+	// read, via the machine's crash oracle): per-processor crash-window
+	// bookkeeping to score the detector, never to drive the protocol.
+	prevSuspect []bool
+	crashedAt   []int64 // -1 when up; else the step the window opened
+	winDetected []bool  // current crash window already detected
+
+	// Extension counters surfaced through engine.Metrics.Extra.
+	hbSent          int64
+	xferRetries     int64
+	xferRequeued    int64
+	xferAcked       int64
+	xferDup         int64
+	xferApplied     int64
+	detLatencySum   int64
+	detDetections   int64
+	falseSuspicions int64
+	missedWindows   int64
 }
 
 var _ sim.Balancer = (*Balancer)(nil)
@@ -255,6 +332,17 @@ func New(n int, cfg Config) (*Balancer, error) {
 			b.inj = inj
 			if b.maxRetries == 0 {
 				b.maxRetries = cfg.Rounds + 2
+			}
+			if err := cfg.detectConfig().Validate(); err != nil {
+				return nil, err
+			}
+			b.xferTimeout = int64(cfg.XferTimeout)
+			if b.xferTimeout == 0 {
+				b.xferTimeout = 4
+			}
+			b.xferAttempts = cfg.XferAttempts
+			if b.xferAttempts == 0 {
+				b.xferAttempts = 4
 			}
 		}
 	}
@@ -288,12 +376,34 @@ func (b *Balancer) ExtendMetrics(m *engine.Metrics) {
 	m.AddExtra("matched", b.totalMatched)
 	if b.nw != nil {
 		m.AddExtra("net_sent", b.nw.Sent())
-		if d := b.nw.Duplicated(); d > 0 {
-			m.AddExtra("net_duplicated", d)
+		if b.inj != nil {
+			// Faulted runs surface every link counter unconditionally so
+			// degraded runs are diagnosable from the output alone.
+			m.AddExtra("net_dropped", b.nw.Dropped())
+			m.AddExtra("net_duplicated", b.nw.Duplicated())
+			m.AddExtra("net_delayed", b.nw.Delayed())
+			m.AddExtra("net_crash_lost", b.nw.CrashLost())
+		} else {
+			if d := b.nw.Duplicated(); d > 0 {
+				m.AddExtra("net_duplicated", d)
+			}
+			if d := b.nw.Delayed(); d > 0 {
+				m.AddExtra("net_delayed", d)
+			}
 		}
-		if d := b.nw.Delayed(); d > 0 {
-			m.AddExtra("net_delayed", d)
-		}
+	}
+	if b.det != nil {
+		m.AddExtra("det_suspicions", b.det.Suspicions())
+		m.AddExtra("det_false_suspicions", b.falseSuspicions)
+		m.AddExtra("det_readmissions", b.det.Readmissions())
+		m.AddExtra("det_detections", b.detDetections)
+		m.AddExtra("det_latency_sum", b.detLatencySum)
+		m.AddExtra("det_missed_windows", b.missedWindows)
+		m.AddExtra("hb_sent", b.hbSent)
+		m.AddExtra("xfer_acked", b.xferAcked)
+		m.AddExtra("xfer_retries", b.xferRetries)
+		m.AddExtra("xfer_requeued", b.xferRequeued)
+		m.AddExtra("xfer_dup_dropped", b.xferDup)
 	}
 }
 
@@ -315,12 +425,25 @@ func (b *Balancer) Init(m *sim.Machine) {
 		b.nw.SetFaults(b.inj)
 		// The fault clock is the netsim step, which runs one ahead of
 		// the machine step during a balancer step (Deliver happens
-		// first); translate so schedules mean the same instant in both.
-		m.SetDown(func(p int, now int64) bool {
-			return b.inj.Crashed(int32(p), now+1)
-		})
+		// first); DownOracle translates so schedules mean the same
+		// instant in both. This oracle is the simulated *physics* — a
+		// frozen processor executes nothing — and the ground truth the
+		// detector is scored against; protocol decisions never read it.
+		m.SetDown(b.inj.DownOracle(1))
+		b.mach = m
 		b.scatterRng = xrand.New(b.cfg.Seed ^ 0x5ca7)
 		b.prevDown = make([]bool, b.n)
+		det, err := detect.New(b.n, b.cfg.detectConfig())
+		if err != nil {
+			panic(err) // New validated the config already
+		}
+		b.det = det
+		b.prevSuspect = make([]bool, b.n)
+		b.crashedAt = make([]int64, b.n)
+		for p := range b.crashedAt {
+			b.crashedAt[p] = -1
+		}
+		b.winDetected = make([]bool, b.n)
 	}
 	b.procs = make([]procState, b.n)
 	for p := range b.procs {
@@ -338,6 +461,7 @@ func (b *Balancer) Step(m *sim.Machine) {
 	offset := int(m.Now() % int64(b.cfg.PhaseLen))
 	b.nw.Deliver()
 	if b.inj != nil {
+		b.observeTraffic(m)
 		b.faultSweep(m)
 	}
 
@@ -382,40 +506,171 @@ func (b *Balancer) Step(m *sim.Machine) {
 	}
 }
 
-// faultSweep runs once per step under fault injection: it detects
-// crash→alive transitions (optionally scattering the recovered queue),
-// and releases light-processor reservations whose boss has crashed so
-// other trees can still reserve them.
-func (b *Balancer) faultSweep(m *sim.Machine) {
+// observeTraffic runs right after Deliver under fault injection: one
+// pass over every inbox feeds the failure detector (any delivered
+// message is evidence its sender was recently alive — heartbeat gossip
+// piggy-backed on protocol traffic) and dispatches the transfer
+// machinery (KindTransfer applies a block, KindTransferAck closes the
+// sender's outstanding record).
+func (b *Balancer) observeTraffic(m *sim.Machine) {
 	now := b.nw.Step()
 	for p := 0; p < b.n; p++ {
-		down := b.inj.Crashed(int32(p), now)
-		if b.prevDown[p] && !down && b.inj.Redistribute() {
-			m.ScatterFrom(p, b.scatterRng)
-		}
-		b.prevDown[p] = down
-		st := &b.procs[p]
-		if st.assigned && b.inj.Crashed(st.reservedFor, now) {
-			st.assigned = false
-			b.ps.Released++
+		for _, msg := range b.nw.Inbox(p) {
+			b.det.Heard(msg.From, now)
+			switch msg.Kind {
+			case netsim.KindTransfer:
+				b.applyTransfer(m, int32(p), msg)
+			case netsim.KindTransferAck:
+				b.ackTransfer(int32(p), msg)
+			}
 		}
 	}
 }
 
-// down reports whether p is crashed on the current fault clock.
-func (b *Balancer) down(p int32) bool {
-	return b.inj != nil && b.inj.Crashed(p, b.nw.Step())
+// applyTransfer is the receiver side of an acknowledged transfer:
+// custody of the block moves here, at delivery — the sender's queue is
+// debited and ours credited atomically, so no task is ever in flight.
+// A retransmit whose earlier copy already landed (the ack was lost) is
+// recognized by its sequence number and re-acked without applying.
+func (b *Balancer) applyTransfer(m *sim.Machine, p int32, msg netsim.Message) {
+	st := &b.procs[p]
+	for _, s := range st.seen {
+		if s == msg.B {
+			b.xferDup++
+			b.nw.Send(netsim.Message{From: p, To: msg.From, Kind: netsim.KindTransferAck, B: msg.B})
+			return
+		}
+	}
+	moved := m.Transfer(int(msg.From), int(p), int(msg.A))
+	st.seen[st.seenIdx] = msg.B
+	st.seenIdx = (st.seenIdx + 1) % int8(len(st.seen))
+	b.xferApplied++
+	b.ps.Transferred += int64(moved)
+	b.nw.Send(netsim.Message{From: p, To: msg.From, Kind: netsim.KindTransferAck, A: int32(moved), B: msg.B})
 }
 
-// pickPartner returns the first candidate that is still alive (the
-// first candidate outright when faults are off), or -1.
+// ackTransfer is the sender side: the echo of our outstanding sequence
+// number retires the block (any other ack is stale — a retry already
+// superseded it or the phase gave up).
+func (b *Balancer) ackTransfer(p int32, msg netsim.Message) {
+	st := &b.procs[p]
+	if st.xferOpen && st.xferSeq == msg.B {
+		st.xferOpen = false
+		b.xferAcked++
+	}
+}
+
+// faultSweep runs once per step under fault injection. Protocol-side it
+// advances the failure detector, emits due heartbeats, releases
+// reservations whose boss is suspected down, and pumps outstanding
+// transfer retries. Substrate-side it uses the machine's crash oracle
+// (ground truth) for physics — recovery scatter — and to score the
+// detector: detection latency, false suspicions, and crash windows
+// that closed undetected. Ground truth never feeds a protocol decision.
+func (b *Balancer) faultSweep(m *sim.Machine) {
+	now := b.nw.Step()
+	b.det.Tick(now)
+	for p := 0; p < b.n; p++ {
+		down := m.Down(p)
+		if b.prevDown[p] && !down {
+			if b.inj.Redistribute() {
+				m.ScatterFrom(p, b.scatterRng)
+			}
+			if !b.winDetected[p] {
+				b.missedWindows++
+			}
+			b.crashedAt[p] = -1
+		} else if !b.prevDown[p] && down {
+			b.crashedAt[p] = now
+			b.winDetected[p] = false
+		}
+		b.prevDown[p] = down
+
+		suspect := b.det.Suspected(int32(p))
+		if suspect && !b.prevSuspect[p] {
+			if b.crashedAt[p] >= 0 && !b.winDetected[p] {
+				b.winDetected[p] = true
+				b.detDetections++
+				b.detLatencySum += now - b.crashedAt[p]
+			} else if b.crashedAt[p] < 0 {
+				b.falseSuspicions++
+			}
+		}
+		b.prevSuspect[p] = suspect
+
+		st := &b.procs[p]
+		if st.assigned && b.det.Suspected(st.reservedFor) {
+			st.assigned = false
+			b.ps.Released++
+		}
+		if down {
+			continue // frozen: no heartbeats, no retries
+		}
+		if b.det.Due(int32(p), now) {
+			b.nw.Send(netsim.Message{From: int32(p), To: b.det.Target(int32(p)), Kind: netsim.KindHeartbeat})
+			b.hbSent++
+		}
+		if st.xferOpen && now-st.xferSentAt >= b.xferTimeout<<(st.xferTries-1) {
+			if int(st.xferTries) >= b.xferAttempts {
+				// Give up: the tasks never left our queue, so "re-queue"
+				// is simply closing the record.
+				st.xferOpen = false
+				b.xferRequeued++
+			} else {
+				st.xferTries++
+				st.xferSentAt = now
+				b.xferRetries++
+				b.nw.Send(netsim.Message{From: int32(p), To: st.xferTo, Kind: netsim.KindTransfer,
+					A: st.xferAmt, B: st.xferSeq})
+			}
+		}
+	}
+}
+
+// down reports whether p itself is frozen right now — the physics
+// question ("can this processor execute this step"), answered by the
+// machine's crash oracle, not a judgment about a remote peer. Remote
+// liveness judgments go through the failure detector.
+func (b *Balancer) down(p int32) bool {
+	return b.inj != nil && b.mach.Down(int(p))
+}
+
+// pickPartner returns the first candidate the failure detector does not
+// suspect (the first candidate outright when faults are off), or -1.
 func (b *Balancer) pickPartner(st *procState) int32 {
 	for _, c := range st.candidates {
-		if !b.down(c) {
+		if b.det == nil || !b.det.Suspected(c) {
 			return c
 		}
 	}
 	return -1
+}
+
+// shipBlock moves (or starts moving) one block from heavy root h to
+// partner. Fault-free the move is instant and the KindTransfer message
+// is decorative, byte-identical to the pre-detector implementation;
+// its return is the task count moved. Under a fault plan the message
+// IS the transfer: tasks stay queued at h until the recipient applies
+// the block (so nothing is ever in flight and a crashed recipient
+// never silently eats it), the sender tracks one sequence-numbered
+// outstanding record, and faultSweep retries it with exponential
+// backoff; the return is 0 — delivery accounts the movement.
+func (b *Balancer) shipBlock(m *sim.Machine, h, partner int32) int {
+	if b.inj == nil {
+		moved := m.Transfer(int(h), int(partner), b.cfg.TransferAmount)
+		b.nw.Send(netsim.Message{From: h, To: partner, Kind: netsim.KindTransfer, A: int32(moved)})
+		return moved
+	}
+	b.xferSeq++
+	st := &b.procs[h]
+	st.xferOpen = true
+	st.xferSeq = b.xferSeq
+	st.xferTo = partner
+	st.xferAmt = int32(b.cfg.TransferAmount)
+	st.xferSentAt = b.nw.Step()
+	st.xferTries = 1
+	b.nw.Send(netsim.Message{From: h, To: partner, Kind: netsim.KindTransfer, A: st.xferAmt, B: st.xferSeq})
+	return 0
 }
 
 // lateSettle lets a root whose id messages were delayed past the
@@ -423,15 +678,14 @@ func (b *Balancer) pickPartner(st *procState) int32 {
 func (b *Balancer) lateSettle(m *sim.Machine) {
 	for _, h := range b.heavies {
 		st := &b.procs[h]
-		if st.matched || len(st.candidates) == 0 || b.down(h) {
+		if st.matched || st.xferOpen || len(st.candidates) == 0 || b.down(h) {
 			continue
 		}
 		partner := b.pickPartner(st)
 		if partner < 0 {
 			continue
 		}
-		moved := m.Transfer(int(h), int(partner), b.cfg.TransferAmount)
-		b.nw.Send(netsim.Message{From: h, To: partner, Kind: netsim.KindTransfer, A: int32(moved)})
+		moved := b.shipBlock(m, h, partner)
 		st.matched = true
 		b.ps.Matched++
 		b.ps.LateMatched++
@@ -485,9 +739,11 @@ func (b *Balancer) preSettle(m *sim.Machine) {
 		if b.down(h) {
 			continue // crashed prober: no transfer, no tree
 		}
+		if st.xferOpen {
+			continue // previous block still unacknowledged: back off
+		}
 		if partner := b.pickPartner(st); partner >= 0 {
-			moved := m.Transfer(int(h), int(partner), b.cfg.TransferAmount)
-			b.nw.Send(netsim.Message{From: h, To: partner, Kind: netsim.KindTransfer, A: int32(moved)})
+			moved := b.shipBlock(m, h, partner)
 			st.matched = true
 			b.ps.Matched++
 			b.ps.PreMatched++
@@ -501,8 +757,13 @@ func (b *Balancer) preSettle(m *sim.Machine) {
 // beginPhase classifies processors and launches the heavy searchers
 // (Figure 2's initialization).
 func (b *Balancer) beginPhase(m *sim.Machine) {
-	// Close out the previous phase's stats.
+	// Close out the previous phase's stats (under faults, first sweep
+	// up idle-tail traffic — heartbeats, transfer retries — so the
+	// phase's message accounting is complete).
 	if b.phaseOpen {
+		if b.inj != nil {
+			b.syncMessages(m)
+		}
 		b.finishPhase(m)
 	}
 	b.phaseOpen = true
@@ -747,15 +1008,14 @@ func (b *Balancer) collectIDs(now int64) {
 func (b *Balancer) settle(m *sim.Machine) {
 	for _, h := range b.heavies {
 		st := &b.procs[h]
-		if st.matched || len(st.candidates) == 0 || b.down(h) {
+		if st.matched || st.xferOpen || len(st.candidates) == 0 || b.down(h) {
 			continue
 		}
 		partner := b.pickPartner(st)
 		if partner < 0 {
 			continue
 		}
-		moved := m.Transfer(int(h), int(partner), b.cfg.TransferAmount)
-		b.nw.Send(netsim.Message{From: h, To: partner, Kind: netsim.KindTransfer, A: int32(moved)})
+		moved := b.shipBlock(m, h, partner)
 		st.matched = true
 		b.ps.Matched++
 		b.ps.Transferred += int64(moved)
