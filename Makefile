@@ -48,12 +48,13 @@ experiments-quick:
 	$(GO) run ./cmd/experiments -quick
 
 # Fault-injection smoke: the protocol degradation curve (E21), the
-# live-backend sojourn degradation table (E23) and the failure-detector
-# tuning sweep (E24) at quick scale — exercises the lossy/crash/
-# straggler/flap paths, the suspicion machinery and the acked-transfer
-# retry pump end to end.
+# live-backend sojourn degradation table (E23), the failure-detector
+# tuning sweep (E24) and the elastic-membership autoscaler (E25) at
+# quick scale — exercises the lossy/crash/straggler/flap paths, the
+# suspicion machinery, the acked-transfer retry pump, and the
+# join/drain custody handoff end to end.
 faults:
-	$(GO) run ./cmd/experiments -run E21,E23,E24 -quick
+	$(GO) run ./cmd/experiments -run E21,E23,E24,E25 -quick
 
 # lint fails (not just lists) on unformatted files, then vets.
 lint:

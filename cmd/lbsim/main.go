@@ -12,7 +12,8 @@
 // Algorithms (sim backend): bfm98 (the paper, default), bfm98-pre
 // (with the adversarial pre-round), bfm98-dist (message-passing),
 // unbalanced, greedy1, greedy2, rsu, lm, lauer, throwair.
-// Models (sim backend): single, geometric, multi, burst, tree, hotspot.
+// Models (sim backend): single, geometric, multi, burst, tree,
+// hotspot, diurnal.
 //
 // Every backend is driven through engine.Drive, so the summary columns
 // mean the same thing regardless of substrate.
@@ -56,7 +57,7 @@ func main() {
 		steps   = flag.Int("steps", 5000, "simulation steps")
 		backend = flag.String("backend", "sim", "substrate: sim, live, shmem")
 		algo    = flag.String("algo", "bfm98", "algorithm (see cli.AlgoNames; sim backend only)")
-		model   = flag.String("model", "single", "workload: single, geometric, multi, burst, tree, hotspot (sim backend only)")
+		model   = flag.String("model", "single", "workload: single, geometric, multi, burst, tree, hotspot, diurnal (sim backend only)")
 		seed    = flag.Uint64("seed", 1, "random seed")
 		scale   = flag.Int("scale", 1, "multiplier on T=(log log n)^2 for the bfm98 config")
 		wrk     = flag.Int("workers", 0, "worker shards (0 = GOMAXPROCS)")
@@ -66,10 +67,11 @@ func main() {
 		jsonOut = flag.Bool("json", false, "print a machine-readable JSON summary instead of the text table")
 		faultsF = flag.String("faults", "", "fault plan, e.g. lossy:0.05,crash:0.1@100-500,flap:k=4,period=200 (algo bfm98-dist or backend live; see docs/ALGORITHM.md)")
 		detectF = flag.String("detect", "", "failure-detector tuning for a faulted bfm98-dist run, e.g. suspect=20,hb=4 (see docs/ALGORITHM.md)")
+		churnF  = flag.String("churn", "", "membership schedule for bfm98-dist, e.g. churn:join=2,leave=2,period=400 or drain:0.25@1000 (see docs/ALGORITHM.md)")
 	)
 	flag.Parse()
 
-	r, err := cli.BuildRunner(*backend, *algo, *model, *n, *scale, *seed, *wrk, *faultsF, *detectF)
+	r, err := cli.BuildRunner(*backend, *algo, *model, *n, *scale, *seed, *wrk, *faultsF, *detectF, *churnF)
 	if err != nil {
 		fail(err)
 	}
@@ -161,6 +163,18 @@ func printText(r engine.Runner, sum summary, steps int, hist bool) {
 		for _, k := range []string{"det_suspicions", "det_false_suspicions", "det_readmissions", "det_detections",
 			"det_latency_sum", "det_missed_windows", "hb_sent",
 			"xfer_acked", "xfer_retries", "xfer_requeued", "xfer_dup_dropped"} {
+			printed[k] = true
+		}
+	}
+	if _, ok := em.Extra["mem_epoch"]; ok {
+		fmt.Printf("membership      = epoch %d, active %d (pool %d), joins %d (admitted %d), drains %d (departed %d)\n",
+			em.Extra["mem_epoch"], em.Extra["mem_active"], em.Extra["mem_pool"],
+			em.Extra["mem_joins"], em.Extra["mem_admits"],
+			em.Extra["mem_drains"], em.Extra["mem_departs"])
+		fmt.Printf("elasticity      = rebalance pushes %d, drained tasks handed off %d, stale-view losses %d\n",
+			em.Extra["mem_rebalances"], em.Extra["mem_handoff"], em.Extra["mem_absent_lost"])
+		for _, k := range []string{"mem_epoch", "mem_active", "mem_pool", "mem_joins", "mem_admits",
+			"mem_drains", "mem_departs", "mem_rebalances", "mem_handoff", "mem_absent_lost"} {
 			printed[k] = true
 		}
 	}

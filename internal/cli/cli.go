@@ -21,13 +21,68 @@ import (
 
 // ModelNames lists the workloads BuildModel accepts.
 func ModelNames() []string {
-	return []string{"single", "geometric", "multi", "burst", "tree", "hotspot"}
+	return []string{"single", "geometric", "multi", "burst", "tree", "hotspot", "diurnal"}
 }
 
 // AlgoNames lists the algorithms InstallAlgo accepts.
 func AlgoNames() []string {
 	return []string{"bfm98", "bfm98-pre", "bfm98-dist", "bfm98-phaseless",
 		"unbalanced", "greedy1", "greedy2", "rsu", "lm", "lauer", "lauer-est", "throwair"}
+}
+
+// ValidateFlags cross-checks the shared command-line flag surface up
+// front: every illegal pairing fails here with one error naming the
+// offending flag pair, before any backend construction starts (a
+// construction error names internals, not the flags the user typed).
+// backend "" means "sim"; an empty spec means the flag was not given.
+// Unknown backend, algorithm, and model names are left to the
+// constructors, which list the valid names.
+func ValidateFlags(backend, algo, model, faultSpec, detectSpec, churnSpec string) error {
+	if backend == "" {
+		backend = "sim"
+	}
+	switch backend {
+	case "sim":
+		if faultSpec != "" && algo != "bfm98-dist" {
+			return fmt.Errorf("cli: -faults with -algo %s: fault injection needs the message-passing protocol (use -algo bfm98-dist, or -backend live)", algo)
+		}
+		if churnSpec != "" && algo != "bfm98-dist" {
+			return fmt.Errorf("cli: -churn with -algo %s: elastic membership runs in the message-passing protocol only (use -algo bfm98-dist)", algo)
+		}
+	case "live":
+		if algo != "" && algo != "bfm98" && algo != "threshold" {
+			return fmt.Errorf("cli: -backend live with -algo %s: the live backend runs its own threshold algorithm", algo)
+		}
+		if model != "" && model != "single" {
+			return fmt.Errorf("cli: -backend live with -model %s: the live backend generates its own Single(0.4, 0.1) workload", model)
+		}
+		if detectSpec != "" {
+			return fmt.Errorf("cli: -backend live with -detect: the failure detector lives in the distributed protocol (sim backend, -algo bfm98-dist)")
+		}
+		if churnSpec != "" {
+			return fmt.Errorf("cli: -backend live with -churn: the live backend has a fixed population; elastic membership needs -algo bfm98-dist on the sim backend")
+		}
+	case "shmem":
+		if algo != "" && algo != "bfm98" && algo != "collision" {
+			return fmt.Errorf("cli: -backend shmem with -algo %s: the shmem backend runs the collision protocol", algo)
+		}
+		if model != "" && model != "single" {
+			return fmt.Errorf("cli: -backend shmem with -model %s: the shmem backend generates its own PRAM access stream", model)
+		}
+		if faultSpec != "" {
+			return fmt.Errorf("cli: -backend shmem with -faults: the shmem backend has no fault injection")
+		}
+		if detectSpec != "" {
+			return fmt.Errorf("cli: -backend shmem with -detect: the shmem backend has no failure detector")
+		}
+		if churnSpec != "" {
+			return fmt.Errorf("cli: -backend shmem with -churn: the shmem backend has a fixed processor set")
+		}
+	}
+	if detectSpec != "" && faultSpec == "" && churnSpec == "" {
+		return fmt.Errorf("cli: -detect without -faults or -churn: the failure detector only runs under a fault or churn plan (a fault-free run has nothing to detect)")
+	}
+	return nil
 }
 
 // BuildModel constructs a named workload for n processors.
@@ -46,6 +101,8 @@ func BuildModel(name string, n int, seed uint64) (gen.Model, error) {
 		return gen.NewAdversarial(gen.Tree{Spawn: 0.3, Branch: 2, Roots: float64(n) / 8}, t, 2*t, int64(8*n), seed)
 	case "hotspot":
 		return gen.NewAdversarial(&gen.Hotspot{Rate: t, Window: 4 * t}, t, 2*t, int64(8*n), seed)
+	case "diurnal":
+		return gen.NewDiurnal(0.45, 0.15, 0.1, 400)
 	default:
 		return nil, fmt.Errorf("cli: unknown model %q (have %v)", name, ModelNames())
 	}
@@ -55,16 +112,15 @@ func BuildModel(name string, n int, seed uint64) (gen.Model, error) {
 // Placer). scale > 1 multiplies T for the bfm98 configurations.
 // faultSpec, when non-empty, is a faults.ParsePlan spec injected into
 // the run; only the distributed protocol (bfm98-dist) executes over a
-// perturbable network, so any other algorithm rejects it. detectSpec,
-// when non-empty, is a detect.ParseConfig failure-detector tuning and
-// additionally requires an active fault plan (the fault-free protocol
-// runs no detector).
-func InstallAlgo(cfg *sim.Config, name string, n, scale int, seed uint64, faultSpec, detectSpec string) error {
-	if faultSpec != "" && name != "bfm98-dist" {
-		return fmt.Errorf("cli: -faults requires algo bfm98-dist (the message-passing protocol); %q runs on the atomic simulator", name)
-	}
-	if detectSpec != "" && faultSpec == "" {
-		return fmt.Errorf("cli: -detect tunes the failure detector of a faulted run; it requires -faults")
+// perturbable network, so any other algorithm rejects it. churnSpec,
+// when non-empty, is a faults.ParseChurn membership schedule merged
+// into the fault plan (bfm98-dist only). detectSpec, when non-empty,
+// is a detect.ParseConfig failure-detector tuning and additionally
+// requires an active fault or churn plan (the fault-free protocol runs
+// no detector).
+func InstallAlgo(cfg *sim.Config, name string, n, scale int, seed uint64, faultSpec, detectSpec, churnSpec string) error {
+	if err := ValidateFlags("sim", name, "", faultSpec, detectSpec, churnSpec); err != nil {
+		return err
 	}
 	switch name {
 	case "bfm98", "bfm98-pre":
@@ -81,11 +137,28 @@ func InstallAlgo(cfg *sim.Config, name string, n, scale int, seed uint64, faultS
 		cfg.Balancer = b
 	case "bfm98-dist":
 		c := proto.DefaultConfig(n)
+		var plan faults.Plan
+		havePlan := false
 		if faultSpec != "" {
-			plan, err := faults.ParsePlan(faultSpec)
+			p, err := faults.ParsePlan(faultSpec)
 			if err != nil {
 				return err
 			}
+			plan, havePlan = p, true
+		}
+		if churnSpec != "" {
+			cp, err := faults.ParseChurn(churnSpec)
+			if err != nil {
+				return err
+			}
+			if havePlan {
+				plan = plan.Merge(cp)
+			} else {
+				plan = cp
+			}
+			havePlan = true
+		}
+		if havePlan {
 			c.Faults = &plan
 		}
 		if detectSpec != "" {
@@ -153,7 +226,10 @@ func BackendNames() []string { return []string{"sim", "live", "shmem"} }
 //
 // Callers that need backend-specific knobs beyond these should build
 // the runner directly; this covers the common command-line surface.
-func BuildRunner(backend, algo, model string, n, scale int, seed uint64, workers int, faultSpec, detectSpec string) (engine.Runner, error) {
+func BuildRunner(backend, algo, model string, n, scale int, seed uint64, workers int, faultSpec, detectSpec, churnSpec string) (engine.Runner, error) {
+	if err := ValidateFlags(backend, algo, model, faultSpec, detectSpec, churnSpec); err != nil {
+		return nil, err
+	}
 	switch backend {
 	case "", "sim":
 		mod, err := BuildModel(model, n, seed)
@@ -161,20 +237,11 @@ func BuildRunner(backend, algo, model string, n, scale int, seed uint64, workers
 			return nil, err
 		}
 		cfg := sim.Config{N: n, Model: mod, Seed: seed, Workers: workers}
-		if err := InstallAlgo(&cfg, algo, n, scale, seed, faultSpec, detectSpec); err != nil {
+		if err := InstallAlgo(&cfg, algo, n, scale, seed, faultSpec, detectSpec, churnSpec); err != nil {
 			return nil, err
 		}
 		return sim.New(cfg)
 	case "live":
-		if detectSpec != "" {
-			return nil, fmt.Errorf("cli: -detect tunes the distributed protocol's failure detector; the live backend has none")
-		}
-		if algo != "" && algo != "bfm98" && algo != "threshold" {
-			return nil, fmt.Errorf("cli: the live backend runs its own threshold algorithm; -algo %q is not available there", algo)
-		}
-		if model != "" && model != "single" {
-			return nil, fmt.Errorf("cli: the live backend generates its own Single(0.4, 0.1) workload; -model %q is not available there", model)
-		}
 		t := stats.PaperT(n)
 		if scale > 1 {
 			t *= scale
@@ -189,15 +256,6 @@ func BuildRunner(backend, algo, model string, n, scale int, seed uint64, workers
 		}
 		return live.NewSystem(c)
 	case "shmem":
-		if algo != "" && algo != "bfm98" && algo != "collision" {
-			return nil, fmt.Errorf("cli: the shmem backend runs the collision protocol; -algo %q is not available there", algo)
-		}
-		if model != "" && model != "single" {
-			return nil, fmt.Errorf("cli: the shmem backend generates its own PRAM access stream; -model %q is not available there", model)
-		}
-		if faultSpec != "" || detectSpec != "" {
-			return nil, fmt.Errorf("cli: the shmem backend has no fault injection")
-		}
 		return shmem.NewRunner(shmem.RunnerConfig{
 			Mem: shmem.Config{Procs: n, Modules: n, Copies: 5, Quorum: 3, ModuleCap: 1, Seed: seed},
 		})

@@ -1,10 +1,58 @@
 package cli
 
 import (
+	"strings"
 	"testing"
 
 	"plb/internal/sim"
 )
+
+// TestValidateFlagCombos walks the cross-flag rules: every illegal
+// pairing must fail up front with an error that names the offending
+// flags, and every legal pairing must pass validation untouched.
+func TestValidateFlagCombos(t *testing.T) {
+	const churn = "churn:join=1,leave=1,period=50"
+	cases := []struct {
+		name                                        string
+		backend, algo, model, faults, detect, churn string
+		want                                        []string // substrings the error must carry; empty = must pass
+	}{
+		{"defaults", "sim", "bfm98", "single", "", "", "", nil},
+		{"empty backend is sim", "", "bfm98-dist", "single", "lossy:0.1", "", "", nil},
+		{"faulted dist", "sim", "bfm98-dist", "burst", "lossy:0.1", "suspect=20", churn, nil},
+		{"faults off-protocol", "sim", "rsu", "single", "lossy:0.1", "", "", []string{"-faults", "-algo rsu"}},
+		{"churn off-protocol", "sim", "bfm98", "single", "", "", churn, []string{"-churn", "-algo bfm98"}},
+		{"detect alone", "sim", "bfm98-dist", "single", "", "suspect=20", "", []string{"-detect", "-faults"}},
+		{"detect rides churn", "sim", "bfm98-dist", "single", "", "suspect=20", churn, nil},
+		{"live ok", "live", "threshold", "single", "lossy:0.5", "", "", nil},
+		{"live algo", "live", "rsu", "single", "", "", "", []string{"-backend live", "-algo rsu"}},
+		{"live model", "live", "", "burst", "", "", "", []string{"-backend live", "-model burst"}},
+		{"live detect", "live", "", "single", "lossy:0.1", "suspect=20", "", []string{"-backend live", "-detect"}},
+		{"live churn", "live", "", "single", "", "", churn, []string{"-backend live", "-churn"}},
+		{"shmem ok", "shmem", "collision", "single", "", "", "", nil},
+		{"shmem faults", "shmem", "", "single", "lossy:0.1", "", "", []string{"-backend shmem", "-faults"}},
+		{"shmem detect", "shmem", "", "single", "", "suspect=20", "", []string{"-backend shmem", "-detect"}},
+		{"shmem churn", "shmem", "", "single", "", "", churn, []string{"-backend shmem", "-churn"}},
+	}
+	for _, c := range cases {
+		err := ValidateFlags(c.backend, c.algo, c.model, c.faults, c.detect, c.churn)
+		if len(c.want) == 0 {
+			if err != nil {
+				t.Errorf("%s: unexpected error: %v", c.name, err)
+			}
+			continue
+		}
+		if err == nil {
+			t.Errorf("%s: illegal combination accepted", c.name)
+			continue
+		}
+		for _, w := range c.want {
+			if !strings.Contains(err.Error(), w) {
+				t.Errorf("%s: error %q does not name %q", c.name, err, w)
+			}
+		}
+	}
+}
 
 func TestBuildModelAllNames(t *testing.T) {
 	for _, name := range ModelNames() {
@@ -28,7 +76,7 @@ func TestInstallAlgoAllNames(t *testing.T) {
 			t.Fatal(err)
 		}
 		cfg := sim.Config{N: 256, Model: model, Seed: 1}
-		if err := InstallAlgo(&cfg, name, 256, 1, 1, "", ""); err != nil {
+		if err := InstallAlgo(&cfg, name, 256, 1, 1, "", "", ""); err != nil {
 			t.Fatalf("InstallAlgo(%q) failed: %v", name, err)
 		}
 		if cfg.Balancer == nil && cfg.Placer == nil {
@@ -41,7 +89,7 @@ func TestInstallAlgoAllNames(t *testing.T) {
 		m.Run(20) // smoke: every algo survives a short run
 	}
 	cfg := sim.Config{}
-	if err := InstallAlgo(&cfg, "nope", 256, 1, 1, "", ""); err == nil {
+	if err := InstallAlgo(&cfg, "nope", 256, 1, 1, "", "", ""); err == nil {
 		t.Fatal("unknown algorithm accepted")
 	}
 }
@@ -52,7 +100,7 @@ func TestInstallAlgoScale(t *testing.T) {
 		t.Fatal(err)
 	}
 	cfg := sim.Config{N: 1024, Model: model, Seed: 1}
-	if err := InstallAlgo(&cfg, "bfm98", 1024, 4, 1, "", ""); err != nil {
+	if err := InstallAlgo(&cfg, "bfm98", 1024, 4, 1, "", "", ""); err != nil {
 		t.Fatal(err)
 	}
 	m, err := sim.New(cfg)
@@ -90,7 +138,7 @@ func TestInstallAlgoFaults(t *testing.T) {
 		t.Fatal(err)
 	}
 	cfg := sim.Config{N: 256, Model: model, Seed: 1}
-	if err := InstallAlgo(&cfg, "bfm98-dist", 256, 1, 1, "lossy:0.1,crash:0.05@100-500", ""); err != nil {
+	if err := InstallAlgo(&cfg, "bfm98-dist", 256, 1, 1, "lossy:0.1,crash:0.05@100-500", "", ""); err != nil {
 		t.Fatalf("fault spec rejected: %v", err)
 	}
 	m, err := sim.New(cfg)
@@ -98,17 +146,56 @@ func TestInstallAlgoFaults(t *testing.T) {
 		t.Fatal(err)
 	}
 	m.Run(50) // smoke: faulted protocol survives
-	if err := InstallAlgo(&sim.Config{}, "bfm98", 256, 1, 1, "lossy:0.1", ""); err == nil {
+	if err := InstallAlgo(&sim.Config{}, "bfm98", 256, 1, 1, "lossy:0.1", "", ""); err == nil {
 		t.Fatal("faults accepted for a non-distributed algorithm")
 	}
-	if err := InstallAlgo(&sim.Config{}, "bfm98-dist", 256, 1, 1, "lossy:nope", ""); err == nil {
+	if err := InstallAlgo(&sim.Config{}, "bfm98-dist", 256, 1, 1, "lossy:nope", "", ""); err == nil {
 		t.Fatal("malformed fault spec accepted")
+	}
+}
+
+func TestInstallAlgoChurn(t *testing.T) {
+	model, err := BuildModel("single", 128, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := sim.Config{N: 128, Model: model, Seed: 1}
+	if err := InstallAlgo(&cfg, "bfm98-dist", 128, 1, 1, "", "", "churn:join=2,leave=2,period=60"); err != nil {
+		t.Fatalf("churn spec rejected: %v", err)
+	}
+	m, err := sim.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Run(200) // smoke: the elastic protocol survives churn ticks
+	if got, want := m.Recorder().Completed+m.TotalLoad(), m.Generated(); got != want {
+		t.Fatalf("conservation broken under churn: completed+queued = %d, generated = %d", got, want)
+	}
+
+	// -churn and -faults merge into one plan.
+	cfg2 := sim.Config{N: 128, Model: model, Seed: 1}
+	if err := InstallAlgo(&cfg2, "bfm98-dist", 128, 1, 1, "lossy:0.05", "suspect=20", "drain:4@50"); err != nil {
+		t.Fatalf("churn + faults + detect rejected: %v", err)
+	}
+
+	// A churn spec smuggling non-membership faults is rejected; those
+	// belong in -faults.
+	if err := InstallAlgo(&sim.Config{}, "bfm98-dist", 128, 1, 1, "", "", "churn:join=1,period=60,lossy:0.1"); err == nil {
+		t.Fatal("churn spec with a lossy directive accepted")
+	}
+	// ... as is one that schedules no membership change at all.
+	if err := InstallAlgo(&sim.Config{}, "bfm98-dist", 128, 1, 1, "", "", "seed:7"); err == nil {
+		t.Fatal("membership-free churn spec accepted")
+	}
+	// -churn implies an active plan, so -detect may ride on it alone.
+	if err := InstallAlgo(&sim.Config{N: 128, Model: model, Seed: 1}, "bfm98-dist", 128, 1, 1, "", "suspect=20", "churn:join=1,period=60"); err != nil {
+		t.Fatalf("-detect with -churn alone rejected: %v", err)
 	}
 }
 
 func TestBuildRunnerBackends(t *testing.T) {
 	for _, backend := range BackendNames() {
-		r, err := BuildRunner(backend, "bfm98", "single", 64, 1, 1, 0, "", "")
+		r, err := BuildRunner(backend, "bfm98", "single", 64, 1, 1, 0, "", "", "")
 		if err != nil {
 			t.Fatalf("BuildRunner(%q) failed: %v", backend, err)
 		}
@@ -123,13 +210,13 @@ func TestBuildRunnerBackends(t *testing.T) {
 			t.Fatalf("backend %q: steps = %d, want 4", backend, m.Steps)
 		}
 	}
-	if _, err := BuildRunner("nope", "bfm98", "single", 64, 1, 1, 0, "", ""); err == nil {
+	if _, err := BuildRunner("nope", "bfm98", "single", 64, 1, 1, 0, "", "", ""); err == nil {
 		t.Fatal("unknown backend accepted")
 	}
 }
 
 func TestBuildRunnerProtoBackend(t *testing.T) {
-	r, err := BuildRunner("sim", "bfm98-dist", "single", 64, 1, 1, 0, "", "")
+	r, err := BuildRunner("sim", "bfm98-dist", "single", 64, 1, 1, 0, "", "", "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -147,14 +234,14 @@ func TestBuildRunnerRejectsMismatches(t *testing.T) {
 		{"shmem", "bfm98", "single", "lossy:0.1"},
 	}
 	for _, c := range cases {
-		if _, err := BuildRunner(c.backend, c.algo, c.model, 64, 1, 1, 0, c.faults, ""); err == nil {
+		if _, err := BuildRunner(c.backend, c.algo, c.model, 64, 1, 1, 0, c.faults, "", ""); err == nil {
 			t.Fatalf("BuildRunner(%q, %q, %q, faults=%q) accepted", c.backend, c.algo, c.model, c.faults)
 		}
 	}
 }
 
 func TestBuildRunnerLiveFaults(t *testing.T) {
-	r, err := BuildRunner("live", "threshold", "single", 32, 1, 1, 0, "lossy:0.5", "")
+	r, err := BuildRunner("live", "threshold", "single", 32, 1, 1, 0, "lossy:0.5", "", "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -168,20 +255,20 @@ func TestBuildRunnerLiveFaults(t *testing.T) {
 func TestInstallAlgoDetect(t *testing.T) {
 	mod, _ := BuildModel("single", 256, 1)
 	cfg := sim.Config{N: 256, Model: mod, Seed: 1}
-	if err := InstallAlgo(&cfg, "bfm98-dist", 256, 1, 1, "lossy:0.1", "suspect=20,hb=4"); err != nil {
+	if err := InstallAlgo(&cfg, "bfm98-dist", 256, 1, 1, "lossy:0.1", "suspect=20,hb=4", ""); err != nil {
 		t.Fatalf("detect spec rejected: %v", err)
 	}
 	// -detect without -faults is meaningless (no detector runs).
-	if err := InstallAlgo(&sim.Config{}, "bfm98-dist", 256, 1, 1, "", "suspect=20"); err == nil {
+	if err := InstallAlgo(&sim.Config{}, "bfm98-dist", 256, 1, 1, "", "suspect=20", ""); err == nil {
 		t.Fatal("-detect without -faults accepted")
 	}
-	if err := InstallAlgo(&sim.Config{}, "bfm98-dist", 256, 1, 1, "lossy:0.1", "suspect=nope"); err == nil {
+	if err := InstallAlgo(&sim.Config{}, "bfm98-dist", 256, 1, 1, "lossy:0.1", "suspect=nope", ""); err == nil {
 		t.Fatal("bad detect spec accepted")
 	}
-	if _, err := BuildRunner("live", "threshold", "single", 32, 1, 1, 0, "lossy:0.5", "suspect=20"); err == nil {
+	if _, err := BuildRunner("live", "threshold", "single", 32, 1, 1, 0, "lossy:0.5", "suspect=20", ""); err == nil {
 		t.Fatal("live backend accepted -detect")
 	}
-	if _, err := BuildRunner("shmem", "collision", "single", 32, 1, 1, 0, "", "suspect=20"); err == nil {
+	if _, err := BuildRunner("shmem", "collision", "single", 32, 1, 1, 0, "", "suspect=20", ""); err == nil {
 		t.Fatal("shmem backend accepted -detect")
 	}
 }

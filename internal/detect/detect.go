@@ -85,6 +85,20 @@ type Config struct {
 	// Seed derives the heartbeat stagger and gossip targets. Zero lets
 	// the consumer substitute its own (proto uses the balancer seed).
 	Seed uint64
+	// XferDedup sizes the per-receiver ring of recently applied
+	// transfer sequence numbers (the duplicate filter for acknowledged
+	// transfers). 0 derives 8. Sizing bound: the ring must hold every
+	// block a receiver applies between a transfer's first application
+	// and the arrival of its last retransmit. A sender keeps at most
+	// one block outstanding and stops retrying after XferAttempts
+	// tries, so with a receivers applying at most one block per step
+	// over a retry horizon of XferTimeout * 2^XferAttempts steps, a
+	// ring of XferAttempts + 1 entries per plausibly-concurrent sender
+	// is safe; the default 8 covers the default 4-attempt schedule with
+	// two concurrent senders to spare. An undersized ring never loses
+	// tasks — a re-applied duplicate double-counts them instead, which
+	// the conservation invariant turns into a loud failure.
+	XferDedup int
 }
 
 // DefaultConfig derives a workable detector tuning from the protocol
@@ -118,6 +132,9 @@ func (c Config) Merge(override Config) Config {
 	if override.Seed != 0 {
 		c.Seed = override.Seed
 	}
+	if override.XferDedup != 0 {
+		c.XferDedup = override.XferDedup
+	}
 	return c
 }
 
@@ -133,6 +150,9 @@ func (c Config) Validate() error {
 		return fmt.Errorf("detect: confirmation timeout %d must be >= suspicion timeout %d",
 			c.DownAfter, c.SuspectAfter)
 	}
+	if c.XferDedup < 0 {
+		return fmt.Errorf("detect: dedup ring size %d must be >= 0", c.XferDedup)
+	}
 	return nil
 }
 
@@ -142,6 +162,7 @@ func (c Config) Validate() error {
 //	suspect=N   suspicion timeout in steps
 //	down=N      confirmed-down timeout in steps
 //	hb=N        heartbeat cadence in steps
+//	dedup=N     transfer dedup ring size (see Config.XferDedup)
 //	seed=N      detector seed (default: the run seed)
 //
 // Example: "suspect=20,hb=4". An empty spec returns the zero Config
@@ -161,7 +182,7 @@ func ParseConfig(spec string) (Config, error) {
 			return Config{}, fmt.Errorf("detect: directive %q wants key=value", part)
 		}
 		switch key {
-		case "suspect", "down", "hb":
+		case "suspect", "down", "hb", "dedup":
 			v, err := strconv.ParseInt(arg, 10, 64)
 			if err != nil || v < 1 {
 				return Config{}, fmt.Errorf("detect: %s %q must be a positive integer", key, arg)
@@ -173,6 +194,8 @@ func ParseConfig(spec string) (Config, error) {
 				c.DownAfter = v
 			case "hb":
 				c.HeartbeatEvery = v
+			case "dedup":
+				c.XferDedup = int(v)
 			}
 		case "seed":
 			v, err := strconv.ParseUint(arg, 10, 64)
@@ -181,7 +204,7 @@ func ParseConfig(spec string) (Config, error) {
 			}
 			c.Seed = v
 		default:
-			return Config{}, fmt.Errorf("detect: unknown key %q (have suspect, down, hb, seed)", key)
+			return Config{}, fmt.Errorf("detect: unknown key %q (have suspect, down, hb, dedup, seed)", key)
 		}
 	}
 	return c, nil

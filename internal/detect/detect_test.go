@@ -178,18 +178,18 @@ func TestConfigMergeAndValidate(t *testing.T) {
 
 // TestParseConfig covers the -detect grammar.
 func TestParseConfig(t *testing.T) {
-	c, err := ParseConfig("suspect=20,hb=4,down=80,seed=9")
+	c, err := ParseConfig("suspect=20,hb=4,down=80,seed=9,dedup=16")
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := Config{SuspectAfter: 20, DownAfter: 80, HeartbeatEvery: 4, Seed: 9}
+	want := Config{SuspectAfter: 20, DownAfter: 80, HeartbeatEvery: 4, Seed: 9, XferDedup: 16}
 	if c != want {
 		t.Fatalf("parsed %+v, want %+v", c, want)
 	}
 	if c, err := ParseConfig("  "); err != nil || c != (Config{}) {
 		t.Fatalf("empty spec: %+v, %v", c, err)
 	}
-	for _, bad := range []string{"suspect=0", "hb=-3", "nope=1", "suspect:20", "seed=x"} {
+	for _, bad := range []string{"suspect=0", "hb=-3", "nope=1", "suspect:20", "seed=x", "dedup=0", "dedup=-1"} {
 		if _, err := ParseConfig(bad); err == nil {
 			t.Fatalf("spec %q accepted", bad)
 		}

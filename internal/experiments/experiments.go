@@ -32,6 +32,10 @@ type RunConfig struct {
 	// detect.ParseConfig, e.g. "suspect=20,hb=4"); experiments that
 	// sweep the detector (E24) add a custom tuning row driven by it.
 	Detect string
+	// Churn is an optional membership schedule (see faults.ParseChurn,
+	// e.g. "churn:join=4,leave=4,period=400"); experiments that exercise
+	// elastic membership (E25) add a custom fleet row driven by it.
+	Churn string
 }
 
 // Result is the rendered outcome of one experiment.

@@ -105,6 +105,32 @@ type Plan struct {
 	// queue across the system instead of resuming with it (the
 	// "redistribute on recovery" policy).
 	Redistribute bool
+
+	// ChurnJoin and ChurnLeave schedule elastic membership: every
+	// ChurnPeriod steps, ChurnJoin absent slots begin the join protocol
+	// and ChurnLeave active processors begin draining (stop generating,
+	// hand their queues off, depart). Joins fire at the top of each
+	// period, leaves half a period later, so a period matched to a
+	// diurnal workload grows the fleet into the peak and shrinks it out
+	// of the trough. Which slots join and which processors drain is
+	// decided by the membership layer, not here — the plan only owns
+	// the deterministic schedule.
+	ChurnJoin, ChurnLeave int
+	// ChurnPeriod is the churn tick spacing in steps (>= 2 when churn
+	// is active; the first join tick is at step ChurnPeriod).
+	ChurnPeriod int64
+	// ChurnSpare is how many processor slots start outside the system
+	// (the join pool, taken from the top ids). 0 derives n/8 when the
+	// plan schedules joins and 0 otherwise.
+	ChurnSpare int
+
+	// DrainK (a count) or DrainFrac (a fraction of n, used when
+	// DrainK == 0) drains that many processors in one batch at step
+	// DrainAt — the scale-in preset: they stop generating, hand off
+	// custody block by block, and depart.
+	DrainK    int
+	DrainFrac float64
+	DrainAt   int64
 }
 
 // Lossy returns a plan dropping each message with probability p.
@@ -140,6 +166,20 @@ func Stragglers(frac float64, slowdown int) Plan {
 // (staggered per processor).
 func Flap(k int, period int64, duty float64) Plan {
 	return Plan{FlapK: k, FlapPeriod: period, FlapDuty: duty}
+}
+
+// Churn returns a plan cycling membership: every period steps, join
+// slots enter the system and leave processors drain out of it
+// (staggered half a period apart).
+func Churn(join, leave int, period int64) Plan {
+	return Plan{ChurnJoin: join, ChurnLeave: leave, ChurnPeriod: period}
+}
+
+// Drain returns the scale-in preset: k processors (k < 1 would be a
+// fraction via DrainFrac; use the Plan literal for that) begin
+// draining at step at and depart once their custody reaches zero.
+func Drain(k int, at int64) Plan {
+	return Plan{DrainK: k, DrainAt: at}
 }
 
 // Merge overlays q on p: probabilities and factors take q's value
@@ -178,6 +218,13 @@ func (p Plan) Merge(q Plan) Plan {
 	if q.FlapK != 0 || q.FlapFrac != 0 {
 		out.FlapK, out.FlapFrac = q.FlapK, q.FlapFrac
 		out.FlapPeriod, out.FlapDuty = q.FlapPeriod, q.FlapDuty
+	}
+	if q.ChurnJoin != 0 || q.ChurnLeave != 0 {
+		out.ChurnJoin, out.ChurnLeave = q.ChurnJoin, q.ChurnLeave
+		out.ChurnPeriod, out.ChurnSpare = q.ChurnPeriod, q.ChurnSpare
+	}
+	if q.DrainK != 0 || q.DrainFrac != 0 {
+		out.DrainK, out.DrainFrac, out.DrainAt = q.DrainK, q.DrainFrac, q.DrainAt
 	}
 	out.Redistribute = p.Redistribute || q.Redistribute
 	return out
@@ -226,7 +273,47 @@ func (p Plan) Normalized() Plan {
 	if (p.FlapK > 0 || p.FlapFrac > 0) && p.FlapPeriod < 2 {
 		p.FlapPeriod = 2
 	}
+	if p.ChurnJoin < 0 {
+		p.ChurnJoin = 0
+	}
+	if p.ChurnLeave < 0 {
+		p.ChurnLeave = 0
+	}
+	if p.ChurnSpare < 0 {
+		p.ChurnSpare = 0
+	}
+	if (p.ChurnJoin > 0 || p.ChurnLeave > 0) && p.ChurnPeriod < 2 {
+		p.ChurnPeriod = 2
+	}
+	p.DrainFrac = clamp01(p.DrainFrac)
+	if p.DrainK < 0 {
+		p.DrainK = 0
+	}
+	if p.DrainAt < 0 {
+		p.DrainAt = 0
+	}
 	return p
+}
+
+// churnActive reports whether a normalized plan schedules periodic
+// membership churn.
+func (p Plan) churnActive() bool {
+	return (p.ChurnJoin > 0 || p.ChurnLeave > 0) && p.ChurnPeriod >= 2
+}
+
+// drainActive reports whether a normalized plan schedules a one-shot
+// drain batch.
+func (p Plan) drainActive() bool {
+	return p.DrainK > 0 || p.DrainFrac > 0
+}
+
+// MembershipActive reports whether the normalized plan injects any
+// membership change (periodic churn or a drain batch) — the predicate
+// the protocol layer uses to decide whether to build the membership
+// tracker.
+func (p Plan) MembershipActive() bool {
+	p = p.Normalized()
+	return p.churnActive() || p.drainActive()
 }
 
 // flapActive reports whether a normalized plan has a live flap
@@ -235,13 +322,15 @@ func (p Plan) flapActive() bool {
 	return (p.FlapK > 0 || p.FlapFrac > 0) && p.FlapDuty > 0 && p.FlapPeriod >= 2
 }
 
-// Active reports whether the plan injects any fault at all.
+// Active reports whether the plan injects any fault at all (membership
+// churn counts: it runs over the hardened protocol stack — detector,
+// acked transfers — like every other fault family).
 func (p Plan) Active() bool {
 	p = p.Normalized()
 	return p.Drop > 0 || p.Dup > 0 || p.Delay > 0 ||
 		p.PartitionGroups > 1 || len(p.Crashes) > 0 ||
 		p.CrashK > 0 || p.CrashFrac > 0 || p.StragglerFrac > 0 ||
-		p.flapActive()
+		p.flapActive() || p.churnActive() || p.drainActive()
 }
 
 // Fate is the verdict for one message send.
@@ -376,6 +465,69 @@ func (inj *Injector) Crashed(p int32, step int64) bool {
 // decision; protocol-visible liveness comes from internal/detect.
 func (inj *Injector) DownOracle(skew int64) func(p int, now int64) bool {
 	return func(p int, now int64) bool { return inj.Crashed(int32(p), now+skew) }
+}
+
+// ChurnDue returns how many joins and how many drains the periodic
+// churn schedule fires at step: joins at the top of every period,
+// leaves half a period later (so a period matched to a diurnal
+// workload scales out into the peak and in out of the trough). A pure
+// function of the plan — which slots join or drain is the membership
+// layer's seeded decision.
+func (inj *Injector) ChurnDue(step int64) (joins, leaves int) {
+	p := inj.plan
+	if !p.churnActive() || step <= 0 {
+		return 0, 0
+	}
+	if step%p.ChurnPeriod == 0 {
+		joins = p.ChurnJoin
+	}
+	if (step+p.ChurnPeriod/2)%p.ChurnPeriod == 0 {
+		leaves = p.ChurnLeave
+	}
+	return joins, leaves
+}
+
+// DrainDue returns how many processors the one-shot drain preset
+// retires at step (the batch fires exactly once, at max(DrainAt, 1) —
+// the protocol's first sweep runs at network step 1).
+func (inj *Injector) DrainDue(step int64) int {
+	p := inj.plan
+	if !p.drainActive() {
+		return 0
+	}
+	at := p.DrainAt
+	if at < 1 {
+		at = 1
+	}
+	if step != at {
+		return 0
+	}
+	k := p.DrainK
+	if k == 0 {
+		k = int(p.DrainFrac * float64(inj.n))
+	}
+	if k > inj.n {
+		k = inj.n
+	}
+	return k
+}
+
+// ChurnSpare resolves the initially-absent slot count (the join pool):
+// the plan's explicit value, or n/8 when joins are scheduled with no
+// explicit pool, capped so at least two processors start active.
+func (inj *Injector) ChurnSpare() int {
+	p := inj.plan
+	spare := p.ChurnSpare
+	if spare == 0 && p.churnActive() && p.ChurnJoin > 0 {
+		spare = inj.n / 8
+	}
+	if spare > inj.n-2 {
+		spare = inj.n - 2
+	}
+	if spare < 0 {
+		spare = 0
+	}
+	return spare
 }
 
 // Flapper reports whether processor p is in the flapping set.

@@ -281,6 +281,127 @@ func TestFlapPresetAndParse(t *testing.T) {
 	}
 }
 
+// TestFlapperEdges pins the degenerate corners of the flap schedule:
+// a zero duty is inert (nobody is flagged, nobody crashes), a full
+// duty is a permanent crash, a period of 1 normalizes up to the
+// minimum cycle of 2, and a lone flapper still gets a well-formed
+// staggered, periodic, deterministic schedule.
+func TestFlapperEdges(t *testing.T) {
+	const n = 16
+
+	t.Run("duty=0", func(t *testing.T) {
+		plan := Flap(4, 50, 0)
+		if plan.Active() {
+			t.Fatalf("zero-duty flap counts as active: %+v", plan)
+		}
+		inj, err := NewInjector(n, plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for p := int32(0); p < n; p++ {
+			if inj.Flapper(p) {
+				t.Fatalf("zero-duty plan flagged processor %d", p)
+			}
+			for s := int64(0); s < 100; s++ {
+				if inj.Crashed(p, s) {
+					t.Fatalf("zero-duty plan crashed %d at step %d", p, s)
+				}
+			}
+		}
+	})
+
+	t.Run("duty=1", func(t *testing.T) {
+		inj, err := NewInjector(n, Flap(2, 10, 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		flappers := 0
+		for p := int32(0); p < n; p++ {
+			for s := int64(0); s < 30; s++ {
+				if got, want := inj.Crashed(p, s), inj.Flapper(p); got != want {
+					t.Fatalf("full duty: processor %d at step %d crashed=%v, want %v (permanently down iff flagged)",
+						p, s, got, want)
+				}
+			}
+			if inj.Flapper(p) {
+				flappers++
+			}
+		}
+		if flappers != 2 {
+			t.Fatalf("flagged %d processors, want 2", flappers)
+		}
+	})
+
+	t.Run("period=1", func(t *testing.T) {
+		// An active flap with period 1 normalizes to the minimum cycle
+		// of 2, so a 0.5 duty is down exactly one step in every two.
+		plan := Plan{FlapK: 1, FlapPeriod: 1, FlapDuty: 0.5}
+		inj, err := NewInjector(n, plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var flapper int32 = -1
+		for p := int32(0); p < n; p++ {
+			if inj.Flapper(p) {
+				flapper = p
+			}
+		}
+		if flapper < 0 {
+			t.Fatal("no processor flagged")
+		}
+		for s := int64(0); s < 20; s += 2 {
+			down := 0
+			if inj.Crashed(flapper, s) {
+				down++
+			}
+			if inj.Crashed(flapper, s+1) {
+				down++
+			}
+			if down != 1 {
+				t.Fatalf("normalized period-2 cycle at step %d: down %d of 2 steps, want 1", s, down)
+			}
+		}
+	})
+
+	t.Run("k=1 stagger", func(t *testing.T) {
+		const period = 40
+		inj, err := NewInjector(n, Flap(1, period, 0.25))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var flapper int32 = -1
+		for p := int32(0); p < n; p++ {
+			if inj.Flapper(p) {
+				if flapper >= 0 {
+					t.Fatalf("k=1 flagged both %d and %d", flapper, p)
+				}
+				flapper = p
+			}
+		}
+		if flapper < 0 {
+			t.Fatal("k=1 flagged nobody")
+		}
+		down := 0
+		for s := int64(0); s < period; s++ {
+			if inj.Crashed(flapper, s) {
+				down++
+			}
+			if inj.Crashed(flapper, s) != inj.Crashed(flapper, s+period) {
+				t.Fatalf("lone flapper not periodic at step %d", s)
+			}
+		}
+		if down != period/4 {
+			t.Fatalf("lone flapper down %d steps per period, want %d", down, period/4)
+		}
+		again, _ := NewInjector(n, Flap(1, period, 0.25))
+		for s := int64(0); s < 2*period; s++ {
+			if inj.Crashed(flapper, s) != again.Crashed(flapper, s) {
+				t.Fatalf("lone flapper schedule not deterministic at step %d", s)
+			}
+		}
+	})
+}
+
 func TestFlapMergeAndNormalize(t *testing.T) {
 	p := Lossy(0.05).Merge(Flap(4, 100, 0.5))
 	if p.Drop != 0.05 || p.FlapK != 4 || p.FlapPeriod != 100 {

@@ -65,6 +65,59 @@ func FuzzPlan(f *testing.F) {
 	})
 }
 
+// FuzzParseChurn fuzzes the -churn grammar: any spec ParseChurn
+// accepts must schedule a membership change, carry no other fault
+// family, drive the churn/drain schedule deterministically, and parse
+// as a pure function of the spec string.
+func FuzzParseChurn(f *testing.F) {
+	f.Add("churn:join=2,leave=2,period=90")
+	f.Add("churn:join=1,period=50,spare=4")
+	f.Add("drain:4@200")
+	f.Add("drain:0.25@100,seed:9")
+	f.Add("churn:leave=3,period=2,drain:2@7")
+	f.Add("churn:join=2,period=90,lossy:0.05") // must be rejected
+	f.Add("lossy:0.1")                         // must be rejected
+	f.Add(",,churn:period=2,join=1,")
+	f.Fuzz(func(t *testing.T, spec string) {
+		p, err := ParseChurn(spec)
+		if err != nil {
+			return // rejected specs are out of scope; they must only not panic
+		}
+		q, err2 := ParseChurn(spec)
+		if err2 != nil || fmt.Sprintf("%+v", p) != fmt.Sprintf("%+v", q) {
+			t.Fatalf("parse not deterministic: %+v / %v vs %+v", p, err2, q)
+		}
+		if !p.MembershipActive() {
+			t.Fatalf("accepted churn spec %q schedules no membership change: %+v", spec, p)
+		}
+		stripped := p
+		stripped.ChurnJoin, stripped.ChurnLeave, stripped.ChurnPeriod, stripped.ChurnSpare = 0, 0, 0, 0
+		stripped.DrainK, stripped.DrainFrac, stripped.DrainAt = 0, 0, 0
+		if stripped.Active() {
+			t.Fatalf("accepted churn spec %q carries non-membership faults: %+v", spec, p)
+		}
+		const n = 16
+		a, err := NewInjector(n, p)
+		if err != nil {
+			t.Fatalf("NewInjector rejected a parsed churn plan %+v: %v", p, err)
+		}
+		b, _ := NewInjector(n, p)
+		if a.ChurnSpare() != b.ChurnSpare() || a.ChurnSpare() < 0 || a.ChurnSpare() > n-2 {
+			t.Fatalf("spare out of bounds or nondeterministic: %d vs %d", a.ChurnSpare(), b.ChurnSpare())
+		}
+		for step := int64(0); step < 256; step++ {
+			aj, al := a.ChurnDue(step)
+			bj, bl := b.ChurnDue(step)
+			if aj != bj || al != bl || a.DrainDue(step) != b.DrainDue(step) {
+				t.Fatalf("churn schedule diverged at step %d", step)
+			}
+			if aj < 0 || al < 0 || a.DrainDue(step) < 0 {
+				t.Fatalf("negative membership event count at step %d", step)
+			}
+		}
+	})
+}
+
 // FuzzParsePlan fuzzes the -faults grammar: any spec ParsePlan accepts
 // must build a working, deterministic injector, and parsing must be a
 // pure function of the spec string.

@@ -22,25 +22,42 @@ import (
 //	                     crash/recover forever: down for the first D
 //	                     fraction of every P-step period, staggered per
 //	                     processor; duty defaults to 0.5
+//	churn:join=J,leave=L,period=P[,spare=S]
+//	                     elastic membership: every P steps J absent
+//	                     slots begin joining (at the period top) and L
+//	                     active processors begin draining (half a
+//	                     period later); S slots start outside the
+//	                     system as the join pool (default n/8)
+//	drain:K@A            one-shot scale-in: K processors (K < 1:
+//	                     fraction of n) begin draining at step A
 //	seed:N               fault seed (default: the run seed)
 //	redistribute         scatter a recovering processor's queue
 //
 // Example: "lossy:0.05,crash:0.1@2000-4000,straggle:0.1@4". The flap
-// directive owns its comma-separated key=value arguments: any part
-// after "flap:" that looks like key=value (no ":") attaches to it.
+// and churn directives own their comma-separated key=value arguments:
+// any part after "flap:"/"churn:" that looks like key=value (no ":")
+// attaches to the most recent of the two.
 func ParsePlan(spec string) (Plan, error) {
 	var p Plan
 	if strings.TrimSpace(spec) == "" {
 		return p, nil
 	}
 	var flapSeen, flapHasK, flapHasPeriod bool
+	var churnSeen, churnHasAmount, churnHasPeriod bool
+	inChurn := false // does a bare key=value part attach to churn or flap?
 	for _, part := range strings.Split(spec, ",") {
 		part = strings.TrimSpace(part)
 		if part == "" {
 			continue
 		}
-		if flapSeen && !strings.Contains(part, ":") && strings.Contains(part, "=") {
-			if err := applyFlapArg(&p, part, &flapHasK, &flapHasPeriod); err != nil {
+		if (flapSeen || churnSeen) && !strings.Contains(part, ":") && strings.Contains(part, "=") {
+			var err error
+			if inChurn {
+				err = applyChurnArg(&p, part, &churnHasAmount, &churnHasPeriod)
+			} else {
+				err = applyFlapArg(&p, part, &flapHasK, &flapHasPeriod)
+			}
+			if err != nil {
 				return Plan{}, err
 			}
 			continue
@@ -130,12 +147,38 @@ func ParsePlan(spec string) (Plan, error) {
 			p.PartitionGroups, p.PartitionUntil = g, until
 		case "flap":
 			flapSeen = true
+			inChurn = false
 			if p.FlapDuty == 0 {
 				p.FlapDuty = 0.5
 			}
 			if err := applyFlapArg(&p, arg, &flapHasK, &flapHasPeriod); err != nil {
 				return Plan{}, err
 			}
+		case "churn":
+			churnSeen = true
+			inChurn = true
+			if err := applyChurnArg(&p, arg, &churnHasAmount, &churnHasPeriod); err != nil {
+				return Plan{}, err
+			}
+		case "drain":
+			amount, at, err := splitAt(key, arg)
+			if err != nil {
+				return Plan{}, err
+			}
+			k, err := strconv.ParseFloat(amount, 64)
+			if err != nil || k <= 0 {
+				return Plan{}, fmt.Errorf("faults: drain amount %q must be positive", amount)
+			}
+			if k < 1 {
+				p.DrainFrac, p.DrainK = k, 0
+			} else {
+				p.DrainK, p.DrainFrac = int(k), 0
+			}
+			step, err := strconv.ParseInt(at, 10, 64)
+			if err != nil || step < 0 {
+				return Plan{}, fmt.Errorf("faults: drain step %q must be a non-negative integer", at)
+			}
+			p.DrainAt = step
 		case "seed":
 			v, err := strconv.ParseUint(arg, 10, 64)
 			if err != nil {
@@ -145,13 +188,74 @@ func ParsePlan(spec string) (Plan, error) {
 		case "redistribute":
 			p.Redistribute = true
 		default:
-			return Plan{}, fmt.Errorf("faults: unknown directive %q (have lossy, dup, delay, crash, straggle, partition, flap, seed, redistribute)", key)
+			return Plan{}, fmt.Errorf("faults: unknown directive %q (have lossy, dup, delay, crash, straggle, partition, flap, churn, drain, seed, redistribute)", key)
 		}
 	}
 	if flapSeen && (!flapHasK || !flapHasPeriod) {
 		return Plan{}, fmt.Errorf("faults: flap wants at least k and period (e.g. flap:k=4,period=200,duty=0.5)")
 	}
+	if churnSeen && (!churnHasAmount || !churnHasPeriod) {
+		return Plan{}, fmt.Errorf("faults: churn wants a period and at least one of join/leave (e.g. churn:join=2,leave=2,period=400)")
+	}
 	return p, nil
+}
+
+// ParseChurn parses the -churn command-line syntax: the ParsePlan
+// grammar restricted to the membership directives (churn:..., drain:...)
+// plus seed. The spec must schedule at least one membership change, and
+// may not smuggle in other fault families — those belong in -faults,
+// whose plan the caller merges with this one.
+func ParseChurn(spec string) (Plan, error) {
+	p, err := ParsePlan(spec)
+	if err != nil {
+		return Plan{}, err
+	}
+	if !p.MembershipActive() {
+		return Plan{}, fmt.Errorf("faults: churn spec %q schedules no membership change (want churn:... and/or drain:...)", spec)
+	}
+	q := p
+	q.ChurnJoin, q.ChurnLeave, q.ChurnPeriod, q.ChurnSpare = 0, 0, 0, 0
+	q.DrainK, q.DrainFrac, q.DrainAt = 0, 0, 0
+	if q.Active() {
+		return Plan{}, fmt.Errorf("faults: churn spec %q mixes membership churn with other fault directives; put those in -faults", spec)
+	}
+	return p, nil
+}
+
+// applyChurnArg parses one key=value argument of the churn directive.
+func applyChurnArg(p *Plan, part string, hasAmount, hasPeriod *bool) error {
+	key, arg, ok := strings.Cut(part, "=")
+	if !ok {
+		return fmt.Errorf("faults: churn argument %q wants key=value", part)
+	}
+	switch key {
+	case "join", "leave", "spare":
+		v, err := strconv.Atoi(arg)
+		if err != nil || v < 0 {
+			return fmt.Errorf("faults: churn %s %q must be a non-negative integer", key, arg)
+		}
+		switch key {
+		case "join":
+			p.ChurnJoin = v
+		case "leave":
+			p.ChurnLeave = v
+		case "spare":
+			p.ChurnSpare = v
+		}
+		if key != "spare" && v > 0 {
+			*hasAmount = true
+		}
+	case "period":
+		v, err := strconv.ParseInt(arg, 10, 64)
+		if err != nil || v < 2 {
+			return fmt.Errorf("faults: churn period %q must be an integer >= 2", arg)
+		}
+		p.ChurnPeriod = v
+		*hasPeriod = true
+	default:
+		return fmt.Errorf("faults: unknown churn argument %q (have join, leave, period, spare)", key)
+	}
+	return nil
 }
 
 // applyFlapArg parses one key=value argument of the flap directive.

@@ -102,6 +102,67 @@ func (s Single) SteadyStateGainLoss() (pg, pl float64) {
 	return s.P * (1 - q), q * (1 - s.P)
 }
 
+// Diurnal is a time-varying Single: generation alternates between a
+// high rate (the first half of every period) and a low rate (the
+// second half), while consumption stays pegged to the peak rate plus
+// Eps so the system drains through the trough. It models the demand
+// cycle an autoscaler provisions against (experiment E25): a fleet
+// sized for the trough saturates at the peak, a fleet sized for the
+// peak idles through the trough, and elastic membership chases the
+// rate. The rate in force is a pure function of the step, so runs
+// stay reproducible and shard-parallelizable.
+type Diurnal struct {
+	// PHigh and PLow are the peak and trough per-step generation
+	// probabilities.
+	PHigh, PLow float64
+	// Eps is the consumption surplus over the peak rate; consumption
+	// probability is PHigh + Eps at every step.
+	Eps float64
+	// Period is the full cycle length in steps (peak + trough).
+	Period int64
+}
+
+// NewDiurnal validates and returns a Diurnal model.
+func NewDiurnal(pHigh, pLow, eps float64, period int64) (Diurnal, error) {
+	if pLow <= 0 || pHigh < pLow || eps <= 0 || pHigh+eps > 1 {
+		return Diurnal{}, fmt.Errorf("gen: invalid Diurnal(hi=%v, lo=%v, eps=%v): need 0<lo<=hi, 0<eps, hi+eps<=1",
+			pHigh, pLow, eps)
+	}
+	if period < 2 {
+		return Diurnal{}, fmt.Errorf("gen: invalid Diurnal period %d: need >= 2", period)
+	}
+	return Diurnal{PHigh: pHigh, PLow: pLow, Eps: eps, Period: period}, nil
+}
+
+// Name implements Model.
+func (d Diurnal) Name() string {
+	return fmt.Sprintf("diurnal(hi=%g,lo=%g,eps=%g,period=%d)", d.PHigh, d.PLow, d.Eps, d.Period)
+}
+
+// Rate returns the generation probability in force at step now.
+func (d Diurnal) Rate(now int64) float64 {
+	if now%d.Period < d.Period/2 {
+		return d.PHigh
+	}
+	return d.PLow
+}
+
+// Generate implements Model.
+func (d Diurnal) Generate(_ int, r *xrand.Stream, now int64) int {
+	if r.Bernoulli(d.Rate(now)) {
+		return 1
+	}
+	return 0
+}
+
+// WantConsume implements Model.
+func (d Diurnal) WantConsume(_ int, r *xrand.Stream, _ int64) int {
+	if r.Bernoulli(d.PHigh + d.Eps) {
+		return 1
+	}
+	return 0
+}
+
 // Geometric is the paper's second model: at most K tasks per step,
 // P(i tasks) = 2^-(i+1) for i in 1..K, deterministic unit consumption.
 type Geometric struct {

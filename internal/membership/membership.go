@@ -1,0 +1,349 @@
+// Package membership is the deterministic view layer that makes the
+// processor population dynamic: processors join, drain, and depart at
+// runtime, and every protocol decision that used to range over a fixed
+// [0, n) draws from an epoch-stamped view instead.
+//
+// The paper (and internal/core, internal/proto without a churn plan)
+// fixes n for the whole run. The ROADMAP's north star is a system that
+// scales out under load and drains nodes on the way down, which needs
+// three things the Tracker provides:
+//
+//   - An authoritative membership state machine per slot
+//     (Absent -> Joining -> Active -> Draining -> Absent), advanced
+//     only by the protocol layer's explicit calls.
+//   - A ring of epoch-stamped view snapshots (the Active member set at
+//     each epoch) plus a per-processor "known epoch", so each
+//     processor samples partners from the view as of the newest
+//     membership announcement that has actually reached it — view
+//     propagation costs real messages, staleness is modeled, and a
+//     run stays bit-reproducible.
+//   - Seeded random choices (which slots drain, which peers seed a
+//     join) so churn is as replayable as every other fault.
+//
+// The Tracker holds no protocol logic: admission gating (heartbeats
+// establishing Alive), drain custody hand-off (the acked-transfer
+// pump), and rebalance passes live in internal/proto; the schedule of
+// joins and drains lives in internal/faults (the churn plan grammar).
+package membership
+
+import (
+	"fmt"
+
+	"plb/internal/xrand"
+)
+
+// State is one processor slot's membership state.
+type State uint8
+
+const (
+	// Active: a full member — generates load, appears in views, can be
+	// sampled as a balancing partner.
+	Active State = iota
+	// Joining: bootstrapping — contacts seed peers and waits for
+	// admission; not in any view, generates nothing.
+	Joining
+	// Draining: leaving — stops generating, hands its queue off, and
+	// departs once custody reaches zero; removed from new views.
+	Draining
+	// Absent: outside the system (the join pool). Physically down: it
+	// executes nothing and messages to it are discarded.
+	Absent
+)
+
+// String implements fmt.Stringer for test output.
+func (s State) String() string {
+	switch s {
+	case Active:
+		return "active"
+	case Joining:
+		return "joining"
+	case Draining:
+		return "draining"
+	case Absent:
+		return "absent"
+	}
+	return "invalid"
+}
+
+// viewRing is how many epoch snapshots the Tracker retains; a
+// processor whose known epoch lags further behind samples from the
+// oldest retained view (strictly more stale, never wrong-shaped).
+const viewRing = 32
+
+// minActive is the floor the drain picker never sinks below: the
+// collision protocol needs at least a partner to sample.
+const minActive = 2
+
+// view is one epoch's Active-member snapshot.
+type view struct {
+	epoch   int64
+	members []int32
+}
+
+// Tracker is the membership authority for n processor slots. It is not
+// safe for concurrent use; the sequential balancer phase drives it.
+type Tracker struct {
+	n      int
+	state  []State
+	active int
+	epoch  int64
+	known  []int64 // per-processor newest announced epoch received
+	pool   []int32 // Absent slots, FIFO join order
+	views  []view  // ascending by epoch, at most viewRing entries
+	rng    *xrand.Stream
+
+	joins, admits, drains, departs int64
+}
+
+// New builds a tracker for n slots of which spare start Absent (the
+// join pool, taken from the top ids) and the rest start Active at
+// epoch 0.
+func New(n, spare int, seed uint64) (*Tracker, error) {
+	if n < minActive {
+		return nil, fmt.Errorf("membership: need n >= %d, got %d", minActive, n)
+	}
+	if spare < 0 || n-spare < minActive {
+		return nil, fmt.Errorf("membership: spare %d must leave at least %d of %d slots active",
+			spare, minActive, n)
+	}
+	t := &Tracker{
+		n:     n,
+		state: make([]State, n),
+		known: make([]int64, n),
+		rng:   xrand.New(seed ^ 0x3e3b_a215),
+	}
+	t.active = n - spare
+	for p := n - spare; p < n; p++ {
+		t.state[p] = Absent
+		t.pool = append(t.pool, int32(p))
+	}
+	t.snapshot()
+	return t, nil
+}
+
+// snapshot appends the current Active set as the view for the current
+// epoch, trimming the ring.
+func (t *Tracker) snapshot() {
+	members := make([]int32, 0, t.active)
+	for p := 0; p < t.n; p++ {
+		if t.state[p] == Active {
+			members = append(members, int32(p))
+		}
+	}
+	t.views = append(t.views, view{epoch: t.epoch, members: members})
+	if len(t.views) > viewRing {
+		t.views = t.views[len(t.views)-viewRing:]
+	}
+}
+
+// bump advances the epoch and records the new view.
+func (t *Tracker) bump() {
+	t.epoch++
+	t.snapshot()
+}
+
+// N returns the slot count the tracker was built for.
+func (t *Tracker) N() int { return t.n }
+
+// Epoch returns the current (newest) view epoch.
+func (t *Tracker) Epoch() int64 { return t.epoch }
+
+// ActiveCount returns how many slots are Active right now.
+func (t *Tracker) ActiveCount() int { return t.active }
+
+// PoolSize returns how many slots sit in the join pool (Absent).
+func (t *Tracker) PoolSize() int { return len(t.pool) }
+
+// State returns slot p's membership state (Absent out of range).
+func (t *Tracker) State(p int32) State {
+	if p < 0 || int(p) >= t.n {
+		return Absent
+	}
+	return t.state[p]
+}
+
+// Present reports whether slot p is physically in the system (any
+// state but Absent) — the predicate behind message delivery and
+// broadcast fan-out.
+func (t *Tracker) Present(p int32) bool { return t.State(p) != Absent }
+
+// Gone reports whether slot p is outside the system — the membership
+// half of the machine's down oracle.
+func (t *Tracker) Gone(p int32) bool { return t.State(p) == Absent }
+
+// EligiblePartner reports whether slot p may take part in balancing
+// (classified light or heavy, reserved, transferred to): only full
+// members are; Joining and Draining slots sit classification out.
+func (t *Tracker) EligiblePartner(p int32) bool { return t.State(p) == Active }
+
+// GenOff reports whether slot p's load generation is gated off — the
+// membership half of the machine's generation gate (Absent slots are
+// handled by the down oracle).
+func (t *Tracker) GenOff(p int32) bool {
+	s := t.State(p)
+	return s == Joining || s == Draining
+}
+
+// StartJoins pops up to k slots from the join pool and marks them
+// Joining. The returned ids are the callers to bootstrap; no view
+// changes yet — a joiner enters the view only at Admit.
+func (t *Tracker) StartJoins(k int) []int32 {
+	if k > len(t.pool) {
+		k = len(t.pool)
+	}
+	if k <= 0 {
+		return nil
+	}
+	picked := t.pool[:k:k]
+	t.pool = t.pool[k:]
+	for _, p := range picked {
+		t.state[p] = Joining
+		t.known[p] = 0 // a joiner knows nothing until the admission broadcast
+		t.joins++
+	}
+	return picked
+}
+
+// Admit promotes a Joining slot to Active, bumps the epoch, and
+// returns the new epoch (to be carried by the admission broadcast).
+// It panics on a slot that is not Joining — a protocol bug.
+func (t *Tracker) Admit(p int32) int64 {
+	if t.State(p) != Joining {
+		panic(fmt.Sprintf("membership: admit of %d in state %v", p, t.State(p)))
+	}
+	t.state[p] = Active
+	t.active++
+	t.admits++
+	t.bump()
+	return t.epoch
+}
+
+// StartDrains picks up to k Active slots at random (skipping those the
+// caller deems unfit — typically detector-suspected peers), marks them
+// Draining, and bumps the epoch once for the batch. It never drains
+// the Active population below minActive. The picked ids are returned
+// for the caller to announce and pump.
+func (t *Tracker) StartDrains(k int, unfit func(int32) bool) []int32 {
+	if room := t.active - minActive; k > room {
+		k = room
+	}
+	if k <= 0 {
+		return nil
+	}
+	var cand []int32
+	for p := 0; p < t.n; p++ {
+		if t.state[p] == Active && (unfit == nil || !unfit(int32(p))) {
+			cand = append(cand, int32(p))
+		}
+	}
+	if k > len(cand) {
+		k = len(cand)
+	}
+	if k <= 0 {
+		return nil
+	}
+	// Partial Fisher-Yates: the first k entries become the picks.
+	for i := 0; i < k; i++ {
+		j := i + t.rng.Intn(len(cand)-i)
+		cand[i], cand[j] = cand[j], cand[i]
+	}
+	picked := cand[:k:k]
+	for _, p := range picked {
+		t.state[p] = Draining
+		t.active--
+		t.drains++
+	}
+	t.bump()
+	return picked
+}
+
+// Depart retires a Draining slot whose custody reached zero: it
+// becomes Absent, rejoins the back of the join pool, and the epoch
+// bumps. The new epoch is returned (for the leave broadcast). It
+// panics on a slot that is not Draining.
+func (t *Tracker) Depart(p int32) int64 {
+	if t.State(p) != Draining {
+		panic(fmt.Sprintf("membership: depart of %d in state %v", p, t.State(p)))
+	}
+	t.state[p] = Absent
+	t.pool = append(t.pool, p)
+	t.departs++
+	t.bump()
+	return t.epoch
+}
+
+// Observe records that a membership announcement stamped epoch reached
+// processor p, and reports whether p's view advanced (the trigger for
+// a rebalance pass). Future epochs clamp to the current one.
+func (t *Tracker) Observe(p int32, epoch int64) bool {
+	if p < 0 || int(p) >= t.n {
+		return false
+	}
+	if epoch > t.epoch {
+		epoch = t.epoch
+	}
+	if epoch > t.known[p] {
+		t.known[p] = epoch
+		return true
+	}
+	return false
+}
+
+// Known returns the newest epoch processor p has observed.
+func (t *Tracker) Known(p int32) int64 {
+	if p < 0 || int(p) >= t.n {
+		return 0
+	}
+	return t.known[p]
+}
+
+// ViewOf returns the Active-member snapshot as of the newest epoch
+// processor p has observed (the oldest retained view when p lags past
+// the ring). The slice is owned by the tracker; callers must not
+// modify it.
+func (t *Tracker) ViewOf(p int32) []int32 {
+	k := t.Known(p)
+	// Newest view not newer than k; the ring is ascending by epoch.
+	for i := len(t.views) - 1; i > 0; i-- {
+		if t.views[i].epoch <= k {
+			return t.views[i].members
+		}
+	}
+	return t.views[0].members
+}
+
+// Members returns the current authoritative view (the Active set at
+// the current epoch). The slice is owned by the tracker.
+func (t *Tracker) Members() []int32 { return t.views[len(t.views)-1].members }
+
+// SeedPeers draws up to k distinct current members for a joiner to
+// contact (its bootstrap configuration — out-of-band knowledge, like a
+// seed-node list in a real cluster). The first entry is the sponsor.
+func (t *Tracker) SeedPeers(joiner int32, k int) []int32 {
+	members := t.Members()
+	if k > len(members) {
+		k = len(members)
+	}
+	if k <= 0 {
+		return nil
+	}
+	idx := make([]int, k)
+	t.rng.SampleDistinct(idx, k, len(members), -1)
+	out := make([]int32, k)
+	for i, v := range idx {
+		out[i] = members[v]
+	}
+	return out
+}
+
+// Joins returns how many slots ever began joining.
+func (t *Tracker) Joins() int64 { return t.joins }
+
+// Admits returns how many joins completed admission.
+func (t *Tracker) Admits() int64 { return t.admits }
+
+// Drains returns how many slots ever began draining.
+func (t *Tracker) Drains() int64 { return t.drains }
+
+// Departs returns how many drains completed departure.
+func (t *Tracker) Departs() int64 { return t.departs }

@@ -1,0 +1,262 @@
+package membership
+
+import "testing"
+
+func mustNew(t *testing.T, n, spare int, seed uint64) *Tracker {
+	t.Helper()
+	tr, err := New(n, spare, seed)
+	if err != nil {
+		t.Fatalf("New(%d, %d): %v", n, spare, err)
+	}
+	return tr
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(1, 0, 1); err == nil {
+		t.Fatal("New(1, 0) should fail: below the active floor")
+	}
+	if _, err := New(8, 7, 1); err == nil {
+		t.Fatal("New(8, 7) should fail: spare leaves fewer than two active")
+	}
+	if _, err := New(8, -1, 1); err == nil {
+		t.Fatal("negative spare should fail")
+	}
+}
+
+func TestInitialPopulation(t *testing.T) {
+	tr := mustNew(t, 16, 4, 7)
+	if got := tr.ActiveCount(); got != 12 {
+		t.Fatalf("active = %d, want 12", got)
+	}
+	if got := tr.PoolSize(); got != 4 {
+		t.Fatalf("pool = %d, want 4", got)
+	}
+	for p := int32(0); p < 12; p++ {
+		if tr.State(p) != Active {
+			t.Fatalf("slot %d = %v, want active", p, tr.State(p))
+		}
+	}
+	for p := int32(12); p < 16; p++ {
+		if !tr.Gone(p) {
+			t.Fatalf("slot %d should start absent", p)
+		}
+	}
+	if got := len(tr.Members()); got != 12 {
+		t.Fatalf("initial view has %d members, want 12", got)
+	}
+	if tr.State(99) != Absent || tr.State(-1) != Absent {
+		t.Fatal("out-of-range slots must read absent")
+	}
+}
+
+func TestJoinLifecycle(t *testing.T) {
+	tr := mustNew(t, 16, 4, 7)
+	picked := tr.StartJoins(2)
+	if len(picked) != 2 || picked[0] != 12 || picked[1] != 13 {
+		t.Fatalf("StartJoins(2) = %v, want [12 13] (FIFO pool order)", picked)
+	}
+	for _, p := range picked {
+		if tr.State(p) != Joining {
+			t.Fatalf("slot %d = %v after StartJoins, want joining", p, tr.State(p))
+		}
+		if tr.EligiblePartner(p) {
+			t.Fatalf("joining slot %d must not be an eligible partner", p)
+		}
+		if !tr.GenOff(p) {
+			t.Fatalf("joining slot %d must have generation gated off", p)
+		}
+	}
+	if tr.Epoch() != 0 {
+		t.Fatalf("StartJoins must not bump the epoch, got %d", tr.Epoch())
+	}
+	e := tr.Admit(12)
+	if e != 1 || tr.Epoch() != 1 {
+		t.Fatalf("Admit epoch = %d (tracker %d), want 1", e, tr.Epoch())
+	}
+	if tr.State(12) != Active || tr.ActiveCount() != 13 {
+		t.Fatalf("after admit: state=%v active=%d", tr.State(12), tr.ActiveCount())
+	}
+	if got := len(tr.Members()); got != 13 {
+		t.Fatalf("view after admit has %d members, want 13", got)
+	}
+}
+
+func TestDrainLifecycle(t *testing.T) {
+	tr := mustNew(t, 8, 0, 7)
+	picked := tr.StartDrains(2, nil)
+	if len(picked) != 2 {
+		t.Fatalf("StartDrains(2) picked %d", len(picked))
+	}
+	if tr.Epoch() != 1 {
+		t.Fatalf("drain batch should bump the epoch once, got %d", tr.Epoch())
+	}
+	for _, p := range picked {
+		if tr.State(p) != Draining || !tr.GenOff(p) || tr.EligiblePartner(p) {
+			t.Fatalf("slot %d not in the draining regime", p)
+		}
+		if tr.Gone(p) {
+			t.Fatalf("draining slot %d is still present", p)
+		}
+	}
+	if got := len(tr.Members()); got != 6 {
+		t.Fatalf("view after drains has %d members, want 6", got)
+	}
+	e := tr.Depart(picked[0])
+	if e != 2 || tr.State(picked[0]) != Absent {
+		t.Fatalf("depart: epoch=%d state=%v", e, tr.State(picked[0]))
+	}
+	if tr.PoolSize() != 1 || tr.Departs() != 1 {
+		t.Fatalf("departed slot should sit in the pool: pool=%d departs=%d",
+			tr.PoolSize(), tr.Departs())
+	}
+	// The departed slot can rejoin.
+	again := tr.StartJoins(1)
+	if len(again) != 1 || again[0] != picked[0] {
+		t.Fatalf("recycled join = %v, want [%d]", again, picked[0])
+	}
+}
+
+func TestDrainFloorAndUnfit(t *testing.T) {
+	tr := mustNew(t, 4, 0, 7)
+	picked := tr.StartDrains(10, nil)
+	if len(picked) != 2 {
+		t.Fatalf("drain floor: picked %d, want 2 (keep %d active)", len(picked), minActive)
+	}
+	if tr.ActiveCount() != minActive {
+		t.Fatalf("active = %d, want the floor %d", tr.ActiveCount(), minActive)
+	}
+	if more := tr.StartDrains(1, nil); more != nil {
+		t.Fatalf("at the floor StartDrains must pick nothing, got %v", more)
+	}
+
+	tr2 := mustNew(t, 8, 0, 7)
+	unfit := func(p int32) bool { return p < 6 } // only 6 and 7 are fit
+	picked = tr2.StartDrains(4, unfit)
+	if len(picked) != 2 {
+		t.Fatalf("unfit filter: picked %d, want 2", len(picked))
+	}
+	for _, p := range picked {
+		if p < 6 {
+			t.Fatalf("picked unfit slot %d", p)
+		}
+	}
+}
+
+func TestViewsAndObservation(t *testing.T) {
+	tr := mustNew(t, 8, 2, 7)
+	if got := len(tr.ViewOf(0)); got != 6 {
+		t.Fatalf("epoch-0 view has %d members, want 6", got)
+	}
+	drained := tr.StartDrains(1, nil)[0]
+	// Nobody has observed epoch 1 yet: views stay at epoch 0.
+	for p := int32(0); p < 6; p++ {
+		if p == drained {
+			continue
+		}
+		if got := len(tr.ViewOf(p)); got != 6 {
+			t.Fatalf("unobserved view of %d has %d members, want 6", p, got)
+		}
+	}
+	if !tr.Observe(0, 1) {
+		t.Fatal("Observe(0, 1) should advance")
+	}
+	if tr.Observe(0, 1) {
+		t.Fatal("repeated Observe must not re-advance")
+	}
+	if got := len(tr.ViewOf(0)); got != 5 {
+		t.Fatalf("observed view of 0 has %d members, want 5", got)
+	}
+	for _, m := range tr.ViewOf(0) {
+		if m == drained {
+			t.Fatalf("draining slot %d still in the observed view", drained)
+		}
+	}
+	// Future epochs clamp to the current one.
+	tr.Observe(1, 99)
+	if tr.Known(1) != tr.Epoch() {
+		t.Fatalf("future epoch should clamp to %d, got %d", tr.Epoch(), tr.Known(1))
+	}
+}
+
+func TestViewRingEviction(t *testing.T) {
+	tr := mustNew(t, 128, 64, 7)
+	// Churn far past the ring size.
+	for i := 0; i < viewRing+8; i++ {
+		p := tr.StartJoins(1)[0]
+		tr.Admit(p)
+		d := tr.StartDrains(1, nil)
+		tr.Depart(d[0])
+	}
+	// A processor that never observed anything still gets a view (the
+	// oldest retained), and an up-to-date one gets the newest.
+	if got := tr.ViewOf(2); len(got) == 0 {
+		t.Fatal("laggard view must not be empty")
+	}
+	tr.Observe(3, tr.Epoch())
+	cur := tr.ViewOf(3)
+	if len(cur) != len(tr.Members()) {
+		t.Fatalf("current view of 3 has %d members, want %d", len(cur), len(tr.Members()))
+	}
+}
+
+func TestSeedPeers(t *testing.T) {
+	tr := mustNew(t, 16, 4, 7)
+	seeds := tr.SeedPeers(12, 3)
+	if len(seeds) != 3 {
+		t.Fatalf("SeedPeers = %v, want 3 peers", seeds)
+	}
+	seen := map[int32]bool{}
+	for _, s := range seeds {
+		if tr.State(s) != Active {
+			t.Fatalf("seed %d is %v, want an active member", s, tr.State(s))
+		}
+		if seen[s] {
+			t.Fatalf("duplicate seed %d in %v", s, seeds)
+		}
+		seen[s] = true
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() []int32 {
+		tr := mustNew(t, 32, 8, 42)
+		var trace []int32
+		for i := 0; i < 6; i++ {
+			for _, p := range tr.StartJoins(1) {
+				trace = append(trace, p)
+				tr.Admit(p)
+			}
+			for _, p := range tr.StartDrains(2, nil) {
+				trace = append(trace, p)
+				tr.Depart(p)
+			}
+			trace = append(trace, tr.SeedPeers(0, 2)...)
+		}
+		return trace
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("trace diverges at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestPanicsOnProtocolBugs(t *testing.T) {
+	tr := mustNew(t, 8, 2, 7)
+	assertPanics(t, "admit of an active slot", func() { tr.Admit(0) })
+	assertPanics(t, "depart of an active slot", func() { tr.Depart(0) })
+}
+
+func assertPanics(t *testing.T, name string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s should panic", name)
+		}
+	}()
+	fn()
+}

@@ -53,6 +53,19 @@ const (
 	// KindTransferAck confirms a task transfer was applied; A is the
 	// task count moved, B echoes the transfer sequence number.
 	KindTransferAck
+	// KindJoin carries membership bootstrap traffic. B == 0 is a join
+	// request from a booting processor to a seed peer (A == 1 marks
+	// the sponsor copy — the one seed responsible for admission);
+	// B > 0 is the sponsor's admission broadcast, carrying the admitted
+	// joiner in A and the new view epoch in B.
+	KindJoin
+	// KindDrain announces that From has entered Draining (it stops
+	// generating and accepting load, and hands its queue off); A is
+	// the view epoch of the change.
+	KindDrain
+	// KindLeave announces that From has departed — its custody reached
+	// zero and it left the system; A is the view epoch of the change.
+	KindLeave
 )
 
 // Message is one point-to-point datagram.
@@ -90,6 +103,12 @@ type Network struct {
 	dup       int64
 	late      int64
 	crashLost int64
+
+	// Membership (nil when the population is static): recipients the
+	// oracle reports gone have their inboxes discarded at delivery,
+	// like crashed ones — a departed processor is not listening.
+	gone     func(p int32, step int64) bool
+	goneLost int64
 }
 
 // New creates a network among n processors.
@@ -196,6 +215,17 @@ func (nw *Network) Delayed() int64 { return nw.late }
 // (a message can out-survive its sender's knowledge of the crash).
 func (nw *Network) CrashLost() int64 { return nw.crashLost }
 
+// SetGone installs a membership oracle: deliveries to processors the
+// oracle reports gone (outside the system — departed or not yet
+// joined) are discarded, exactly like deliveries to crashed ones. nil
+// restores the static-population default.
+func (nw *Network) SetGone(fn func(p int32, step int64) bool) { nw.gone = fn }
+
+// GoneLost returns how many already-sent messages were discarded at
+// delivery time because their recipient had left (or never joined) the
+// system when they arrived — the cost of acting on a stale view.
+func (nw *Network) GoneLost() int64 { return nw.goneLost }
+
 // Step returns the number of Deliver calls so far — the network's
 // clock, which fault schedules are keyed on (it advances in lockstep
 // with the machine step of the protocol driving the network).
@@ -224,6 +254,11 @@ func (nw *Network) Deliver() {
 		inbox := nw.next[p]
 		if nw.inj != nil && len(inbox) > 0 && nw.inj.Crashed(int32(p), nw.step) {
 			nw.crashLost += int64(len(inbox))
+			nw.next[p] = nw.next[p][:0]
+			continue
+		}
+		if nw.gone != nil && len(inbox) > 0 && nw.gone(int32(p), nw.step) {
+			nw.goneLost += int64(len(inbox))
 			nw.next[p] = nw.next[p][:0]
 			continue
 		}

@@ -1,0 +1,99 @@
+package proto
+
+import (
+	"testing"
+
+	"plb/internal/detect"
+	"plb/internal/faults"
+	"plb/internal/gen"
+	"plb/internal/netsim"
+	"plb/internal/sim"
+)
+
+// dedupFixture builds a faulted balancer (the acked-transfer machinery
+// only exists under an active plan) whose per-receiver dedup ring holds
+// `ring` entries. The plan's one crash is scheduled far past anything
+// the test runs, so the network itself stays perfect.
+func dedupFixture(t *testing.T, ring int) (*Balancer, *sim.Machine) {
+	t.Helper()
+	const n = 8
+	cfg := DefaultConfig(n)
+	cfg.Seed = 3
+	plan := faults.Plan{CrashK: 1, CrashAt: 1 << 40, CrashRecover: -1}
+	cfg.Faults = &plan
+	cfg.Detect = detect.Config{XferDedup: ring}
+	b, err := New(n, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := sim.New(sim.Config{N: n, Model: gen.Single{P: 0.4, Eps: 0.1}, Balancer: b, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Inject(0, 100) // the sender's queue, debited by each applied block
+	return b, m
+}
+
+// TestXferDedupRingWraparound pins the documented sizing bound of the
+// duplicate filter (detect.Config.XferDedup): a retransmit whose
+// sequence number is still in the ring is re-acked without re-applying,
+// and one whose entry has been evicted by wraparound re-applies — the
+// undersized-ring failure mode the doc comment promises will surface as
+// a conservation error, not silent task loss.
+func TestXferDedupRingWraparound(t *testing.T) {
+	b, m := dedupFixture(t, 2)
+	if got := len(b.procs[1].seen); got != 2 {
+		t.Fatalf("dedup ring size = %d, want the configured 2", got)
+	}
+	recv := int32(1)
+	apply := func(seq int32) {
+		b.applyTransfer(m, recv, netsim.Message{From: 0, To: recv, Kind: netsim.KindTransfer, A: 5, B: seq})
+	}
+	load := func() int32 { return m.Snapshot()[recv] }
+
+	apply(1)
+	apply(2)
+	if got := load(); got != 10 {
+		t.Fatalf("after two distinct blocks: load = %d, want 10", got)
+	}
+
+	// A retransmit of an in-ring sequence is recognized: re-acked (the
+	// sender's ack may have been lost), never re-applied.
+	dups, applied := b.xferDup, b.xferApplied
+	apply(2)
+	if got := load(); got != 10 {
+		t.Fatalf("in-ring duplicate re-applied: load = %d, want 10", got)
+	}
+	if b.xferDup != dups+1 || b.xferApplied != applied {
+		t.Fatalf("duplicate accounting: dup %d->%d, applied %d->%d",
+			dups, b.xferDup, applied, b.xferApplied)
+	}
+
+	// Sequence 3 wraps the two-entry ring and evicts sequence 1...
+	apply(3)
+	if got := load(); got != 15 {
+		t.Fatalf("fresh block after wraparound: load = %d, want 15", got)
+	}
+	// ...so a very late retransmit of sequence 1 is no longer
+	// remembered and double-counts. This is the documented failure mode
+	// of an undersized ring: tasks are duplicated (loudly, via the
+	// conservation invariant), never lost.
+	apply(1)
+	if got := load(); got != 20 {
+		t.Fatalf("evicted sequence should re-apply (the documented bound is real): load = %d, want 15+5", got)
+	}
+
+	// An adequately sized ring (the default 8) remembers all three
+	// sequences, so the same late retransmit stays filtered.
+	b2, m2 := dedupFixture(t, 0) // 0 derives the default
+	if got := len(b2.procs[1].seen); got != 8 {
+		t.Fatalf("derived dedup ring size = %d, want 8", got)
+	}
+	for _, seq := range []int32{1, 2, 3} {
+		b2.applyTransfer(m2, recv, netsim.Message{From: 0, To: recv, Kind: netsim.KindTransfer, A: 5, B: seq})
+	}
+	b2.applyTransfer(m2, recv, netsim.Message{From: 0, To: recv, Kind: netsim.KindTransfer, A: 5, B: 1})
+	if got := m2.Snapshot()[recv]; got != 15 {
+		t.Fatalf("default ring lost a sequence it must hold: load = %d, want 15", got)
+	}
+}

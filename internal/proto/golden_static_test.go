@@ -1,0 +1,136 @@
+package proto_test
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"testing"
+
+	"plb/internal/faults"
+	"plb/internal/gen"
+	"plb/internal/proto"
+	"plb/internal/sim"
+)
+
+// goldenStaticFaulted is the FNV-64a digest of the per-step load
+// trajectory of a faulted (flap + lossy) but membership-static proto
+// run, captured before the elastic-membership layer existed. The
+// membership machinery is gated behind an active churn/drain plan;
+// this digest proves the gate is airtight — a fault plan without churn
+// takes a byte-identical trajectory through the rewired protocol.
+const goldenStaticFaulted = "32475a5a01aa5d40"
+
+// staticFaultedDigest replays the capture run: n=256, default config,
+// balancer seed 77, flap + lossy plan, one hot processor, 12 phases.
+func staticFaultedDigest(t *testing.T) string {
+	t.Helper()
+	const n = 256
+	cfg := proto.DefaultConfig(n)
+	cfg.Seed = 77
+	plan, err := faults.ParsePlan("flap:k=8,period=120,duty=0.5,lossy:0.05")
+	if err != nil {
+		t.Fatalf("ParsePlan: %v", err)
+	}
+	cfg.Faults = &plan
+	bal, err := proto.New(n, cfg)
+	if err != nil {
+		t.Fatalf("proto.New: %v", err)
+	}
+	m, err := sim.New(sim.Config{
+		N:        n,
+		Model:    gen.Single{P: 0.4, Eps: 0.1},
+		Balancer: bal,
+		Seed:     77,
+	})
+	if err != nil {
+		t.Fatalf("sim.New: %v", err)
+	}
+	m.Inject(3, cfg.HeavyThreshold*3)
+
+	h := fnv.New64a()
+	var buf [4]byte
+	for s := 0; s < 12*cfg.PhaseLen; s++ {
+		m.Step()
+		for _, l := range m.Snapshot() {
+			binary.LittleEndian.PutUint32(buf[:], uint32(l))
+			h.Write(buf[:])
+		}
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// TestStaticPopulationGolden pins the no-churn faulted trajectory: the
+// membership rewiring must be invisible until a plan schedules churn.
+func TestStaticPopulationGolden(t *testing.T) {
+	if got := staticFaultedDigest(t); got != goldenStaticFaulted {
+		t.Fatalf("static-population faulted digest = %s, want %s\n"+
+			"The no-churn proto path changed behaviour. If intentional, recapture the digest.",
+			got, goldenStaticFaulted)
+	}
+}
+
+// TestChurnSmoke drives joins, drains, and crashes together and checks
+// the load-bearing invariants every step: exact task conservation
+// (generated == completed + queued, custody counted across in-flight
+// hand-off blocks) and the active-population floor.
+func TestChurnSmoke(t *testing.T) {
+	const n = 128
+	cfg := proto.DefaultConfig(n)
+	cfg.Seed = 9
+	plan, err := faults.ParsePlan("churn:join=2,leave=2,period=90,spare=16,lossy:0.02")
+	if err != nil {
+		t.Fatalf("ParsePlan: %v", err)
+	}
+	cfg.Faults = &plan
+	bal, err := proto.New(n, cfg)
+	if err != nil {
+		t.Fatalf("proto.New: %v", err)
+	}
+	m, err := sim.New(sim.Config{
+		N:        n,
+		Model:    gen.Single{P: 0.45, Eps: 0.1},
+		Balancer: bal,
+		Seed:     9,
+	})
+	if err != nil {
+		t.Fatalf("sim.New: %v", err)
+	}
+	m.Inject(5, cfg.HeavyThreshold*2)
+
+	for s := 0; s < 14*cfg.PhaseLen; s++ {
+		m.Step()
+		rec := m.Recorder()
+		if got, want := rec.Completed+m.TotalLoad(), m.Generated(); got != want {
+			t.Fatalf("step %d: conservation broken: completed+queued = %d, generated = %d",
+				s, got, want)
+		}
+	}
+
+	met := collectExtra(t, bal, m)
+	if met["mem_joins"] == 0 || met["mem_drains"] == 0 {
+		t.Fatalf("churn plan fired no membership events: %v", met)
+	}
+	if met["mem_admits"] == 0 {
+		t.Fatalf("no join was ever admitted: %v", met)
+	}
+	if met["mem_departs"] == 0 {
+		t.Fatalf("no drain ever completed departure: %v", met)
+	}
+	if met["mem_handoff"] == 0 {
+		t.Fatalf("drains departed without handing any custody off: %v", met)
+	}
+	if met["mem_active"] < 2 {
+		t.Fatalf("active population sank below the floor: %d", met["mem_active"])
+	}
+}
+
+// collectExtra pulls the balancer's extension counters through the
+// engine metrics hook.
+func collectExtra(t *testing.T, bal *proto.Balancer, m *sim.Machine) map[string]int64 {
+	t.Helper()
+	met := m.Collect()
+	if met.Extra == nil {
+		t.Fatal("no extension counters collected")
+	}
+	return met.Extra
+}

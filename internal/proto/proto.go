@@ -54,6 +54,7 @@ import (
 	"plb/internal/detect"
 	"plb/internal/engine"
 	"plb/internal/faults"
+	"plb/internal/membership"
 	"plb/internal/netsim"
 	"plb/internal/sim"
 	"plb/internal/xrand"
@@ -240,15 +241,24 @@ type procState struct {
 	// recipient applies the transfer, so a timeout "re-queue" is simply
 	// giving up on the send. As receiver: a ring of recently applied
 	// transfer sequence numbers, so a retry whose ack was lost is
-	// re-acked instead of applied twice.
+	// re-acked instead of applied twice. The ring is sized by
+	// detect.Config.XferDedup (default 8; see that field for the
+	// sizing bound) and allocated only under a fault plan.
 	xferOpen   bool
 	xferSeq    int32
 	xferTo     int32
 	xferAmt    int32
 	xferSentAt int64
 	xferTries  int8
-	seen       [8]int32
-	seenIdx    int8
+	seen       []int32
+	seenIdx    int16
+
+	// Elastic membership (churn runs only): whether this slot's
+	// draining has been announced to the fleet, and whether the open
+	// transfer is a drain hand-off block (counted into mem_handoff
+	// when its ack lands).
+	drainAnnounced bool
+	xferDrain      bool
 }
 
 // Balancer is the distributed implementation; it satisfies
@@ -290,6 +300,24 @@ type Balancer struct {
 	xferSeq      int32
 	xferTimeout  int64
 	xferAttempts int
+	xferDedup    int
+
+	// Elastic membership (nil unless the fault plan schedules churn or
+	// a drain batch). mem is the authoritative view layer every
+	// population-dependent decision draws from; memRng drives the
+	// protocol-side random choices (heartbeat targets within a view,
+	// rebalance partners) on its own stream so churn runs stay
+	// deterministic without disturbing the static-population streams.
+	mem            *membership.Tracker
+	memRng         *xrand.Stream
+	memScratch     []int32
+	admitAfter     int64     // volley evidence a sponsor waits for before admitting
+	joinSponsor    []int32   // per-joiner sponsor id; -1 = no request heard yet
+	joinFirstHeard []int64   // step the sponsor first heard the joiner
+	joinSeeds      [][]int32 // per-joiner bootstrap peers (first = sponsor)
+	rebalPending   []bool    // view advanced; owe a rebalance check
+	memRebalances  int64
+	memHandoff     int64
 
 	// Ground-truth comparison (the one place the injector's view is
 	// read, via the machine's crash oracle): per-processor crash-window
@@ -333,8 +361,13 @@ func New(n int, cfg Config) (*Balancer, error) {
 			if b.maxRetries == 0 {
 				b.maxRetries = cfg.Rounds + 2
 			}
-			if err := cfg.detectConfig().Validate(); err != nil {
+			dc := cfg.detectConfig()
+			if err := dc.Validate(); err != nil {
 				return nil, err
+			}
+			b.xferDedup = dc.XferDedup
+			if b.xferDedup == 0 {
+				b.xferDedup = 8
 			}
 			b.xferTimeout = int64(cfg.XferTimeout)
 			if b.xferTimeout == 0 {
@@ -405,6 +438,18 @@ func (b *Balancer) ExtendMetrics(m *engine.Metrics) {
 		m.AddExtra("xfer_requeued", b.xferRequeued)
 		m.AddExtra("xfer_dup_dropped", b.xferDup)
 	}
+	if b.mem != nil {
+		m.AddExtra("mem_epoch", b.mem.Epoch())
+		m.AddExtra("mem_joins", b.mem.Joins())
+		m.AddExtra("mem_admits", b.mem.Admits())
+		m.AddExtra("mem_drains", b.mem.Drains())
+		m.AddExtra("mem_departs", b.mem.Departs())
+		m.AddExtra("mem_active", int64(b.mem.ActiveCount()))
+		m.AddExtra("mem_pool", int64(b.mem.PoolSize()))
+		m.AddExtra("mem_rebalances", b.memRebalances)
+		m.AddExtra("mem_handoff", b.memHandoff)
+		m.AddExtra("mem_absent_lost", b.nw.GoneLost())
+	}
 }
 
 // Init implements sim.Balancer.
@@ -444,11 +489,40 @@ func (b *Balancer) Init(m *sim.Machine) {
 			b.crashedAt[p] = -1
 		}
 		b.winDetected = make([]bool, b.n)
+		if b.inj.Plan().MembershipActive() {
+			mem, err := membership.New(b.n, b.inj.ChurnSpare(), b.cfg.Seed^0x3e3b)
+			if err != nil {
+				panic(err) // ChurnSpare keeps the active floor; n was validated
+			}
+			b.mem = mem
+			b.memRng = xrand.New(b.cfg.Seed ^ 0x33a7)
+			b.memScratch = make([]int32, 0, b.n)
+			b.joinSponsor = make([]int32, b.n)
+			for p := range b.joinSponsor {
+				b.joinSponsor[p] = -1
+			}
+			b.joinFirstHeard = make([]int64, b.n)
+			b.joinSeeds = make([][]int32, b.n)
+			b.rebalPending = make([]bool, b.n)
+			b.admitAfter = 2*det.Config().HeartbeatEvery + 3
+			// Physics composes: a processor executes nothing when it is
+			// crashed by the plan OR outside the membership; a present
+			// joiner or drainer keeps consuming but generates nothing.
+			crash := b.inj.DownOracle(1)
+			m.SetDown(func(p int, now int64) bool {
+				return crash(p, now) || b.mem.Gone(int32(p))
+			})
+			m.SetGenOff(func(p int, now int64) bool { return b.mem.GenOff(int32(p)) })
+			b.nw.SetGone(func(p int32, step int64) bool { return b.mem.Gone(p) })
+		}
 	}
 	b.procs = make([]procState, b.n)
 	for p := range b.procs {
 		b.procs[p].choices = make([]int32, b.cfg.Collision.A)
 		b.procs[p].acceptedBy = make([]bool, b.cfg.Collision.A)
+		if b.inj != nil {
+			b.procs[p].seen = make([]int32, b.xferDedup)
+		}
 	}
 }
 
@@ -463,6 +537,9 @@ func (b *Balancer) Step(m *sim.Machine) {
 	if b.inj != nil {
 		b.observeTraffic(m)
 		b.faultSweep(m)
+		if b.mem != nil {
+			b.memSweep(m)
+		}
 	}
 
 	pre := 0
@@ -522,6 +599,16 @@ func (b *Balancer) observeTraffic(m *sim.Machine) {
 				b.applyTransfer(m, int32(p), msg)
 			case netsim.KindTransferAck:
 				b.ackTransfer(int32(p), msg)
+			case netsim.KindJoin:
+				if msg.B > 0 {
+					// Admission broadcast: the view advanced to epoch B.
+					b.observeEpoch(int32(p), int64(msg.B))
+				} else if msg.A == 1 {
+					// Join request on the sponsor copy: book the joiner.
+					b.noteJoinRequest(int32(p), msg.From, now)
+				}
+			case netsim.KindDrain, netsim.KindLeave:
+				b.observeEpoch(int32(p), int64(msg.A))
 			}
 		}
 	}
@@ -543,7 +630,7 @@ func (b *Balancer) applyTransfer(m *sim.Machine, p int32, msg netsim.Message) {
 	}
 	moved := m.Transfer(int(msg.From), int(p), int(msg.A))
 	st.seen[st.seenIdx] = msg.B
-	st.seenIdx = (st.seenIdx + 1) % int8(len(st.seen))
+	st.seenIdx = (st.seenIdx + 1) % int16(len(st.seen))
 	b.xferApplied++
 	b.ps.Transferred += int64(moved)
 	b.nw.Send(netsim.Message{From: p, To: msg.From, Kind: netsim.KindTransferAck, A: int32(moved), B: msg.B})
@@ -557,6 +644,31 @@ func (b *Balancer) ackTransfer(p int32, msg netsim.Message) {
 	if st.xferOpen && st.xferSeq == msg.B {
 		st.xferOpen = false
 		b.xferAcked++
+		if st.xferDrain {
+			st.xferDrain = false
+			b.memHandoff += int64(msg.A)
+		}
+	}
+}
+
+// observeEpoch records a membership announcement reaching processor p;
+// an advanced view owes a rebalance check on the next membership sweep.
+func (b *Balancer) observeEpoch(p int32, epoch int64) {
+	if b.mem != nil && b.mem.Observe(p, epoch) {
+		b.rebalPending[p] = true
+	}
+}
+
+// noteJoinRequest is the sponsor side of a join bootstrap: the first
+// request heard from a joiner opens its admission window. Stale
+// requests (the slot is no longer joining) are dropped.
+func (b *Balancer) noteJoinRequest(sponsor, joiner int32, now int64) {
+	if b.mem == nil || b.mem.State(joiner) != membership.Joining {
+		return
+	}
+	if b.joinSponsor[joiner] < 0 {
+		b.joinSponsor[joiner] = sponsor
+		b.joinFirstHeard[joiner] = now
 	}
 }
 
@@ -571,7 +683,12 @@ func (b *Balancer) faultSweep(m *sim.Machine) {
 	now := b.nw.Step()
 	b.det.Tick(now)
 	for p := 0; p < b.n; p++ {
-		down := m.Down(p)
+		// Physical crash ground truth comes straight from the injector
+		// (identical to the machine oracle on a static population);
+		// membership absence is a separate, legitimate way to be silent
+		// and must not be scored as a crash window or a false suspicion.
+		down := b.inj.Crashed(int32(p), now)
+		gone := b.mem != nil && b.mem.Gone(int32(p))
 		if b.prevDown[p] && !down {
 			if b.inj.Redistribute() {
 				m.ScatterFrom(p, b.scatterRng)
@@ -592,7 +709,7 @@ func (b *Balancer) faultSweep(m *sim.Machine) {
 				b.winDetected[p] = true
 				b.detDetections++
 				b.detLatencySum += now - b.crashedAt[p]
-			} else if b.crashedAt[p] < 0 {
+			} else if b.crashedAt[p] < 0 && !gone {
 				b.falseSuspicions++
 			}
 		}
@@ -603,18 +720,29 @@ func (b *Balancer) faultSweep(m *sim.Machine) {
 			st.assigned = false
 			b.ps.Released++
 		}
-		if down {
-			continue // frozen: no heartbeats, no retries
+		if down || gone {
+			continue // frozen or departed: no heartbeats, no retries
 		}
 		if b.det.Due(int32(p), now) {
-			b.nw.Send(netsim.Message{From: int32(p), To: b.det.Target(int32(p)), Kind: netsim.KindHeartbeat})
-			b.hbSent++
+			tgt := int32(-1)
+			if b.mem == nil {
+				tgt = b.det.Target(int32(p))
+			} else if b.mem.State(int32(p)) != membership.Joining {
+				// Members and drainers gossip within their view; a
+				// joiner's liveness evidence is its join volleys.
+				tgt = b.pickViewPeer(int32(p))
+			}
+			if tgt >= 0 {
+				b.nw.Send(netsim.Message{From: int32(p), To: tgt, Kind: netsim.KindHeartbeat})
+				b.hbSent++
+			}
 		}
 		if st.xferOpen && now-st.xferSentAt >= b.xferTimeout<<(st.xferTries-1) {
 			if int(st.xferTries) >= b.xferAttempts {
 				// Give up: the tasks never left our queue, so "re-queue"
 				// is simply closing the record.
 				st.xferOpen = false
+				st.xferDrain = false
 				b.xferRequeued++
 			} else {
 				st.xferTries++
@@ -630,46 +758,224 @@ func (b *Balancer) faultSweep(m *sim.Machine) {
 // down reports whether p itself is frozen right now — the physics
 // question ("can this processor execute this step"), answered by the
 // machine's crash oracle, not a judgment about a remote peer. Remote
-// liveness judgments go through the failure detector.
+// liveness judgments go through the failure detector. (On churn runs
+// the machine oracle composes crash and membership absence, so a
+// departed slot reads as down here too.)
 func (b *Balancer) down(p int32) bool {
 	return b.inj != nil && b.mach.Down(int(p))
 }
 
-// pickPartner returns the first candidate the failure detector does not
-// suspect (the first candidate outright when faults are off), or -1.
-func (b *Balancer) pickPartner(st *procState) int32 {
-	for _, c := range st.candidates {
-		if b.det == nil || !b.det.Suspected(c) {
+// joinSeedCount is how many bootstrap peers a joiner contacts per
+// volley; the first is the sponsor, the rest are liveness-evidence
+// redundancy in case a seed crashes or departs.
+const joinSeedCount = 3
+
+// memSweep runs once per step on churn runs, after the fault sweep: it
+// fires the plan's scheduled joins and drains, retries join bootstraps
+// and decides admissions, pumps drain custody hand-off, and runs the
+// post-view-change rebalance pass.
+func (b *Balancer) memSweep(m *sim.Machine) {
+	now := b.nw.Step()
+	joins, leaves := b.inj.ChurnDue(now)
+	leaves += b.inj.DrainDue(now)
+	if joins > 0 {
+		for _, j := range b.mem.StartJoins(joins) {
+			st := &b.procs[j]
+			st.xferOpen, st.xferDrain, st.drainAnnounced = false, false, false
+			b.rebalPending[j] = false
+			b.joinSponsor[j] = -1
+			b.joinSeeds[j] = b.mem.SeedPeers(j, joinSeedCount)
+			if !b.inj.Crashed(j, now) {
+				b.sendJoinVolley(j)
+			}
+		}
+	}
+	if leaves > 0 {
+		unfit := func(p int32) bool { return b.det.Suspected(p) }
+		for _, d := range b.mem.StartDrains(leaves, unfit) {
+			b.procs[d].drainAnnounced = false
+		}
+	}
+	for p := int32(0); int(p) < b.n; p++ {
+		switch b.mem.State(p) {
+		case membership.Joining:
+			if b.inj.Crashed(p, now) {
+				continue // a crashed joiner resumes volleys on recovery
+			}
+			// A departed sponsor or seed can no longer admit: re-seed and
+			// wait for a fresh request to land.
+			if sp := b.joinSponsor[p]; sp >= 0 && b.mem.Gone(sp) {
+				b.joinSponsor[p] = -1
+			}
+			if len(b.joinSeeds[p]) == 0 || b.mem.Gone(b.joinSeeds[p][0]) {
+				b.joinSeeds[p] = b.mem.SeedPeers(p, joinSeedCount)
+			}
+			if b.det.Due(p, now) {
+				b.sendJoinVolley(p)
+			}
+			sp := b.joinSponsor[p]
+			if sp >= 0 && !b.inj.Crashed(sp, now) &&
+				now-b.joinFirstHeard[p] >= b.admitAfter && !b.det.Suspected(p) {
+				// The sponsor has heard the joiner's volleys long enough
+				// to hold it Alive: admit and announce the new view.
+				epoch := b.mem.Admit(p)
+				b.joinSponsor[p] = -1
+				b.observeEpoch(sp, epoch)
+				b.broadcast(sp, netsim.Message{Kind: netsim.KindJoin, A: p, B: int32(epoch)})
+			}
+		case membership.Draining:
+			if b.inj.Crashed(p, now) {
+				continue // frozen mid-drain: custody waits for recovery
+			}
+			st := &b.procs[p]
+			if !st.drainAnnounced {
+				epoch := b.mem.Epoch()
+				b.observeEpoch(p, epoch)
+				b.broadcast(p, netsim.Message{Kind: netsim.KindDrain, A: int32(epoch)})
+				st.drainAnnounced = true
+			}
+			if st.xferOpen {
+				continue // one hand-off block at a time (the acked path)
+			}
+			if load := m.Load(int(p)); load > 0 {
+				if tgt := b.pickViewPeer(p); tgt >= 0 {
+					amt := b.cfg.TransferAmount
+					if amt > load {
+						amt = load
+					}
+					b.shipBlockN(m, p, tgt, amt)
+					st.xferDrain = true
+				}
+			} else {
+				// Custody reached zero: depart with a goodbye broadcast.
+				epoch := b.mem.Depart(p)
+				st.drainAnnounced = false
+				b.broadcast(p, netsim.Message{Kind: netsim.KindLeave, A: int32(epoch)})
+			}
+		case membership.Active:
+			if !b.rebalPending[p] {
+				continue
+			}
+			b.rebalPending[p] = false
+			if b.inj.Crashed(p, now) {
+				continue
+			}
+			st := &b.procs[p]
+			if st.xferOpen || m.Load(int(p)) < b.cfg.HeavyThreshold {
+				continue
+			}
+			// Rebalance after a view change, randomized-local-search
+			// style: an overloaded processor pushes one block to a
+			// uniformly random view peer. (The cited local-search rule
+			// probes a peer's load first; the one-shot blind push from
+			// above-threshold nodes is its message-frugal variant — the
+			// regular collision phases do the fine balancing.)
+			if tgt := b.pickViewPeer(p); tgt >= 0 {
+				b.shipBlockN(m, p, tgt, b.cfg.TransferAmount)
+				b.memRebalances++
+			}
+		}
+	}
+}
+
+// sendJoinVolley (re)sends the joiner's bootstrap request to its seed
+// peers; A = 1 marks the sponsor copy.
+func (b *Balancer) sendJoinVolley(j int32) {
+	for i, s := range b.joinSeeds[j] {
+		a := int32(0)
+		if i == 0 {
+			a = 1
+		}
+		b.nw.Send(netsim.Message{From: j, To: s, Kind: netsim.KindJoin, A: a})
+	}
+}
+
+// broadcast sends one copy of msg from processor from to every present
+// peer — membership announcements. O(present) messages per view
+// change, amortized over the churn period; this is the one deliberate
+// violation of the per-step constant-degree budget, and it is visible
+// in PeakSendDegree on churn runs.
+func (b *Balancer) broadcast(from int32, msg netsim.Message) {
+	msg.From = from
+	for p := int32(0); int(p) < b.n; p++ {
+		if p == from || !b.mem.Present(p) {
+			continue
+		}
+		msg.To = p
+		b.nw.Send(msg)
+	}
+}
+
+// pickViewPeer draws a random non-suspected peer from p's view (a few
+// seeded attempts, then a deterministic scan), or -1 when the view
+// offers nobody usable.
+func (b *Balancer) pickViewPeer(p int32) int32 {
+	view := b.mem.ViewOf(p)
+	if len(view) == 0 {
+		return -1
+	}
+	for try := 0; try < 4; try++ {
+		c := view[b.memRng.Intn(len(view))]
+		if c != p && !b.det.Suspected(c) {
+			return c
+		}
+	}
+	for _, c := range view {
+		if c != p && !b.det.Suspected(c) {
 			return c
 		}
 	}
 	return -1
 }
 
-// shipBlock moves (or starts moving) one block from heavy root h to
-// partner. Fault-free the move is instant and the KindTransfer message
-// is decorative, byte-identical to the pre-detector implementation;
-// its return is the task count moved. Under a fault plan the message
-// IS the transfer: tasks stay queued at h until the recipient applies
-// the block (so nothing is ever in flight and a crashed recipient
-// never silently eats it), the sender tracks one sequence-numbered
-// outstanding record, and faultSweep retries it with exponential
-// backoff; the return is 0 — delivery accounts the movement.
+// pickPartner returns the first candidate the failure detector does
+// not suspect and the membership layer still lists as a full member
+// (the first candidate outright when faults are off), or -1.
+func (b *Balancer) pickPartner(st *procState) int32 {
+	for _, c := range st.candidates {
+		if b.det != nil && b.det.Suspected(c) {
+			continue
+		}
+		if b.mem != nil && !b.mem.EligiblePartner(c) {
+			continue
+		}
+		return c
+	}
+	return -1
+}
+
+// shipBlock moves (or starts moving) one standard-size block from
+// heavy root h to partner; see shipBlockN.
 func (b *Balancer) shipBlock(m *sim.Machine, h, partner int32) int {
+	return b.shipBlockN(m, h, partner, b.cfg.TransferAmount)
+}
+
+// shipBlockN moves (or starts moving) an amt-task block from from to
+// to. Fault-free the move is instant and the KindTransfer message is
+// decorative, byte-identical to the pre-detector implementation; its
+// return is the task count moved. Under a fault plan the message IS
+// the transfer: tasks stay queued at the sender until the recipient
+// applies the block (so nothing is ever in flight and a crashed
+// recipient never silently eats it), the sender tracks one
+// sequence-numbered outstanding record, and faultSweep retries it with
+// exponential backoff; the return is 0 — delivery accounts the
+// movement.
+func (b *Balancer) shipBlockN(m *sim.Machine, from, to int32, amt int) int {
 	if b.inj == nil {
-		moved := m.Transfer(int(h), int(partner), b.cfg.TransferAmount)
-		b.nw.Send(netsim.Message{From: h, To: partner, Kind: netsim.KindTransfer, A: int32(moved)})
+		moved := m.Transfer(int(from), int(to), amt)
+		b.nw.Send(netsim.Message{From: from, To: to, Kind: netsim.KindTransfer, A: int32(moved)})
 		return moved
 	}
 	b.xferSeq++
-	st := &b.procs[h]
+	st := &b.procs[from]
 	st.xferOpen = true
+	st.xferDrain = false
 	st.xferSeq = b.xferSeq
-	st.xferTo = partner
-	st.xferAmt = int32(b.cfg.TransferAmount)
+	st.xferTo = to
+	st.xferAmt = int32(amt)
 	st.xferSentAt = b.nw.Step()
 	st.xferTries = 1
-	b.nw.Send(netsim.Message{From: h, To: partner, Kind: netsim.KindTransfer, A: st.xferAmt, B: st.xferSeq})
+	b.nw.Send(netsim.Message{From: from, To: to, Kind: netsim.KindTransfer, A: st.xferAmt, B: st.xferSeq})
 	return 0
 }
 
@@ -794,6 +1100,13 @@ func (b *Balancer) beginPhase(m *sim.Machine) {
 			st.lightAt = false
 			continue
 		}
+		if b.mem != nil && !b.mem.EligiblePartner(int32(p)) {
+			// Joining and draining slots sit classification out: they
+			// are neither light (they must not take on load) nor heavy
+			// roots (a drainer's load leaves through the hand-off pump).
+			st.lightAt = false
+			continue
+		}
 		if st.lightAt {
 			b.ps.Light++
 		}
@@ -805,7 +1118,13 @@ func (b *Balancer) beginPhase(m *sim.Machine) {
 	if b.cfg.PreRound {
 		// Section 4.3: one probe each before any trees grow.
 		for _, h := range b.heavies {
-			tgt := int32(b.rng.Intn(b.n))
+			var tgt int32
+			if b.mem == nil {
+				tgt = int32(b.rng.Intn(b.n))
+			} else {
+				view := b.mem.ViewOf(h)
+				tgt = view[b.rng.Intn(len(view))]
+			}
 			b.nw.Send(netsim.Message{From: h, To: tgt, Kind: netsim.KindProbe})
 		}
 	} else {
@@ -831,11 +1150,36 @@ func (b *Balancer) startSearch(s, boss int32, now int64) {
 	st.volleys = 0
 	st.accFrom = st.accFrom[:0]
 	st.accApp = st.accApp[:0]
-	buf := make([]int, b.cfg.Collision.A)
-	b.rng.SampleDistinct(buf, b.cfg.Collision.A, b.n, int(s))
-	for i, v := range buf {
-		st.choices[i] = int32(v)
-		st.acceptedBy[i] = false
+	if b.mem == nil {
+		buf := make([]int, b.cfg.Collision.A)
+		b.rng.SampleDistinct(buf, b.cfg.Collision.A, b.n, int(s))
+		for i, v := range buf {
+			st.choices[i] = int32(v)
+			st.acceptedBy[i] = false
+		}
+	} else {
+		// Dynamic population: the a targets come from the searcher's
+		// current view, not the fixed [0, n) range.
+		cand := b.memScratch[:0]
+		for _, v := range b.mem.ViewOf(s) {
+			if v != s {
+				cand = append(cand, v)
+			}
+		}
+		if len(cand) < b.cfg.Collision.A {
+			// View too small for a full query set: sit the search out
+			// (consumption and the rebalance pass carry the load).
+			st.searching = false
+			b.memScratch = cand[:0]
+			return
+		}
+		for i := 0; i < b.cfg.Collision.A; i++ {
+			j := i + b.rng.Intn(len(cand)-i)
+			cand[i], cand[j] = cand[j], cand[i]
+			st.choices[i] = cand[i]
+			st.acceptedBy[i] = false
+		}
+		b.memScratch = cand[:0]
 	}
 	b.ps.Requests++
 	b.sendQueries(s, now)

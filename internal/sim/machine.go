@@ -129,6 +129,7 @@ type Machine struct {
 	stepAware gen.StepAware
 	placer    Placer
 	down      func(p int, now int64) bool
+	genOff    func(p int, now int64) bool
 }
 
 // New constructs a Machine. All processors start empty.
@@ -378,6 +379,18 @@ func (m *Machine) SetDown(fn func(p int, now int64) bool) { m.down = fn }
 // (always false without a SetDown oracle).
 func (m *Machine) Down(p int) bool { return m.down != nil && m.down(p, m.now) }
 
+// SetGenOff installs a generation gate: a processor for which fn
+// reports true generates no new tasks that step but keeps consuming
+// and keeps its queue live. This is the half-way state between up and
+// down that elastic membership needs — a draining processor must stop
+// taking on work while it hands its queue off, and a joining one has
+// no workload yet. nil restores the always-generating default.
+func (m *Machine) SetGenOff(fn func(p int, now int64) bool) { m.genOff = fn }
+
+// GenOff reports whether processor p's task generation is gated off at
+// the current step (always false without a SetGenOff gate).
+func (m *Machine) GenOff(p int) bool { return m.genOff != nil && m.genOff(p, m.now) }
+
 // ScatterFrom removes every task queued on processor p and re-places
 // each on an independently, uniformly random other processor — the
 // "redistribute on recovery" policy for a processor rejoining after a
@@ -489,12 +502,14 @@ func (m *Machine) stepLocal() {
 			}
 			r := m.streams[p]
 			q := &m.queues[p]
-			g := m.model.Generate(p, r, m.now)
-			m.gens[shard] += int64(g)
-			for i := 0; i < g; i++ {
-				t := m.newTask(p, r)
-				m.wloads[p] += int64(t.Weight)
-				q.PushBack(t)
+			if m.genOff == nil || !m.genOff(p, m.now) {
+				g := m.model.Generate(p, r, m.now)
+				m.gens[shard] += int64(g)
+				for i := 0; i < g; i++ {
+					t := m.newTask(p, r)
+					m.wloads[p] += int64(t.Weight)
+					q.PushBack(t)
+				}
 			}
 			m.consume(p, m.model.WantConsume(p, r, m.now), rec)
 		}
@@ -510,13 +525,15 @@ func (m *Machine) stepPlaced() {
 			continue // crashed: no generation, no consumption
 		}
 		r := m.streams[p]
-		g := m.model.Generate(p, r, m.now)
-		m.gens[0] += int64(g)
-		for i := 0; i < g; i++ {
-			dest := m.placer.Place(m, p, r)
-			t := m.newTask(p, r)
-			m.wloads[dest] += int64(t.Weight)
-			m.queues[dest].PushBack(t)
+		if m.genOff == nil || !m.genOff(p, m.now) {
+			g := m.model.Generate(p, r, m.now)
+			m.gens[0] += int64(g)
+			for i := 0; i < g; i++ {
+				dest := m.placer.Place(m, p, r)
+				t := m.newTask(p, r)
+				m.wloads[dest] += int64(t.Weight)
+				m.queues[dest].PushBack(t)
+			}
 		}
 		m.consume(p, m.model.WantConsume(p, r, m.now), rec)
 	}
