@@ -3,7 +3,7 @@
 GO ?= go
 BENCH_JSON ?= BENCH_plb.json
 
-.PHONY: all build test race bench bench-smoke bench-compare experiments experiments-quick faults lint clean
+.PHONY: all build test race bench bench-smoke bench-compare experiments experiments-quick faults shootout lint clean
 
 all: build test
 
@@ -55,6 +55,13 @@ experiments-quick:
 # join/drain custody handoff end to end.
 faults:
 	$(GO) run ./cmd/experiments -run E21,E23,E24,E25 -quick
+
+# Policy shootout: every registered policy under the workload grammar
+# (E26) at quick scale. Override the line-up with
+# `make shootout POLICIES=bfm98,rr,...`.
+POLICIES ?=
+shootout:
+	$(GO) run ./cmd/experiments -run E26 -quick $(if $(POLICIES),-policies $(POLICIES))
 
 # lint fails (not just lists) on unformatted files, then vets.
 lint:

@@ -15,9 +15,13 @@ import (
 	"testing"
 
 	"plb"
+	"plb/internal/cli"
 	"plb/internal/engine"
 	"plb/internal/experiments"
+	"plb/internal/gen"
 	"plb/internal/live"
+	"plb/internal/policy"
+	"plb/internal/sim"
 	"plb/internal/stats"
 )
 
@@ -64,6 +68,7 @@ func BenchmarkE20Estimation(b *testing.B)            { benchExperiment(b, "E20")
 func BenchmarkE21FaultInjection(b *testing.B)        { benchExperiment(b, "E21") }
 func BenchmarkE22SelfSpeedup(b *testing.B)           { benchExperiment(b, "E22") }
 func BenchmarkE23FaultLatency(b *testing.B)          { benchExperiment(b, "E23") }
+func BenchmarkE26PolicyShootout(b *testing.B)        { benchExperiment(b, "E26") }
 
 // BenchmarkLiveTaskFlow measures end-to-end task flow through the live
 // goroutine-per-processor backend and surfaces the sojourn statistics
@@ -159,6 +164,38 @@ func BenchmarkMachineStepWorkers(b *testing.B) {
 				b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "proc-steps/s")
 			})
 		}
+	}
+}
+
+// BenchmarkPolicyStep measures per-step cost of every registered
+// installable policy on the same n=1024 Poisson machine — one
+// sub-benchmark per registry entry, so BENCH_plb.json tracks the whole
+// policy layer and a new registration is benchmarked automatically.
+func BenchmarkPolicyStep(b *testing.B) {
+	const n = 1 << 10
+	for _, name := range cli.PolicyNames() {
+		b.Run(name, func(b *testing.B) {
+			model, err := gen.NewSingle(0.4, 0.1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cfg := sim.Config{N: n, Model: model, Seed: 1}
+			if err := cli.InstallPolicy(&cfg, name, policy.Params{N: n, Seed: 1}); err != nil {
+				b.Fatal(err)
+			}
+			m, err := sim.New(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			m.Inject(0, n/4) // give balancing policies real work
+			m.Steps(32)      // warm up past the first phases
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m.Step()
+			}
+			b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "proc-steps/s")
+		})
 	}
 }
 

@@ -31,6 +31,7 @@ func main() {
 		faultsF  = flag.String("faults", "", "custom fault plan for fault-aware experiments (E21, E24), e.g. lossy:0.05,flap:k=4,period=200")
 		detectF  = flag.String("detect", "", "custom failure-detector tuning for detector experiments (E24), e.g. suspect=20,hb=4")
 		churnF   = flag.String("churn", "", "custom membership schedule for elastic-fleet experiments (E25), e.g. churn:join=4,leave=4,period=400")
+		polF     = flag.String("policies", "", "custom comma-separated policy list for the shootout (E26), e.g. bfm98,supermarket,rr")
 	)
 	flag.Parse()
 
@@ -55,7 +56,7 @@ func main() {
 		}
 	}
 
-	cfg := experiments.RunConfig{Quick: *quick, Seed: *seed, Workers: *wrk, Faults: *faultsF, Detect: *detectF, Churn: *churnF}
+	cfg := experiments.RunConfig{Quick: *quick, Seed: *seed, Workers: *wrk, Faults: *faultsF, Detect: *detectF, Churn: *churnF, Policies: *polF}
 	type outcome struct {
 		res     *experiments.Result
 		err     error

@@ -3,17 +3,18 @@
 //
 // Usage:
 //
-//	lbsim [-n 4096] [-steps 5000] [-algo bfm98] [-model single] [-seed 1]
+//	lbsim [-n 4096] [-steps 5000] [-policy bfm98] [-model single] [-seed 1]
 //	lbsim -backend live -n 1024 -steps 500
-//	lbsim -json ...   # machine-readable summary (unified engine metrics)
+//	lbsim -list-policies        # the policy registry with capabilities
+//	lbsim -json ...             # machine-readable summary (unified engine metrics)
 //
 // Backends: sim (default, lockstep), live (goroutine per processor),
 // shmem (PRAM shared-memory simulation).
-// Algorithms (sim backend): bfm98 (the paper, default), bfm98-pre
-// (with the adversarial pre-round), bfm98-dist (message-passing),
-// unbalanced, greedy1, greedy2, rsu, lm, lauer, throwair.
+// Policies come from the internal/policy registry (-list-policies);
+// -algo is a deprecated alias for -policy.
 // Models (sim backend): single, geometric, multi, burst, tree,
-// hotspot, diurnal.
+// hotspot, diurnal — or a declarative workload grammar spec such as
+// -model "workload:arrivals=diurnal,rate=0.45,service=pareto(1.5)".
 //
 // Every backend is driven through engine.Drive, so the summary columns
 // mean the same thing regardless of substrate.
@@ -56,8 +57,9 @@ func main() {
 		n       = flag.Int("n", 4096, "number of processors")
 		steps   = flag.Int("steps", 5000, "simulation steps")
 		backend = flag.String("backend", "sim", "substrate: sim, live, shmem")
-		algo    = flag.String("algo", "bfm98", "algorithm (see cli.AlgoNames; sim backend only)")
-		model   = flag.String("model", "single", "workload: single, geometric, multi, burst, tree, hotspot, diurnal (sim backend only)")
+		policyF = flag.String("policy", "", "balancing policy from the registry (default bfm98; see -list-policies)")
+		algo    = flag.String("algo", "", "deprecated alias for -policy")
+		model   = flag.String("model", "single", "workload: single, geometric, multi, burst, tree, hotspot, diurnal, or a workload: grammar spec (sim backend only)")
 		seed    = flag.Uint64("seed", 1, "random seed")
 		scale   = flag.Int("scale", 1, "multiplier on T=(log log n)^2 for the bfm98 config")
 		wrk     = flag.Int("workers", 0, "worker shards (0 = GOMAXPROCS)")
@@ -68,10 +70,23 @@ func main() {
 		faultsF = flag.String("faults", "", "fault plan, e.g. lossy:0.05,crash:0.1@100-500,flap:k=4,period=200 (algo bfm98-dist or backend live; see docs/ALGORITHM.md)")
 		detectF = flag.String("detect", "", "failure-detector tuning for a faulted bfm98-dist run, e.g. suspect=20,hb=4 (see docs/ALGORITHM.md)")
 		churnF  = flag.String("churn", "", "membership schedule for bfm98-dist, e.g. churn:join=2,leave=2,period=400 or drain:0.25@1000 (see docs/ALGORITHM.md)")
+		listPol = flag.Bool("list-policies", false, "print the policy registry with capability columns and exit")
 	)
 	flag.Parse()
 
-	r, err := cli.BuildRunner(*backend, *algo, *model, *n, *scale, *seed, *wrk, *faultsF, *detectF, *churnF)
+	if *listPol {
+		fmt.Print(cli.ListPolicies())
+		return
+	}
+	policyName, deprecated, err := cli.ResolvePolicy(*policyF, *algo)
+	if err != nil {
+		fail(err)
+	}
+	if deprecated {
+		fmt.Fprintf(os.Stderr, "lbsim: -algo is deprecated, use -policy %s\n", policyName)
+	}
+
+	r, err := cli.BuildRunner(*backend, policyName, *model, *n, *scale, *seed, *wrk, *faultsF, *detectF, *churnF)
 	if err != nil {
 		fail(err)
 	}
@@ -126,7 +141,7 @@ func main() {
 // available.
 func printText(r engine.Runner, sum summary, steps int, hist bool) {
 	meta, em := sum.Meta, sum.Final
-	fmt.Printf("n=%d steps=%d backend=%s algo=%s model=%s seed=%d\n",
+	fmt.Printf("n=%d steps=%d backend=%s policy=%s model=%s seed=%d\n",
 		meta.N, steps, meta.Backend, meta.Algorithm, meta.Model, meta.Seed)
 	fmt.Printf("T=(log log n)^2 = %d\n", sum.PaperT)
 	fmt.Printf("max load        = %d (%.2f x T)\n", em.MaxLoad, float64(em.MaxLoad)/float64(sum.PaperT))

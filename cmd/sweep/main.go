@@ -16,11 +16,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
-	"plb/internal/baselines"
-	"plb/internal/core"
+	"plb/internal/cli"
 	"plb/internal/engine"
 	"plb/internal/gen"
+	"plb/internal/policy"
 	"plb/internal/sim"
 	"plb/internal/stats"
 )
@@ -30,49 +31,63 @@ type system struct {
 	build func(n int, seed uint64) (engine.Runner, error)
 }
 
-func systems(seed uint64) []system {
+// defaultPolicies is the historical figure line-up; the column labels
+// keep the names the committed CSVs were generated under.
+const defaultPolicies = "bfm98,unbalanced,greedy2,rsu,lm,throwair"
+
+var legacyLabels = map[string]string{"rsu": "rsu91", "lm": "lm93"}
+
+func systems(policies string, seed uint64) ([]system, error) {
 	model := gen.Single{P: 0.4, Eps: 0.1}
-	mkBal := func(b func(seed uint64) sim.Balancer) func(n int, seed uint64) (engine.Runner, error) {
-		return func(n int, seed uint64) (engine.Runner, error) {
-			return sim.New(sim.Config{N: n, Model: model, Balancer: b(seed), Seed: seed})
+	var out []system
+	for _, raw := range strings.Split(policies, ",") {
+		raw = strings.TrimSpace(raw)
+		if raw == "" {
+			continue
 		}
-	}
-	return []system{
-		{"bfm98", func(n int, seed uint64) (engine.Runner, error) {
-			b, err := core.New(n, core.Config{Seed: seed})
-			if err != nil {
+		name, ok := policy.Canonical(raw)
+		if !ok {
+			return nil, fmt.Errorf("unknown policy %q (have %v)", raw, cli.PolicyNames())
+		}
+		label := legacyLabels[name]
+		if label == "" {
+			label = name
+		}
+		install := name
+		out = append(out, system{label, func(n int, seed uint64) (engine.Runner, error) {
+			cfg := sim.Config{N: n, Model: model, Seed: seed}
+			if err := cli.InstallPolicy(&cfg, install, policy.Params{N: n, Seed: seed}); err != nil {
 				return nil, err
 			}
-			return sim.New(sim.Config{N: n, Model: model, Balancer: b, Seed: seed})
-		}},
-		{"unbalanced", mkBal(func(uint64) sim.Balancer { return baselines.Unbalanced{} })},
-		{"greedy2", func(n int, seed uint64) (engine.Runner, error) {
-			g, err := baselines.NewGreedyD(2)
-			if err != nil {
-				return nil, err
-			}
-			return sim.New(sim.Config{N: n, Model: model, Placer: g, Seed: seed})
-		}},
-		{"rsu91", mkBal(func(s uint64) sim.Balancer { return &baselines.RSU{Seed: s} })},
-		{"lm93", mkBal(func(s uint64) sim.Balancer { return &baselines.LM{K: 2, Seed: s} })},
-		{"throwair", mkBal(func(s uint64) sim.Balancer { return &baselines.ThrowAir{Interval: 4, Seed: s} })},
+			return sim.New(cfg)
+		}})
 	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty -policies list")
+	}
+	return out, nil
 }
 
 func main() {
 	var (
-		figure = flag.String("figure", "maxload", "which series: maxload, recovery, messages")
-		seed   = flag.Uint64("seed", 1, "random seed")
-		steps  = flag.Int("steps", 3000, "steps per run (maxload/messages)")
-		maxN   = flag.Int("maxn", 1<<15, "largest n in the sweep")
+		figure   = flag.String("figure", "maxload", "which series: maxload, recovery, messages")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		steps    = flag.Int("steps", 3000, "steps per run (maxload/messages)")
+		maxN     = flag.Int("maxn", 1<<15, "largest n in the sweep")
+		policies = flag.String("policies", defaultPolicies, "comma-separated registry policies, one curve each")
 	)
 	flag.Parse()
 
+	sys, err := systems(*policies, *seed)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
+		os.Exit(2)
+	}
 	switch *figure {
 	case "maxload", "messages":
-		sweepByN(*figure, *seed, *steps, *maxN)
+		sweepByN(sys, *figure, *seed, *steps, *maxN)
 	case "recovery":
-		recoverySeries(*seed)
+		recoverySeries(sys, *seed)
 	default:
 		fmt.Fprintf(os.Stderr, "sweep: unknown figure %q\n", *figure)
 		os.Exit(2)
@@ -85,8 +100,7 @@ func main() {
 // feeds the cell. The step batching (one warm chunk, then ten
 // gap-sized chunks) matches the historical manual loop, so the series
 // are bit-identical to pre-engine output.
-func sweepByN(metric string, seed uint64, steps, maxN int) {
-	sys := systems(seed)
+func sweepByN(sys []system, metric string, seed uint64, steps, maxN int) {
 	fmt.Print("n,T")
 	for _, s := range sys {
 		fmt.Printf(",%s", s.name)
@@ -128,12 +142,11 @@ func sweepByN(metric string, seed uint64, steps, maxN int) {
 // recoverySeries prints max load over time after a worst-case pile:
 // one engine.Drive per algorithm at the sampling cadence, with an
 // observer collecting that algorithm's column.
-func recoverySeries(seed uint64) {
+func recoverySeries(sys []system, seed uint64) {
 	const n = 1 << 10
 	const pile = 16 * n
 	const horizon = 20000
 	const every = 100
-	sys := systems(seed)
 	columns := make([][]int64, len(sys))
 	for i, s := range sys {
 		r, err := s.build(n, seed)

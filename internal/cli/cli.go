@@ -1,33 +1,70 @@
-// Package cli holds the workload/algorithm/backend construction shared
+// Package cli holds the workload/policy/backend construction shared
 // by the command-line tools, factored out of the mains so it is
-// testable.
+// testable. Policy names, aliases and every cross-flag rule come from
+// the internal/policy registry — nothing here is hard-coded per
+// policy.
 package cli
 
 import (
 	"fmt"
+	"sort"
+	"strings"
 
-	"plb/internal/baselines"
-	"plb/internal/core"
-	"plb/internal/detect"
+	// Policy implementations self-register at init time.
+	_ "plb/internal/baselines"
+	_ "plb/internal/core"
+	_ "plb/internal/proto"
+	_ "plb/internal/static"
+	_ "plb/internal/supermarket"
+
 	"plb/internal/engine"
 	"plb/internal/faults"
 	"plb/internal/gen"
 	"plb/internal/live"
-	"plb/internal/proto"
+	"plb/internal/policy"
 	"plb/internal/shmem"
 	"plb/internal/sim"
 	"plb/internal/stats"
 )
 
-// ModelNames lists the workloads BuildModel accepts.
+// ModelNames lists the named workloads BuildWorkload accepts (a
+// "workload:..." grammar spec is accepted anywhere a name is).
 func ModelNames() []string {
 	return []string{"single", "geometric", "multi", "burst", "tree", "hotspot", "diurnal"}
 }
 
-// AlgoNames lists the algorithms InstallAlgo accepts.
-func AlgoNames() []string {
-	return []string{"bfm98", "bfm98-pre", "bfm98-dist", "bfm98-phaseless",
-		"unbalanced", "greedy1", "greedy2", "rsu", "lm", "lauer", "lauer-est", "throwair"}
+// PolicyNames lists the canonical policy names installable on the sim
+// substrate (the registry entries with an Install hook).
+func PolicyNames() []string { return policy.InstallableNames() }
+
+// AlgoNames lists the algorithm names the deprecated -algo alias
+// accepts.
+//
+// Deprecated: use PolicyNames; -algo is an alias for -policy.
+func AlgoNames() []string { return PolicyNames() }
+
+// ResolvePolicy resolves the -policy / -algo flag pair: -policy wins,
+// a non-empty -algo is accepted as a deprecated alias (deprecated is
+// true so the caller can warn), and both set to different policies is
+// an error. Names are canonicalized through registry aliases; unknown
+// names pass through for the constructors to report.
+func ResolvePolicy(policyFlag, algoFlag string) (name string, deprecated bool, err error) {
+	canon := func(s string) string {
+		if c, ok := policy.Canonical(s); ok {
+			return c
+		}
+		return s
+	}
+	p, a := canon(policyFlag), canon(algoFlag)
+	switch {
+	case p != "" && a != "" && p != a:
+		return "", false, fmt.Errorf("cli: -policy %s conflicts with -algo %s (drop the deprecated -algo)", policyFlag, algoFlag)
+	case p != "":
+		return p, false, nil
+	case a != "":
+		return a, true, nil
+	}
+	return "", false, nil
 }
 
 // ValidateFlags cross-checks the shared command-line flag surface up
@@ -35,48 +72,44 @@ func AlgoNames() []string {
 // offending flag pair, before any backend construction starts (a
 // construction error names internals, not the flags the user typed).
 // backend "" means "sim"; an empty spec means the flag was not given.
-// Unknown backend, algorithm, and model names are left to the
+// Every rule is derived from the policy registry's capability
+// declarations; unknown backend and model names are left to the
 // constructors, which list the valid names.
-func ValidateFlags(backend, algo, model, faultSpec, detectSpec, churnSpec string) error {
+func ValidateFlags(backend, policyName, model, faultSpec, detectSpec, churnSpec string) error {
 	if backend == "" {
 		backend = "sim"
 	}
-	switch backend {
-	case "sim":
-		if faultSpec != "" && algo != "bfm98-dist" {
-			return fmt.Errorf("cli: -faults with -algo %s: fault injection needs the message-passing protocol (use -algo bfm98-dist, or -backend live)", algo)
+	known := backend == "sim" || backend == "live" || backend == "shmem"
+	name := policyName
+	if name == "" {
+		name = policy.DefaultName(backend)
+	}
+	var spec policy.Spec
+	if known {
+		var ok bool
+		spec, ok = policy.Lookup(name)
+		if !ok {
+			return fmt.Errorf("cli: unknown policy %q (have %v)", name, policy.Names())
 		}
-		if churnSpec != "" && algo != "bfm98-dist" {
-			return fmt.Errorf("cli: -churn with -algo %s: elastic membership runs in the message-passing protocol only (use -algo bfm98-dist)", algo)
+		if !spec.Caps.OnBackend(backend) {
+			return fmt.Errorf("cli: -backend %s with -policy %s: %s runs on backends %v (this backend has %v)",
+				backend, name, name, spec.Caps.Backends, policy.BackendNames(backend))
 		}
-	case "live":
-		if algo != "" && algo != "bfm98" && algo != "threshold" {
-			return fmt.Errorf("cli: -backend live with -algo %s: the live backend runs its own threshold algorithm", algo)
+		if model != "" && model != "single" && !spec.Caps.WorkloadOn(backend) {
+			return fmt.Errorf("cli: -backend %s with -model %s: policy %s generates its own built-in workload on this backend",
+				backend, model, name)
 		}
-		if model != "" && model != "single" {
-			return fmt.Errorf("cli: -backend live with -model %s: the live backend generates its own Single(0.4, 0.1) workload", model)
+		if faultSpec != "" && !spec.Caps.FaultsOn(backend) {
+			return fmt.Errorf("cli: -faults with -backend %s -policy %s: fault injection needs %s",
+				backend, name, orList(policy.CapableNames(policy.Caps.FaultsOn)))
 		}
-		if detectSpec != "" {
-			return fmt.Errorf("cli: -backend live with -detect: the failure detector lives in the distributed protocol (sim backend, -algo bfm98-dist)")
+		if detectSpec != "" && !spec.Caps.DetectOn(backend) {
+			return fmt.Errorf("cli: -detect with -backend %s -policy %s: the failure detector needs %s",
+				backend, name, orList(policy.CapableNames(policy.Caps.DetectOn)))
 		}
-		if churnSpec != "" {
-			return fmt.Errorf("cli: -backend live with -churn: the live backend has a fixed population; elastic membership needs -algo bfm98-dist on the sim backend")
-		}
-	case "shmem":
-		if algo != "" && algo != "bfm98" && algo != "collision" {
-			return fmt.Errorf("cli: -backend shmem with -algo %s: the shmem backend runs the collision protocol", algo)
-		}
-		if model != "" && model != "single" {
-			return fmt.Errorf("cli: -backend shmem with -model %s: the shmem backend generates its own PRAM access stream", model)
-		}
-		if faultSpec != "" {
-			return fmt.Errorf("cli: -backend shmem with -faults: the shmem backend has no fault injection")
-		}
-		if detectSpec != "" {
-			return fmt.Errorf("cli: -backend shmem with -detect: the shmem backend has no failure detector")
-		}
-		if churnSpec != "" {
-			return fmt.Errorf("cli: -backend shmem with -churn: the shmem backend has a fixed processor set")
+		if churnSpec != "" && !spec.Caps.ChurnOn(backend) {
+			return fmt.Errorf("cli: -churn with -backend %s -policy %s: elastic membership needs %s",
+				backend, name, orList(policy.CapableNames(policy.Caps.ChurnOn)))
 		}
 	}
 	if detectSpec != "" && faultSpec == "" && churnSpec == "" {
@@ -85,7 +118,15 @@ func ValidateFlags(backend, algo, model, faultSpec, detectSpec, churnSpec string
 	return nil
 }
 
-// BuildModel constructs a named workload for n processors.
+func orList(names []string) string {
+	if len(names) == 0 {
+		return "a capability no registered policy declares"
+	}
+	sort.Strings(names)
+	return "-policy " + strings.Join(names, " or ")
+}
+
+// BuildModel constructs a named workload model for n processors.
 func BuildModel(name string, n int, seed uint64) (gen.Model, error) {
 	t := stats.PaperT(n)
 	switch name {
@@ -104,107 +145,58 @@ func BuildModel(name string, n int, seed uint64) (gen.Model, error) {
 	case "diurnal":
 		return gen.NewDiurnal(0.45, 0.15, 0.1, 400)
 	default:
-		return nil, fmt.Errorf("cli: unknown model %q (have %v)", name, ModelNames())
+		return nil, fmt.Errorf("cli: unknown model %q (have %v, or a workload: grammar spec)", name, ModelNames())
 	}
 }
 
-// InstallAlgo wires a named algorithm into cfg (as Balancer or
-// Placer). scale > 1 multiplies T for the bfm98 configurations.
-// faultSpec, when non-empty, is a faults.ParsePlan spec injected into
-// the run; only the distributed protocol (bfm98-dist) executes over a
-// perturbable network, so any other algorithm rejects it. churnSpec,
-// when non-empty, is a faults.ParseChurn membership schedule merged
-// into the fault plan (bfm98-dist only). detectSpec, when non-empty,
-// is a detect.ParseConfig failure-detector tuning and additionally
-// requires an active fault or churn plan (the fault-free protocol runs
-// no detector).
-func InstallAlgo(cfg *sim.Config, name string, n, scale int, seed uint64, faultSpec, detectSpec, churnSpec string) error {
-	if err := ValidateFlags("sim", name, "", faultSpec, detectSpec, churnSpec); err != nil {
+// BuildWorkload resolves a model name or a "workload:..." grammar spec
+// into an arrival model plus an optional service weigher (nil for unit
+// service). An empty name means the default "single" model, matching
+// ValidateFlags' reading of an unset -model flag.
+func BuildWorkload(name string, n int, seed uint64) (gen.Model, gen.Weigher, error) {
+	if name == "" {
+		name = "single"
+	}
+	if gen.IsWorkloadSpec(name) {
+		w, err := gen.ParseWorkload(name, n, seed)
+		if err != nil {
+			return nil, nil, err
+		}
+		return w.Model, w.Weigher, nil
+	}
+	m, err := BuildModel(name, n, seed)
+	return m, nil, err
+}
+
+// InstallPolicy wires a registered policy into cfg (as Balancer or
+// Placer) after capability validation. The Params carry n, the T
+// scale, the seed and the raw fault/detect/churn specs; only a policy
+// declaring the matching capability receives non-empty specs.
+func InstallPolicy(cfg *sim.Config, name string, p policy.Params) error {
+	if err := ValidateFlags("sim", name, "", p.Faults, p.Detect, p.Churn); err != nil {
 		return err
 	}
-	switch name {
-	case "bfm98", "bfm98-pre":
-		c := core.DefaultConfig(n)
-		if scale > 1 {
-			c = core.Config{Scale: scale}
-		}
-		c.Seed = seed
-		c.PreRound = name == "bfm98-pre"
-		b, err := core.New(n, c)
-		if err != nil {
-			return err
-		}
-		cfg.Balancer = b
-	case "bfm98-dist":
-		c := proto.DefaultConfig(n)
-		var plan faults.Plan
-		havePlan := false
-		if faultSpec != "" {
-			p, err := faults.ParsePlan(faultSpec)
-			if err != nil {
-				return err
-			}
-			plan, havePlan = p, true
-		}
-		if churnSpec != "" {
-			cp, err := faults.ParseChurn(churnSpec)
-			if err != nil {
-				return err
-			}
-			if havePlan {
-				plan = plan.Merge(cp)
-			} else {
-				plan = cp
-			}
-			havePlan = true
-		}
-		if havePlan {
-			c.Faults = &plan
-		}
-		if detectSpec != "" {
-			dc, err := detect.ParseConfig(detectSpec)
-			if err != nil {
-				return err
-			}
-			c.Detect = dc
-		}
-		b, err := proto.New(n, c)
-		if err != nil {
-			return err
-		}
-		cfg.Balancer = b
-	case "bfm98-phaseless":
-		b, err := core.NewPhaseless(n, seed)
-		if err != nil {
-			return err
-		}
-		cfg.Balancer = b
-	case "unbalanced":
-		cfg.Balancer = baselines.Unbalanced{}
-	case "greedy1", "greedy2":
-		d := 1
-		if name == "greedy2" {
-			d = 2
-		}
-		g, err := baselines.NewGreedyD(d)
-		if err != nil {
-			return err
-		}
-		cfg.Placer = g
-	case "rsu":
-		cfg.Balancer = &baselines.RSU{Seed: seed}
-	case "lm":
-		cfg.Balancer = &baselines.LM{K: 2, Seed: seed}
-	case "lauer":
-		cfg.Balancer = &baselines.Lauer{C: 2, Seed: seed}
-	case "lauer-est":
-		cfg.Balancer = &baselines.Lauer{C: 2, EstimateK: 32, Seed: seed}
-	case "throwair":
-		cfg.Balancer = &baselines.ThrowAir{Interval: 4, Seed: seed}
-	default:
-		return fmt.Errorf("cli: unknown algorithm %q (have %v)", name, AlgoNames())
+	if name == "" {
+		name = policy.DefaultName("sim")
 	}
-	return nil
+	spec, ok := policy.Lookup(name)
+	if !ok {
+		return fmt.Errorf("cli: unknown policy %q (have %v)", name, policy.Names())
+	}
+	if spec.Install == nil {
+		return fmt.Errorf("cli: policy %s is a %s-backend built-in and cannot be installed on sim", spec.Name, spec.Caps.Backends[0])
+	}
+	return spec.Install(cfg, p)
+}
+
+// InstallAlgo wires a named algorithm into cfg.
+//
+// Deprecated: use InstallPolicy; this forwards to it.
+func InstallAlgo(cfg *sim.Config, name string, n, scale int, seed uint64, faultSpec, detectSpec, churnSpec string) error {
+	return InstallPolicy(cfg, name, policy.Params{
+		N: n, Scale: scale, Seed: seed,
+		Faults: faultSpec, Detect: detectSpec, Churn: churnSpec,
+	})
 }
 
 // BackendNames lists the backends BuildRunner accepts.
@@ -212,32 +204,33 @@ func BackendNames() []string { return []string{"sim", "live", "shmem"} }
 
 // BuildRunner constructs an engine.Runner for a named backend.
 //
-//   - "sim" (default) wires a model + algorithm into the lockstep
-//     machine; algo bfm98-dist rides it as the message-passing proto
-//     backend.
+//   - "sim" (default) wires a workload + policy into the lockstep
+//     machine; policy bfm98-dist rides it as the message-passing proto
+//     backend. model may be a name or a "workload:..." grammar spec.
 //   - "live" builds the goroutine-per-processor system. It runs its
 //     own threshold algorithm over its own Single(0.4, 0.1) generator,
-//     so algo/model must be left at their defaults (or named
+//     so policy/model must be left at their defaults (or named
 //     "threshold"/"single"); scale multiplies its T.
 //   - "shmem" builds the PRAM shared-memory simulation driven by a
 //     synthetic access stream; it runs the collision protocol at the
-//     Lemma 1 operating point (a=5, b=2, c=1) and accepts algo
+//     Lemma 1 operating point (a=5, b=2, c=1) and accepts policy
 //     "collision" or the default.
 //
 // Callers that need backend-specific knobs beyond these should build
 // the runner directly; this covers the common command-line surface.
-func BuildRunner(backend, algo, model string, n, scale int, seed uint64, workers int, faultSpec, detectSpec, churnSpec string) (engine.Runner, error) {
-	if err := ValidateFlags(backend, algo, model, faultSpec, detectSpec, churnSpec); err != nil {
+func BuildRunner(backend, policyName, model string, n, scale int, seed uint64, workers int, faultSpec, detectSpec, churnSpec string) (engine.Runner, error) {
+	if err := ValidateFlags(backend, policyName, model, faultSpec, detectSpec, churnSpec); err != nil {
 		return nil, err
 	}
 	switch backend {
 	case "", "sim":
-		mod, err := BuildModel(model, n, seed)
+		mod, weigher, err := BuildWorkload(model, n, seed)
 		if err != nil {
 			return nil, err
 		}
-		cfg := sim.Config{N: n, Model: mod, Seed: seed, Workers: workers}
-		if err := InstallAlgo(&cfg, algo, n, scale, seed, faultSpec, detectSpec, churnSpec); err != nil {
+		cfg := sim.Config{N: n, Model: mod, Weigher: weigher, Seed: seed, Workers: workers}
+		p := policy.Params{N: n, Scale: scale, Seed: seed, Faults: faultSpec, Detect: detectSpec, Churn: churnSpec}
+		if err := InstallPolicy(&cfg, policyName, p); err != nil {
 			return nil, err
 		}
 		return sim.New(cfg)
@@ -262,6 +255,41 @@ func BuildRunner(backend, algo, model string, n, scale int, seed uint64, workers
 	default:
 		return nil, fmt.Errorf("cli: unknown backend %q (have %v)", backend, BackendNames())
 	}
+}
+
+// ListPolicies renders the registry with capability columns as an
+// aligned text table (the lbsim -list-policies output).
+func ListPolicies() string {
+	header, rows := policy.Table()
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len([]rune(h))
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if l := len([]rune(cell)); l > widths[i] {
+				widths[i] = l
+			}
+		}
+	}
+	var b strings.Builder
+	line := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(cell)
+			if i < len(cells)-1 {
+				b.WriteString(strings.Repeat(" ", widths[i]-len([]rune(cell))))
+			}
+		}
+		b.WriteByte('\n')
+	}
+	line(header)
+	for _, row := range rows {
+		line(row)
+	}
+	return b.String()
 }
 
 func maxInt(a, b int) int {

@@ -20,12 +20,12 @@ func TestValidateFlagCombos(t *testing.T) {
 		{"defaults", "sim", "bfm98", "single", "", "", "", nil},
 		{"empty backend is sim", "", "bfm98-dist", "single", "lossy:0.1", "", "", nil},
 		{"faulted dist", "sim", "bfm98-dist", "burst", "lossy:0.1", "suspect=20", churn, nil},
-		{"faults off-protocol", "sim", "rsu", "single", "lossy:0.1", "", "", []string{"-faults", "-algo rsu"}},
-		{"churn off-protocol", "sim", "bfm98", "single", "", "", churn, []string{"-churn", "-algo bfm98"}},
+		{"faults off-protocol", "sim", "rsu", "single", "lossy:0.1", "", "", []string{"-faults", "-policy rsu"}},
+		{"churn off-protocol", "sim", "bfm98", "single", "", "", churn, []string{"-churn", "-policy bfm98"}},
 		{"detect alone", "sim", "bfm98-dist", "single", "", "suspect=20", "", []string{"-detect", "-faults"}},
 		{"detect rides churn", "sim", "bfm98-dist", "single", "", "suspect=20", churn, nil},
 		{"live ok", "live", "threshold", "single", "lossy:0.5", "", "", nil},
-		{"live algo", "live", "rsu", "single", "", "", "", []string{"-backend live", "-algo rsu"}},
+		{"live algo", "live", "rsu", "single", "", "", "", []string{"-backend live", "-policy rsu"}},
 		{"live model", "live", "", "burst", "", "", "", []string{"-backend live", "-model burst"}},
 		{"live detect", "live", "", "single", "lossy:0.1", "suspect=20", "", []string{"-backend live", "-detect"}},
 		{"live churn", "live", "", "single", "", "", churn, []string{"-backend live", "-churn"}},

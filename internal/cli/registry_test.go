@@ -1,0 +1,164 @@
+package cli_test
+
+import (
+	"io"
+	"strings"
+	"testing"
+
+	"plb/internal/cli"
+	"plb/internal/policy"
+)
+
+// TestResolvePolicyTable pins the -policy / -algo flag pair semantics:
+// -policy wins, -algo is a deprecated alias that still resolves every
+// historical name, conflicts are errors, unknown names pass through.
+func TestResolvePolicyTable(t *testing.T) {
+	cases := []struct {
+		policyFlag, algoFlag string
+		want                 string
+		deprecated           bool
+		wantErr              bool
+	}{
+		{"", "", "", false, false},
+		{"bfm98", "", "bfm98", false, false},
+		{"", "bfm98", "bfm98", true, false},
+		{"", "greedy-d", "greedy2", true, false},
+		{"", "single-choice", "greedy1", true, false},
+		{"", "round-robin", "rr", true, false},
+		{"", "power-of-d", "supermarket", true, false},
+		{"", "phaseless", "bfm98-phaseless", true, false},
+		{"", "proto", "bfm98-dist", true, false},
+		{"supermarket", "power-of-d", "supermarket", false, false}, // same policy via alias: no conflict
+		{"bfm98", "rsu", "", false, true},                          // conflicting pair
+		{"no-such-policy", "", "no-such-policy", false, false},     // unknown passes through
+	}
+	for _, c := range cases {
+		got, deprecated, err := cli.ResolvePolicy(c.policyFlag, c.algoFlag)
+		if (err != nil) != c.wantErr {
+			t.Errorf("ResolvePolicy(%q, %q) err = %v, wantErr %v", c.policyFlag, c.algoFlag, err, c.wantErr)
+			continue
+		}
+		if err != nil {
+			continue
+		}
+		if got != c.want || deprecated != c.deprecated {
+			t.Errorf("ResolvePolicy(%q, %q) = (%q, %v), want (%q, %v)",
+				c.policyFlag, c.algoFlag, got, deprecated, c.want, c.deprecated)
+		}
+	}
+}
+
+// TestLegacyAlgoNamesStillResolve checks every name the old -algo
+// switch accepted maps to a registered policy the deprecated alias can
+// still install.
+func TestLegacyAlgoNamesStillResolve(t *testing.T) {
+	legacy := []string{
+		"bfm98", "bfm98-pre", "bfm98-dist", "bfm98-phaseless",
+		"unbalanced", "greedy1", "greedy2", "rsu", "lm",
+		"lauer", "lauer-est", "throwair",
+	}
+	for _, name := range legacy {
+		got, deprecated, err := cli.ResolvePolicy("", name)
+		if err != nil {
+			t.Errorf("legacy -algo %s: %v", name, err)
+			continue
+		}
+		if !deprecated {
+			t.Errorf("legacy -algo %s not flagged deprecated", name)
+		}
+		if _, ok := policy.Lookup(got); !ok {
+			t.Errorf("legacy -algo %s resolved to unregistered %q", name, got)
+		}
+	}
+}
+
+// TestEveryPolicyBackendFlagCombo is the regression test for the
+// hard-coded bfm98-dist if-ladder this PR removed: for EVERY
+// registered policy crossed with every backend and flag combination,
+// validation must either pass and yield a runnable configuration, or
+// fail with an error naming a command-line flag — never pass and then
+// blow up in a constructor, never reject with an internals-speak
+// message.
+func TestEveryPolicyBackendFlagCombo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds every policy x backend x flag combination")
+	}
+	combos := []struct {
+		label, faults, detect, churn string
+	}{
+		{"plain", "", "", ""},
+		{"faults", "lossy:0.05", "", ""},
+		{"faults+detect", "lossy:0.05", "suspect=8,down=16,hb=4", ""},
+		{"churn", "", "", "churn:join=2,leave=2,period=40"},
+		{"detect-alone", "", "suspect=8,down=16,hb=4", ""}, // illegal everywhere
+	}
+	backends := []string{"sim", "live", "shmem"}
+	for _, spec := range policy.All() {
+		for _, backend := range backends {
+			n := 64
+			if backend == "live" {
+				n = 32
+			}
+			for _, c := range combos {
+				name := spec.Name + "/" + backend + "/" + c.label
+				t.Run(name, func(t *testing.T) {
+					err := cli.ValidateFlags(backend, spec.Name, "", c.faults, c.detect, c.churn)
+					if err != nil {
+						if !strings.Contains(err.Error(), "-") {
+							t.Fatalf("rejection does not name a flag: %v", err)
+						}
+						return
+					}
+					if c.label == "detect-alone" {
+						t.Fatal("detect without faults/churn validated")
+					}
+					r, err := cli.BuildRunner(backend, spec.Name, "", n, 1, 5, 0, c.faults, c.detect, c.churn)
+					if err != nil {
+						t.Fatalf("validation passed but construction failed: %v", err)
+					}
+					if closer, ok := r.(io.Closer); ok {
+						defer closer.Close()
+					}
+					r.Steps(2)
+					if got := r.Meta().N; got < 1 {
+						t.Fatalf("runner meta N = %d after stepping", got)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestListPoliciesOutput sanity-checks the -list-policies table: a
+// header row plus one row per registered policy, every canonical name
+// present.
+func TestListPoliciesOutput(t *testing.T) {
+	out := cli.ListPolicies()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if want := 1 + len(policy.All()); len(lines) != want {
+		t.Fatalf("ListPolicies has %d lines, want %d (header + one per policy)", len(lines), want)
+	}
+	if !strings.HasPrefix(lines[0], "policy") {
+		t.Fatalf("header = %q", lines[0])
+	}
+	for _, name := range policy.Names() {
+		if !strings.Contains(out, name) {
+			t.Fatalf("ListPolicies output missing %q", name)
+		}
+	}
+}
+
+// TestShootoutPoliciesInstallable checks the E26 default line-up stays
+// installable: at least 6 distinct registered policies must run
+// through the single sim+engine harness.
+func TestShootoutPoliciesInstallable(t *testing.T) {
+	names := policy.InstallableNames()
+	if len(names) < 6 {
+		t.Fatalf("only %d installable policies registered: %v", len(names), names)
+	}
+	for _, name := range names {
+		if _, ok := policy.Lookup(name); !ok {
+			t.Fatalf("installable name %q not in registry", name)
+		}
+	}
+}

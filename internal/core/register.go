@@ -1,0 +1,69 @@
+package core
+
+import (
+	"plb/internal/policy"
+	"plb/internal/sim"
+)
+
+// The paper's own configurations, registered as policies. bfm98 also
+// names the live backend's threshold realization and the shmem
+// collision protocol (historical flag compatibility), so its backend
+// list spans all three; faults are honored on live only — the sim
+// realization is atomic and has no network to perturb (that is
+// bfm98-dist's job, registered by internal/proto).
+
+func init() {
+	policy.Register(policy.Spec{
+		Name:    "bfm98",
+		Summary: "the paper's phase-based tree-growth balancer (atomic realization; T=(log log n)²)",
+		Caps: policy.Caps{
+			Backends: []string{"sim", "live", "shmem"},
+			Faults:   []string{"live"},
+			Workload: []string{"sim"},
+		},
+		Install: installCore(false),
+	})
+	policy.Register(policy.Spec{
+		Name:    "bfm98-pre",
+		Summary: "bfm98 with the constant-factor pre-round heuristic enabled",
+		Caps: policy.Caps{
+			Backends: []string{"sim"},
+			Workload: []string{"sim"},
+		},
+		Install: installCore(true),
+	})
+	policy.Register(policy.Spec{
+		Name:    "bfm98-phaseless",
+		Aliases: []string{"phaseless"},
+		Summary: "the self-clocked variant: initiators launch trees whenever local thresholds trip",
+		Caps: policy.Caps{
+			Backends: []string{"sim"},
+			Workload: []string{"sim"},
+		},
+		Install: func(cfg *sim.Config, p policy.Params) error {
+			b, err := NewPhaseless(p.N, p.Seed)
+			if err != nil {
+				return err
+			}
+			cfg.Balancer = b
+			return nil
+		},
+	})
+}
+
+func installCore(preRound bool) func(cfg *sim.Config, p policy.Params) error {
+	return func(cfg *sim.Config, p policy.Params) error {
+		c := DefaultConfig(p.N)
+		if p.Scale > 1 {
+			c = Config{Scale: p.Scale}
+		}
+		c.Seed = p.Seed
+		c.PreRound = preRound
+		b, err := New(p.N, c)
+		if err != nil {
+			return err
+		}
+		cfg.Balancer = b
+		return nil
+	}
+}

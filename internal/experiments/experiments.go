@@ -36,6 +36,10 @@ type RunConfig struct {
 	// e.g. "churn:join=4,leave=4,period=400"); experiments that exercise
 	// elastic membership (E25) add a custom fleet row driven by it.
 	Churn string
+	// Policies is an optional comma-separated policy list (registry
+	// names; see internal/policy); the policy shootout (E26) replaces
+	// its default line-up with it.
+	Policies string
 }
 
 // Result is the rendered outcome of one experiment.

@@ -1,0 +1,308 @@
+package gen
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"plb/internal/stats"
+	"plb/internal/xrand"
+)
+
+// This file is the declarative workload grammar: one spec string that
+// composes an arrival Model with a service-time Weigher, so every
+// policy in a shootout runs under an identical, named workload.
+//
+//	workload:arrivals=poisson|bursty|diurnal|flash,service=const|pareto(α)|uniform(a,b),rate=...
+//
+// Keys (all optional; arrivals defaults to poisson):
+//
+//	arrivals  poisson — i.i.d. Bernoulli(rate) per processor per step
+//	          diurnal — rate high for half of each period, low for the rest
+//	          bursty  — the windowed adversary dropping `burst` tasks on
+//	                    `targets` random processors each `window` steps
+//	          flash   — `targets` fixed processors spike to `spike` for the
+//	                    first `width` steps of each period (flash crowd)
+//	rate      base per-processor arrival probability (default 0.4)
+//	eps       consumption surplus over the arrival rate (default 0.1)
+//	low       diurnal off-peak rate (default rate/3)
+//	period    diurnal/flash cycle length in steps (default 400)
+//	width     flash spike width in steps (default period/8)
+//	targets   hot processor count (default n/64 bursty, n/16 flash)
+//	burst     bursty: tasks per burst (default the paper's T)
+//	window    bursty: steps between bursts (default T)
+//	spike     flash: in-spike arrival probability (default 0.9)
+//	service   const (default), pareto(α) or uniform(a,b) task weights
+//	smax      pareto service cap (default 64)
+//
+// Values with parentheses nest: commas inside parens do not split
+// keys, so service=uniform(2,8) parses as one pair. ParseWorkload
+// rejects unknown keys, malformed values and unstable combinations
+// (a flash hot set whose excess arrivals exceed the eps drain).
+
+// Workload is a parsed workload spec: the arrival model plus an
+// optional service-weight distribution (nil means unit service).
+type Workload struct {
+	// Model is the composed arrival model.
+	Model Model
+	// Weigher is the task service-weight distribution; nil for
+	// service=const.
+	Weigher Weigher
+	// Spec is the spec string the workload was parsed from.
+	Spec string
+}
+
+// workloadPrefix marks a workload grammar spec.
+const workloadPrefix = "workload:"
+
+// IsWorkloadSpec reports whether name should be parsed by
+// ParseWorkload rather than looked up as a named model.
+func IsWorkloadSpec(name string) bool {
+	return strings.HasPrefix(name, workloadPrefix) || strings.Contains(name, "=")
+}
+
+// splitTop splits s on commas that are not nested inside parentheses.
+func splitTop(s string) []string {
+	var out []string
+	depth, start := 0, 0
+	for i, c := range s {
+		switch c {
+		case '(':
+			depth++
+		case ')':
+			depth--
+		case ',':
+			if depth == 0 {
+				out = append(out, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	return append(out, s[start:])
+}
+
+// ParseWorkload parses a workload grammar spec for n processors.
+// seed derives the randomness of adversarial arrival models.
+func ParseWorkload(spec string, n int, seed uint64) (Workload, error) {
+	if n < 1 {
+		return Workload{}, fmt.Errorf("gen: workload needs n >= 1, got %d", n)
+	}
+	body := strings.TrimPrefix(strings.TrimSpace(spec), workloadPrefix)
+	w := Workload{Spec: spec}
+
+	arrivals := "poisson"
+	rate, eps, spike := 0.4, 0.1, 0.9
+	low, lowSet := 0.0, false
+	period, width := int64(400), int64(0)
+	targets, targetsSet := 0, false
+	t := stats.PaperT(n)
+	burst, window := t, t
+	service, smax := "const", 64
+
+	if strings.TrimSpace(body) != "" {
+		for _, item := range splitTop(body) {
+			key, val, found := strings.Cut(strings.TrimSpace(item), "=")
+			if !found || key == "" || val == "" {
+				return Workload{}, fmt.Errorf("gen: workload item %q is not key=value", item)
+			}
+			var err error
+			switch key {
+			case "arrivals":
+				arrivals = val
+			case "rate":
+				rate, err = parseProb(key, val)
+			case "eps":
+				eps, err = parseProb(key, val)
+			case "low":
+				low, err = parseProb(key, val)
+				lowSet = true
+			case "spike":
+				spike, err = parseProb(key, val)
+			case "period":
+				period, err = parsePos(key, val)
+			case "width":
+				width, err = parsePos(key, val)
+			case "targets":
+				var v int64
+				v, err = parsePos(key, val)
+				targets, targetsSet = int(v), true
+			case "burst":
+				var v int64
+				v, err = parsePos(key, val)
+				burst = int(v)
+			case "window":
+				var v int64
+				v, err = parsePos(key, val)
+				window = int(v)
+			case "service":
+				service = val
+			case "smax":
+				var v int64
+				v, err = parsePos(key, val)
+				smax = int(v)
+			default:
+				return Workload{}, fmt.Errorf("gen: unknown workload key %q (have arrivals, rate, eps, low, spike, period, width, targets, burst, window, service, smax)", key)
+			}
+			if err != nil {
+				return Workload{}, err
+			}
+		}
+	}
+	if width == 0 {
+		width = period / 8
+	}
+
+	var err error
+	switch arrivals {
+	case "poisson":
+		w.Model, err = NewSingle(rate, eps)
+	case "diurnal":
+		if !lowSet {
+			low = rate / 3
+		}
+		w.Model, err = NewDiurnal(rate, low, eps, period)
+	case "bursty":
+		if !targetsSet {
+			targets = maxI(1, n/64)
+		}
+		w.Model, err = NewAdversarial(
+			Burst{Targets: targets, Amount: burst, Window: window},
+			window, 2*burst, int64(8*n), seed)
+	case "flash":
+		if !targetsSet {
+			targets = maxI(1, n/16)
+		}
+		var f Flash
+		f, err = NewFlash(rate, spike, eps, period, width, targets)
+		if err == nil {
+			// Stability: the hot set's excess arrivals, averaged over the
+			// machine and the period, must drain through the eps surplus.
+			excess := float64(targets) / float64(n) * float64(width) / float64(period) * (spike - rate)
+			if excess >= eps {
+				err = fmt.Errorf("gen: flash workload unstable: mean excess %.4f >= eps %g (shrink targets/width/spike or raise eps)", excess, eps)
+			}
+		}
+		if err == nil {
+			w.Model = f
+		}
+	default:
+		err = fmt.Errorf("gen: unknown arrivals %q (have poisson, bursty, diurnal, flash)", arrivals)
+	}
+	if err != nil {
+		return Workload{}, err
+	}
+
+	switch {
+	case service == "const":
+		// unit service; Weigher stays nil
+	case strings.HasPrefix(service, "pareto(") && strings.HasSuffix(service, ")"):
+		alpha, perr := strconv.ParseFloat(service[len("pareto("):len(service)-1], 64)
+		if perr != nil {
+			return Workload{}, fmt.Errorf("gen: bad pareto α in service=%s: %v", service, perr)
+		}
+		w.Weigher, err = NewParetoWeight(alpha, int32(smax))
+	case strings.HasPrefix(service, "uniform(") && strings.HasSuffix(service, ")"):
+		parts := strings.Split(service[len("uniform("):len(service)-1], ",")
+		if len(parts) != 2 {
+			return Workload{}, fmt.Errorf("gen: service=uniform needs (min,max), got %s", service)
+		}
+		a, aerr := strconv.Atoi(strings.TrimSpace(parts[0]))
+		b, berr := strconv.Atoi(strings.TrimSpace(parts[1]))
+		if aerr != nil || berr != nil {
+			return Workload{}, fmt.Errorf("gen: bad uniform bounds in service=%s", service)
+		}
+		w.Weigher, err = NewUniformWeight(int32(a), int32(b))
+	default:
+		err = fmt.Errorf("gen: unknown service %q (have const, pareto(α), uniform(a,b))", service)
+	}
+	if err != nil {
+		return Workload{}, err
+	}
+	return w, nil
+}
+
+func parseProb(key, val string) (float64, error) {
+	f, err := strconv.ParseFloat(val, 64)
+	if err != nil || f <= 0 || f > 1 {
+		return 0, fmt.Errorf("gen: workload %s=%s: want a probability in (0, 1]", key, val)
+	}
+	return f, nil
+}
+
+func parsePos(key, val string) (int64, error) {
+	v, err := strconv.ParseInt(val, 10, 64)
+	if err != nil || v < 1 {
+		return 0, fmt.Errorf("gen: workload %s=%s: want a positive integer", key, val)
+	}
+	return v, nil
+}
+
+func maxI(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Flash is the flash-crowd arrival model: processors [0, Targets)
+// spike to arrival probability Spike during the first Width steps of
+// each Period, and run at Base otherwise; all other processors always
+// run at Base. Consumption is Bernoulli(Base+Eps) everywhere, so the
+// cold machine drains and the hot set periodically overloads — the
+// skewed-arrival regime that separates least-loaded routing from
+// round-robin.
+type Flash struct {
+	// Base and Spike are the off-/in-spike arrival probabilities.
+	Base, Spike float64
+	// Eps is the consumption surplus over Base.
+	Eps float64
+	// Period is the cycle length; Width the spike length, both in steps.
+	Period, Width int64
+	// Targets is the number of hot processors (indices 0..Targets-1).
+	Targets int
+}
+
+// NewFlash validates the parameters.
+func NewFlash(base, spike, eps float64, period, width int64, targets int) (Flash, error) {
+	switch {
+	case base <= 0 || base > 1:
+		return Flash{}, fmt.Errorf("gen: flash base %g out of (0, 1]", base)
+	case spike < base || spike > 1:
+		return Flash{}, fmt.Errorf("gen: flash spike %g out of [base=%g, 1]", spike, base)
+	case eps <= 0 || base+eps > 1:
+		return Flash{}, fmt.Errorf("gen: flash eps %g needs 0 < eps and base+eps <= 1", eps)
+	case period < 2:
+		return Flash{}, fmt.Errorf("gen: flash period %d < 2", period)
+	case width < 1 || width >= period:
+		return Flash{}, fmt.Errorf("gen: flash width %d out of [1, period=%d)", width, period)
+	case targets < 1:
+		return Flash{}, fmt.Errorf("gen: flash targets %d < 1", targets)
+	}
+	return Flash{Base: base, Spike: spike, Eps: eps, Period: period, Width: width, Targets: targets}, nil
+}
+
+// Name implements Model.
+func (f Flash) Name() string {
+	return fmt.Sprintf("flash(base=%g,spike=%g,eps=%g,period=%d,width=%d,targets=%d)",
+		f.Base, f.Spike, f.Eps, f.Period, f.Width, f.Targets)
+}
+
+// Generate implements Model.
+func (f Flash) Generate(proc int, r *xrand.Stream, now int64) int {
+	p := f.Base
+	if proc < f.Targets && now%f.Period < f.Width {
+		p = f.Spike
+	}
+	if r.Bernoulli(p) {
+		return 1
+	}
+	return 0
+}
+
+// WantConsume implements Model.
+func (f Flash) WantConsume(_ int, r *xrand.Stream, _ int64) int {
+	if r.Bernoulli(f.Base + f.Eps) {
+		return 1
+	}
+	return 0
+}

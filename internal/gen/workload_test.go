@@ -1,0 +1,220 @@
+package gen
+
+import (
+	"strings"
+	"testing"
+
+	"plb/internal/xrand"
+)
+
+func TestParseWorkloadValidTable(t *testing.T) {
+	cases := []struct {
+		spec        string
+		modelPrefix string // Model.Name() prefix
+		weigher     bool   // non-nil Weigher expected
+	}{
+		{"workload:", "single(", false},
+		{"workload:arrivals=poisson", "single(", false},
+		{"workload:arrivals=poisson,rate=0.4,eps=0.1", "single(", false},
+		{"workload:rate=0.25", "single(", false}, // arrivals defaults to poisson
+		{"workload:arrivals=diurnal", "diurnal(hi=0.4,lo=0.13", false},
+		{"workload:arrivals=diurnal,rate=0.45,low=0.15,period=200", "diurnal(hi=0.45,lo=0.15", false},
+		{"workload:arrivals=bursty", "adversarial(", false},
+		{"workload:arrivals=bursty,targets=3,burst=40,window=20", "adversarial(", false},
+		{"workload:arrivals=flash", "flash(", false},
+		{"workload:arrivals=flash,rate=0.4,spike=0.9,period=400,width=50", "flash(", false},
+		{"workload:service=pareto(1.5)", "single(", true},
+		{"workload:service=pareto(2.0),smax=32", "single(", true},
+		{"workload:service=uniform(2,8)", "single(", true},
+		{"workload:arrivals=flash,service=pareto(1.5)", "flash(", true},
+		{"arrivals=poisson,rate=0.3", "single(", false}, // bare key=value, no prefix
+	}
+	for _, c := range cases {
+		if !IsWorkloadSpec(c.spec) {
+			t.Errorf("IsWorkloadSpec(%q) = false", c.spec)
+			continue
+		}
+		w, err := ParseWorkload(c.spec, 1024, 7)
+		if err != nil {
+			t.Errorf("ParseWorkload(%q): %v", c.spec, err)
+			continue
+		}
+		if w.Model == nil || !strings.HasPrefix(w.Model.Name(), c.modelPrefix) {
+			t.Errorf("ParseWorkload(%q) model = %v, want prefix %q", c.spec, w.Model, c.modelPrefix)
+		}
+		if (w.Weigher != nil) != c.weigher {
+			t.Errorf("ParseWorkload(%q) weigher = %v, want present=%v", c.spec, w.Weigher, c.weigher)
+		}
+		if w.Spec != c.spec {
+			t.Errorf("ParseWorkload(%q) recorded spec %q", c.spec, w.Spec)
+		}
+	}
+}
+
+func TestParseWorkloadInvalidTable(t *testing.T) {
+	cases := []struct {
+		spec, wantSub string
+	}{
+		{"workload:arrivals=waves", "unknown arrivals"},
+		{"workload:tempo=0.4", "unknown workload key"},
+		{"workload:rate", "not key=value"},
+		{"workload:rate=", "not key=value"},
+		{"workload:=0.4", "not key=value"},
+		{"workload:rate=1.5", "probability"},
+		{"workload:rate=-0.1", "probability"},
+		{"workload:rate=abc", "probability"},
+		{"workload:eps=0", "probability"},
+		{"workload:period=0", "positive integer"},
+		{"workload:period=-3", "positive integer"},
+		{"workload:targets=0", "positive integer"},
+		{"workload:arrivals=flash,width=400,period=400", "width"},
+		{"workload:arrivals=flash,spike=0.2,rate=0.5", "spike"},
+		{"workload:arrivals=flash,targets=512,width=399,period=400", "unstable"},
+		{"workload:service=exp(2)", "unknown service"},
+		{"workload:service=pareto(x)", "pareto"},
+		{"workload:service=uniform(2)", "uniform"},
+		{"workload:service=uniform(a,b)", "uniform"},
+		{"workload:arrivals=diurnal,low=0.5,rate=0.3", "Diurnal"}, // low > rate
+	}
+	for _, c := range cases {
+		_, err := ParseWorkload(c.spec, 1024, 7)
+		if err == nil {
+			t.Errorf("ParseWorkload(%q) accepted", c.spec)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("ParseWorkload(%q) error %q missing %q", c.spec, err, c.wantSub)
+		}
+	}
+	if _, err := ParseWorkload("workload:", 0, 7); err == nil {
+		t.Error("ParseWorkload accepted n=0")
+	}
+}
+
+// TestSplitTopParenAware checks the grammar splitter keeps commas
+// inside parentheses attached to their value.
+func TestSplitTopParenAware(t *testing.T) {
+	got := splitTop("arrivals=poisson,service=uniform(2,8),rate=0.3")
+	want := []string{"arrivals=poisson", "service=uniform(2,8)", "rate=0.3"}
+	if len(got) != len(want) {
+		t.Fatalf("splitTop = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("splitTop[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+// TestFlashGenerateWindows checks the spike applies exactly to the hot
+// set inside the spike window. Probabilities 1.0 and near-0 make the
+// window arithmetic observable without statistics.
+func TestFlashGenerateWindows(t *testing.T) {
+	f, err := NewFlash(0.0001, 1.0, 0.1, 100, 10, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := xrand.New(1)
+	for _, now := range []int64{0, 9, 100, 109} { // inside spike windows
+		if f.Generate(0, r, now) != 1 {
+			t.Fatalf("hot proc idle at step %d inside the spike window", now)
+		}
+	}
+	// Cold processor inside the window, hot processor outside: both at
+	// the near-zero base rate — sum over many draws stays tiny.
+	hits := 0
+	for i := 0; i < 2000; i++ {
+		hits += f.Generate(5, r, 3)  // cold, in-window
+		hits += f.Generate(0, r, 50) // hot, out-of-window
+	}
+	if hits > 10 {
+		t.Fatalf("base-rate draws produced %d arrivals at p=0.0001", hits)
+	}
+}
+
+// TestDiurnalPeriodBoundaries pins the rate at every edge of the
+// high/low split, including an odd period where the halves differ in
+// length.
+func TestDiurnalPeriodBoundaries(t *testing.T) {
+	d, err := NewDiurnal(0.45, 0.15, 0.1, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		now  int64
+		want float64
+	}{
+		{0, 0.45},    // period start: high
+		{199, 0.45},  // last high step
+		{200, 0.15},  // first low step
+		{399, 0.15},  // last low step
+		{400, 0.45},  // wraps to high
+		{599, 0.45},  // high edge in the second cycle
+		{600, 0.15},  // low edge in the second cycle
+		{4000, 0.45}, // deep into the run
+	}
+	for _, c := range cases {
+		if got := d.Rate(c.now); got != c.want {
+			t.Errorf("Rate(%d) = %g, want %g", c.now, got, c.want)
+		}
+	}
+
+	// Odd period 5: Period/2 = 2, so steps {0,1} are high, {2,3,4} low.
+	odd, err := NewDiurnal(0.5, 0.2, 0.1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantOdd := []float64{0.5, 0.5, 0.2, 0.2, 0.2, 0.5}
+	for now, want := range wantOdd {
+		if got := odd.Rate(int64(now)); got != want {
+			t.Errorf("odd period Rate(%d) = %g, want %g", now, got, want)
+		}
+	}
+}
+
+// FuzzParseWorkload feeds arbitrary spec strings through the grammar:
+// the parser must never panic, and an accepted spec must yield a
+// usable model (non-empty name, {0,1}-valued unit draws).
+func FuzzParseWorkload(f *testing.F) {
+	f.Add("workload:arrivals=poisson,rate=0.4,eps=0.1")
+	f.Add("workload:arrivals=bursty,targets=2,burst=10,window=10")
+	f.Add("workload:arrivals=diurnal,rate=0.45,low=0.15,period=7")
+	f.Add("workload:arrivals=flash,rate=0.4,spike=0.9,width=3,period=24,targets=1")
+	f.Add("workload:service=pareto(1.5),smax=16")
+	f.Add("workload:service=uniform(2,8)")
+	f.Add("workload:rate=1.0000000001")
+	f.Add("arrivals=flash,,=,")
+	f.Add("workload:service=pareto(()")
+	f.Fuzz(func(t *testing.T, spec string) {
+		w, err := ParseWorkload(spec, 64, 3)
+		if err != nil {
+			return
+		}
+		if w.Model == nil || w.Model.Name() == "" {
+			t.Fatalf("accepted %q with unusable model %v", spec, w.Model)
+		}
+		r := xrand.New(11)
+		loads := make([]int32, 64)
+		sa, stepAware := w.Model.(StepAware)
+		for now := int64(0); now < 64; now++ {
+			if stepAware {
+				sa.BeginStep(now, loads)
+			}
+			for p := 0; p < 4; p++ {
+				if g := w.Model.Generate(p, r, now); g < 0 {
+					t.Fatalf("%q: Generate = %d", spec, g)
+				}
+				if c := w.Model.WantConsume(p, r, now); c < 0 {
+					t.Fatalf("%q: WantConsume = %d", spec, c)
+				}
+			}
+		}
+		if w.Weigher != nil {
+			for i := 0; i < 64; i++ {
+				if wt := w.Weigher.Weight(i%4, r, int64(i)); wt < 1 {
+					t.Fatalf("%q: weight %d < 1", spec, wt)
+				}
+			}
+		}
+	})
+}

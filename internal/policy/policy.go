@@ -1,0 +1,362 @@
+// Package policy promotes "balancing policy" to a first-class,
+// pluggable layer over the simulation substrate (ROADMAP item 3).
+//
+// Before this layer the repo carried competing strategies in four
+// disconnected shapes: the paper's balancer (internal/core), the
+// message-passing protocol (internal/proto), the Section 1.1 baselines
+// (internal/baselines) and the static balls-into-bins games
+// (internal/static) — each wired into tools by a hand-coded name
+// switch, and only some of them speaking the engine.Runner contract.
+// The policy layer collapses that into:
+//
+//   - Policy / Router: the two execution hooks a strategy implements.
+//     A Policy balances queues once per step over a narrow View of the
+//     machine (loads + transfers + message accounting); a Router places
+//     each newly generated task (the balls-into-bins comparison class).
+//     Strategies that need deeper machine access (the paper's phase
+//     balancer, the distributed protocol) keep implementing
+//     sim.Balancer directly and are registered all the same.
+//   - Spec / Register / Lookup: the registry. A Spec couples a name to
+//     capability flags (which backends it runs on, whether it honors
+//     fault plans, failure-detector tuning, churn schedules, or a
+//     workload spec) and an Install hook that wires the concrete
+//     strategy into a sim.Config. Command-line validation derives
+//     every cross-flag rule from these capabilities instead of
+//     hard-coding policy names.
+//
+// Every registered policy executes through sim.Machine + engine.Drive,
+// so all of them inherit Metrics.Tasks (wait quantiles, locality,
+// hops), Extra counters, fault plumbing where declared, and
+// trace/benchjson output for free.
+package policy
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"plb/internal/sim"
+	"plb/internal/xrand"
+)
+
+// View is the narrow machine surface a Policy steps over: load
+// inspection, the transfer/scatter move primitives, and cost
+// accounting. *sim.Machine implements it; policies written against
+// View depend only on this contract, not on the machine internals.
+type View interface {
+	// N returns the number of processors.
+	N() int
+	// Now returns the current step count.
+	Now() int64
+	// Load returns the queue length of processor p.
+	Load(p int) int
+	// Snapshot refreshes and returns the per-processor load snapshot;
+	// the slice is owned by the substrate and valid until the next
+	// step or Snapshot call.
+	Snapshot() []int32
+	// MaxLoad and TotalLoad are the instantaneous load statistics.
+	MaxLoad() int
+	TotalLoad() int64
+	// Transfer moves up to k tasks from processor from to processor
+	// to, preserving order, and returns the number moved.
+	Transfer(from, to, k int) int
+	// Scatter re-places every queued task on a uniformly random
+	// processor (the throw-everything-in-the-air primitive).
+	Scatter(r *xrand.Stream) int64
+	// AddMessages and AddCommRounds account communication cost.
+	AddMessages(k int64)
+	AddCommRounds(k int64)
+	// Down reports whether processor p is crashed at the current step.
+	Down(p int) bool
+}
+
+var _ View = (*sim.Machine)(nil)
+
+// Policy is a balancing strategy driven once per time step, after
+// generation and consumption. Implementations balance by moving tasks
+// between queues through the View.
+type Policy interface {
+	// Name identifies the policy in experiment tables.
+	Name() string
+	// Init is called once when the machine is constructed.
+	Init(v View)
+	// Step runs the policy for one time step.
+	Step(v View)
+}
+
+// Router is a per-task routing strategy (the balls-into-bins task
+// allocation class): every newly generated task is routed to a
+// destination processor before it enqueues. Routing runs sequentially,
+// so a Router may inspect any queue length without races.
+type Router interface {
+	// Name identifies the strategy in experiment tables.
+	Name() string
+	// Init is called once when the machine is constructed.
+	Init(v View)
+	// Route returns the destination processor for a task generated at
+	// origin; r is origin's private random stream.
+	Route(v View, origin int, r *xrand.Stream) int
+}
+
+// balancerAdapter lets a View-level Policy run as a sim.Balancer.
+type balancerAdapter struct{ p Policy }
+
+func (a balancerAdapter) Name() string        { return a.p.Name() }
+func (a balancerAdapter) Init(m *sim.Machine) { a.p.Init(m) }
+func (a balancerAdapter) Step(m *sim.Machine) { a.p.Step(m) }
+
+// placerAdapter lets a View-level Router run as a sim.Placer.
+type placerAdapter struct{ r Router }
+
+func (a placerAdapter) Name() string        { return a.r.Name() }
+func (a placerAdapter) Init(m *sim.Machine) { a.r.Init(m) }
+func (a placerAdapter) Place(m *sim.Machine, origin int, rs *xrand.Stream) int {
+	return a.r.Route(m, origin, rs)
+}
+
+// AsBalancer adapts a Policy to the sim.Balancer interface.
+func AsBalancer(p Policy) sim.Balancer { return balancerAdapter{p} }
+
+// AsPlacer adapts a Router to the sim.Placer interface.
+func AsPlacer(r Router) sim.Placer { return placerAdapter{r} }
+
+// Caps declares what a registered policy supports, per backend. Each
+// field lists the command-line backends ("sim", "live", "shmem") on
+// which the corresponding flag is honored; a flag given outside that
+// set is a validation error that names the offending flag pair.
+type Caps struct {
+	// Backends lists the backends the policy runs on at all.
+	Backends []string
+	// Faults lists the backends where a -faults plan is honored.
+	Faults []string
+	// Detect lists the backends where -detect tuning is honored.
+	Detect []string
+	// Churn lists the backends where a -churn schedule is honored.
+	Churn []string
+	// Workload lists the backends where a -model / workload spec is
+	// honored; on the others the policy runs its built-in workload.
+	Workload []string
+	// Router marks task-allocation strategies (the policy routes
+	// fresh tasks instead of moving queued ones).
+	Router bool
+}
+
+func contains(list []string, s string) bool {
+	for _, x := range list {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}
+
+// OnBackend reports whether the policy runs on the named backend.
+func (c Caps) OnBackend(b string) bool { return contains(c.Backends, b) }
+
+// FaultsOn reports whether -faults is honored on the named backend.
+func (c Caps) FaultsOn(b string) bool { return contains(c.Faults, b) }
+
+// DetectOn reports whether -detect is honored on the named backend.
+func (c Caps) DetectOn(b string) bool { return contains(c.Detect, b) }
+
+// ChurnOn reports whether -churn is honored on the named backend.
+func (c Caps) ChurnOn(b string) bool { return contains(c.Churn, b) }
+
+// WorkloadOn reports whether a workload spec is honored on the named
+// backend.
+func (c Caps) WorkloadOn(b string) bool { return contains(c.Workload, b) }
+
+// Params carries the construction knobs an Install hook receives.
+type Params struct {
+	// N is the number of processors.
+	N int
+	// Scale multiplies T=(log log n)^2 for the paper configurations.
+	Scale int
+	// Seed derives the policy's randomness.
+	Seed uint64
+	// Faults, Detect and Churn are the raw command-line specs; a
+	// policy that declares the capability parses and applies them,
+	// everything else receives them empty (validation rejects the
+	// combination first).
+	Faults, Detect, Churn string
+}
+
+// Spec is one registry entry: a named policy with capability flags and
+// a constructor that installs it into a sim.Config.
+type Spec struct {
+	// Name is the canonical registry name.
+	Name string
+	// Aliases are alternative names Lookup resolves to this entry.
+	Aliases []string
+	// Summary is a one-line description for listings and the README
+	// matrix.
+	Summary string
+	// Caps are the declared capabilities.
+	Caps Caps
+	// Install wires the concrete strategy into cfg (Balancer or
+	// Placer). It is nil for backend built-ins (live's threshold,
+	// shmem's collision) that are constructed by the backend itself.
+	Install func(cfg *sim.Config, p Params) error
+}
+
+var (
+	registry = map[string]Spec{}
+	aliases  = map[string]string{}
+)
+
+// Register adds a policy at package init time. It panics on duplicate
+// names or aliases (a registration bug).
+func Register(s Spec) {
+	if s.Name == "" {
+		panic("policy: Register with empty name")
+	}
+	if _, dup := registry[s.Name]; dup {
+		panic("policy: duplicate registration of " + s.Name)
+	}
+	if _, dup := aliases[s.Name]; dup {
+		panic("policy: name " + s.Name + " already registered as an alias")
+	}
+	for _, a := range s.Aliases {
+		if _, dup := aliases[a]; dup {
+			panic("policy: duplicate alias " + a)
+		}
+		if _, dup := registry[a]; dup {
+			panic("policy: alias " + a + " shadows a registered name")
+		}
+		aliases[a] = s.Name
+	}
+	registry[s.Name] = s
+}
+
+// Lookup resolves a name or alias to its Spec.
+func Lookup(name string) (Spec, bool) {
+	if canon, ok := aliases[name]; ok {
+		name = canon
+	}
+	s, ok := registry[name]
+	return s, ok
+}
+
+// Canonical resolves a name or alias to the canonical registry name.
+func Canonical(name string) (string, bool) {
+	s, ok := Lookup(name)
+	return s.Name, ok
+}
+
+// All returns every registered policy sorted by name.
+func All() []Spec {
+	out := make([]Spec, 0, len(registry))
+	for _, s := range registry {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Names returns every canonical policy name, sorted.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// BackendNames returns the canonical names of policies that run on the
+// named backend, sorted.
+func BackendNames(backend string) []string {
+	var out []string
+	for _, s := range All() {
+		if s.Caps.OnBackend(backend) {
+			out = append(out, s.Name)
+		}
+	}
+	return out
+}
+
+// InstallableNames returns the canonical names of policies with an
+// Install hook (runnable on the sim substrate), sorted.
+func InstallableNames() []string {
+	var out []string
+	for _, s := range All() {
+		if s.Install != nil {
+			out = append(out, s.Name)
+		}
+	}
+	return out
+}
+
+// CapableNames returns, for a capability selector (e.g. Caps.FaultsOn),
+// the "name (backend)" pairs that support it — used to build flag
+// errors that suggest valid alternatives without hard-coding names.
+func CapableNames(on func(Caps, string) bool) []string {
+	var out []string
+	for _, s := range All() {
+		for _, b := range s.Caps.Backends {
+			if on(s.Caps, b) {
+				out = append(out, fmt.Sprintf("%s (-backend %s)", s.Name, b))
+			}
+		}
+	}
+	return out
+}
+
+// DefaultName returns the default policy for a backend ("" for an
+// unknown backend; the constructors report those).
+func DefaultName(backend string) string {
+	switch backend {
+	case "", "sim":
+		return "bfm98"
+	case "live":
+		return "threshold"
+	case "shmem":
+		return "collision"
+	}
+	return ""
+}
+
+// Table renders the registry as rows for listings: name, kind,
+// backends, and a yes/— cell per capability, plus the summary.
+func Table() (header []string, rows [][]string) {
+	header = []string{"policy", "kind", "backends", "faults", "detect", "churn", "workload", "summary"}
+	capCell := func(list []string) string {
+		if len(list) == 0 {
+			return "—"
+		}
+		return strings.Join(list, ",")
+	}
+	for _, s := range All() {
+		kind := "balancer"
+		if s.Caps.Router {
+			kind = "router"
+		}
+		if s.Install == nil {
+			kind = "built-in"
+		}
+		rows = append(rows, []string{
+			s.Name, kind,
+			strings.Join(s.Caps.Backends, ","),
+			capCell(s.Caps.Faults),
+			capCell(s.Caps.Detect),
+			capCell(s.Caps.Churn),
+			capCell(s.Caps.Workload),
+			s.Summary,
+		})
+	}
+	return header, rows
+}
+
+// MarkdownMatrix renders the registry capability matrix as a Markdown
+// table — the source of truth for the README's policy matrix (a test
+// asserts the README block matches this output).
+func MarkdownMatrix() string {
+	header, rows := Table()
+	var b strings.Builder
+	b.WriteString("| " + strings.Join(header, " | ") + " |\n")
+	b.WriteString("|" + strings.Repeat("---|", len(header)) + "\n")
+	for _, row := range rows {
+		b.WriteString("| " + strings.Join(row, " | ") + " |\n")
+	}
+	return b.String()
+}
