@@ -3,7 +3,7 @@
 GO ?= go
 BENCH_JSON ?= BENCH_plb.json
 
-.PHONY: all build test race bench bench-smoke bench-compare experiments experiments-quick faults shootout lint clean
+.PHONY: all build test race bench bench-smoke bench-compare experiments experiments-quick faults shootout frontier lint clean
 
 all: build test
 
@@ -62,6 +62,12 @@ faults:
 POLICIES ?=
 shootout:
 	$(GO) run ./cmd/experiments -run E26 -quick $(if $(POLICIES),-policies $(POLICIES))
+
+# Frontier run: the sparse event-driven engine at full scale (E27,
+# n=2^20..2^27). Needs ~11 GB RAM at the top size and runs for
+# minutes; `make experiments-quick` covers the same table in seconds.
+frontier:
+	$(GO) run ./cmd/experiments -run E27
 
 # lint fails (not just lists) on unformatted files, then vets.
 lint:

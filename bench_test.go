@@ -69,6 +69,7 @@ func BenchmarkE21FaultInjection(b *testing.B)        { benchExperiment(b, "E21")
 func BenchmarkE22SelfSpeedup(b *testing.B)           { benchExperiment(b, "E22") }
 func BenchmarkE23FaultLatency(b *testing.B)          { benchExperiment(b, "E23") }
 func BenchmarkE26PolicyShootout(b *testing.B)        { benchExperiment(b, "E26") }
+func BenchmarkE27SparseFrontier(b *testing.B)        { benchExperiment(b, "E27") }
 
 // BenchmarkLiveTaskFlow measures end-to-end task flow through the live
 // goroutine-per-processor backend and surfaces the sojourn statistics
@@ -162,6 +163,46 @@ func BenchmarkMachineStepWorkers(b *testing.B) {
 					m.Step()
 				}
 				b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "proc-steps/s")
+			})
+		}
+	}
+}
+
+// BenchmarkSparseStep measures steady-state step throughput of the
+// paper's balancer in dense lockstep vs sparse event-driven mode at
+// the frontier reference sizes. The two trajectories are bit-identical
+// (see the sparse golden-digest suite); only per-step cost differs —
+// dense sweeps all n processors every step, sparse touches the active
+// set. The steps/s ratio between the paired sub-benchmarks is the
+// sparse speedup tracked in BENCH_plb.json.
+func BenchmarkSparseStep(b *testing.B) {
+	for _, n := range []int{1 << 16, 1 << 20} {
+		for _, sparse := range []bool{false, true} {
+			mode := "dense"
+			if sparse {
+				mode = "sparse"
+			}
+			b.Run("bfm98/n="+strconv.Itoa(n)+"/"+mode, func(b *testing.B) {
+				model, err := gen.NewSingle(0.4, 0.1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cfg := sim.Config{N: n, Model: model, Seed: 1, Sparse: sparse}
+				if err := cli.InstallPolicy(&cfg, "bfm98", policy.Params{N: n, Seed: 1}); err != nil {
+					b.Fatal(err)
+				}
+				m, err := sim.New(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				m.Inject(0, n/4) // give the balancer real work
+				m.Steps(96)      // steady state: past the first phases and a full wheel lap
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					m.Step()
+				}
+				b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "steps/s")
 			})
 		}
 	}

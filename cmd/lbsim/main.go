@@ -25,6 +25,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 
 	"plb/internal/cli"
@@ -70,6 +72,9 @@ func main() {
 		faultsF = flag.String("faults", "", "fault plan, e.g. lossy:0.05,crash:0.1@100-500,flap:k=4,period=200 (algo bfm98-dist or backend live; see docs/ALGORITHM.md)")
 		detectF = flag.String("detect", "", "failure-detector tuning for a faulted bfm98-dist run, e.g. suspect=20,hb=4 (see docs/ALGORITHM.md)")
 		churnF  = flag.String("churn", "", "membership schedule for bfm98-dist, e.g. churn:join=2,leave=2,period=400 or drain:0.25@1000 (see docs/ALGORITHM.md)")
+		sparse  = flag.Bool("sparse", false, "event-driven stepping: only heavy/active processors execute per step, idle ones advance analytically (sim backend, sparse-capable policies; bit-identical trajectories)")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the drive loop to this file (see docs/PERFORMANCE.md)")
+		memProf = flag.String("memprofile", "", "write a post-run heap profile to this file (see docs/PERFORMANCE.md)")
 		listPol = flag.Bool("list-policies", false, "print the policy registry with capability columns and exit")
 	)
 	flag.Parse()
@@ -86,7 +91,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "lbsim: -algo is deprecated, use -policy %s\n", policyName)
 	}
 
-	r, err := cli.BuildRunner(*backend, policyName, *model, *n, *scale, *seed, *wrk, *faultsF, *detectF, *churnF)
+	r, err := cli.BuildRunner(*backend, policyName, *model, *n, *scale, *seed, *wrk, *faultsF, *detectF, *churnF, *sparse)
 	if err != nil {
 		fail(err)
 	}
@@ -101,9 +106,35 @@ func main() {
 		dc.SampleEvery = *every
 		dc.Observers = []engine.Observer{rec}
 	}
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fail(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fail(err)
+		}
+		defer f.Close()
+	}
 	rep, err := engine.Drive(r, dc)
+	if *cpuProf != "" {
+		pprof.StopCPUProfile()
+	}
 	if err != nil {
 		fail(err)
+	}
+	if *memProf != "" {
+		f, err := os.Create(*memProf)
+		if err != nil {
+			fail(err)
+		}
+		runtime.GC() // settle the heap so the profile shows retained memory
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
 	}
 	sum := summary{Report: rep, PaperT: stats.PaperT(*n), Fairness: stats.JainFairness(r.Loads())}
 	if ts := rep.Final.Tasks; ts != nil && ts.Completed > 0 {

@@ -16,6 +16,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"plb/internal/cli"
@@ -75,6 +77,8 @@ func main() {
 		steps    = flag.Int("steps", 3000, "steps per run (maxload/messages)")
 		maxN     = flag.Int("maxn", 1<<15, "largest n in the sweep")
 		policies = flag.String("policies", defaultPolicies, "comma-separated registry policies, one curve each")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file (see docs/PERFORMANCE.md)")
+		memProf  = flag.String("memprofile", "", "write a post-sweep heap profile to this file (see docs/PERFORMANCE.md)")
 	)
 	flag.Parse()
 
@@ -82,6 +86,34 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
 		os.Exit(2)
+	}
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
+				os.Exit(1)
+			}
+			runtime.GC() // settle the heap so the profile shows retained memory
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
+				os.Exit(1)
+			}
+			f.Close()
+		}()
 	}
 	switch *figure {
 	case "maxload", "messages":

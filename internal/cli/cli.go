@@ -74,8 +74,10 @@ func ResolvePolicy(policyFlag, algoFlag string) (name string, deprecated bool, e
 // backend "" means "sim"; an empty spec means the flag was not given.
 // Every rule is derived from the policy registry's capability
 // declarations; unknown backend and model names are left to the
-// constructors, which list the valid names.
-func ValidateFlags(backend, policyName, model, faultSpec, detectSpec, churnSpec string) error {
+// constructors, which list the valid names. sparse mirrors the -sparse
+// flag: event-driven stepping exists only on the sim backend and only
+// for policies that declare the Sparse capability.
+func ValidateFlags(backend, policyName, model, faultSpec, detectSpec, churnSpec string, sparse bool) error {
 	if backend == "" {
 		backend = "sim"
 	}
@@ -110,6 +112,22 @@ func ValidateFlags(backend, policyName, model, faultSpec, detectSpec, churnSpec 
 		if churnSpec != "" && !spec.Caps.ChurnOn(backend) {
 			return fmt.Errorf("cli: -churn with -backend %s -policy %s: elastic membership needs %s",
 				backend, name, orList(policy.CapableNames(policy.Caps.ChurnOn)))
+		}
+		if sparse {
+			if backend != "sim" {
+				return fmt.Errorf("cli: -sparse with -backend %s: event-driven stepping exists only on the sim backend", backend)
+			}
+			if !spec.Caps.Sparse {
+				var capable []string
+				for _, s := range policy.All() {
+					if s.Caps.Sparse {
+						capable = append(capable, "-policy "+s.Name)
+					}
+				}
+				sort.Strings(capable)
+				return fmt.Errorf("cli: -sparse with -policy %s: event-driven stepping needs %s",
+					name, strings.Join(capable, " or "))
+			}
 		}
 	}
 	if detectSpec != "" && faultSpec == "" && churnSpec == "" {
@@ -172,8 +190,10 @@ func BuildWorkload(name string, n int, seed uint64) (gen.Model, gen.Weigher, err
 // Placer) after capability validation. The Params carry n, the T
 // scale, the seed and the raw fault/detect/churn specs; only a policy
 // declaring the matching capability receives non-empty specs.
+// cfg.Sparse is part of the validated surface: a policy without the
+// Sparse capability cannot be installed on an event-driven machine.
 func InstallPolicy(cfg *sim.Config, name string, p policy.Params) error {
-	if err := ValidateFlags("sim", name, "", p.Faults, p.Detect, p.Churn); err != nil {
+	if err := ValidateFlags("sim", name, "", p.Faults, p.Detect, p.Churn, cfg.Sparse); err != nil {
 		return err
 	}
 	if name == "" {
@@ -218,8 +238,8 @@ func BackendNames() []string { return []string{"sim", "live", "shmem"} }
 //
 // Callers that need backend-specific knobs beyond these should build
 // the runner directly; this covers the common command-line surface.
-func BuildRunner(backend, policyName, model string, n, scale int, seed uint64, workers int, faultSpec, detectSpec, churnSpec string) (engine.Runner, error) {
-	if err := ValidateFlags(backend, policyName, model, faultSpec, detectSpec, churnSpec); err != nil {
+func BuildRunner(backend, policyName, model string, n, scale int, seed uint64, workers int, faultSpec, detectSpec, churnSpec string, sparse bool) (engine.Runner, error) {
+	if err := ValidateFlags(backend, policyName, model, faultSpec, detectSpec, churnSpec, sparse); err != nil {
 		return nil, err
 	}
 	switch backend {
@@ -228,7 +248,7 @@ func BuildRunner(backend, policyName, model string, n, scale int, seed uint64, w
 		if err != nil {
 			return nil, err
 		}
-		cfg := sim.Config{N: n, Model: mod, Weigher: weigher, Seed: seed, Workers: workers}
+		cfg := sim.Config{N: n, Model: mod, Weigher: weigher, Seed: seed, Workers: workers, Sparse: sparse}
 		p := policy.Params{N: n, Scale: scale, Seed: seed, Faults: faultSpec, Detect: detectSpec, Churn: churnSpec}
 		if err := InstallPolicy(&cfg, policyName, p); err != nil {
 			return nil, err

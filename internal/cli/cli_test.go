@@ -15,27 +15,35 @@ func TestValidateFlagCombos(t *testing.T) {
 	cases := []struct {
 		name                                        string
 		backend, algo, model, faults, detect, churn string
+		sparse                                      bool
 		want                                        []string // substrings the error must carry; empty = must pass
 	}{
-		{"defaults", "sim", "bfm98", "single", "", "", "", nil},
-		{"empty backend is sim", "", "bfm98-dist", "single", "lossy:0.1", "", "", nil},
-		{"faulted dist", "sim", "bfm98-dist", "burst", "lossy:0.1", "suspect=20", churn, nil},
-		{"faults off-protocol", "sim", "rsu", "single", "lossy:0.1", "", "", []string{"-faults", "-policy rsu"}},
-		{"churn off-protocol", "sim", "bfm98", "single", "", "", churn, []string{"-churn", "-policy bfm98"}},
-		{"detect alone", "sim", "bfm98-dist", "single", "", "suspect=20", "", []string{"-detect", "-faults"}},
-		{"detect rides churn", "sim", "bfm98-dist", "single", "", "suspect=20", churn, nil},
-		{"live ok", "live", "threshold", "single", "lossy:0.5", "", "", nil},
-		{"live algo", "live", "rsu", "single", "", "", "", []string{"-backend live", "-policy rsu"}},
-		{"live model", "live", "", "burst", "", "", "", []string{"-backend live", "-model burst"}},
-		{"live detect", "live", "", "single", "lossy:0.1", "suspect=20", "", []string{"-backend live", "-detect"}},
-		{"live churn", "live", "", "single", "", "", churn, []string{"-backend live", "-churn"}},
-		{"shmem ok", "shmem", "collision", "single", "", "", "", nil},
-		{"shmem faults", "shmem", "", "single", "lossy:0.1", "", "", []string{"-backend shmem", "-faults"}},
-		{"shmem detect", "shmem", "", "single", "", "suspect=20", "", []string{"-backend shmem", "-detect"}},
-		{"shmem churn", "shmem", "", "single", "", "", churn, []string{"-backend shmem", "-churn"}},
+		{"defaults", "sim", "bfm98", "single", "", "", "", false, nil},
+		{"empty backend is sim", "", "bfm98-dist", "single", "lossy:0.1", "", "", false, nil},
+		{"faulted dist", "sim", "bfm98-dist", "burst", "lossy:0.1", "suspect=20", churn, false, nil},
+		{"faults off-protocol", "sim", "rsu", "single", "lossy:0.1", "", "", false, []string{"-faults", "-policy rsu"}},
+		{"churn off-protocol", "sim", "bfm98", "single", "", "", churn, false, []string{"-churn", "-policy bfm98"}},
+		{"detect alone", "sim", "bfm98-dist", "single", "", "suspect=20", "", false, []string{"-detect", "-faults"}},
+		{"detect rides churn", "sim", "bfm98-dist", "single", "", "suspect=20", churn, false, nil},
+		{"live ok", "live", "threshold", "single", "lossy:0.5", "", "", false, nil},
+		{"live algo", "live", "rsu", "single", "", "", "", false, []string{"-backend live", "-policy rsu"}},
+		{"live model", "live", "", "burst", "", "", "", false, []string{"-backend live", "-model burst"}},
+		{"live detect", "live", "", "single", "lossy:0.1", "suspect=20", "", false, []string{"-backend live", "-detect"}},
+		{"live churn", "live", "", "single", "", "", churn, false, []string{"-backend live", "-churn"}},
+		{"shmem ok", "shmem", "collision", "single", "", "", "", false, nil},
+		{"shmem faults", "shmem", "", "single", "lossy:0.1", "", "", false, []string{"-backend shmem", "-faults"}},
+		{"shmem detect", "shmem", "", "single", "", "suspect=20", "", false, []string{"-backend shmem", "-detect"}},
+		{"shmem churn", "shmem", "", "single", "", "", churn, false, []string{"-backend shmem", "-churn"}},
+		{"sparse bfm98", "sim", "bfm98", "single", "", "", "", true, nil},
+		{"sparse phaseless", "sim", "bfm98-phaseless", "single", "", "", "", true, nil},
+		{"sparse pre-round", "sim", "bfm98-pre", "single", "", "", "", true, nil},
+		{"sparse off-policy", "sim", "bfm98-dist", "single", "", "", "", true, []string{"-sparse", "-policy bfm98-dist"}},
+		{"sparse router", "sim", "rsu", "single", "", "", "", true, []string{"-sparse", "-policy rsu"}},
+		{"sparse live", "live", "threshold", "single", "", "", "", true, []string{"-sparse", "-backend live"}},
+		{"sparse shmem", "shmem", "collision", "single", "", "", "", true, []string{"-sparse", "-backend shmem"}},
 	}
 	for _, c := range cases {
-		err := ValidateFlags(c.backend, c.algo, c.model, c.faults, c.detect, c.churn)
+		err := ValidateFlags(c.backend, c.algo, c.model, c.faults, c.detect, c.churn, c.sparse)
 		if len(c.want) == 0 {
 			if err != nil {
 				t.Errorf("%s: unexpected error: %v", c.name, err)
@@ -195,7 +203,7 @@ func TestInstallAlgoChurn(t *testing.T) {
 
 func TestBuildRunnerBackends(t *testing.T) {
 	for _, backend := range BackendNames() {
-		r, err := BuildRunner(backend, "bfm98", "single", 64, 1, 1, 0, "", "", "")
+		r, err := BuildRunner(backend, "bfm98", "single", 64, 1, 1, 0, "", "", "", false)
 		if err != nil {
 			t.Fatalf("BuildRunner(%q) failed: %v", backend, err)
 		}
@@ -210,13 +218,13 @@ func TestBuildRunnerBackends(t *testing.T) {
 			t.Fatalf("backend %q: steps = %d, want 4", backend, m.Steps)
 		}
 	}
-	if _, err := BuildRunner("nope", "bfm98", "single", 64, 1, 1, 0, "", "", ""); err == nil {
+	if _, err := BuildRunner("nope", "bfm98", "single", 64, 1, 1, 0, "", "", "", false); err == nil {
 		t.Fatal("unknown backend accepted")
 	}
 }
 
 func TestBuildRunnerProtoBackend(t *testing.T) {
-	r, err := BuildRunner("sim", "bfm98-dist", "single", 64, 1, 1, 0, "", "", "")
+	r, err := BuildRunner("sim", "bfm98-dist", "single", 64, 1, 1, 0, "", "", "", false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -234,14 +242,14 @@ func TestBuildRunnerRejectsMismatches(t *testing.T) {
 		{"shmem", "bfm98", "single", "lossy:0.1"},
 	}
 	for _, c := range cases {
-		if _, err := BuildRunner(c.backend, c.algo, c.model, 64, 1, 1, 0, c.faults, "", ""); err == nil {
+		if _, err := BuildRunner(c.backend, c.algo, c.model, 64, 1, 1, 0, c.faults, "", "", false); err == nil {
 			t.Fatalf("BuildRunner(%q, %q, %q, faults=%q) accepted", c.backend, c.algo, c.model, c.faults)
 		}
 	}
 }
 
 func TestBuildRunnerLiveFaults(t *testing.T) {
-	r, err := BuildRunner("live", "threshold", "single", 32, 1, 1, 0, "lossy:0.5", "", "")
+	r, err := BuildRunner("live", "threshold", "single", 32, 1, 1, 0, "lossy:0.5", "", "", false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -265,10 +273,10 @@ func TestInstallAlgoDetect(t *testing.T) {
 	if err := InstallAlgo(&sim.Config{}, "bfm98-dist", 256, 1, 1, "lossy:0.1", "suspect=nope", ""); err == nil {
 		t.Fatal("bad detect spec accepted")
 	}
-	if _, err := BuildRunner("live", "threshold", "single", 32, 1, 1, 0, "lossy:0.5", "suspect=20", ""); err == nil {
+	if _, err := BuildRunner("live", "threshold", "single", 32, 1, 1, 0, "lossy:0.5", "suspect=20", "", false); err == nil {
 		t.Fatal("live backend accepted -detect")
 	}
-	if _, err := BuildRunner("shmem", "collision", "single", 32, 1, 1, 0, "", "suspect=20", ""); err == nil {
+	if _, err := BuildRunner("shmem", "collision", "single", 32, 1, 1, 0, "", "suspect=20", "", false); err == nil {
 		t.Fatal("shmem backend accepted -detect")
 	}
 }

@@ -125,7 +125,11 @@ type Result struct {
 	// AllSatisfied reports whether every request was satisfied.
 	AllSatisfied bool
 	// AcceptCount[p] is the number of queries processor p accepted;
-	// the protocol guarantees AcceptCount[p] <= c.
+	// the protocol guarantees AcceptCount[p] <= c. It is nil when the
+	// execution used the sparse counter arena (n >= SparseProcs): at
+	// frontier sizes an O(n) counter array per Scratch would dominate
+	// memory, so the per-processor counters live in maps keyed only by
+	// the processors actually probed.
 	AcceptCount []int8
 }
 
@@ -134,6 +138,17 @@ type Result struct {
 // inline. The cutover is invisible in the results (both paths are
 // bit-identical), it only moves the constant.
 const parMinActive = 256
+
+// SparseProcs is the processor count at or above which Run switches to
+// the sparse counter arena: map-based per-processor counters sized by
+// the touched set instead of O(n) arrays (at n=2^27 the arrays alone
+// would cost ~0.7 GB per Scratch). Every accept decision is a pure
+// function of the counter values, so the storage change is invisible
+// in the results — a test pins both arenas to identical outcomes. The
+// sparse arena always runs rounds inline (Lemma 4 keeps the request
+// count tiny at these sizes, so the sharded kernel has nothing to
+// win). Variable only so tests can lower it.
+var SparseProcs = 1 << 21
 
 // Scratch holds the collision kernel's reusable working memory: the
 // fixed random choices, per-choice accept flags, the Result backing
@@ -151,11 +166,16 @@ type Scratch struct {
 	active    []int // indices of still-unsatisfied requests
 	sample    []int // SampleDistinct output buffer
 
-	// Per-processor state.
+	// Per-processor state (array arena, n < SparseProcs).
 	acceptCnt []int8  // cumulative accepts (Result.AcceptCount)
 	arrivals  []int32 // queries delivered this round
 	touched   []int32 // arrivals entries to reset after the round
 	dirty     []int32 // acceptCnt entries dirtied, cleared on next Run
+
+	// Sparse counter arena (n >= SparseProcs): same counters, keyed by
+	// the probed processors only.
+	acceptMap  map[int32]int8
+	arrivalMap map[int32]int32
 
 	// Per-shard private buffers of the parallel kernel.
 	shardArrivals [][]int32
@@ -213,31 +233,44 @@ func (s *Scratch) Run(n int, requesters []int32, p Params, r *xrand.Stream, maxR
 	nr := len(requesters)
 	a := p.A
 
-	// Clear the processor counters dirtied by the previous Run (the
-	// arrival counters are already zero: every round resets the
-	// entries it touched).
-	if s.acceptCnt != nil {
-		full := s.acceptCnt[:cap(s.acceptCnt)]
-		for _, t := range s.dirty {
-			full[t] = 0
+	sparseArena := n >= SparseProcs
+	if sparseArena {
+		if s.acceptMap == nil {
+			s.acceptMap = make(map[int32]int8)
+			s.arrivalMap = make(map[int32]int32)
+		} else {
+			clear(s.acceptMap)
+			clear(s.arrivalMap)
 		}
-	}
-	s.dirty = s.dirty[:0]
-	if cap(s.acceptCnt) < n {
-		s.acceptCnt = make([]int8, n)
 	} else {
-		s.acceptCnt = s.acceptCnt[:n]
-	}
-	if cap(s.arrivals) < n {
-		s.arrivals = make([]int32, n)
-	} else {
-		s.arrivals = s.arrivals[:n]
+		// Clear the processor counters dirtied by the previous Run (the
+		// arrival counters are already zero: every round resets the
+		// entries it touched).
+		if s.acceptCnt != nil {
+			full := s.acceptCnt[:cap(s.acceptCnt)]
+			for _, t := range s.dirty {
+				full[t] = 0
+			}
+		}
+		s.dirty = s.dirty[:0]
+		if cap(s.acceptCnt) < n {
+			s.acceptCnt = make([]int8, n)
+		} else {
+			s.acceptCnt = s.acceptCnt[:n]
+		}
+		if cap(s.arrivals) < n {
+			s.arrivals = make([]int32, n)
+		} else {
+			s.arrivals = s.arrivals[:n]
+		}
 	}
 
 	res := Result{
-		Accepted:    growHdr(&s.accHdr, nr),
-		Satisfied:   growBool(&s.satisfied, nr),
-		AcceptCount: s.acceptCnt,
+		Accepted:  growHdr(&s.accHdr, nr),
+		Satisfied: growBool(&s.satisfied, nr),
+	}
+	if !sparseArena {
+		res.AcceptCount = s.acceptCnt
 	}
 	if nr == 0 {
 		res.AllSatisfied = true
@@ -277,21 +310,33 @@ func (s *Scratch) Run(n int, requesters []int32, p Params, r *xrand.Stream, maxR
 
 	for round := 0; round < maxRounds && len(active) > 0; round++ {
 		res.Rounds++
-		if workers != 1 && len(active) >= parMinActive && par.NumShards(len(active), workers) > 1 {
+		switch {
+		case sparseArena:
+			res.Messages += s.runRoundInlineMap(active, p)
+		case workers != 1 && len(active) >= parMinActive && par.NumShards(len(active), workers) > 1:
 			res.Messages += s.runRoundSharded(active, p, workers)
-		} else {
+		default:
 			res.Messages += s.runRoundInline(active, p)
 		}
 		// Commit this round's accepts and reset the arrival counters:
 		// a target that stayed within c accepted all of its arrivals.
-		for _, tgt := range s.touched {
-			if int(s.acceptCnt[tgt])+int(s.arrivals[tgt]) <= p.C {
-				if s.acceptCnt[tgt] == 0 {
-					s.dirty = append(s.dirty, tgt)
+		if sparseArena {
+			for _, tgt := range s.touched {
+				if int(s.acceptMap[tgt])+int(s.arrivalMap[tgt]) <= p.C {
+					s.acceptMap[tgt] += int8(s.arrivalMap[tgt])
 				}
-				s.acceptCnt[tgt] += int8(s.arrivals[tgt])
+				delete(s.arrivalMap, tgt)
 			}
-			s.arrivals[tgt] = 0
+		} else {
+			for _, tgt := range s.touched {
+				if int(s.acceptCnt[tgt])+int(s.arrivals[tgt]) <= p.C {
+					if s.acceptCnt[tgt] == 0 {
+						s.dirty = append(s.dirty, tgt)
+					}
+					s.acceptCnt[tgt] += int8(s.arrivals[tgt])
+				}
+				s.arrivals[tgt] = 0
+			}
 		}
 		s.touched = s.touched[:0]
 		// Requests with >= b accepts leave the game.
@@ -340,6 +385,44 @@ func (s *Scratch) runRoundInline(active []int, p Params) int64 {
 			}
 			tgt := s.choices[base+j]
 			if int(s.acceptCnt[tgt])+int(s.arrivals[tgt]) <= p.C {
+				s.accepted[base+j] = true
+				s.accHdr[i] = append(s.accHdr[i], tgt)
+				msgs++ // accept message
+			}
+		}
+	}
+	return msgs
+}
+
+// runRoundInlineMap is runRoundInline over the sparse counter arena:
+// identical logic, map-addressed counters. Accept decisions are pure
+// functions of (acceptCnt, arrivals), so the two arenas produce
+// bit-identical results.
+func (s *Scratch) runRoundInlineMap(active []int, p Params) int64 {
+	a := p.A
+	var msgs int64
+	for _, i := range active {
+		base := i * a
+		for j := 0; j < a; j++ {
+			if s.accepted[base+j] {
+				continue
+			}
+			tgt := s.choices[base+j]
+			if s.arrivalMap[tgt] == 0 {
+				s.touched = append(s.touched, tgt)
+			}
+			s.arrivalMap[tgt]++
+			msgs++
+		}
+	}
+	for _, i := range active {
+		base := i * a
+		for j := 0; j < a; j++ {
+			if s.accepted[base+j] {
+				continue
+			}
+			tgt := s.choices[base+j]
+			if int(s.acceptMap[tgt])+int(s.arrivalMap[tgt]) <= p.C {
 				s.accepted[base+j] = true
 				s.accHdr[i] = append(s.accHdr[i], tgt)
 				msgs++ // accept message

@@ -1,0 +1,60 @@
+package collision
+
+import (
+	"slices"
+	"testing"
+
+	"plb/internal/xrand"
+)
+
+// TestSparseArenaMatchesArray pins the two counter arenas to identical
+// outcomes: the map-keyed sparse arena (used at frontier n to avoid
+// O(n) per-Scratch counter arrays) must reproduce the array arena's
+// results bit for bit — same accepts in the same order, same rounds,
+// same message count — because every accept decision is a pure
+// function of the counter values, not of where they are stored.
+func TestSparseArenaMatchesArray(t *testing.T) {
+	defer func(old int) { SparseProcs = old }(SparseProcs)
+	p := Lemma1Params()
+	for trial := 0; trial < 20; trial++ {
+		n := 1 << (8 + trial%4)
+		rng := xrand.New(uint64(500 + trial))
+		var requesters []int32
+		for q := 0; q < n; q++ {
+			if rng.Float64() < 0.03 {
+				requesters = append(requesters, int32(q))
+			}
+		}
+
+		run := func(threshold, workers int) Result {
+			SparseProcs = threshold
+			var s Scratch
+			return s.Run(n, requesters, p, xrand.New(uint64(900+trial)), 0, workers)
+		}
+		array := run(n+1, 1)   // below threshold: array arena
+		sparse := run(1, 1)    // at/above threshold: map arena
+		sharded := run(n+1, 4) // array arena, parallel kernel
+
+		if array.AcceptCount == nil {
+			t.Fatalf("trial %d: array arena lost AcceptCount", trial)
+		}
+		if sparse.AcceptCount != nil {
+			t.Fatalf("trial %d: sparse arena must not materialize AcceptCount", trial)
+		}
+		for _, got := range []Result{sparse, sharded} {
+			if got.Rounds != array.Rounds || got.Messages != array.Messages ||
+				got.Steps != array.Steps || got.AllSatisfied != array.AllSatisfied {
+				t.Fatalf("trial %d: scalar outcome diverged: %+v vs %+v", trial, got, array)
+			}
+			if !slices.Equal(got.Satisfied, array.Satisfied) {
+				t.Fatalf("trial %d: Satisfied diverged", trial)
+			}
+			for i := range array.Accepted {
+				if !slices.Equal(got.Accepted[i], array.Accepted[i]) {
+					t.Fatalf("trial %d request %d: accepts %v vs %v",
+						trial, i, got.Accepted[i], array.Accepted[i])
+				}
+			}
+		}
+	}
+}

@@ -55,6 +55,15 @@ type Balancer struct {
 	// moves perStep tasks from src to dst every step until drained.
 	streams []streamXfer
 
+	// Sparse-machine mode (set at Init when the machine is event-
+	// driven): phases read the machine's incremental heavy index
+	// instead of sweeping all n loads, and the per-phase arrays above
+	// reset lazily — touch() stamps an entry with the phase epoch on
+	// first use, so a phase costs O(participants), not O(n).
+	sparse   bool
+	epoch    []uint32
+	curEpoch uint32
+
 	// Aggregated statistics.
 	totalPhases   int64
 	totalHeavy    int64
@@ -118,6 +127,15 @@ func (b *Balancer) Init(m *sim.Machine) {
 		b.preHits = make([]int32, b.n)
 	}
 	b.streams = nil
+	b.sparse = m.SparseActive()
+	if b.sparse {
+		if b.cfg.ByWeight {
+			panic("core: ByWeight balancing cannot run on a sparse machine (weighted service needs task identity)")
+		}
+		m.ConfigureHeavyIndex(b.cfg.HeavyThreshold)
+		b.epoch = make([]uint32, b.n)
+		b.curEpoch = 0
+	}
 }
 
 // streamXfer is one in-flight streamed block transfer.
@@ -193,6 +211,10 @@ func (b *Balancer) Totals() (phases, heavy, matched, requests int64) {
 }
 
 func (b *Balancer) runPhase(m *sim.Machine) {
+	if b.sparse {
+		b.runPhaseSparse(m)
+		return
+	}
 	cfg := &b.cfg
 	var snap []int32
 	var wsnap []int64
@@ -269,6 +291,87 @@ func (b *Balancer) runPhase(m *sim.Machine) {
 	}
 }
 
+// runPhaseSparse is the event-driven phase body: identical decisions
+// to runPhase, O(participants) work. The machine's heavy index
+// replaces the sharded classification sweep (same set, same ascending
+// id order), and the per-processor phase arrays reset lazily through
+// touch instead of being cleared for all n. Light counting is skipped
+// (PhaseStats.Light = -1) unless an OnPhase observer needs it, because
+// an exact incremental light count would require rechecking every
+// processor hovering at the light boundary — the observer case pays
+// one full sync instead.
+func (b *Balancer) runPhaseSparse(m *sim.Machine) {
+	cfg := &b.cfg
+	ps := PhaseStats{Start: m.Now(), Light: -1}
+	b.curEpoch++
+	if b.curEpoch == 0 { // uint32 wrap: restore the all-stale invariant
+		clear(b.epoch)
+		b.curEpoch = 1
+	}
+	heavies := append(b.heavies[:0], m.HeavyIDs()...)
+	b.heavies = heavies
+	ps.Heavy = len(heavies)
+	if cfg.OnPhase != nil {
+		light := 0
+		for _, l := range m.Snapshot() {
+			if int(l) <= cfg.LightThreshold {
+				light++
+			}
+		}
+		ps.Light = light
+	}
+	for _, h := range heavies {
+		b.touch(m, h)
+	}
+
+	if len(heavies) > 0 {
+		searchers := append(b.searchA[:0], heavies...)
+		b.searchA = searchers
+		if cfg.PreRound {
+			searchers = b.preRound(m, searchers, &ps)
+		}
+		for _, s := range searchers {
+			b.boss[s] = s
+			b.inTree[s] = true
+		}
+		b.growTrees(m, searchers, &ps)
+	}
+
+	m.AddMessages(ps.Messages)
+
+	b.totalPhases++
+	b.totalHeavy += int64(ps.Heavy)
+	b.totalMatched += int64(ps.Matched)
+	b.totalRequests += ps.Requests
+	b.sumRounds += int64(ps.Rounds)
+	if cfg.OnPhase != nil {
+		cfg.OnPhase(ps)
+	}
+}
+
+// touch lazily initializes processor p's per-phase state on its first
+// appearance in the current sparse phase: light classification from
+// the live (synced) load plus the usual flag resets. A no-op on dense
+// machines (runPhase resets all n entries up front) and on already-
+// touched entries.
+//
+// Reading the live load here is equivalent to the dense phase-start
+// snapshot: a processor's load only changes mid-phase by receiving or
+// sending a transfer, and every transfer endpoint is touched before
+// its first transfer (roots at phase start, partners before they are
+// assigned) — so the load touch sees is always the phase-start value.
+func (b *Balancer) touch(m *sim.Machine, p int32) {
+	if !b.sparse || b.epoch[p] == b.curEpoch {
+		return
+	}
+	b.epoch[p] = b.curEpoch
+	b.lightAt[p] = m.Load(int(p)) <= b.cfg.LightThreshold
+	b.assigned[p] = false
+	b.inTree[p] = false
+	b.matched[p] = false
+	b.partner[p] = -1
+}
+
 // preRound is the Section 4.3 modification for the adversarial model:
 // every heavy processor probes one random processor; a light,
 // unreserved processor hit by exactly one probe balances immediately.
@@ -290,6 +393,7 @@ func (b *Balancer) preRound(m *sim.Machine, heavies []int32, ps *PhaseStats) []i
 	remaining := heavies[:0]
 	for i, h := range heavies {
 		t := targets[i]
+		b.touch(m, t)
 		if b.preHits[t] == 1 && t != h && b.lightAt[t] && !b.assigned[t] {
 			b.assigned[t] = true
 			moved := b.transferBlock(m, h, t)
@@ -340,6 +444,7 @@ func (b *Balancer) growTrees(m *sim.Machine, searchers []int32, ps *PhaseStats) 
 			// applicativeness via their parent: one message each.
 			group := res.Accepted[i][:cfg.Collision.B]
 			for _, t := range group {
+				b.touch(m, t)
 				b.boss[t] = root
 			}
 			ps.Messages += int64(len(group))

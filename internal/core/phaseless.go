@@ -43,6 +43,7 @@ type Phaseless struct {
 
 	n        int
 	workers  int
+	sparse   bool // event-driven machine: scan the heavy index, not all n
 	rng      *xrand.Stream
 	nextTry  []int64
 	probeCnt []int32 // probes received this step
@@ -116,29 +117,46 @@ func (b *Phaseless) Init(m *sim.Machine) {
 	b.touched = b.touched[:0]
 	b.initShard = make([][]int32, par.NumShards(b.n, b.workers))
 	b.probeBuf = make([]int, b.Probes)
+	b.sparse = m.SparseActive()
+	if b.sparse {
+		m.ConfigureHeavyIndex(b.HeavyThreshold)
+	}
 }
 
 // Step implements sim.Balancer.
 func (b *Phaseless) Step(m *sim.Machine) {
 	now := m.Now()
-	// Collect this step's initiators: a sharded read-only scan whose
-	// per-shard lists concatenate in ascending processor order.
-	shards := par.NumShards(b.n, b.workers)
-	par.Ranges(b.n, b.workers, func(s, lo, hi int) {
-		list := b.initShard[s][:0]
-		for p := lo; p < hi; p++ {
+	initiators := b.inits[:0]
+	if b.sparse {
+		// The machine's heavy index is exactly the load>=threshold set
+		// in ascending id order — same initiators as the dense scan,
+		// O(heavy) instead of O(n). Copied because the transfers below
+		// mutate the index while we iterate.
+		for _, p := range m.HeavyIDs() {
 			if now < b.nextTry[p] {
 				continue
 			}
-			if m.Load(p) >= b.HeavyThreshold {
-				list = append(list, int32(p))
-			}
+			initiators = append(initiators, p)
 		}
-		b.initShard[s] = list
-	})
-	initiators := b.inits[:0]
-	for s := 0; s < shards; s++ {
-		initiators = append(initiators, b.initShard[s]...)
+	} else {
+		// Collect this step's initiators: a sharded read-only scan whose
+		// per-shard lists concatenate in ascending processor order.
+		shards := par.NumShards(b.n, b.workers)
+		par.Ranges(b.n, b.workers, func(s, lo, hi int) {
+			list := b.initShard[s][:0]
+			for p := lo; p < hi; p++ {
+				if now < b.nextTry[p] {
+					continue
+				}
+				if m.Load(p) >= b.HeavyThreshold {
+					list = append(list, int32(p))
+				}
+			}
+			b.initShard[s] = list
+		})
+		for s := 0; s < shards; s++ {
+			initiators = append(initiators, b.initShard[s]...)
+		}
 	}
 	b.inits = initiators
 	if len(initiators) == 0 {

@@ -20,6 +20,7 @@ func init() {
 			Backends: []string{"sim", "live", "shmem"},
 			Faults:   []string{"live"},
 			Workload: []string{"sim"},
+			Sparse:   true,
 		},
 		Install: installCore(false),
 	})
@@ -29,6 +30,7 @@ func init() {
 		Caps: policy.Caps{
 			Backends: []string{"sim"},
 			Workload: []string{"sim"},
+			Sparse:   true,
 		},
 		Install: installCore(true),
 	})
@@ -39,6 +41,7 @@ func init() {
 		Caps: policy.Caps{
 			Backends: []string{"sim"},
 			Workload: []string{"sim"},
+			Sparse:   true,
 		},
 		Install: func(cfg *sim.Config, p policy.Params) error {
 			b, err := NewPhaseless(p.N, p.Seed)

@@ -1,0 +1,42 @@
+package engine
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+)
+
+// SparseCapable is implemented by runners that can execute in the
+// event-driven sparse mode (sim.Machine). Tools use IsSparse to label
+// output; the equivalence harness below is mode-agnostic.
+type SparseCapable interface {
+	// SparseActive reports whether the runner is currently executing
+	// event-driven.
+	SparseActive() bool
+}
+
+// IsSparse reports whether r is running in sparse mode.
+func IsSparse(r Runner) bool {
+	s, ok := r.(SparseCapable)
+	return ok && s.SparseActive()
+}
+
+// TrajectoryDigest advances r one step at a time for steps steps and
+// folds every per-step load snapshot into an FNV-64a digest (4
+// little-endian bytes per load — the same scheme as the pinned golden
+// digests). Two runners with equal digests made bit-identical
+// decisions at every step; this is the referee for the dense-vs-
+// sparse equivalence suite and the E27 frontier experiment's sanity
+// check.
+func TrajectoryDigest(r Runner, steps int) string {
+	h := fnv.New64a()
+	var buf [4]byte
+	for i := 0; i < steps; i++ {
+		r.Steps(1)
+		for _, l := range r.Loads() {
+			binary.LittleEndian.PutUint32(buf[:], uint32(l))
+			h.Write(buf[:])
+		}
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}

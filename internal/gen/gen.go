@@ -55,6 +55,18 @@ type StepAware interface {
 	BeginStep(now int64, loads []int32)
 }
 
+// Bounded is implemented by models whose per-step generation has a
+// hard upper bound. The sparse event-driven simulator (sim.Config.
+// Sparse) relies on it: a processor whose load is d below the heavy
+// threshold cannot become heavy for at least ceil(d/MaxGenPerStep)
+// steps, so its catch-up can be deferred that long. Models without a
+// bound (adversaries) cannot run sparse.
+type Bounded interface {
+	// MaxGenPerStep returns the largest number of tasks Generate can
+	// return in one step (0 means the model never generates).
+	MaxGenPerStep() int
+}
+
 // Single is the paper's primary model: Bernoulli(P) generation and
 // Bernoulli(P+Eps) consumption.
 type Single struct {
@@ -92,6 +104,9 @@ func (s Single) WantConsume(_ int, r *xrand.Stream, _ int64) int {
 	}
 	return 0
 }
+
+// MaxGenPerStep implements Bounded: at most one task per step.
+func (s Single) MaxGenPerStep() int { return 1 }
 
 // SteadyStateGainLoss returns the per-step probabilities of gaining
 // and losing one task for a non-empty unbalanced processor, matching
@@ -163,6 +178,9 @@ func (d Diurnal) WantConsume(_ int, r *xrand.Stream, _ int64) int {
 	return 0
 }
 
+// MaxGenPerStep implements Bounded: at most one task per step.
+func (d Diurnal) MaxGenPerStep() int { return 1 }
+
 // Geometric is the paper's second model: at most K tasks per step,
 // P(i tasks) = 2^-(i+1) for i in 1..K, deterministic unit consumption.
 type Geometric struct {
@@ -199,6 +217,9 @@ func (g Geometric) Generate(_ int, r *xrand.Stream, _ int64) int {
 
 // WantConsume implements Model: deterministic single-task consumption.
 func (g Geometric) WantConsume(_ int, _ *xrand.Stream, _ int64) int { return 1 }
+
+// MaxGenPerStep implements Bounded: at most K tasks per step.
+func (g Geometric) MaxGenPerStep() int { return g.K }
 
 // ExpectedPerStep returns the expected number of tasks generated per
 // step: sum_{i=1..K} i * 2^-(i+1).
@@ -278,3 +299,6 @@ func (m *Multi) MaxPerStep() int {
 	}
 	return max
 }
+
+// MaxGenPerStep implements Bounded.
+func (m *Multi) MaxGenPerStep() int { return m.MaxPerStep() }

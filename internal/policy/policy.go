@@ -139,6 +139,11 @@ type Caps struct {
 	// Router marks task-allocation strategies (the policy routes
 	// fresh tasks instead of moving queued ones).
 	Router bool
+	// Sparse marks policies that run on the sim backend's event-driven
+	// mode (-sparse): the policy steps against the machine's
+	// incremental heavy index instead of sweeping all n loads, with
+	// bit-identical trajectories.
+	Sparse bool
 }
 
 func contains(list []string, s string) bool {
@@ -319,7 +324,7 @@ func DefaultName(backend string) string {
 // Table renders the registry as rows for listings: name, kind,
 // backends, and a yes/— cell per capability, plus the summary.
 func Table() (header []string, rows [][]string) {
-	header = []string{"policy", "kind", "backends", "faults", "detect", "churn", "workload", "summary"}
+	header = []string{"policy", "kind", "backends", "faults", "detect", "churn", "workload", "sparse", "summary"}
 	capCell := func(list []string) string {
 		if len(list) == 0 {
 			return "—"
@@ -334,6 +339,10 @@ func Table() (header []string, rows [][]string) {
 		if s.Install == nil {
 			kind = "built-in"
 		}
+		sparse := "—"
+		if s.Caps.Sparse {
+			sparse = "yes"
+		}
 		rows = append(rows, []string{
 			s.Name, kind,
 			strings.Join(s.Caps.Backends, ","),
@@ -341,6 +350,7 @@ func Table() (header []string, rows [][]string) {
 			capCell(s.Caps.Detect),
 			capCell(s.Caps.Churn),
 			capCell(s.Caps.Workload),
+			sparse,
 			s.Summary,
 		})
 	}

@@ -51,13 +51,11 @@ func (m *Machine) Loads() []int32 { return m.Snapshot() }
 // publishes the merged task-lifecycle summary (Metrics.Tasks). The
 // installed balancer may extend it via MetricsExtender.
 func (m *Machine) Collect() engine.Metrics {
-	rec := m.Recorder()
 	em := engine.Metrics{
 		Steps:           m.now,
 		MaxLoad:         int64(m.MaxLoad()),
 		TotalLoad:       m.TotalLoad(),
 		Generated:       m.Generated(),
-		Completed:       rec.Completed,
 		Messages:        m.metrics.Messages,
 		BalanceActions:  m.metrics.BalanceActions,
 		TasksMoved:      m.metrics.TasksMoved,
@@ -66,8 +64,22 @@ func (m *Machine) Collect() engine.Metrics {
 		Drops:           m.metrics.Drops,
 		AbandonedPhases: m.metrics.AbandonedPhases,
 	}
-	sum := rec.Summary()
-	em.Tasks = &sum
+	if e := m.sparse; e != nil {
+		// Counters, not tasks: completion comes from the replay
+		// arithmetic (MaxLoad above already synced everyone, so the
+		// conservation identity holds exactly) and there is no task
+		// identity to summarize — Tasks stays nil, like shmem.
+		em.Completed = e.completedTotal()
+		synced, replayed := m.SparseStats()
+		em.AddExtra("sparse", 1)
+		em.AddExtra("sparse_synced", synced)
+		em.AddExtra("sparse_replayed", replayed)
+	} else {
+		rec := m.Recorder()
+		em.Completed = rec.Completed
+		sum := rec.Summary()
+		em.Tasks = &sum
+	}
 	if ext, ok := m.bal.(MetricsExtender); ok {
 		ext.ExtendMetrics(&em)
 	}

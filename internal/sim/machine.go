@@ -21,6 +21,7 @@ package sim
 
 import (
 	"fmt"
+	"math"
 	"sync/atomic"
 
 	"plb/internal/deque"
@@ -105,6 +106,15 @@ type Config struct {
 	Seed uint64
 	// Workers is the parallel shard count; <= 0 means GOMAXPROCS.
 	Workers int
+	// Sparse selects the event-driven execution mode: per-processor
+	// load counters instead of task queues, with idle processors
+	// advanced lazily by replaying their private random streams in
+	// batch (bit-identical trajectories, no per-step O(n) sweep). It
+	// requires a gen.Bounded model and excludes Placer, Weigher and
+	// StepAware models — New reports an error for those combinations.
+	// Task identity (wait times, hops, locality) is not tracked;
+	// Collect publishes Tasks == nil like the shmem backend.
+	Sparse bool
 }
 
 // Machine is the simulated n-processor system.
@@ -117,11 +127,12 @@ type Machine struct {
 	now     int64
 
 	queues  []deque.Deque[task.Task]
-	streams []*xrand.Stream
-	loads   []int32 // refreshed snapshot handed to StepAware models
+	streams []xrand.Stream // by value: 32 B/processor, cache-dense at frontier n
+	loads   []int32        // snapshot (dense) or authoritative counters (sparse)
 	recs    []task.Recorder
 	gens    []int64 // per-shard generated-task counters
 	wloads  []int64 // per-processor remaining service weight
+	wsnap   []int64 // SnapshotWeights buffer (lazily allocated)
 	weigher gen.Weigher
 	xferBuf []task.Task // Transfer block scratch (balancer phase is sequential)
 
@@ -130,6 +141,13 @@ type Machine struct {
 	placer    Placer
 	down      func(p int, now int64) bool
 	genOff    func(p int, now int64) bool
+	sparse    *sparseEngine // nil in the dense (task-queue) mode
+
+	// Devirtualized replay thresholds for the paper's primary model
+	// (gen.Single with P+Eps < 1), precomputed once so the sparse
+	// replay loop runs on integer compares. See replaySteps.
+	singleFast      bool
+	genThr, consThr uint64
 }
 
 // New constructs a Machine. All processors start empty.
@@ -146,17 +164,34 @@ func New(cfg Config) (*Machine, error) {
 		bal:     cfg.Balancer,
 		workers: cfg.Workers,
 		seed:    cfg.Seed,
-		queues:  make([]deque.Deque[task.Task], cfg.N),
-		streams: make([]*xrand.Stream, cfg.N),
+		streams: make([]xrand.Stream, cfg.N),
 		loads:   make([]int32, cfg.N),
 		recs:    make([]task.Recorder, par.NumShards(cfg.N, cfg.Workers)),
 		gens:    make([]int64, par.NumShards(cfg.N, cfg.Workers)),
-		wloads:  make([]int64, cfg.N),
 		weigher: cfg.Weigher,
+	}
+	if cfg.Sparse {
+		if err := validateSparse(cfg); err != nil {
+			return nil, err
+		}
+		m.sparse = newSparseEngine(cfg.N, par.NumShards(cfg.N, cfg.Workers))
+	} else {
+		m.queues = make([]deque.Deque[task.Task], cfg.N)
+		m.wloads = make([]int64, cfg.N)
 	}
 	root := xrand.New(cfg.Seed)
 	for p := 0; p < cfg.N; p++ {
-		m.streams[p] = root.Split(uint64(p))
+		m.streams[p] = *root.Split(uint64(p))
+	}
+	if s, ok := cfg.Model.(gen.Single); ok && s.P+s.Eps < 1 {
+		// Bernoulli(p) on a Float64 in [0,1) is exactly the integer
+		// test u>>11 < ceil(p * 2^53): Float64 divides a 53-bit
+		// integer by 2^53 (both exact), and scaling p by the same
+		// power of two is exact too, so the two comparisons agree on
+		// every draw. replaySteps uses these.
+		m.singleFast = true
+		m.genThr = uint64(math.Ceil(s.P * (1 << 53)))
+		m.consThr = uint64(math.Ceil((s.P + s.Eps) * (1 << 53)))
 	}
 	if sa, ok := cfg.Model.(gen.StepAware); ok {
 		m.stepAware = sa
@@ -169,6 +204,24 @@ func New(cfg Config) (*Machine, error) {
 		m.bal.Init(m)
 	}
 	return m, nil
+}
+
+// validateSparse rejects configurations the event-driven mode cannot
+// replay bit-identically.
+func validateSparse(cfg Config) error {
+	if cfg.Placer != nil {
+		return fmt.Errorf("sim: Sparse excludes Placer (routing inspects queues globally every step)")
+	}
+	if cfg.Weigher != nil {
+		return fmt.Errorf("sim: Sparse excludes Weigher (weighted service needs task identity)")
+	}
+	if _, ok := cfg.Model.(gen.StepAware); ok {
+		return fmt.Errorf("sim: Sparse excludes StepAware models (%s needs a per-step global snapshot)", cfg.Model.Name())
+	}
+	if _, ok := cfg.Model.(gen.Bounded); !ok {
+		return fmt.Errorf("sim: Sparse requires a gen.Bounded model, %s has no per-step generation bound", cfg.Model.Name())
+	}
+	return nil
 }
 
 // N returns the number of processors.
@@ -196,12 +249,22 @@ func (m *Machine) BalancerName() string {
 }
 
 // Load returns the queue length of processor p.
-func (m *Machine) Load(p int) int { return m.queues[p].Len() }
+func (m *Machine) Load(p int) int {
+	if e := m.sparse; e != nil {
+		e.syncOne(m, p)
+		return int(m.loads[p])
+	}
+	return m.queues[p].Len()
+}
 
 // Snapshot refreshes and returns the internal load snapshot. The
 // returned slice is owned by the machine and valid until the next
 // Step or Snapshot call; callers must not modify it.
 func (m *Machine) Snapshot() []int32 {
+	if e := m.sparse; e != nil {
+		e.syncAll(m)
+		return m.loads
+	}
 	par.Ranges(m.n, m.workers, func(_, lo, hi int) {
 		for p := lo; p < hi; p++ {
 			m.loads[p] = int32(m.queues[p].Len())
@@ -212,6 +275,18 @@ func (m *Machine) Snapshot() []int32 {
 
 // MaxLoad returns the largest queue length.
 func (m *Machine) MaxLoad() int {
+	if e := m.sparse; e != nil {
+		e.syncAll(m)
+		return par.RangesReduce(m.n, m.workers, func(_, lo, hi int) int {
+			best := 0
+			for p := lo; p < hi; p++ {
+				if l := int(m.loads[p]); l > best {
+					best = l
+				}
+			}
+			return best
+		}, func(a, b int) int { return max(a, b) })
+	}
 	return par.RangesReduce(m.n, m.workers, func(_, lo, hi int) int {
 		best := 0
 		for p := lo; p < hi; p++ {
@@ -225,6 +300,10 @@ func (m *Machine) MaxLoad() int {
 
 // TotalLoad returns the total number of queued tasks in the system.
 func (m *Machine) TotalLoad() int64 {
+	if e := m.sparse; e != nil {
+		e.syncAll(m)
+		return m.Generated() - e.completedTotal()
+	}
 	return par.RangesReduce(m.n, m.workers, func(_, lo, hi int) int64 {
 		var sum int64
 		for p := lo; p < hi; p++ {
@@ -237,6 +316,13 @@ func (m *Machine) TotalLoad() int64 {
 // Inject pushes k fresh tasks onto processor p's queue (used to set up
 // worst-case initial states). Injected tasks count as generated.
 func (m *Machine) Inject(p, k int) {
+	if e := m.sparse; e != nil {
+		e.syncOne(m, p)
+		m.loads[p] += int32(k)
+		m.gens[0] += int64(k)
+		e.reclassify(m, p)
+		return
+	}
 	for i := 0; i < k; i++ {
 		m.queues[p].PushBack(task.Task{Origin: int32(p), Birth: m.now, Weight: 1, Remaining: 1})
 	}
@@ -249,6 +335,13 @@ func (m *Machine) Inject(p, k int) {
 func (m *Machine) InjectWeighted(p, k int, w int32) {
 	if w < 1 {
 		w = 1
+	}
+	if m.sparse != nil {
+		if w > 1 {
+			panic("sim: InjectWeighted(w>1) on a sparse machine (weighted service needs task identity)")
+		}
+		m.Inject(p, k)
+		return
 	}
 	for i := 0; i < k; i++ {
 		m.queues[p].PushBack(task.Task{Origin: int32(p), Birth: m.now, Weight: w, Remaining: w})
@@ -277,6 +370,23 @@ func (m *Machine) Transfer(from, to, k int) int {
 	if from == to || k <= 0 {
 		return 0
 	}
+	if e := m.sparse; e != nil {
+		// Count arithmetic on synced endpoints: moved = min(k, load),
+		// exactly what TakeBackInto produces from a real queue.
+		e.syncOne(m, from)
+		e.syncOne(m, to)
+		moved := k
+		if l := int(m.loads[from]); l < moved {
+			moved = l
+		}
+		m.loads[from] -= int32(moved)
+		m.loads[to] += int32(moved)
+		e.reclassify(m, from)
+		e.reclassify(m, to)
+		atomic.AddInt64(&m.metrics.TasksMoved, int64(moved))
+		atomic.AddInt64(&m.metrics.BalanceActions, 1)
+		return moved
+	}
 	block := m.queues[from].TakeBackInto(m.xferBuf, k)
 	var weight int64
 	for i := range block {
@@ -298,6 +408,9 @@ func (m *Machine) Transfer(from, to, k int) int {
 // number of tasks and the weight moved. The weighted balancer uses it
 // in place of Transfer.
 func (m *Machine) TransferWeight(from, to int, wbudget int64) (tasks int, weight int64) {
+	if m.sparse != nil {
+		panic("sim: TransferWeight on a sparse machine (ByWeight balancing needs task identity)")
+	}
 	if from == to || wbudget <= 0 {
 		return 0, 0
 	}
@@ -324,10 +437,18 @@ func (m *Machine) TransferWeight(from, to int, wbudget int64) (tasks int, weight
 
 // WeightedLoad returns the remaining service weight queued on
 // processor p (equals Load(p) for unit tasks).
-func (m *Machine) WeightedLoad(p int) int64 { return m.wloads[p] }
+func (m *Machine) WeightedLoad(p int) int64 {
+	if m.sparse != nil {
+		return int64(m.Load(p)) // unit tasks only in sparse mode
+	}
+	return m.wloads[p]
+}
 
 // MaxWeightedLoad returns the largest per-processor remaining weight.
 func (m *Machine) MaxWeightedLoad() int64 {
+	if m.sparse != nil {
+		return int64(m.MaxLoad())
+	}
 	var max int64
 	for _, w := range m.wloads {
 		if w > max {
@@ -337,9 +458,25 @@ func (m *Machine) MaxWeightedLoad() int64 {
 	return max
 }
 
-// SnapshotWeights returns the per-processor remaining weights; the
-// returned slice is owned by the machine and must not be modified.
-func (m *Machine) SnapshotWeights() []int64 { return m.wloads }
+// SnapshotWeights refreshes and returns the per-processor remaining
+// weights. Like Snapshot, the returned slice is owned by the machine
+// and valid until the next Step or SnapshotWeights call; unlike the
+// original implementation it is a private snapshot buffer, not the
+// live accounting array, so a caller mutating the returned slice can
+// no longer corrupt transfer bookkeeping.
+func (m *Machine) SnapshotWeights() []int64 {
+	if m.wsnap == nil {
+		m.wsnap = make([]int64, m.n)
+	}
+	if m.sparse != nil {
+		for p, l := range m.Snapshot() {
+			m.wsnap[p] = int64(l)
+		}
+		return m.wsnap
+	}
+	copy(m.wsnap, m.wloads)
+	return m.wsnap
+}
 
 // Scatter removes every queued task from every processor and
 // re-places each on an independently, uniformly random processor drawn
@@ -347,6 +484,9 @@ func (m *Machine) SnapshotWeights() []int64 { return m.wloads }
 // of tasks redistributed. Scatter is the primitive behind the paper's
 // "throw all load into the air" strawman.
 func (m *Machine) Scatter(r *xrand.Stream) int64 {
+	if e := m.sparse; e != nil {
+		return m.scatterSparse(r)
+	}
 	var moved int64
 	var pool []task.Task
 	for p := 0; p < m.n; p++ {
@@ -397,6 +537,9 @@ func (m *Machine) GenOff(p int) bool { return m.genOff != nil && m.genOff(p, m.n
 // crash. Each moved task's hop count increases; the move is accounted
 // as one balance action.
 func (m *Machine) ScatterFrom(p int, r *xrand.Stream) int64 {
+	if e := m.sparse; e != nil {
+		return m.scatterFromSparse(p, r)
+	}
 	q := &m.queues[p]
 	block := q.TakeBack(q.Len())
 	if len(block) == 0 {
@@ -446,6 +589,23 @@ func (m *Machine) Recorder() task.Recorder {
 
 // Step advances the machine by one time step.
 func (m *Machine) Step() {
+	if e := m.sparse; e != nil {
+		// Event-driven step: no per-processor sweep. Raise the sync
+		// target to this step, catch up the heavy list and the
+		// processors whose heavy-threshold crossing is possible now
+		// (the timing wheel's due bucket) — together they keep the
+		// heavy index exact before the balancer looks at it — then let
+		// the balancer run; everyone else stays un-replayed until
+		// something reads or moves their load.
+		e.target = m.now
+		e.syncHeavy(m)
+		e.processDue(m)
+		if m.bal != nil {
+			m.bal.Step(m)
+		}
+		m.now++
+		return
+	}
 	if m.stepAware != nil {
 		m.stepAware.BeginStep(m.now, m.Snapshot())
 	}
@@ -500,7 +660,7 @@ func (m *Machine) stepLocal() {
 			if m.down != nil && m.down(p, m.now) {
 				continue // crashed: no generation, no consumption
 			}
-			r := m.streams[p]
+			r := &m.streams[p]
 			q := &m.queues[p]
 			if m.genOff == nil || !m.genOff(p, m.now) {
 				g := m.model.Generate(p, r, m.now)
@@ -524,7 +684,7 @@ func (m *Machine) stepPlaced() {
 		if m.down != nil && m.down(p, m.now) {
 			continue // crashed: no generation, no consumption
 		}
-		r := m.streams[p]
+		r := &m.streams[p]
 		if m.genOff == nil || !m.genOff(p, m.now) {
 			g := m.model.Generate(p, r, m.now)
 			m.gens[0] += int64(g)

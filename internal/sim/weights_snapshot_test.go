@@ -1,0 +1,49 @@
+package sim
+
+import (
+	"testing"
+
+	"plb/internal/gen"
+)
+
+// TestSnapshotWeightsIsolation is the regression test for the
+// slice-aliasing bug: SnapshotWeights used to return the live
+// per-processor weight accounting array, so a caller scribbling on the
+// "snapshot" silently corrupted transfer bookkeeping. The snapshot
+// must be a private buffer: caller mutations may not leak into the
+// machine, and a fresh snapshot must restore the true values.
+func TestSnapshotWeightsIsolation(t *testing.T) {
+	m, err := New(Config{N: 8, Model: gen.Single{P: 0.4, Eps: 0.1}, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.InjectWeighted(2, 5, 7) // 35 weight on processor 2
+	m.InjectWeighted(5, 1, 3)
+
+	s1 := m.SnapshotWeights()
+	if s1[2] != 35 || s1[5] != 3 {
+		t.Fatalf("snapshot = %v, want 35 at p2 and 3 at p5", s1)
+	}
+	for i := range s1 {
+		s1[i] = -999 // scribble all over the returned slice
+	}
+	if got := m.WeightedLoad(2); got != 35 {
+		t.Fatalf("caller mutation leaked into the machine: WeightedLoad(2) = %d, want 35", got)
+	}
+	if got := m.MaxWeightedLoad(); got != 35 {
+		t.Fatalf("caller mutation leaked: MaxWeightedLoad = %d, want 35", got)
+	}
+	if s2 := m.SnapshotWeights(); s2[2] != 35 || s2[5] != 3 {
+		t.Fatalf("fresh snapshot did not recover: %v", s2)
+	}
+
+	// Transfers must keep accounting on the real array, not the
+	// snapshot buffer.
+	m.Transfer(2, 0, 2)
+	if got := m.WeightedLoad(0); got != 14 {
+		t.Fatalf("post-transfer WeightedLoad(0) = %d, want 14", got)
+	}
+	if got := m.WeightedLoad(2); got != 21 {
+		t.Fatalf("post-transfer WeightedLoad(2) = %d, want 21", got)
+	}
+}
