@@ -3,7 +3,7 @@
 GO ?= go
 BENCH_JSON ?= BENCH_plb.json
 
-.PHONY: all build test race bench bench-smoke bench-compare experiments experiments-quick faults shootout frontier lint clean
+.PHONY: all build test race bench bench-smoke bench-compare experiments experiments-quick faults shootout frontier daemon-smoke lint clean
 
 all: build test
 
@@ -68,6 +68,13 @@ shootout:
 # minutes; `make experiments-quick` covers the same table in seconds.
 frontier:
 	$(GO) run ./cmd/experiments -run E27
+
+# Daemon smoke: build the real lbsimd binary, boot a UDS fleet of
+# daemon processes plus a load-generator client, bounce one daemon
+# mid-run (clean drain + reconnect), and audit exact task conservation
+# across every process incarnation. A TCP loopback variant rides along.
+daemon-smoke:
+	$(GO) test ./cmd/lbsimd -run 'TestDaemonSmoke' -count=1 -v
 
 # lint fails (not just lists) on unformatted files, then vets.
 lint:

@@ -9,7 +9,8 @@
 //	lbsim -json ...             # machine-readable summary (unified engine metrics)
 //
 // Backends: sim (default, lockstep), live (goroutine per processor),
-// shmem (PRAM shared-memory simulation).
+// shmem (PRAM shared-memory simulation), sockets (in-process fleet of
+// socket-connected nodes; see also cmd/lbsimd for real daemons).
 // Policies come from the internal/policy registry (-list-policies);
 // -algo is a deprecated alias for -policy.
 // Models (sim backend): single, geometric, multi, burst, tree,
@@ -58,7 +59,7 @@ func main() {
 	var (
 		n       = flag.Int("n", 4096, "number of processors")
 		steps   = flag.Int("steps", 5000, "simulation steps")
-		backend = flag.String("backend", "sim", "substrate: sim, live, shmem")
+		backend = flag.String("backend", "sim", "substrate: sim, live, shmem, sockets")
 		policyF = flag.String("policy", "", "balancing policy from the registry (default bfm98; see -list-policies)")
 		algo    = flag.String("algo", "", "deprecated alias for -policy")
 		model   = flag.String("model", "single", "workload: single, geometric, multi, burst, tree, hotspot, diurnal, or a workload: grammar spec (sim backend only)")
@@ -75,6 +76,8 @@ func main() {
 		sparse  = flag.Bool("sparse", false, "event-driven stepping: only heavy/active processors execute per step, idle ones advance analytically (sim backend, sparse-capable policies; bit-identical trajectories)")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the drive loop to this file (see docs/PERFORMANCE.md)")
 		memProf = flag.String("memprofile", "", "write a post-run heap profile to this file (see docs/PERFORMANCE.md)")
+		listenF = flag.String("listen", "", "socket flavor for -backend sockets: unix (default) or tcp")
+		peersF  = flag.String("peers", "", "reserved for lbsimd; rejected here (lbsim always boots its own fleet)")
 		listPol = flag.Bool("list-policies", false, "print the policy registry with capability columns and exit")
 	)
 	flag.Parse()
@@ -91,7 +94,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "lbsim: -algo is deprecated, use -policy %s\n", policyName)
 	}
 
-	r, err := cli.BuildRunner(*backend, policyName, *model, *n, *scale, *seed, *wrk, *faultsF, *detectF, *churnF, *sparse)
+	r, err := cli.BuildRunner(*backend, policyName, *model, *n, *scale, *seed, *wrk, *faultsF, *detectF, *churnF, *sparse, *listenF, *peersF)
 	if err != nil {
 		fail(err)
 	}

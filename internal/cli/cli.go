@@ -21,6 +21,7 @@ import (
 	"plb/internal/faults"
 	"plb/internal/gen"
 	"plb/internal/live"
+	"plb/internal/node"
 	"plb/internal/policy"
 	"plb/internal/shmem"
 	"plb/internal/sim"
@@ -76,12 +77,30 @@ func ResolvePolicy(policyFlag, algoFlag string) (name string, deprecated bool, e
 // declarations; unknown backend and model names are left to the
 // constructors, which list the valid names. sparse mirrors the -sparse
 // flag: event-driven stepping exists only on the sim backend and only
-// for policies that declare the Sparse capability.
-func ValidateFlags(backend, policyName, model, faultSpec, detectSpec, churnSpec string, sparse bool) error {
+// for policies that declare the Sparse capability. listen and peers
+// mirror the socket-backend flags: listen picks the in-process fleet's
+// socket flavor ("unix" or "tcp"), peers exists only for lbsimd.
+func ValidateFlags(backend, policyName, model, faultSpec, detectSpec, churnSpec string, sparse bool, listen, peers string) error {
 	if backend == "" {
 		backend = "sim"
 	}
-	known := backend == "sim" || backend == "live" || backend == "shmem"
+	if backend == "sockets" {
+		// Socket transports decline fault plans loudly: injected faults
+		// exist only on the in-memory transport. Over real sockets the
+		// network itself is the injector — kill a daemon, drop packets.
+		if faultSpec != "" {
+			return fmt.Errorf("cli: -faults with -backend sockets: socket transports decline fault plans; real networks inject their own faults (use -backend sim for simulated plans)")
+		}
+		if listen != "" && listen != "unix" && listen != "tcp" {
+			return fmt.Errorf("cli: -listen %s with -backend sockets: the in-process fleet takes a socket flavor, \"unix\" or \"tcp\"", listen)
+		}
+		if peers != "" {
+			return fmt.Errorf("cli: -peers with -backend sockets: lbsim always boots its own in-process fleet; to drive an external daemon fleet use lbsimd -loadgen with -peers")
+		}
+	} else if listen != "" || peers != "" {
+		return fmt.Errorf("cli: -listen/-peers without -backend sockets: socket addressing has no meaning on the %s backend", backend)
+	}
+	known := backend == "sim" || backend == "live" || backend == "shmem" || backend == "sockets"
 	name := policyName
 	if name == "" {
 		name = policy.DefaultName(backend)
@@ -193,7 +212,7 @@ func BuildWorkload(name string, n int, seed uint64) (gen.Model, gen.Weigher, err
 // cfg.Sparse is part of the validated surface: a policy without the
 // Sparse capability cannot be installed on an event-driven machine.
 func InstallPolicy(cfg *sim.Config, name string, p policy.Params) error {
-	if err := ValidateFlags("sim", name, "", p.Faults, p.Detect, p.Churn, cfg.Sparse); err != nil {
+	if err := ValidateFlags("sim", name, "", p.Faults, p.Detect, p.Churn, cfg.Sparse, "", ""); err != nil {
 		return err
 	}
 	if name == "" {
@@ -220,7 +239,7 @@ func InstallAlgo(cfg *sim.Config, name string, n, scale int, seed uint64, faultS
 }
 
 // BackendNames lists the backends BuildRunner accepts.
-func BackendNames() []string { return []string{"sim", "live", "shmem"} }
+func BackendNames() []string { return []string{"sim", "live", "shmem", "sockets"} }
 
 // BuildRunner constructs an engine.Runner for a named backend.
 //
@@ -235,11 +254,16 @@ func BackendNames() []string { return []string{"sim", "live", "shmem"} }
 //     synthetic access stream; it runs the collision protocol at the
 //     Lemma 1 operating point (a=5, b=2, c=1) and accepts policy
 //     "collision" or the default.
+//   - "sockets" boots an in-process fleet of node runtimes whose every
+//     message crosses a real socket (internal/node over socktrans);
+//     listen picks the flavor ("unix", the default, or "tcp"). Like
+//     live it is only statistically reproducible. model may be a name
+//     or a workload grammar spec, exactly as on sim.
 //
 // Callers that need backend-specific knobs beyond these should build
 // the runner directly; this covers the common command-line surface.
-func BuildRunner(backend, policyName, model string, n, scale int, seed uint64, workers int, faultSpec, detectSpec, churnSpec string, sparse bool) (engine.Runner, error) {
-	if err := ValidateFlags(backend, policyName, model, faultSpec, detectSpec, churnSpec, sparse); err != nil {
+func BuildRunner(backend, policyName, model string, n, scale int, seed uint64, workers int, faultSpec, detectSpec, churnSpec string, sparse bool, listen, peers string) (engine.Runner, error) {
+	if err := ValidateFlags(backend, policyName, model, faultSpec, detectSpec, churnSpec, sparse, listen, peers); err != nil {
 		return nil, err
 	}
 	switch backend {
@@ -271,6 +295,14 @@ func BuildRunner(backend, policyName, model string, n, scale int, seed uint64, w
 	case "shmem":
 		return shmem.NewRunner(shmem.RunnerConfig{
 			Mem: shmem.Config{Procs: n, Modules: n, Copies: 5, Quorum: 3, ModuleCap: 1, Seed: seed},
+		})
+	case "sockets":
+		mod, weigher, err := BuildWorkload(model, n, seed)
+		if err != nil {
+			return nil, err
+		}
+		return node.NewFleet(node.FleetConfig{
+			N: n, Network: listen, Seed: seed, Model: mod, Weigher: weigher, Scale: scale,
 		})
 	default:
 		return nil, fmt.Errorf("cli: unknown backend %q (have %v)", backend, BackendNames())

@@ -43,7 +43,7 @@ func TestValidateFlagCombos(t *testing.T) {
 		{"sparse shmem", "shmem", "collision", "single", "", "", "", true, []string{"-sparse", "-backend shmem"}},
 	}
 	for _, c := range cases {
-		err := ValidateFlags(c.backend, c.algo, c.model, c.faults, c.detect, c.churn, c.sparse)
+		err := ValidateFlags(c.backend, c.algo, c.model, c.faults, c.detect, c.churn, c.sparse, "", "")
 		if len(c.want) == 0 {
 			if err != nil {
 				t.Errorf("%s: unexpected error: %v", c.name, err)
@@ -203,7 +203,7 @@ func TestInstallAlgoChurn(t *testing.T) {
 
 func TestBuildRunnerBackends(t *testing.T) {
 	for _, backend := range BackendNames() {
-		r, err := BuildRunner(backend, "bfm98", "single", 64, 1, 1, 0, "", "", "", false)
+		r, err := BuildRunner(backend, "", "single", 64, 1, 1, 0, "", "", "", false, "", "")
 		if err != nil {
 			t.Fatalf("BuildRunner(%q) failed: %v", backend, err)
 		}
@@ -218,13 +218,13 @@ func TestBuildRunnerBackends(t *testing.T) {
 			t.Fatalf("backend %q: steps = %d, want 4", backend, m.Steps)
 		}
 	}
-	if _, err := BuildRunner("nope", "bfm98", "single", 64, 1, 1, 0, "", "", "", false); err == nil {
+	if _, err := BuildRunner("nope", "bfm98", "single", 64, 1, 1, 0, "", "", "", false, "", ""); err == nil {
 		t.Fatal("unknown backend accepted")
 	}
 }
 
 func TestBuildRunnerProtoBackend(t *testing.T) {
-	r, err := BuildRunner("sim", "bfm98-dist", "single", 64, 1, 1, 0, "", "", "", false)
+	r, err := BuildRunner("sim", "bfm98-dist", "single", 64, 1, 1, 0, "", "", "", false, "", "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -242,14 +242,14 @@ func TestBuildRunnerRejectsMismatches(t *testing.T) {
 		{"shmem", "bfm98", "single", "lossy:0.1"},
 	}
 	for _, c := range cases {
-		if _, err := BuildRunner(c.backend, c.algo, c.model, 64, 1, 1, 0, c.faults, "", "", false); err == nil {
+		if _, err := BuildRunner(c.backend, c.algo, c.model, 64, 1, 1, 0, c.faults, "", "", false, "", ""); err == nil {
 			t.Fatalf("BuildRunner(%q, %q, %q, faults=%q) accepted", c.backend, c.algo, c.model, c.faults)
 		}
 	}
 }
 
 func TestBuildRunnerLiveFaults(t *testing.T) {
-	r, err := BuildRunner("live", "threshold", "single", 32, 1, 1, 0, "lossy:0.5", "", "", false)
+	r, err := BuildRunner("live", "threshold", "single", 32, 1, 1, 0, "lossy:0.5", "", "", false, "", "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -273,10 +273,10 @@ func TestInstallAlgoDetect(t *testing.T) {
 	if err := InstallAlgo(&sim.Config{}, "bfm98-dist", 256, 1, 1, "lossy:0.1", "suspect=nope", ""); err == nil {
 		t.Fatal("bad detect spec accepted")
 	}
-	if _, err := BuildRunner("live", "threshold", "single", 32, 1, 1, 0, "lossy:0.5", "suspect=20", "", false); err == nil {
+	if _, err := BuildRunner("live", "threshold", "single", 32, 1, 1, 0, "lossy:0.5", "suspect=20", "", false, "", ""); err == nil {
 		t.Fatal("live backend accepted -detect")
 	}
-	if _, err := BuildRunner("shmem", "collision", "single", 32, 1, 1, 0, "", "suspect=20", "", false); err == nil {
+	if _, err := BuildRunner("shmem", "collision", "single", 32, 1, 1, 0, "", "suspect=20", "", false, "", ""); err == nil {
 		t.Fatal("shmem backend accepted -detect")
 	}
 }

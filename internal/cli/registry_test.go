@@ -92,7 +92,7 @@ func TestEveryPolicyBackendFlagCombo(t *testing.T) {
 		{"churn", "", "", "churn:join=2,leave=2,period=40"},
 		{"detect-alone", "", "suspect=8,down=16,hb=4", ""}, // illegal everywhere
 	}
-	backends := []string{"sim", "live", "shmem"}
+	backends := []string{"sim", "live", "shmem", "sockets"}
 	for _, spec := range policy.All() {
 		for _, backend := range backends {
 			n := 64
@@ -102,7 +102,7 @@ func TestEveryPolicyBackendFlagCombo(t *testing.T) {
 			for _, c := range combos {
 				name := spec.Name + "/" + backend + "/" + c.label
 				t.Run(name, func(t *testing.T) {
-					err := cli.ValidateFlags(backend, spec.Name, "", c.faults, c.detect, c.churn, false)
+					err := cli.ValidateFlags(backend, spec.Name, "", c.faults, c.detect, c.churn, false, "", "")
 					if err != nil {
 						if !strings.Contains(err.Error(), "-") {
 							t.Fatalf("rejection does not name a flag: %v", err)
@@ -112,7 +112,7 @@ func TestEveryPolicyBackendFlagCombo(t *testing.T) {
 					if c.label == "detect-alone" {
 						t.Fatal("detect without faults/churn validated")
 					}
-					r, err := cli.BuildRunner(backend, spec.Name, "", n, 1, 5, 0, c.faults, c.detect, c.churn, false)
+					r, err := cli.BuildRunner(backend, spec.Name, "", n, 1, 5, 0, c.faults, c.detect, c.churn, false, "", "")
 					if err != nil {
 						t.Fatalf("validation passed but construction failed: %v", err)
 					}

@@ -1,5 +1,6 @@
-// Package netsim is a synchronous message-passing network for the
-// distributed implementation of the paper's protocol.
+// Package netsim is the in-memory transport: a synchronous
+// message-passing network for the distributed implementation of the
+// paper's protocol.
 //
 // The paper's machine model lets every processor exchange a constant
 // number of messages per time step with unit latency. netsim realizes
@@ -7,6 +8,14 @@
 // step t+1, each processor reads its inbox, and the network counts
 // traffic. Delivery order within an inbox is deterministic (sender id,
 // then send order), so protocols built on netsim are reproducible.
+//
+// The message vocabulary (Message, Kind) lives in internal/transport —
+// netsim re-exports it under its historical names — and Network
+// implements transport.Transport, so the protocol core in
+// internal/proto is unaware it runs in memory rather than over the
+// socket transports in internal/transport/socktrans. netsim is the
+// only transport implementing transport.FaultHooks: simulated fault
+// plans attach here, real networks bring their own faults.
 //
 // The counter-based balancer in internal/core models communication by
 // accounting; the state machines in internal/proto actually exchange
@@ -19,64 +28,40 @@ import (
 	"sort"
 
 	"plb/internal/faults"
+	"plb/internal/transport"
 	"plb/internal/xrand"
 )
 
-// Kind tags the protocol meaning of a message.
-type Kind uint8
+// Kind tags the protocol meaning of a message. It is the canonical
+// transport.Kind under its historical name.
+type Kind = transport.Kind
 
-// Message kinds used by the distributed balancer; netsim itself treats
-// them opaquely.
+// The message kinds, re-exported from internal/transport.
 const (
-	// KindQuery is a collision-protocol query carrying the tree root
-	// (boss) in A and the request sequence in B.
-	KindQuery Kind = iota + 1
-	// KindAccept answers a query; A is the boss, B is 1 if the
-	// accepting processor is applicative (light and unreserved).
-	KindAccept
-	// KindID is the id message a reserved light processor sends to the
-	// tree root.
-	KindID
-	// KindForward tells a processor to join the search as a tree node;
-	// A is the boss.
-	KindForward
-	// KindTransfer announces a block of tasks; A is the task count.
-	// Under a fault plan transfers are acknowledged: B carries the
-	// transfer sequence number the recipient must echo in its ack.
-	KindTransfer
-	// KindProbe is the adversarial pre-round probe; A is the sender's
-	// load.
-	KindProbe
-	// KindHeartbeat is an explicit liveness probe from the failure
-	// detector; it carries no payload — its arrival is the signal.
-	KindHeartbeat
-	// KindTransferAck confirms a task transfer was applied; A is the
-	// task count moved, B echoes the transfer sequence number.
-	KindTransferAck
-	// KindJoin carries membership bootstrap traffic. B == 0 is a join
-	// request from a booting processor to a seed peer (A == 1 marks
-	// the sponsor copy — the one seed responsible for admission);
-	// B > 0 is the sponsor's admission broadcast, carrying the admitted
-	// joiner in A and the new view epoch in B.
-	KindJoin
-	// KindDrain announces that From has entered Draining (it stops
-	// generating and accepting load, and hands its queue off); A is
-	// the view epoch of the change.
-	KindDrain
-	// KindLeave announces that From has departed — its custody reached
-	// zero and it left the system; A is the view epoch of the change.
-	KindLeave
+	KindQuery       = transport.KindQuery
+	KindAccept      = transport.KindAccept
+	KindID          = transport.KindID
+	KindForward     = transport.KindForward
+	KindTransfer    = transport.KindTransfer
+	KindProbe       = transport.KindProbe
+	KindHeartbeat   = transport.KindHeartbeat
+	KindTransferAck = transport.KindTransferAck
+	KindJoin        = transport.KindJoin
+	KindDrain       = transport.KindDrain
+	KindLeave       = transport.KindLeave
 )
 
-// Message is one point-to-point datagram.
-type Message struct {
-	// From and To are processor ids.
-	From, To int32
-	// Kind tags the protocol meaning.
-	Kind Kind
-	// A and B are small payload fields whose meaning depends on Kind.
-	A, B int32
-}
+// Message is one point-to-point datagram (transport.Message under its
+// historical name).
+type Message = transport.Message
+
+// Network implements the full transport contract plus the simulation
+// capabilities.
+var (
+	_ transport.Transport   = (*Network)(nil)
+	_ transport.FaultHooks  = (*Network)(nil)
+	_ transport.KindCounter = (*Network)(nil)
+)
 
 // Network is a synchronous unit-latency network among n processors.
 // It is not safe for concurrent use; the distributed protocol drives
@@ -88,6 +73,8 @@ type Network struct {
 	sent    int64
 	dropped int64
 	peak    int
+
+	kindSent [transport.KindMax]int64
 
 	sendCnt  []int32 // per-sender messages in the current window
 	peakSend int
@@ -157,6 +144,9 @@ func (nw *Network) Send(m Message) {
 		panic(fmt.Sprintf("netsim: endpoint out of range in %+v", m))
 	}
 	nw.sent++
+	if m.Kind < transport.KindMax {
+		nw.kindSent[m.Kind]++
+	}
 	nw.sendCnt[m.From]++
 	if int(nw.sendCnt[m.From]) > nw.peakSend {
 		nw.peakSend = int(nw.sendCnt[m.From])
@@ -278,6 +268,31 @@ func (nw *Network) Inbox(p int) []Message { return nw.current[p] }
 
 // Sent returns the total number of messages ever sent.
 func (nw *Network) Sent() int64 { return nw.sent }
+
+// SentByKind implements transport.KindCounter: cumulative send counts
+// per message kind, for verbose and fault output.
+func (nw *Network) SentByKind() [transport.KindMax]int64 { return nw.kindSent }
+
+// Stats implements transport.Transport, aggregating the individual
+// counter accessors.
+func (nw *Network) Stats() transport.Stats {
+	return transport.Stats{
+		Sent:       nw.sent,
+		Dropped:    nw.dropped,
+		Duplicated: nw.dup,
+		Delayed:    nw.late,
+		CrashLost:  nw.crashLost,
+		GoneLost:   nw.goneLost,
+	}
+}
+
+// LocalAddr implements transport.Transport; the in-memory network has
+// no real endpoint.
+func (nw *Network) LocalAddr() string { return "mem" }
+
+// Close implements transport.Transport; the in-memory network holds no
+// resources.
+func (nw *Network) Close() error { return nil }
 
 // PeakInbox returns the largest inbox size ever delivered — the
 // paper's collision effect means protocol logic must stay correct even

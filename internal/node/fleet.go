@@ -1,0 +1,286 @@
+package node
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"plb/internal/engine"
+	"plb/internal/gen"
+	"plb/internal/stats"
+	"plb/internal/task"
+	"plb/internal/transport"
+	"plb/internal/transport/socktrans"
+)
+
+// FleetConfig parameterizes an in-process socket fleet: n nodes spread
+// over a few transport endpoints (daemons-in-miniature), every message
+// crossing a real socket.
+type FleetConfig struct {
+	// N is the number of processors.
+	N int
+	// Endpoints is how many transport endpoints host the N processors
+	// (<= 0 derives min(4, N)). Several processors per endpoint is the
+	// daemon deployment shape.
+	Endpoints int
+	// Network is "unix" (default) or "tcp" (loopback).
+	Network string
+	// Seed derives all fleet randomness.
+	Seed uint64
+	// Model and Weigher drive each node's local generation and
+	// consumption, exactly as on the lockstep sim backend.
+	Model   gen.Model
+	Weigher gen.Weigher
+	// Scale multiplies T = (log log n)^2 in the heavy threshold.
+	Scale int
+	// Pause is the wall-clock pause per step, giving the sockets time
+	// to carry the step's traffic (<= 0 derives 200µs).
+	Pause time.Duration
+}
+
+// Fleet runs N nodes over socket transports and exposes the standard
+// engine.Runner surface, so `lbsim -backend sockets` reports the same
+// columns as every other backend. It is genuinely concurrent: like the
+// live backend it is only statistically reproducible.
+type Fleet struct {
+	cfg   FleetConfig
+	trs   []*socktrans.Trans
+	nodes []*Node
+	now   int64
+	loads []int32
+	dir   string
+}
+
+var _ engine.Runner = (*Fleet)(nil)
+
+// NewFleet boots the endpoints and nodes. Unix fleets socket into a
+// private temp directory removed on Close; tcp fleets bind loopback
+// ephemeral ports and mesh up through AddPeers once every listener is
+// bound.
+func NewFleet(cfg FleetConfig) (*Fleet, error) {
+	if cfg.N < 1 {
+		return nil, fmt.Errorf("node: fleet needs n >= 1, got %d", cfg.N)
+	}
+	if cfg.Network == "" {
+		cfg.Network = "unix"
+	}
+	if cfg.Network != "unix" && cfg.Network != "tcp" {
+		return nil, fmt.Errorf("node: fleet network %q (have unix, tcp)", cfg.Network)
+	}
+	if cfg.Endpoints <= 0 {
+		cfg.Endpoints = minI(4, cfg.N)
+	}
+	if cfg.Endpoints > cfg.N {
+		cfg.Endpoints = cfg.N
+	}
+	if cfg.Pause <= 0 {
+		cfg.Pause = 200 * time.Microsecond
+	}
+	f := &Fleet{cfg: cfg, loads: make([]int32, cfg.N)}
+
+	// Partition [0, N) into contiguous blocks, one per endpoint.
+	locals := make([][]int32, cfg.Endpoints)
+	for id := 0; id < cfg.N; id++ {
+		e := id * cfg.Endpoints / cfg.N
+		locals[e] = append(locals[e], int32(id))
+	}
+
+	var err error
+	if cfg.Network == "unix" {
+		if f.dir, err = os.MkdirTemp("", "plb-fleet-*"); err != nil {
+			return nil, fmt.Errorf("node: fleet dir: %w", err)
+		}
+	}
+	listenAddr := func(e int) string {
+		if cfg.Network == "unix" {
+			return filepath.Join(f.dir, fmt.Sprintf("ep%d.sock", e))
+		}
+		return "127.0.0.1:0"
+	}
+	// Unix paths are known before binding, so the full bootstrap table
+	// exists up front; tcp ports are ephemeral, so the mesh is wired
+	// after every listener is bound.
+	peers := make(map[int32]string)
+	if cfg.Network == "unix" {
+		for e, ids := range locals {
+			for _, id := range ids {
+				peers[id] = listenAddr(e)
+			}
+		}
+	}
+	for e, ids := range locals {
+		tr, terr := socktrans.New(socktrans.Config{
+			Network: cfg.Network, Listen: listenAddr(e),
+			N: cfg.N, Local: ids, Peers: peers,
+		})
+		if terr != nil {
+			f.Close()
+			return nil, fmt.Errorf("node: fleet endpoint %d: %w", e, terr)
+		}
+		f.trs = append(f.trs, tr)
+	}
+	if cfg.Network == "tcp" {
+		table := make(map[int32]string)
+		for e, ids := range locals {
+			for _, id := range ids {
+				table[id] = f.trs[e].Advertise()
+			}
+		}
+		for _, tr := range f.trs {
+			tr.AddPeers(table)
+		}
+	}
+
+	t := stats.PaperT(cfg.N)
+	scale := maxI(cfg.Scale, 1)
+	for e, ids := range locals {
+		for _, id := range ids {
+			nd, nerr := New(f.trs[e], Config{
+				ID: id, N: cfg.N, Seed: cfg.Seed,
+				Model: cfg.Model, Weigher: cfg.Weigher,
+				Heavy: 2 * t * scale,
+			})
+			if nerr != nil {
+				f.Close()
+				return nil, nerr
+			}
+			f.nodes = append(f.nodes, nd)
+		}
+	}
+	return f, nil
+}
+
+// Meta implements engine.Runner.
+func (f *Fleet) Meta() engine.Meta {
+	model := "none"
+	if f.cfg.Model != nil {
+		model = f.cfg.Model.Name()
+	}
+	return engine.Meta{
+		Backend: "sockets", Algorithm: "bfm98-sock", Model: model,
+		N: f.cfg.N, Seed: f.cfg.Seed,
+	}
+}
+
+// Now implements engine.Runner.
+func (f *Fleet) Now() int64 { return f.now }
+
+// Steps implements engine.Runner: each step opens one delivery window
+// on every endpoint, ticks every node, and pauses long enough for the
+// sockets to carry the traffic.
+func (f *Fleet) Steps(k int) {
+	for ; k > 0; k-- {
+		f.now++
+		for _, tr := range f.trs {
+			tr.Deliver()
+		}
+		for _, nd := range f.nodes {
+			nd.Tick()
+		}
+		time.Sleep(f.cfg.Pause)
+	}
+}
+
+// Loads implements engine.Runner.
+func (f *Fleet) Loads() []int32 {
+	for i, nd := range f.nodes {
+		f.loads[i] = int32(nd.Load())
+	}
+	return f.loads
+}
+
+// Collect implements engine.Runner: node counters summed, transport
+// counters aggregated, recorders merged exactly.
+func (f *Fleet) Collect() engine.Metrics {
+	m := engine.Metrics{Steps: f.now}
+	var rec task.Recorder
+	var inflight int64
+	for _, nd := range f.nodes {
+		g, inj, comp, queued, inf, moved, actions := nd.Totals()
+		m.Generated += g + inj
+		m.Completed += comp
+		m.TotalLoad += queued
+		inflight += inf
+		m.TasksMoved += moved
+		m.BalanceActions += actions
+		if queued > m.MaxLoad {
+			m.MaxLoad = queued
+		}
+		rec.Merge(nd.Recorder())
+		m.AddExtra("xfer_acked", nd.acked)
+		m.AddExtra("xfer_retries", nd.retries)
+		m.AddExtra("xfer_requeued", nd.requeued)
+		m.AddExtra("xfer_dup_dropped", nd.dupDropped)
+	}
+	var st transport.Stats
+	var kinds [transport.KindMax]int64
+	for _, tr := range f.trs {
+		s := tr.Stats()
+		st.Sent += s.Sent
+		st.Dropped += s.Dropped
+		st.GoneLost += s.GoneLost
+		ks := tr.SentByKind()
+		for i, v := range ks {
+			kinds[i] += v
+		}
+	}
+	m.Messages = st.Sent
+	m.Drops = st.Dropped
+	m.AddExtra("inflight", inflight)
+	m.AddExtra("endpoints", int64(len(f.trs)))
+	for k := transport.Kind(1); k < transport.KindMax; k++ {
+		if kinds[k] > 0 {
+			m.AddExtra("sent_"+k.String(), kinds[k])
+		}
+	}
+	sum := rec.Summary()
+	m.Tasks = &sum
+	return m
+}
+
+// Drain puts every node into drain mode (tests drive this to assert
+// end-of-run conservation with empty queues).
+func (f *Fleet) Drain() {
+	for _, nd := range f.nodes {
+		nd.Drain()
+	}
+}
+
+// Audit returns the two sides of the conservation invariant:
+// Σ generated + Σ injected versus Σ completed + Σ queued + Σ inflight.
+func (f *Fleet) Audit() (in, out int64) {
+	for _, nd := range f.nodes {
+		g, inj, comp, queued, inf, _, _ := nd.Totals()
+		in += g + inj
+		out += comp + queued + inf
+	}
+	return in, out
+}
+
+// PeerTable returns the id -> address bootstrap table a client
+// transport needs to reach every processor in this fleet.
+func (f *Fleet) PeerTable() map[int32]string {
+	table := make(map[int32]string, f.cfg.N)
+	for _, nd := range f.nodes {
+		table[nd.ID()] = f.trs[f.hostOf(nd.ID())].Advertise()
+	}
+	return table
+}
+
+// hostOf maps a processor id to its endpoint index (the contiguous
+// partition NewFleet builds).
+func (f *Fleet) hostOf(id int32) int {
+	return int(id) * len(f.trs) / f.cfg.N
+}
+
+// Close shuts the endpoints down and removes the socket directory.
+func (f *Fleet) Close() error {
+	for _, tr := range f.trs {
+		tr.Close()
+	}
+	if f.dir != "" {
+		os.RemoveAll(f.dir)
+	}
+	return nil
+}

@@ -1,0 +1,19 @@
+package node
+
+import "plb/internal/policy"
+
+// The socket fleet registers as a policy so the command-line tools
+// derive every cross-flag rule (workload yes, faults/detect/churn no)
+// from the same registry as every other strategy. Install is nil: the
+// fleet is the sockets backend's built-in, constructed by cli's
+// backend switch rather than wired into a sim.Config.
+func init() {
+	policy.Register(policy.Spec{
+		Name:    "bfm98-sock",
+		Summary: "threshold balancer over real sockets (in-process fleet or lbsimd daemons)",
+		Caps: policy.Caps{
+			Backends: []string{"sockets"},
+			Workload: []string{"sockets"},
+		},
+	})
+}

@@ -317,6 +317,8 @@ func DefaultName(backend string) string {
 		return "threshold"
 	case "shmem":
 		return "collision"
+	case "sockets":
+		return "bfm98-sock"
 	}
 	return ""
 }

@@ -8,6 +8,7 @@ import (
 	// Pull in every registration, same as the tools do.
 	_ "plb/internal/baselines"
 	_ "plb/internal/core"
+	_ "plb/internal/node"
 	_ "plb/internal/proto"
 	_ "plb/internal/static"
 	_ "plb/internal/supermarket"
@@ -63,7 +64,7 @@ func TestLookupResolvesAliases(t *testing.T) {
 }
 
 func TestDefaultNamesRegistered(t *testing.T) {
-	for _, backend := range []string{"sim", "live", "shmem"} {
+	for _, backend := range []string{"sim", "live", "shmem", "sockets"} {
 		name := policy.DefaultName(backend)
 		spec, ok := policy.Lookup(name)
 		if !ok {

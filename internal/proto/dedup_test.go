@@ -6,8 +6,8 @@ import (
 	"plb/internal/detect"
 	"plb/internal/faults"
 	"plb/internal/gen"
-	"plb/internal/netsim"
 	"plb/internal/sim"
+	"plb/internal/transport"
 )
 
 // dedupFixture builds a faulted balancer (the acked-transfer machinery
@@ -47,7 +47,7 @@ func TestXferDedupRingWraparound(t *testing.T) {
 	}
 	recv := int32(1)
 	apply := func(seq int32) {
-		b.applyTransfer(m, recv, netsim.Message{From: 0, To: recv, Kind: netsim.KindTransfer, A: 5, B: seq})
+		b.applyTransfer(m, recv, transport.Message{From: 0, To: recv, Kind: transport.KindTransfer, A: 5, B: seq})
 	}
 	load := func() int32 { return m.Snapshot()[recv] }
 
@@ -90,9 +90,9 @@ func TestXferDedupRingWraparound(t *testing.T) {
 		t.Fatalf("derived dedup ring size = %d, want 8", got)
 	}
 	for _, seq := range []int32{1, 2, 3} {
-		b2.applyTransfer(m2, recv, netsim.Message{From: 0, To: recv, Kind: netsim.KindTransfer, A: 5, B: seq})
+		b2.applyTransfer(m2, recv, transport.Message{From: 0, To: recv, Kind: transport.KindTransfer, A: 5, B: seq})
 	}
-	b2.applyTransfer(m2, recv, netsim.Message{From: 0, To: recv, Kind: netsim.KindTransfer, A: 5, B: 1})
+	b2.applyTransfer(m2, recv, transport.Message{From: 0, To: recv, Kind: transport.KindTransfer, A: 5, B: 1})
 	if got := m2.Snapshot()[recv]; got != 15 {
 		t.Fatalf("default ring lost a sequence it must hold: load = %d, want 15", got)
 	}

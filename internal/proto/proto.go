@@ -1,7 +1,17 @@
 // Package proto is the fully distributed implementation of the
 // paper's balancing algorithm: every processor is a state machine that
-// exchanges real messages over a unit-latency synchronous network
-// (internal/netsim), following the pseudocode of Figure 2.
+// exchanges real messages over a unit-latency synchronous network,
+// following the pseudocode of Figure 2.
+//
+// The balancer speaks the transport.Transport contract exclusively —
+// it names no transport implementation. By default it runs on the
+// in-memory network (internal/netsim, registered as transport.Mem by
+// internal/sim), which is the configuration the golden digests pin;
+// Config.Transport can substitute any other implementation spanning
+// the same id space. Fault plans need the transport.FaultHooks
+// capability, which only the in-memory network has — socket transports
+// decline fault plans loudly, because on a real network real packet
+// loss is the injector.
 //
 // internal/core implements the same algorithm with the collision games
 // evaluated atomically at phase starts and communication merely
@@ -44,6 +54,11 @@
 // PhaseLen = T/16 that corresponds to the large-n regime, so
 // DefaultConfig derives workable laptop constants from the schedule
 // instead (T = 16 * PhaseLen).
+//
+// The handlers are grouped per concern: collision.go holds the phase
+// schedule and collision games, transfers.go the acknowledged task
+// transfers, membership.go the elastic-membership sweep, detection.go
+// the failure-detector plumbing.
 package proto
 
 import (
@@ -55,8 +70,8 @@ import (
 	"plb/internal/engine"
 	"plb/internal/faults"
 	"plb/internal/membership"
-	"plb/internal/netsim"
 	"plb/internal/sim"
+	"plb/internal/transport"
 	"plb/internal/xrand"
 )
 
@@ -86,7 +101,8 @@ type Config struct {
 	// with this probability (failure injection). The protocol degrades
 	// gracefully — a lost accept wastes one of the request's a choices,
 	// a lost id message costs the root one phase — because heavy
-	// processors simply retry next phase.
+	// processors simply retry next phase. Requires a transport with
+	// fault hooks (the in-memory default).
 	LossProb float64
 	// PreRound enables the Section 4.3 modification in distributed
 	// form: at the phase start every heavy processor sends one probe
@@ -101,6 +117,7 @@ type Config struct {
 	// consumption, no protocol participation; messages to them are
 	// discarded). A plan seed of zero inherits Seed. With Faults nil
 	// the balancer is byte-identical to the fault-free implementation.
+	// Requires a transport with fault hooks (the in-memory default).
 	Faults *faults.Plan
 	// MaxRetries bounds the re-query volleys a searcher sends per
 	// collision game. 0 means "derive": unlimited without faults (the
@@ -123,6 +140,13 @@ type Config struct {
 	// the sender gives up and keeps the tasks (they never left its
 	// queue). 0 derives 4.
 	XferAttempts int
+	// Transport substitutes the message substrate. nil (the default,
+	// and the only configuration the golden digests pin) builds the
+	// in-memory synchronous network through the transport.Mem hook. A
+	// non-nil transport must span exactly n endpoints, and fault
+	// injection (Faults, LossProb) additionally requires it to
+	// implement transport.FaultHooks.
+	Transport transport.Transport
 }
 
 // ScheduleLen returns the number of machine steps the distributed
@@ -187,6 +211,9 @@ func (c Config) Validate(n int) error {
 	if c.XferTimeout < 0 || c.XferAttempts < 0 {
 		return fmt.Errorf("proto: transfer timeout %d and attempts %d must be >= 0",
 			c.XferTimeout, c.XferAttempts)
+	}
+	if c.Transport != nil && c.Transport.N() != n {
+		return fmt.Errorf("proto: transport spans %d endpoints, balancer needs %d", c.Transport.N(), n)
 	}
 	return c.Collision.Validate(n)
 }
@@ -267,12 +294,12 @@ type Balancer struct {
 	cfg Config
 	n   int
 	rng *xrand.Stream
-	nw  *netsim.Network
+	nw  transport.Transport
 
 	procs     []procState
 	heavies   []int32 // roots of this phase
 	ps        core.PhaseStats
-	sentAt    int64 // nw.Sent() at phase start
+	sentAt    int64 // transport sends at phase start
 	phaseOpen bool
 
 	totalPhases  int64
@@ -402,26 +429,36 @@ func (b *Balancer) BackendName() string { return "proto" }
 // ExtendMetrics implements sim.MetricsExtender, contributing the
 // distributed protocol's extension counters to the unified metrics:
 // completed phases, classified-heavy roots, performed matches, and the
-// netsim fault-delivery counters.
+// transport's delivery counters.
 func (b *Balancer) ExtendMetrics(m *engine.Metrics) {
 	m.AddExtra("phases", b.totalPhases)
 	m.AddExtra("heavy", b.totalHeavy)
 	m.AddExtra("matched", b.totalMatched)
 	if b.nw != nil {
-		m.AddExtra("net_sent", b.nw.Sent())
+		st := b.nw.Stats()
+		m.AddExtra("net_sent", st.Sent)
 		if b.inj != nil {
 			// Faulted runs surface every link counter unconditionally so
 			// degraded runs are diagnosable from the output alone.
-			m.AddExtra("net_dropped", b.nw.Dropped())
-			m.AddExtra("net_duplicated", b.nw.Duplicated())
-			m.AddExtra("net_delayed", b.nw.Delayed())
-			m.AddExtra("net_crash_lost", b.nw.CrashLost())
-		} else {
-			if d := b.nw.Duplicated(); d > 0 {
-				m.AddExtra("net_duplicated", d)
+			m.AddExtra("net_dropped", st.Dropped)
+			m.AddExtra("net_duplicated", st.Duplicated)
+			m.AddExtra("net_delayed", st.Delayed)
+			m.AddExtra("net_crash_lost", st.CrashLost)
+			if kc, ok := b.nw.(transport.KindCounter); ok {
+				// Per-kind send mix, keyed by Kind.String() names, so fault
+				// output says which traffic class paid for the degradation.
+				for k, c := range kc.SentByKind() {
+					if c > 0 {
+						m.AddExtra("sent_"+transport.Kind(k).String(), c)
+					}
+				}
 			}
-			if d := b.nw.Delayed(); d > 0 {
-				m.AddExtra("net_delayed", d)
+		} else {
+			if st.Duplicated > 0 {
+				m.AddExtra("net_duplicated", st.Duplicated)
+			}
+			if st.Delayed > 0 {
+				m.AddExtra("net_delayed", st.Delayed)
 			}
 		}
 	}
@@ -448,8 +485,21 @@ func (b *Balancer) ExtendMetrics(m *engine.Metrics) {
 		m.AddExtra("mem_pool", int64(b.mem.PoolSize()))
 		m.AddExtra("mem_rebalances", b.memRebalances)
 		m.AddExtra("mem_handoff", b.memHandoff)
-		m.AddExtra("mem_absent_lost", b.nw.GoneLost())
+		m.AddExtra("mem_absent_lost", b.nw.Stats().GoneLost)
 	}
+}
+
+// faultHooks asserts the transport's fault-injection capability. Only
+// the in-memory network has it: a fault plan on a socket transport is
+// a configuration error, reported loudly here — real networks inject
+// their own faults (kill the process, drop real packets).
+func (b *Balancer) faultHooks() transport.FaultHooks {
+	h, ok := b.nw.(transport.FaultHooks)
+	if !ok {
+		panic(fmt.Sprintf("proto: transport %T (%s) declines fault plans — simulated faults need the in-memory transport; real transports get real faults",
+			b.nw, b.nw.LocalAddr()))
+	}
+	return h
 }
 
 // Init implements sim.Balancer.
@@ -458,17 +508,24 @@ func (b *Balancer) Init(m *sim.Machine) {
 		panic(fmt.Sprintf("proto: balancer built for n=%d installed on n=%d", b.n, m.N()))
 	}
 	b.rng = xrand.New(b.cfg.Seed ^ 0xd157)
-	nw, err := netsim.New(b.n)
-	if err != nil {
-		panic(err)
+	if b.cfg.Transport != nil {
+		b.nw = b.cfg.Transport
+	} else {
+		if transport.Mem == nil {
+			panic("proto: no in-memory transport registered (import plb/internal/sim, or set Config.Transport)")
+		}
+		nw, err := transport.Mem(b.n)
+		if err != nil {
+			panic(err)
+		}
+		b.nw = nw
 	}
-	b.nw = nw
 	if b.cfg.LossProb > 0 {
-		b.nw.InjectLoss(b.cfg.LossProb, b.cfg.Seed)
+		b.faultHooks().InjectLoss(b.cfg.LossProb, b.cfg.Seed)
 	}
 	if b.inj != nil {
-		b.nw.SetFaults(b.inj)
-		// The fault clock is the netsim step, which runs one ahead of
+		b.faultHooks().SetFaults(b.inj)
+		// The fault clock is the transport step, which runs one ahead of
 		// the machine step during a balancer step (Deliver happens
 		// first); DownOracle translates so schedules mean the same
 		// instant in both. This oracle is the simulated *physics* — a
@@ -513,7 +570,7 @@ func (b *Balancer) Init(m *sim.Machine) {
 				return crash(p, now) || b.mem.Gone(int32(p))
 			})
 			m.SetGenOff(func(p int, now int64) bool { return b.mem.GenOff(int32(p)) })
-			b.nw.SetGone(func(p int32, step int64) bool { return b.mem.Gone(p) })
+			b.faultHooks().SetGone(func(p int32, step int64) bool { return b.mem.Gone(p) })
 		}
 	}
 	b.procs = make([]procState, b.n)
@@ -580,819 +637,5 @@ func (b *Balancer) Step(m *sim.Machine) {
 			b.collectIDs(m.Now())
 			b.lateSettle(m)
 		}
-	}
-}
-
-// observeTraffic runs right after Deliver under fault injection: one
-// pass over every inbox feeds the failure detector (any delivered
-// message is evidence its sender was recently alive — heartbeat gossip
-// piggy-backed on protocol traffic) and dispatches the transfer
-// machinery (KindTransfer applies a block, KindTransferAck closes the
-// sender's outstanding record).
-func (b *Balancer) observeTraffic(m *sim.Machine) {
-	now := b.nw.Step()
-	for p := 0; p < b.n; p++ {
-		for _, msg := range b.nw.Inbox(p) {
-			b.det.Heard(msg.From, now)
-			switch msg.Kind {
-			case netsim.KindTransfer:
-				b.applyTransfer(m, int32(p), msg)
-			case netsim.KindTransferAck:
-				b.ackTransfer(int32(p), msg)
-			case netsim.KindJoin:
-				if msg.B > 0 {
-					// Admission broadcast: the view advanced to epoch B.
-					b.observeEpoch(int32(p), int64(msg.B))
-				} else if msg.A == 1 {
-					// Join request on the sponsor copy: book the joiner.
-					b.noteJoinRequest(int32(p), msg.From, now)
-				}
-			case netsim.KindDrain, netsim.KindLeave:
-				b.observeEpoch(int32(p), int64(msg.A))
-			}
-		}
-	}
-}
-
-// applyTransfer is the receiver side of an acknowledged transfer:
-// custody of the block moves here, at delivery — the sender's queue is
-// debited and ours credited atomically, so no task is ever in flight.
-// A retransmit whose earlier copy already landed (the ack was lost) is
-// recognized by its sequence number and re-acked without applying.
-func (b *Balancer) applyTransfer(m *sim.Machine, p int32, msg netsim.Message) {
-	st := &b.procs[p]
-	for _, s := range st.seen {
-		if s == msg.B {
-			b.xferDup++
-			b.nw.Send(netsim.Message{From: p, To: msg.From, Kind: netsim.KindTransferAck, B: msg.B})
-			return
-		}
-	}
-	moved := m.Transfer(int(msg.From), int(p), int(msg.A))
-	st.seen[st.seenIdx] = msg.B
-	st.seenIdx = (st.seenIdx + 1) % int16(len(st.seen))
-	b.xferApplied++
-	b.ps.Transferred += int64(moved)
-	b.nw.Send(netsim.Message{From: p, To: msg.From, Kind: netsim.KindTransferAck, A: int32(moved), B: msg.B})
-}
-
-// ackTransfer is the sender side: the echo of our outstanding sequence
-// number retires the block (any other ack is stale — a retry already
-// superseded it or the phase gave up).
-func (b *Balancer) ackTransfer(p int32, msg netsim.Message) {
-	st := &b.procs[p]
-	if st.xferOpen && st.xferSeq == msg.B {
-		st.xferOpen = false
-		b.xferAcked++
-		if st.xferDrain {
-			st.xferDrain = false
-			b.memHandoff += int64(msg.A)
-		}
-	}
-}
-
-// observeEpoch records a membership announcement reaching processor p;
-// an advanced view owes a rebalance check on the next membership sweep.
-func (b *Balancer) observeEpoch(p int32, epoch int64) {
-	if b.mem != nil && b.mem.Observe(p, epoch) {
-		b.rebalPending[p] = true
-	}
-}
-
-// noteJoinRequest is the sponsor side of a join bootstrap: the first
-// request heard from a joiner opens its admission window. Stale
-// requests (the slot is no longer joining) are dropped.
-func (b *Balancer) noteJoinRequest(sponsor, joiner int32, now int64) {
-	if b.mem == nil || b.mem.State(joiner) != membership.Joining {
-		return
-	}
-	if b.joinSponsor[joiner] < 0 {
-		b.joinSponsor[joiner] = sponsor
-		b.joinFirstHeard[joiner] = now
-	}
-}
-
-// faultSweep runs once per step under fault injection. Protocol-side it
-// advances the failure detector, emits due heartbeats, releases
-// reservations whose boss is suspected down, and pumps outstanding
-// transfer retries. Substrate-side it uses the machine's crash oracle
-// (ground truth) for physics — recovery scatter — and to score the
-// detector: detection latency, false suspicions, and crash windows
-// that closed undetected. Ground truth never feeds a protocol decision.
-func (b *Balancer) faultSweep(m *sim.Machine) {
-	now := b.nw.Step()
-	b.det.Tick(now)
-	for p := 0; p < b.n; p++ {
-		// Physical crash ground truth comes straight from the injector
-		// (identical to the machine oracle on a static population);
-		// membership absence is a separate, legitimate way to be silent
-		// and must not be scored as a crash window or a false suspicion.
-		down := b.inj.Crashed(int32(p), now)
-		gone := b.mem != nil && b.mem.Gone(int32(p))
-		if b.prevDown[p] && !down {
-			if b.inj.Redistribute() {
-				m.ScatterFrom(p, b.scatterRng)
-			}
-			if !b.winDetected[p] {
-				b.missedWindows++
-			}
-			b.crashedAt[p] = -1
-		} else if !b.prevDown[p] && down {
-			b.crashedAt[p] = now
-			b.winDetected[p] = false
-		}
-		b.prevDown[p] = down
-
-		suspect := b.det.Suspected(int32(p))
-		if suspect && !b.prevSuspect[p] {
-			if b.crashedAt[p] >= 0 && !b.winDetected[p] {
-				b.winDetected[p] = true
-				b.detDetections++
-				b.detLatencySum += now - b.crashedAt[p]
-			} else if b.crashedAt[p] < 0 && !gone {
-				b.falseSuspicions++
-			}
-		}
-		b.prevSuspect[p] = suspect
-
-		st := &b.procs[p]
-		if st.assigned && b.det.Suspected(st.reservedFor) {
-			st.assigned = false
-			b.ps.Released++
-		}
-		if down || gone {
-			continue // frozen or departed: no heartbeats, no retries
-		}
-		if b.det.Due(int32(p), now) {
-			tgt := int32(-1)
-			if b.mem == nil {
-				tgt = b.det.Target(int32(p))
-			} else if b.mem.State(int32(p)) != membership.Joining {
-				// Members and drainers gossip within their view; a
-				// joiner's liveness evidence is its join volleys.
-				tgt = b.pickViewPeer(int32(p))
-			}
-			if tgt >= 0 {
-				b.nw.Send(netsim.Message{From: int32(p), To: tgt, Kind: netsim.KindHeartbeat})
-				b.hbSent++
-			}
-		}
-		if st.xferOpen && now-st.xferSentAt >= b.xferTimeout<<(st.xferTries-1) {
-			if int(st.xferTries) >= b.xferAttempts {
-				// Give up: the tasks never left our queue, so "re-queue"
-				// is simply closing the record.
-				st.xferOpen = false
-				st.xferDrain = false
-				b.xferRequeued++
-			} else {
-				st.xferTries++
-				st.xferSentAt = now
-				b.xferRetries++
-				b.nw.Send(netsim.Message{From: int32(p), To: st.xferTo, Kind: netsim.KindTransfer,
-					A: st.xferAmt, B: st.xferSeq})
-			}
-		}
-	}
-}
-
-// down reports whether p itself is frozen right now — the physics
-// question ("can this processor execute this step"), answered by the
-// machine's crash oracle, not a judgment about a remote peer. Remote
-// liveness judgments go through the failure detector. (On churn runs
-// the machine oracle composes crash and membership absence, so a
-// departed slot reads as down here too.)
-func (b *Balancer) down(p int32) bool {
-	return b.inj != nil && b.mach.Down(int(p))
-}
-
-// joinSeedCount is how many bootstrap peers a joiner contacts per
-// volley; the first is the sponsor, the rest are liveness-evidence
-// redundancy in case a seed crashes or departs.
-const joinSeedCount = 3
-
-// memSweep runs once per step on churn runs, after the fault sweep: it
-// fires the plan's scheduled joins and drains, retries join bootstraps
-// and decides admissions, pumps drain custody hand-off, and runs the
-// post-view-change rebalance pass.
-func (b *Balancer) memSweep(m *sim.Machine) {
-	now := b.nw.Step()
-	joins, leaves := b.inj.ChurnDue(now)
-	leaves += b.inj.DrainDue(now)
-	if joins > 0 {
-		for _, j := range b.mem.StartJoins(joins) {
-			st := &b.procs[j]
-			st.xferOpen, st.xferDrain, st.drainAnnounced = false, false, false
-			b.rebalPending[j] = false
-			b.joinSponsor[j] = -1
-			b.joinSeeds[j] = b.mem.SeedPeers(j, joinSeedCount)
-			if !b.inj.Crashed(j, now) {
-				b.sendJoinVolley(j)
-			}
-		}
-	}
-	if leaves > 0 {
-		unfit := func(p int32) bool { return b.det.Suspected(p) }
-		for _, d := range b.mem.StartDrains(leaves, unfit) {
-			b.procs[d].drainAnnounced = false
-		}
-	}
-	for p := int32(0); int(p) < b.n; p++ {
-		switch b.mem.State(p) {
-		case membership.Joining:
-			if b.inj.Crashed(p, now) {
-				continue // a crashed joiner resumes volleys on recovery
-			}
-			// A departed sponsor or seed can no longer admit: re-seed and
-			// wait for a fresh request to land.
-			if sp := b.joinSponsor[p]; sp >= 0 && b.mem.Gone(sp) {
-				b.joinSponsor[p] = -1
-			}
-			if len(b.joinSeeds[p]) == 0 || b.mem.Gone(b.joinSeeds[p][0]) {
-				b.joinSeeds[p] = b.mem.SeedPeers(p, joinSeedCount)
-			}
-			if b.det.Due(p, now) {
-				b.sendJoinVolley(p)
-			}
-			sp := b.joinSponsor[p]
-			if sp >= 0 && !b.inj.Crashed(sp, now) &&
-				now-b.joinFirstHeard[p] >= b.admitAfter && !b.det.Suspected(p) {
-				// The sponsor has heard the joiner's volleys long enough
-				// to hold it Alive: admit and announce the new view.
-				epoch := b.mem.Admit(p)
-				b.joinSponsor[p] = -1
-				b.observeEpoch(sp, epoch)
-				b.broadcast(sp, netsim.Message{Kind: netsim.KindJoin, A: p, B: int32(epoch)})
-			}
-		case membership.Draining:
-			if b.inj.Crashed(p, now) {
-				continue // frozen mid-drain: custody waits for recovery
-			}
-			st := &b.procs[p]
-			if !st.drainAnnounced {
-				epoch := b.mem.Epoch()
-				b.observeEpoch(p, epoch)
-				b.broadcast(p, netsim.Message{Kind: netsim.KindDrain, A: int32(epoch)})
-				st.drainAnnounced = true
-			}
-			if st.xferOpen {
-				continue // one hand-off block at a time (the acked path)
-			}
-			if load := m.Load(int(p)); load > 0 {
-				if tgt := b.pickViewPeer(p); tgt >= 0 {
-					amt := b.cfg.TransferAmount
-					if amt > load {
-						amt = load
-					}
-					b.shipBlockN(m, p, tgt, amt)
-					st.xferDrain = true
-				}
-			} else {
-				// Custody reached zero: depart with a goodbye broadcast.
-				epoch := b.mem.Depart(p)
-				st.drainAnnounced = false
-				b.broadcast(p, netsim.Message{Kind: netsim.KindLeave, A: int32(epoch)})
-			}
-		case membership.Active:
-			if !b.rebalPending[p] {
-				continue
-			}
-			b.rebalPending[p] = false
-			if b.inj.Crashed(p, now) {
-				continue
-			}
-			st := &b.procs[p]
-			if st.xferOpen || m.Load(int(p)) < b.cfg.HeavyThreshold {
-				continue
-			}
-			// Rebalance after a view change, randomized-local-search
-			// style: an overloaded processor pushes one block to a
-			// uniformly random view peer. (The cited local-search rule
-			// probes a peer's load first; the one-shot blind push from
-			// above-threshold nodes is its message-frugal variant — the
-			// regular collision phases do the fine balancing.)
-			if tgt := b.pickViewPeer(p); tgt >= 0 {
-				b.shipBlockN(m, p, tgt, b.cfg.TransferAmount)
-				b.memRebalances++
-			}
-		}
-	}
-}
-
-// sendJoinVolley (re)sends the joiner's bootstrap request to its seed
-// peers; A = 1 marks the sponsor copy.
-func (b *Balancer) sendJoinVolley(j int32) {
-	for i, s := range b.joinSeeds[j] {
-		a := int32(0)
-		if i == 0 {
-			a = 1
-		}
-		b.nw.Send(netsim.Message{From: j, To: s, Kind: netsim.KindJoin, A: a})
-	}
-}
-
-// broadcast sends one copy of msg from processor from to every present
-// peer — membership announcements. O(present) messages per view
-// change, amortized over the churn period; this is the one deliberate
-// violation of the per-step constant-degree budget, and it is visible
-// in PeakSendDegree on churn runs.
-func (b *Balancer) broadcast(from int32, msg netsim.Message) {
-	msg.From = from
-	for p := int32(0); int(p) < b.n; p++ {
-		if p == from || !b.mem.Present(p) {
-			continue
-		}
-		msg.To = p
-		b.nw.Send(msg)
-	}
-}
-
-// pickViewPeer draws a random non-suspected peer from p's view (a few
-// seeded attempts, then a deterministic scan), or -1 when the view
-// offers nobody usable.
-func (b *Balancer) pickViewPeer(p int32) int32 {
-	view := b.mem.ViewOf(p)
-	if len(view) == 0 {
-		return -1
-	}
-	for try := 0; try < 4; try++ {
-		c := view[b.memRng.Intn(len(view))]
-		if c != p && !b.det.Suspected(c) {
-			return c
-		}
-	}
-	for _, c := range view {
-		if c != p && !b.det.Suspected(c) {
-			return c
-		}
-	}
-	return -1
-}
-
-// pickPartner returns the first candidate the failure detector does
-// not suspect and the membership layer still lists as a full member
-// (the first candidate outright when faults are off), or -1.
-func (b *Balancer) pickPartner(st *procState) int32 {
-	for _, c := range st.candidates {
-		if b.det != nil && b.det.Suspected(c) {
-			continue
-		}
-		if b.mem != nil && !b.mem.EligiblePartner(c) {
-			continue
-		}
-		return c
-	}
-	return -1
-}
-
-// shipBlock moves (or starts moving) one standard-size block from
-// heavy root h to partner; see shipBlockN.
-func (b *Balancer) shipBlock(m *sim.Machine, h, partner int32) int {
-	return b.shipBlockN(m, h, partner, b.cfg.TransferAmount)
-}
-
-// shipBlockN moves (or starts moving) an amt-task block from from to
-// to. Fault-free the move is instant and the KindTransfer message is
-// decorative, byte-identical to the pre-detector implementation; its
-// return is the task count moved. Under a fault plan the message IS
-// the transfer: tasks stay queued at the sender until the recipient
-// applies the block (so nothing is ever in flight and a crashed
-// recipient never silently eats it), the sender tracks one
-// sequence-numbered outstanding record, and faultSweep retries it with
-// exponential backoff; the return is 0 — delivery accounts the
-// movement.
-func (b *Balancer) shipBlockN(m *sim.Machine, from, to int32, amt int) int {
-	if b.inj == nil {
-		moved := m.Transfer(int(from), int(to), amt)
-		b.nw.Send(netsim.Message{From: from, To: to, Kind: netsim.KindTransfer, A: int32(moved)})
-		return moved
-	}
-	b.xferSeq++
-	st := &b.procs[from]
-	st.xferOpen = true
-	st.xferDrain = false
-	st.xferSeq = b.xferSeq
-	st.xferTo = to
-	st.xferAmt = int32(amt)
-	st.xferSentAt = b.nw.Step()
-	st.xferTries = 1
-	b.nw.Send(netsim.Message{From: from, To: to, Kind: netsim.KindTransfer, A: st.xferAmt, B: st.xferSeq})
-	return 0
-}
-
-// lateSettle lets a root whose id messages were delayed past the
-// schedule end still transfer during the idle tail (fault runs only).
-func (b *Balancer) lateSettle(m *sim.Machine) {
-	for _, h := range b.heavies {
-		st := &b.procs[h]
-		if st.matched || st.xferOpen || len(st.candidates) == 0 || b.down(h) {
-			continue
-		}
-		partner := b.pickPartner(st)
-		if partner < 0 {
-			continue
-		}
-		moved := b.shipBlock(m, h, partner)
-		st.matched = true
-		b.ps.Matched++
-		b.ps.LateMatched++
-		b.ps.Transferred += int64(moved)
-	}
-	b.syncMessages(m)
-}
-
-// syncMessages pushes this phase's message count into the machine
-// metrics incrementally, so late-tail traffic is accounted without
-// double-counting what settle already reported.
-func (b *Balancer) syncMessages(m *sim.Machine) {
-	cur := b.nw.Sent() - b.sentAt
-	if cur > b.accounted {
-		m.AddMessages(cur - b.accounted)
-		b.accounted = cur
-	}
-	b.ps.Messages = cur
-}
-
-// processProbes handles the Section 4.3 pre-round on the target side.
-func (b *Balancer) processProbes() {
-	for p := 0; p < b.n; p++ {
-		inbox := b.nw.Inbox(p)
-		var probe *netsim.Message
-		probes := 0
-		for i := range inbox {
-			if inbox[i].Kind == netsim.KindProbe {
-				probes++
-				probe = &inbox[i]
-			}
-		}
-		if probes != 1 {
-			continue // no probe, or a collision of several
-		}
-		st := &b.procs[p]
-		if !st.lightAt || st.assigned {
-			continue
-		}
-		st.assigned = true
-		st.reservedFor = probe.From
-		b.nw.Send(netsim.Message{From: int32(p), To: probe.From, Kind: netsim.KindID})
-	}
-}
-
-// preSettle finishes the pre-round: probers that heard back transfer
-// immediately; everyone else opens a query tree.
-func (b *Balancer) preSettle(m *sim.Machine) {
-	for _, h := range b.heavies {
-		st := &b.procs[h]
-		if b.down(h) {
-			continue // crashed prober: no transfer, no tree
-		}
-		if st.xferOpen {
-			continue // previous block still unacknowledged: back off
-		}
-		if partner := b.pickPartner(st); partner >= 0 {
-			moved := b.shipBlock(m, h, partner)
-			st.matched = true
-			b.ps.Matched++
-			b.ps.PreMatched++
-			b.ps.Transferred += int64(moved)
-			continue
-		}
-		b.startSearch(h, h, m.Now())
-	}
-}
-
-// beginPhase classifies processors and launches the heavy searchers
-// (Figure 2's initialization).
-func (b *Balancer) beginPhase(m *sim.Machine) {
-	// Close out the previous phase's stats (under faults, first sweep
-	// up idle-tail traffic — heartbeats, transfer retries — so the
-	// phase's message accounting is complete).
-	if b.phaseOpen {
-		if b.inj != nil {
-			b.syncMessages(m)
-		}
-		b.finishPhase(m)
-	}
-	b.phaseOpen = true
-	b.ps = core.PhaseStats{Start: m.Now(), Steps: b.cfg.ScheduleSteps()}
-	b.sentAt = b.nw.Sent()
-	b.accounted = 0
-	b.heavies = b.heavies[:0]
-
-	snap := m.Snapshot()
-	for p := 0; p < b.n; p++ {
-		st := &b.procs[p]
-		l := int(snap[p])
-		st.lightAt = l <= b.cfg.LightThreshold
-		st.assigned = false
-		st.searching = false
-		st.satisfied = false
-		st.matched = false
-		st.gameAccepts = 0
-		st.boss = int32(p)
-		st.candidates = st.candidates[:0]
-		st.accFrom = st.accFrom[:0]
-		st.accApp = st.accApp[:0]
-		if b.down(int32(p)) {
-			// A crashed processor sits the phase out entirely: it is
-			// neither light (it cannot accept a reservation) nor a
-			// heavy root (it cannot run a tree), whatever its frozen
-			// queue says.
-			st.lightAt = false
-			continue
-		}
-		if b.mem != nil && !b.mem.EligiblePartner(int32(p)) {
-			// Joining and draining slots sit classification out: they
-			// are neither light (they must not take on load) nor heavy
-			// roots (a drainer's load leaves through the hand-off pump).
-			st.lightAt = false
-			continue
-		}
-		if st.lightAt {
-			b.ps.Light++
-		}
-		if l >= b.cfg.HeavyThreshold {
-			b.heavies = append(b.heavies, int32(p))
-		}
-	}
-	b.ps.Heavy = len(b.heavies)
-	if b.cfg.PreRound {
-		// Section 4.3: one probe each before any trees grow.
-		for _, h := range b.heavies {
-			var tgt int32
-			if b.mem == nil {
-				tgt = int32(b.rng.Intn(b.n))
-			} else {
-				view := b.mem.ViewOf(h)
-				tgt = view[b.rng.Intn(len(view))]
-			}
-			b.nw.Send(netsim.Message{From: h, To: tgt, Kind: netsim.KindProbe})
-		}
-	} else {
-		for _, h := range b.heavies {
-			b.startSearch(h, h, m.Now())
-		}
-	}
-	if len(b.heavies) > 0 {
-		b.ps.Rounds = 1
-	}
-}
-
-// startSearch turns processor s into a searcher for root boss and
-// sends its queries.
-func (b *Balancer) startSearch(s, boss int32, now int64) {
-	st := &b.procs[s]
-	if st.searching {
-		return
-	}
-	st.searching = true
-	st.satisfied = false
-	st.boss = boss
-	st.volleys = 0
-	st.accFrom = st.accFrom[:0]
-	st.accApp = st.accApp[:0]
-	if b.mem == nil {
-		buf := make([]int, b.cfg.Collision.A)
-		b.rng.SampleDistinct(buf, b.cfg.Collision.A, b.n, int(s))
-		for i, v := range buf {
-			st.choices[i] = int32(v)
-			st.acceptedBy[i] = false
-		}
-	} else {
-		// Dynamic population: the a targets come from the searcher's
-		// current view, not the fixed [0, n) range.
-		cand := b.memScratch[:0]
-		for _, v := range b.mem.ViewOf(s) {
-			if v != s {
-				cand = append(cand, v)
-			}
-		}
-		if len(cand) < b.cfg.Collision.A {
-			// View too small for a full query set: sit the search out
-			// (consumption and the rebalance pass carry the load).
-			st.searching = false
-			b.memScratch = cand[:0]
-			return
-		}
-		for i := 0; i < b.cfg.Collision.A; i++ {
-			j := i + b.rng.Intn(len(cand)-i)
-			cand[i], cand[j] = cand[j], cand[i]
-			st.choices[i] = cand[i]
-			st.acceptedBy[i] = false
-		}
-		b.memScratch = cand[:0]
-	}
-	b.ps.Requests++
-	b.sendQueries(s, now)
-}
-
-// sendQueries (re)sends queries to every choice that has not accepted.
-func (b *Balancer) sendQueries(s int32, now int64) {
-	st := &b.procs[s]
-	st.lastSent = now
-	st.volleys++
-	for i, tgt := range st.choices {
-		if st.acceptedBy[i] {
-			continue
-		}
-		b.nw.Send(netsim.Message{From: s, To: tgt, Kind: netsim.KindQuery, A: st.boss})
-	}
-}
-
-// processQueries is the target side of one collision round: a
-// processor accepts all of this round's queries iff its cumulative
-// game total stays within the collision value c; otherwise it answers
-// none of them (the collision effect).
-func (b *Balancer) processQueries() {
-	for p := 0; p < b.n; p++ {
-		inbox := b.nw.Inbox(p)
-		nq := 0
-		for _, msg := range inbox {
-			if msg.Kind == netsim.KindQuery {
-				nq++
-			}
-		}
-		if nq == 0 {
-			continue
-		}
-		st := &b.procs[p]
-		if int(st.gameAccepts)+nq > b.cfg.Collision.C {
-			continue // collision: answer nothing
-		}
-		for _, msg := range inbox {
-			if msg.Kind != netsim.KindQuery {
-				continue
-			}
-			st.gameAccepts++
-			applicative := st.lightAt && !st.assigned
-			flag := int32(0)
-			if applicative {
-				flag = 1
-				st.assigned = true
-				st.reservedFor = msg.A
-				// The id message goes straight to the tree root.
-				b.nw.Send(netsim.Message{From: int32(p), To: msg.A, Kind: netsim.KindID})
-			}
-			b.nw.Send(netsim.Message{From: int32(p), To: msg.From, Kind: netsim.KindAccept, A: msg.A, B: flag})
-		}
-	}
-}
-
-// tallyAccepts is the searcher side: accumulate accept messages and
-// re-query the holdouts once the previous volley has had time to
-// answer.
-func (b *Balancer) tallyAccepts(now int64) {
-	for p := 0; p < b.n; p++ {
-		st := &b.procs[p]
-		if !st.searching || st.satisfied {
-			continue
-		}
-		if b.down(int32(p)) {
-			continue // crashed searchers send nothing
-		}
-		for _, msg := range b.nw.Inbox(p) {
-			if msg.Kind != netsim.KindAccept {
-				continue
-			}
-			for i, tgt := range st.choices {
-				if tgt == msg.From && !st.acceptedBy[i] {
-					st.acceptedBy[i] = true
-					st.accFrom = append(st.accFrom, msg.From)
-					st.accApp = append(st.accApp, msg.B == 1)
-					break
-				}
-			}
-		}
-		if len(st.accFrom) >= b.cfg.Collision.B {
-			st.satisfied = true
-			continue
-		}
-		if now-st.lastSent >= 2 {
-			if b.maxRetries > 0 && int(st.volleys) > b.maxRetries {
-				continue // retry budget exhausted for this game
-			}
-			if b.inj != nil {
-				b.ps.Retries++
-			}
-			b.sendQueries(int32(p), now) // re-query non-accepting targets
-		}
-	}
-}
-
-// levelWrapUp ends a collision game: satisfied searchers whose entire
-// accepted group is non-applicative forward the search (the sibling
-// rule); unsatisfied searchers retry at the next level; everyone's
-// game state resets.
-func (b *Balancer) levelWrapUp(level int, now int64) {
-	lastLevel := level == b.cfg.Levels-1
-	var retry []int32
-	for p := 0; p < b.n; p++ {
-		st := &b.procs[p]
-		st.gameAccepts = 0 // next level is a fresh collision game
-		if !st.searching {
-			continue
-		}
-		st.searching = false
-		if b.down(int32(p)) {
-			continue // a crashed node neither forwards nor retries
-		}
-		if !st.satisfied {
-			if !lastLevel {
-				retry = append(retry, int32(p))
-			}
-			continue
-		}
-		anyApplicative := false
-		group := st.accFrom[:b.cfg.Collision.B]
-		for _, app := range st.accApp[:b.cfg.Collision.B] {
-			if app {
-				anyApplicative = true
-			}
-		}
-		if !anyApplicative && !lastLevel {
-			// Both siblings cannot accept load: they keep searching.
-			// The parent coordinates (one forward message each).
-			for _, t := range group {
-				b.nw.Send(netsim.Message{From: int32(p), To: t, Kind: netsim.KindForward, A: st.boss})
-			}
-		}
-	}
-	if lastLevel {
-		return
-	}
-	// Retrying searchers re-enter immediately with fresh choices;
-	// forwarded processors join when their message arrives (next
-	// offset, which is the new level's start — handled in collectIDs'
-	// sweep? No: forwards are consumed here on the *next* call).
-	for _, s := range retry {
-		b.startSearch(s, b.procs[s].boss, now)
-	}
-	if b.ps.Heavy > 0 {
-		b.ps.Rounds++
-	}
-}
-
-// collectIDs runs every step: roots bank arriving id messages, and
-// forwarded processors join the search.
-func (b *Balancer) collectIDs(now int64) {
-	for p := 0; p < b.n; p++ {
-		for _, msg := range b.nw.Inbox(p) {
-			switch msg.Kind {
-			case netsim.KindID:
-				st := &b.procs[p]
-				st.candidates = append(st.candidates, msg.From)
-			case netsim.KindForward:
-				b.startSearch(int32(p), msg.A, now)
-			}
-		}
-	}
-}
-
-// settle ends the phase's protocol: each heavy root that heard from at
-// least one light processor selects the first and moves the block.
-func (b *Balancer) settle(m *sim.Machine) {
-	for _, h := range b.heavies {
-		st := &b.procs[h]
-		if st.matched || st.xferOpen || len(st.candidates) == 0 || b.down(h) {
-			continue
-		}
-		partner := b.pickPartner(st)
-		if partner < 0 {
-			continue
-		}
-		moved := b.shipBlock(m, h, partner)
-		st.matched = true
-		b.ps.Matched++
-		b.ps.Transferred += int64(moved)
-	}
-	b.syncMessages(m)
-	m.AddCommRounds(int64(b.cfg.Levels * b.cfg.Rounds))
-}
-
-// finishPhase publishes the completed phase's stats and, under fault
-// injection, rolls the phase's fault accounting into the machine
-// metrics (abandoned roots, retry volleys, dropped messages).
-func (b *Balancer) finishPhase(m *sim.Machine) {
-	if b.inj != nil {
-		for _, h := range b.heavies {
-			if !b.procs[h].matched {
-				b.ps.Abandoned++
-			}
-		}
-		if b.ps.Abandoned > 0 {
-			m.AddAbandonedPhases(int64(b.ps.Abandoned))
-		}
-		if b.ps.Retries > 0 {
-			m.AddRetries(int64(b.ps.Retries))
-		}
-	}
-	if lost := b.nw.Dropped() + b.nw.CrashLost() - b.dropMark; lost > 0 {
-		m.AddDrops(lost)
-		b.dropMark += lost
-	}
-	b.totalPhases++
-	b.totalMatched += int64(b.ps.Matched)
-	b.totalHeavy += int64(b.ps.Heavy)
-	if b.cfg.OnPhase != nil {
-		b.cfg.OnPhase(b.ps)
 	}
 }

@@ -1,0 +1,17 @@
+package sim
+
+import (
+	"plb/internal/netsim"
+	"plb/internal/transport"
+)
+
+// The lockstep machine owns the in-memory network: message-passing
+// balancers (internal/proto) only ever run installed on a sim.Machine,
+// so registering netsim as the default transport here guarantees the
+// hook is set in every program that can host one — without the
+// protocol core importing a transport implementation.
+func init() {
+	transport.Mem = func(n int) (transport.Transport, error) {
+		return netsim.New(n)
+	}
+}

@@ -1,0 +1,639 @@
+// Package socktrans carries the protocol over real sockets: TCP for
+// fleets spanning machines, Unix-domain sockets for fleets of
+// processes on one box. It implements transport.Transport, framing
+// every message with the internal/wire codec.
+//
+// Connection management is dial-on-demand with reconnection: each
+// remote address gets one outbound connection, created the first time
+// a frame is queued for it and re-dialed with exponential backoff when
+// it breaks; frames queued while a peer is down flow when it returns
+// (bounded by the per-peer write queue — overflow is counted as
+// dropped, exactly the loss semantics the protocol's retry machinery
+// is built for). Read and write deadlines derive from the failure
+// detector's suspect timeout: a connection silent for longer than the
+// detector would tolerate is torn down and re-dialed.
+//
+// Peer discovery starts from a static bootstrap file mapping processor
+// ids to addresses (several ids may share an address — a daemon
+// hosting several processors). The first frame on every connection, in
+// both directions, is a KindJoin handshake (To = -1 marks it as
+// transport control) whose blob is the sender's address table; tables
+// merge on receipt, so a client that knows one seed learns the fleet —
+// the seed-volley discovery the in-memory protocol does with KindJoin
+// membership volleys, reused at the transport layer. Endpoints without
+// a listener (the load generator) are reachable by reply routing: any
+// frame teaches the receiving transport to route responses for its
+// From id back over the same connection.
+//
+// socktrans deliberately does NOT implement transport.FaultHooks:
+// simulated fault plans are declined (internal/proto panics with a
+// pointed message) because on a real network the injector is the
+// network — kill a daemon, drop real packets.
+package socktrans
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"plb/internal/transport"
+	"plb/internal/wire"
+)
+
+// Config parameterizes one transport endpoint.
+type Config struct {
+	// Network is "tcp" or "unix".
+	Network string
+	// Listen is the local listener address; empty means client-only
+	// (reachable by reply routing, like the load generator).
+	Listen string
+	// N is the size of the processor id space the fleet spans.
+	N int
+	// Local lists the processor ids hosted behind this endpoint.
+	Local []int32
+	// Peers is the static bootstrap table, id -> address (see
+	// LoadPeers). Ids missing here are learned from handshakes.
+	Peers map[int32]string
+	// SuspectAfter ties the socket deadlines to the failure detector:
+	// writes must complete within it, and a connection with no traffic
+	// for 4x it is torn down (heartbeats keep live ones warm). 0
+	// derives 5s.
+	SuspectAfter time.Duration
+	// QueueLen bounds each peer's write queue; overflow while a peer
+	// is down is dropped (and counted). 0 derives 256.
+	QueueLen int
+	// MaxFrame bounds accepted frame bodies; 0 derives
+	// wire.DefaultMaxFrame.
+	MaxFrame int
+	// Logf, if non-nil, receives connection-management events.
+	Logf func(format string, args ...any)
+}
+
+// sconn is one live connection, inbound or outbound, with serialized
+// writes and one-shot handshake bookkeeping.
+type sconn struct {
+	c      net.Conn
+	br     *bufio.Reader
+	wmu    sync.Mutex
+	hsSent bool
+}
+
+// peer is the outbound side for one remote address.
+type peer struct {
+	addr string
+	out  chan []byte // encoded frames
+}
+
+// Trans is a socket transport endpoint.
+type Trans struct {
+	cfg          Config
+	ln           net.Listener
+	suspectAfter time.Duration
+	maxFrame     int
+
+	mu      sync.Mutex
+	addrs   map[int32]string              // id -> dialable address
+	peers   map[string]*peer              // addr -> outbound writer
+	routes  map[int32]*sconn              // id -> learned reply route
+	conns   map[*sconn]struct{}           // every live connection
+	pending map[int32][]transport.Message // arrivals per local id
+	current map[int32][]transport.Message // readable window
+	local   map[int32]bool
+	step    int64
+
+	sent       atomic.Int64
+	dropped    atomic.Int64
+	miscarried atomic.Int64 // delivered here for a non-local id
+	kindSent   [transport.KindMax]atomic.Int64
+
+	closed chan struct{}
+	wg     sync.WaitGroup
+}
+
+var (
+	_ transport.Transport   = (*Trans)(nil)
+	_ transport.KindCounter = (*Trans)(nil)
+)
+
+// New opens the endpoint: binds the listener (unless client-only) and
+// starts accepting. Outbound connections are dialed on demand.
+func New(cfg Config) (*Trans, error) {
+	if cfg.Network != "tcp" && cfg.Network != "unix" {
+		return nil, fmt.Errorf("socktrans: network %q (have tcp, unix)", cfg.Network)
+	}
+	if cfg.N < 1 {
+		return nil, fmt.Errorf("socktrans: need n >= 1, got %d", cfg.N)
+	}
+	t := &Trans{
+		cfg:          cfg,
+		suspectAfter: cfg.SuspectAfter,
+		maxFrame:     cfg.MaxFrame,
+		addrs:        make(map[int32]string),
+		peers:        make(map[string]*peer),
+		routes:       make(map[int32]*sconn),
+		conns:        make(map[*sconn]struct{}),
+		pending:      make(map[int32][]transport.Message),
+		current:      make(map[int32][]transport.Message),
+		local:        make(map[int32]bool),
+		closed:       make(chan struct{}),
+	}
+	if t.suspectAfter <= 0 {
+		t.suspectAfter = 5 * time.Second
+	}
+	if t.maxFrame <= 0 {
+		t.maxFrame = wire.DefaultMaxFrame
+	}
+	for _, id := range cfg.Local {
+		t.local[id] = true
+	}
+	for id, addr := range cfg.Peers {
+		if !t.local[id] {
+			t.addrs[id] = addr
+		}
+	}
+	if cfg.Listen != "" {
+		if cfg.Network == "unix" {
+			// A stale socket file from a previous incarnation blocks the
+			// bind; this endpoint owns the path.
+			os.Remove(cfg.Listen)
+		}
+		ln, err := net.Listen(cfg.Network, cfg.Listen)
+		if err != nil {
+			return nil, fmt.Errorf("socktrans: listen: %w", err)
+		}
+		t.ln = ln
+		t.wg.Add(1)
+		go t.acceptLoop()
+	}
+	return t, nil
+}
+
+// N implements transport.Transport.
+func (t *Trans) N() int { return t.cfg.N }
+
+// LocalAddr implements transport.Transport.
+func (t *Trans) LocalAddr() string {
+	if t.ln == nil {
+		return t.cfg.Network + ":client"
+	}
+	return t.ln.Addr().String()
+}
+
+// Stats implements transport.Transport. Socket transports have no
+// simulated fault machinery: Dropped counts frames this endpoint gave
+// up on (no route, full queue, dead connection) and GoneLost counts
+// frames that arrived for an id not hosted here.
+func (t *Trans) Stats() transport.Stats {
+	return transport.Stats{
+		Sent:     t.sent.Load(),
+		Dropped:  t.dropped.Load(),
+		GoneLost: t.miscarried.Load(),
+	}
+}
+
+// SentByKind implements transport.KindCounter.
+func (t *Trans) SentByKind() [transport.KindMax]int64 {
+	var out [transport.KindMax]int64
+	for i := range out {
+		out[i] = t.kindSent[i].Load()
+	}
+	return out
+}
+
+// Step implements transport.Transport: the count of delivery windows
+// opened so far.
+func (t *Trans) Step() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.step
+}
+
+// Send implements transport.Transport: frames m and queues it toward
+// its destination — loopback for local ids, the peer writer for
+// addressable ids, the learned reply route otherwise. With no route at
+// all the frame is dropped and counted; the protocol's retries carry
+// the recovery.
+func (t *Trans) Send(m transport.Message) {
+	t.sent.Add(1)
+	if m.Kind < transport.KindMax {
+		t.kindSent[m.Kind].Add(1)
+	}
+	t.mu.Lock()
+	if t.local[m.To] {
+		t.pending[m.To] = append(t.pending[m.To], m)
+		t.mu.Unlock()
+		return
+	}
+	addr, haveAddr := t.addrs[m.To]
+	route := t.routes[m.To]
+	t.mu.Unlock()
+
+	frame, err := appendFrame(nil, m)
+	if err != nil {
+		t.dropped.Add(1)
+		t.logf("socktrans: encode %s to %d: %v", m.Kind, m.To, err)
+		return
+	}
+	if haveAddr {
+		p := t.peerFor(addr)
+		select {
+		case p.out <- frame:
+		default:
+			t.dropped.Add(1) // peer down long enough to fill its queue
+		}
+		return
+	}
+	if route != nil {
+		if err := t.writeConn(route, frame); err != nil {
+			t.dropped.Add(1)
+		}
+		return
+	}
+	t.dropped.Add(1)
+	t.logf("socktrans: no route to %d for %s", m.To, m.Kind)
+}
+
+// Deliver implements transport.Transport: opens the next delivery
+// window over everything the readers buffered since the last call.
+func (t *Trans) Deliver() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.step++
+	for id := range t.current {
+		t.current[id] = t.current[id][:0]
+	}
+	for id, msgs := range t.pending {
+		t.current[id] = append(t.current[id], msgs...)
+		t.pending[id] = t.pending[id][:0]
+	}
+}
+
+// Inbox implements transport.Transport.
+func (t *Trans) Inbox(p int) []transport.Message {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.current[int32(p)]
+}
+
+// Close implements transport.Transport: stops the listener, tears
+// down every connection, and waits for the loops to exit.
+func (t *Trans) Close() error {
+	select {
+	case <-t.closed:
+		return nil
+	default:
+	}
+	close(t.closed)
+	if t.ln != nil {
+		t.ln.Close()
+	}
+	t.mu.Lock()
+	for sc := range t.conns {
+		sc.c.Close()
+	}
+	t.mu.Unlock()
+	t.wg.Wait()
+	if t.cfg.Network == "unix" && t.cfg.Listen != "" {
+		os.Remove(t.cfg.Listen)
+	}
+	return nil
+}
+
+// Advertise returns the dialable address other endpoints should use
+// to reach this one ("" for a client-only endpoint).
+func (t *Trans) Advertise() string { return t.advertiseAddr() }
+
+// AddPeers merges bootstrap entries into the address book after
+// construction — how an in-process fleet wires endpoints bound to
+// ephemeral ports into a full mesh once every listener is up.
+func (t *Trans) AddPeers(entries map[int32]string) {
+	t.mu.Lock()
+	for id, addr := range entries {
+		if !t.local[id] {
+			t.addrs[id] = addr
+		}
+	}
+	t.mu.Unlock()
+}
+
+// KnownPeers returns the ids this endpoint can currently address
+// (bootstrap plus everything learned from handshakes), sorted.
+func (t *Trans) KnownPeers() []int32 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	ids := make([]int32, 0, len(t.addrs))
+	for id := range t.addrs {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+func (t *Trans) logf(format string, args ...any) {
+	if t.cfg.Logf != nil {
+		t.cfg.Logf(format, args...)
+	}
+}
+
+// appendFrame length-prefixes one encoded message.
+func appendFrame(dst []byte, m transport.Message) ([]byte, error) {
+	dst = append(dst, 0, 0, 0, 0)
+	start := len(dst)
+	dst, err := wire.AppendMessage(dst, m)
+	if err != nil {
+		return nil, err
+	}
+	n := len(dst) - start
+	dst[start-4] = byte(n >> 24)
+	dst[start-3] = byte(n >> 16)
+	dst[start-2] = byte(n >> 8)
+	dst[start-1] = byte(n)
+	return dst, nil
+}
+
+// peerFor returns (creating on first use) the outbound writer for addr.
+func (t *Trans) peerFor(addr string) *peer {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if p, ok := t.peers[addr]; ok {
+		return p
+	}
+	qlen := t.cfg.QueueLen
+	if qlen <= 0 {
+		qlen = 256
+	}
+	p := &peer{addr: addr, out: make(chan []byte, qlen)}
+	t.peers[addr] = p
+	t.wg.Add(1)
+	go t.peerLoop(p)
+	return p
+}
+
+// peerLoop is the per-address writer: dial on demand, reconnect with
+// exponential backoff, write each queued frame under the suspect
+// deadline. A frame whose write fails is retried on the next
+// connection — frames queued across a peer restart flow when it
+// returns, which is what lets a fleet survive a daemon bounce.
+func (t *Trans) peerLoop(p *peer) {
+	defer t.wg.Done()
+	var sc *sconn
+	backoff := 50 * time.Millisecond
+	const maxBackoff = 2 * time.Second
+	for {
+		var frame []byte
+		select {
+		case <-t.closed:
+			return
+		case frame = <-p.out:
+		}
+		for frame != nil {
+			if sc == nil {
+				c, err := net.DialTimeout(t.cfg.Network, p.addr, 2*time.Second)
+				if err != nil {
+					t.logf("socktrans: dial %s: %v (retry in %v)", p.addr, err, backoff)
+					select {
+					case <-t.closed:
+						return
+					case <-time.After(backoff):
+					}
+					if backoff *= 2; backoff > maxBackoff {
+						backoff = maxBackoff
+					}
+					continue
+				}
+				backoff = 50 * time.Millisecond
+				sc = t.adopt(c)
+				if sc == nil {
+					return // closing
+				}
+				t.sendHandshake(sc)
+			}
+			if err := t.writeConn(sc, frame); err != nil {
+				t.logf("socktrans: write %s: %v", p.addr, err)
+				t.dropConn(sc)
+				sc = nil
+				continue // re-dial, retry the same frame
+			}
+			frame = nil
+		}
+	}
+}
+
+// adopt registers a fresh connection (either direction) and starts its
+// reader; returns nil if the transport is already closing.
+func (t *Trans) adopt(c net.Conn) *sconn {
+	sc := &sconn{c: c, br: bufio.NewReader(c)}
+	t.mu.Lock()
+	select {
+	case <-t.closed:
+		t.mu.Unlock()
+		c.Close()
+		return nil
+	default:
+	}
+	t.conns[sc] = struct{}{}
+	t.mu.Unlock()
+	t.wg.Add(1)
+	go t.readLoop(sc)
+	return sc
+}
+
+// writeConn writes one frame under the suspect deadline.
+func (t *Trans) writeConn(sc *sconn, frame []byte) error {
+	sc.wmu.Lock()
+	defer sc.wmu.Unlock()
+	sc.c.SetWriteDeadline(time.Now().Add(t.suspectAfter))
+	_, err := sc.c.Write(frame)
+	return err
+}
+
+// dropConn tears one connection down and forgets its reply routes.
+func (t *Trans) dropConn(sc *sconn) {
+	sc.c.Close()
+	t.mu.Lock()
+	delete(t.conns, sc)
+	for id, r := range t.routes {
+		if r == sc {
+			delete(t.routes, id)
+		}
+	}
+	t.mu.Unlock()
+}
+
+// sendHandshake sends the one-time address-table handshake on a
+// connection.
+func (t *Trans) sendHandshake(sc *sconn) {
+	sc.wmu.Lock()
+	sent := sc.hsSent
+	sc.hsSent = true
+	sc.wmu.Unlock()
+	if sent {
+		return
+	}
+	from := int32(-1)
+	if len(t.cfg.Local) > 0 {
+		from = t.cfg.Local[0]
+	}
+	frame, err := appendFrame(nil, transport.Message{
+		From: from, To: -1, Kind: transport.KindJoin, Blob: t.addrTable(),
+	})
+	if err != nil {
+		t.logf("socktrans: handshake encode: %v", err)
+		return
+	}
+	if err := t.writeConn(sc, frame); err != nil {
+		t.logf("socktrans: handshake write: %v", err)
+	}
+}
+
+// advertiseAddr is the dialable address handshakes announce for this
+// endpoint: the configured listen address, with an ephemeral ":0" port
+// replaced by the one actually bound.
+func (t *Trans) advertiseAddr() string {
+	if t.ln == nil {
+		return ""
+	}
+	if t.cfg.Network == "tcp" && strings.HasSuffix(t.cfg.Listen, ":0") {
+		if host, _, err := net.SplitHostPort(t.cfg.Listen); err == nil {
+			if _, port, err := net.SplitHostPort(t.ln.Addr().String()); err == nil {
+				return net.JoinHostPort(host, port)
+			}
+		}
+	}
+	return t.cfg.Listen
+}
+
+// addrTable renders the address book (self first) as "id addr" lines.
+func (t *Trans) addrTable() []byte {
+	var b strings.Builder
+	if self := t.advertiseAddr(); self != "" {
+		for _, id := range t.cfg.Local {
+			fmt.Fprintf(&b, "%d %s\n", id, self)
+		}
+	}
+	t.mu.Lock()
+	ids := make([]int32, 0, len(t.addrs))
+	for id := range t.addrs {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		fmt.Fprintf(&b, "%d %s\n", id, t.addrs[id])
+	}
+	t.mu.Unlock()
+	return []byte(b.String())
+}
+
+// mergeTable folds a received address table into the book.
+func (t *Trans) mergeTable(blob []byte) {
+	entries, err := ParsePeers(string(blob))
+	if err != nil {
+		t.logf("socktrans: handshake table: %v", err)
+		return
+	}
+	t.mu.Lock()
+	for id, addr := range entries {
+		if !t.local[id] {
+			t.addrs[id] = addr
+		}
+	}
+	t.mu.Unlock()
+}
+
+// acceptLoop admits inbound connections.
+func (t *Trans) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		c, err := t.ln.Accept()
+		if err != nil {
+			select {
+			case <-t.closed:
+				return
+			default:
+			}
+			t.logf("socktrans: accept: %v", err)
+			return
+		}
+		t.adopt(c)
+	}
+}
+
+// readLoop is the per-connection reader, both directions: handshakes
+// merge the address table and (once) get answered with ours; every
+// frame teaches a reply route for its sender; protocol frames for
+// local ids are buffered for the next Deliver.
+func (t *Trans) readLoop(sc *sconn) {
+	defer t.wg.Done()
+	defer t.dropConn(sc)
+	for {
+		sc.c.SetReadDeadline(time.Now().Add(4 * t.suspectAfter))
+		m, err := wire.ReadFrame(sc.br, t.maxFrame)
+		if err != nil {
+			select {
+			case <-t.closed:
+			default:
+				t.logf("socktrans: read %s: %v", sc.c.RemoteAddr(), err)
+			}
+			return
+		}
+		t.mu.Lock()
+		t.routes[m.From] = sc
+		t.mu.Unlock()
+		if m.Kind == transport.KindJoin && m.To == -1 {
+			t.mergeTable(m.Blob)
+			t.sendHandshake(sc) // answer once; hsSent makes this idempotent
+			continue
+		}
+		t.mu.Lock()
+		if t.local[m.To] {
+			t.pending[m.To] = append(t.pending[m.To], m)
+		} else {
+			t.miscarried.Add(1)
+		}
+		t.mu.Unlock()
+	}
+}
+
+// LoadPeers reads a bootstrap file: one "id address" pair per line,
+// '#' comments and blank lines ignored. Several ids may map to one
+// address (a daemon hosting several processors).
+func LoadPeers(path string) (map[int32]string, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("socktrans: peers file: %w", err)
+	}
+	m, err := ParsePeers(string(raw))
+	if err != nil {
+		return nil, fmt.Errorf("socktrans: peers file %s: %w", path, err)
+	}
+	return m, nil
+}
+
+// ParsePeers parses the "id address" line format of LoadPeers and the
+// handshake table.
+func ParsePeers(s string) (map[int32]string, error) {
+	out := make(map[int32]string)
+	for i, line := range strings.Split(s, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("line %d: want \"id address\", got %q", i+1, line)
+		}
+		id, err := strconv.ParseInt(fields[0], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: id %q: %v", i+1, fields[0], err)
+		}
+		out[int32(id)] = fields[1]
+	}
+	return out, nil
+}

@@ -1,0 +1,179 @@
+package socktrans
+
+import (
+	"path/filepath"
+	"testing"
+	"time"
+
+	"plb/internal/task"
+	"plb/internal/transport"
+)
+
+func TestParsePeers(t *testing.T) {
+	m, err := ParsePeers("# fleet\n0 /tmp/a.sock\n\n1 127.0.0.1:9000\n  2 host:1\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[int32]string{0: "/tmp/a.sock", 1: "127.0.0.1:9000", 2: "host:1"}
+	if len(m) != len(want) {
+		t.Fatalf("parsed %v, want %v", m, want)
+	}
+	for id, addr := range want {
+		if m[id] != addr {
+			t.Fatalf("id %d = %q, want %q", id, m[id], addr)
+		}
+	}
+	for _, bad := range []string{"0", "x /tmp/a", "0 a b"} {
+		if _, err := ParsePeers(bad); err == nil {
+			t.Errorf("ParsePeers(%q) accepted", bad)
+		}
+	}
+}
+
+// recv polls Deliver/Inbox until processor id has received want
+// messages (accumulated across windows) or the deadline passes.
+func recv(t *testing.T, tr *Trans, id, want int, deadline time.Duration) []transport.Message {
+	t.Helper()
+	var got []transport.Message
+	for end := time.Now().Add(deadline); time.Now().Before(end); {
+		tr.Deliver()
+		got = append(got, tr.Inbox(id)...)
+		if len(got) >= want {
+			return got
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("proc %d: received %d messages, want %d", id, len(got), want)
+	return nil
+}
+
+// pair builds a two-endpoint fleet (A hosts 0, B hosts 1) on the given
+// network; B knows A's address, A learns B's from the handshake.
+func pair(t *testing.T, network string) (*Trans, *Trans) {
+	t.Helper()
+	listen := func(name string) string {
+		if network == "unix" {
+			return filepath.Join(t.TempDir(), name+".sock")
+		}
+		return "127.0.0.1:0"
+	}
+	a, err := New(Config{Network: network, Listen: listen("a"), N: 2, Local: []int32{0},
+		SuspectAfter: time.Second, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { a.Close() })
+	b, err := New(Config{Network: network, Listen: listen("b"), N: 2, Local: []int32{1},
+		Peers: map[int32]string{0: a.advertiseAddr()}, SuspectAfter: time.Second, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { b.Close() })
+	return a, b
+}
+
+func testExchange(t *testing.T, network string) {
+	a, b := pair(t, network)
+	// B -> A: a query plus a transfer with a real task payload.
+	b.Send(transport.Message{From: 1, To: 0, Kind: transport.KindQuery, A: 1})
+	b.Send(transport.Message{From: 1, To: 0, Kind: transport.KindTransfer, A: 1, B: 7,
+		Tasks: []task.Task{{Origin: 1, Birth: 5, Weight: 1, Remaining: 1}}})
+	got := recv(t, a, 0, 2, 5*time.Second)
+	var xfer *transport.Message
+	for i := range got {
+		if got[i].Kind == transport.KindTransfer {
+			xfer = &got[i]
+		}
+	}
+	if xfer == nil || len(xfer.Tasks) != 1 || xfer.Tasks[0].Origin != 1 {
+		t.Fatalf("transfer payload lost: %+v", got)
+	}
+	// A -> B uses the address learned from B's handshake.
+	a.Send(transport.Message{From: 0, To: 1, Kind: transport.KindTransferAck, A: 1, B: 7})
+	acks := recv(t, b, 1, 1, 5*time.Second)
+	if acks[0].Kind != transport.KindTransferAck || acks[0].B != 7 {
+		t.Fatalf("ack = %+v", acks[0])
+	}
+	if s := a.Stats(); s.Sent != 1 {
+		t.Fatalf("a sent %d, want 1", s.Sent)
+	}
+	if ks := b.SentByKind(); ks[transport.KindQuery] != 1 || ks[transport.KindTransfer] != 1 {
+		t.Fatalf("b per-kind counts = %v", ks)
+	}
+}
+
+func TestExchangeTCP(t *testing.T)  { testExchange(t, "tcp") }
+func TestExchangeUnix(t *testing.T) { testExchange(t, "unix") }
+
+// TestClientReplyRouting: an endpoint with no listener (the load
+// generator) reaches a server from the bootstrap table, and the
+// server's reply rides the same connection back.
+func TestClientReplyRouting(t *testing.T) {
+	srv, err := New(Config{Network: "tcp", Listen: "127.0.0.1:0", N: 2, Local: []int32{0},
+		SuspectAfter: time.Second, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	const clientID = -1
+	cli, err := New(Config{Network: "tcp", N: 2, Local: []int32{clientID},
+		Peers: map[int32]string{0: srv.advertiseAddr()}, SuspectAfter: time.Second, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	cli.Send(transport.Message{From: clientID, To: 0, Kind: transport.KindProbe, B: 1})
+	if got := recv(t, srv, 0, 1, 5*time.Second); got[0].Kind != transport.KindProbe {
+		t.Fatalf("server got %+v", got[0])
+	}
+	srv.Send(transport.Message{From: 0, To: clientID, Kind: transport.KindProbe, B: 2, A: 17})
+	reply := recv(t, cli, clientID, 1, 5*time.Second)
+	if reply[0].B != 2 || reply[0].A != 17 {
+		t.Fatalf("reply = %+v", reply[0])
+	}
+}
+
+// TestReconnect: frames queued while the remote endpoint is down are
+// delivered after it comes back on the same address — the transport
+// property the daemon fleet's bounce-survival rests on.
+func TestReconnect(t *testing.T) {
+	a, err := New(Config{Network: "tcp", Listen: "127.0.0.1:0", N: 2, Local: []int32{0},
+		SuspectAfter: time.Second, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	bAddr := ""
+	newB := func() *Trans {
+		b, err := New(Config{Network: "tcp", Listen: "127.0.0.1:0", N: 2, Local: []int32{1},
+			Peers: map[int32]string{0: a.advertiseAddr()}, SuspectAfter: time.Second, Logf: t.Logf})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	b := newB()
+	bAddr = b.advertiseAddr()
+	b.Send(transport.Message{From: 1, To: 0, Kind: transport.KindHeartbeat})
+	recv(t, a, 0, 1, 5*time.Second)
+
+	// Bounce B: close it, queue traffic toward it while it is gone,
+	// restart it on the same address.
+	b.Close()
+	a.Send(transport.Message{From: 0, To: 1, Kind: transport.KindQuery, A: 0})
+	a.Send(transport.Message{From: 0, To: 1, Kind: transport.KindQuery, A: 0})
+	time.Sleep(100 * time.Millisecond) // let the writer hit the dead address and back off
+
+	b2, err := New(Config{Network: "tcp", Listen: bAddr, N: 2, Local: []int32{1},
+		Peers: map[int32]string{0: a.advertiseAddr()}, SuspectAfter: time.Second, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b2.Close()
+	got := recv(t, b2, 1, 2, 10*time.Second)
+	for _, m := range got {
+		if m.Kind != transport.KindQuery {
+			t.Fatalf("after reconnect got %+v", m)
+		}
+	}
+}
