@@ -3,7 +3,7 @@
 GO ?= go
 BENCH_JSON ?= BENCH_plb.json
 
-.PHONY: all build test race bench bench-smoke bench-compare experiments experiments-quick faults shootout frontier daemon-smoke lint clean
+.PHONY: all build test race bench bench-smoke bench-compare experiments experiments-quick faults shootout frontier daemon-smoke chaos-smoke lint clean
 
 all: build test
 
@@ -75,6 +75,17 @@ frontier:
 # across every process incarnation. A TCP loopback variant rides along.
 daemon-smoke:
 	$(GO) test ./cmd/lbsimd -run 'TestDaemonSmoke' -count=1 -v
+
+# Chaos smoke: fault injection over real sockets, conservation audited
+# to exact ledger equality. Three legs: the in-process UDS fleet under
+# the combined lossy+partition+SIGKILL plan, the real-process kill/
+# restart bounce (lbsimd SIGKILLed pre-injection, relaunched with
+# -epoch 2 under a lossy link plan), and the E28 scenario table at
+# quick scale.
+chaos-smoke:
+	$(GO) test ./internal/integration -run 'TestSockChaosLedgerMatrix/lossy.partition.crash' -count=1 -v
+	$(GO) test ./cmd/lbsimd -run 'TestDaemonChaosKillRestart' -count=1 -v
+	$(GO) run ./cmd/experiments -run E28 -quick
 
 # lint fails (not just lists) on unformatted files, then vets.
 lint:

@@ -70,6 +70,7 @@ func BenchmarkE22SelfSpeedup(b *testing.B)           { benchExperiment(b, "E22")
 func BenchmarkE23FaultLatency(b *testing.B)          { benchExperiment(b, "E23") }
 func BenchmarkE26PolicyShootout(b *testing.B)        { benchExperiment(b, "E26") }
 func BenchmarkE27SparseFrontier(b *testing.B)        { benchExperiment(b, "E27") }
+func BenchmarkE28ChaosLedger(b *testing.B)           { benchExperiment(b, "E28") }
 
 // BenchmarkLiveTaskFlow measures end-to-end task flow through the live
 // goroutine-per-processor backend and surfaces the sojourn statistics

@@ -28,7 +28,7 @@ func main() {
 		wrk      = flag.Int("workers", 0, "simulator worker shards (0 = GOMAXPROCS)")
 		list     = flag.Bool("list", false, "list experiments and exit")
 		parallel = flag.Bool("parallel", false, "run the selected experiments concurrently (results print in order)")
-		faultsF  = flag.String("faults", "", "custom fault plan for fault-aware experiments (E21, E24), e.g. lossy:0.05,flap:k=4,period=200")
+		faultsF  = flag.String("faults", "", "custom fault plan for fault-aware experiments (E21, E24, E28), e.g. lossy:0.05,flap:k=4,period=200")
 		detectF  = flag.String("detect", "", "custom failure-detector tuning for detector experiments (E24), e.g. suspect=20,hb=4")
 		churnF   = flag.String("churn", "", "custom membership schedule for elastic-fleet experiments (E25), e.g. churn:join=4,leave=4,period=400")
 		polF     = flag.String("policies", "", "custom comma-separated policy list for the shootout (E26), e.g. bfm98,supermarket,rr")

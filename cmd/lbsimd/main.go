@@ -40,9 +40,13 @@ import (
 	"time"
 
 	"plb/internal/cli"
+	"plb/internal/faults"
+	"plb/internal/gen"
 	"plb/internal/node"
 	"plb/internal/stats"
 	"plb/internal/task"
+	"plb/internal/transport"
+	"plb/internal/transport/chaostrans"
 	"plb/internal/transport/socktrans"
 )
 
@@ -60,6 +64,8 @@ func main() {
 		loadgen  = flag.Bool("loadgen", false, "run as a load-generator client instead of a daemon")
 		ticks    = flag.Int("ticks", 500, "-loadgen: generation ticks to replay")
 		quiet    = flag.Bool("quiet", false, "suppress connection-management logging on stderr")
+		faultsF  = flag.String("faults", "", "link-fault plan executed at this daemon's frame boundary (lossy/dup/delay/partition/straggle/seed); crash and flap schedules are rejected — kill the process")
+		epoch    = flag.Int("epoch", 1, "incarnation epoch: a restarted daemon must pass its previous epoch + 1 so the fleet's dedup and loss accounting tell the incarnations apart")
 	)
 	flag.Parse()
 
@@ -81,10 +87,13 @@ func main() {
 	}
 
 	if *loadgen {
+		if *faultsF != "" {
+			fail(fmt.Errorf("lbsimd: -faults with -loadgen: chaos belongs on the daemons under test, not the measuring client"))
+		}
 		runLoadgen(peers, *n, *seed, *model, *tick, *ticks, *drainFor, logf)
 		return
 	}
-	runDaemon(*listenF, peers, *idsF, *n, *seed, *model, *tick, *scale, *drainFor, logf)
+	runDaemon(*listenF, peers, *idsF, *n, *seed, *model, *tick, *scale, *drainFor, *faultsF, *epoch, logf)
 }
 
 // splitListen parses the scheme-prefixed -listen form into the
@@ -119,7 +128,7 @@ func parseIDs(s string, n int) ([]int32, error) {
 	return ids, nil
 }
 
-func runDaemon(listen string, peers map[int32]string, idsF string, n int, seed uint64, model string, tick time.Duration, scale int, drainFor time.Duration, logf func(string, ...any)) {
+func runDaemon(listen string, peers map[int32]string, idsF string, n int, seed uint64, model string, tick time.Duration, scale int, drainFor time.Duration, faultSpec string, epoch int, logf func(string, ...any)) {
 	network, addr, err := splitListen(listen)
 	if err != nil {
 		fail(err)
@@ -128,18 +137,47 @@ func runDaemon(listen string, peers map[int32]string, idsF string, n int, seed u
 	if err != nil {
 		fail(err)
 	}
-	tr, err := socktrans.New(socktrans.Config{
+	if epoch < 1 || epoch > 255 {
+		fail(fmt.Errorf("lbsimd: -epoch %d: want [1, 255] (restart with previous epoch + 1)", epoch))
+	}
+	sock, err := socktrans.New(socktrans.Config{
 		Network: network, Listen: addr, N: n, Local: ids, Peers: peers, Logf: logf,
+		Seed: seed,
 	})
 	if err != nil {
 		fail(err)
 	}
-	defer tr.Close()
+	var tr transport.Transport = sock
+	defer func() { tr.Close() }()
+	if faultSpec != "" {
+		plan, perr := faults.ParsePlan(faultSpec)
+		if perr != nil {
+			fail(perr)
+		}
+		link, proc, serr := chaostrans.SplitPlan(plan)
+		if serr != nil {
+			fail(serr)
+		}
+		if proc.Active() {
+			fail(fmt.Errorf("lbsimd: -faults carries a crash/flap schedule; a real daemon dies by SIGKILL — kill this process and restart it with -epoch %d", epoch+1))
+		}
+		ch, werr := chaostrans.Wrap(sock, link, seed)
+		if werr != nil {
+			fail(werr)
+		}
+		tr = ch
+	}
 
-	cfg := node.Config{N: n, Seed: seed, Heavy: 2 * stats.PaperT(n) * max(scale, 1)}
+	cfg := node.Config{N: n, Seed: seed, Heavy: 2 * stats.PaperT(n) * max(scale, 1),
+		// Chaos runs (and restarted incarnations, whose books a
+		// conservation audit needs) keep the forensic transfer log.
+		Epoch: epoch, Ledger: faultSpec != "" || epoch > 1}
 	if model != "" {
 		if cfg.Model, cfg.Weigher, err = cli.BuildWorkload(model, n, seed); err != nil {
 			fail(err)
+		}
+		if _, ok := cfg.Model.(gen.StepAware); ok {
+			fail(fmt.Errorf("lbsimd: -model %q plans against fleet-wide loads each step; a daemon only sees its own processors — use a non-adversarial model or a workload: spec (the in-process fleet, lbsim -backend sockets, supports it)", model))
 		}
 	}
 	var nodes []*node.Node

@@ -229,3 +229,75 @@ func TestDaemonSmokeTCP(t *testing.T) {
 	}
 	auditFleet(t, run.Generated, finals...)
 }
+
+// TestDaemonChaosKillRestart is the real-process chaos smoke (`make
+// chaos-smoke` runs it): three UDS daemons under a lossy+dup link
+// plan, one SIGKILLed — no drain, no goodbye — and relaunched as its
+// next incarnation with -epoch 2 before the load wave, then a replay
+// and clean shutdown. The final books must close the conservation
+// equation EXACTLY against the loss-accounting ledger: in − out ==
+// CrashLost + StaleDupLost − DupDelivered − RequeueDup, with every
+// duplicate the chaos plan manufactured either absorbed by the dedup
+// rings or named in a ledger row.
+//
+// The SIGKILL lands before any task exists, which is the only moment a
+// real process kill is exactly auditable from outside: a SIGKILLed
+// daemon prints nothing, so whatever it held is unrecoverable dark
+// loss. (The in-process fleet supervisor covers mid-run kills — there
+// the supervisor doubles as coroner and snapshots the corpse's books.)
+func TestDaemonChaosKillRestart(t *testing.T) {
+	bin := buildLbsimd(t)
+	dir := t.TempDir()
+	const n = 6
+	table := map[int32]string{}
+	for id := int32(0); id < n; id++ {
+		table[id] = filepath.Join(dir, fmt.Sprintf("ep%d.sock", id/2))
+	}
+	peers := writePeers(t, dir, table)
+
+	args := func(e, epoch int) []string {
+		return []string{"-listen", "unix:" + filepath.Join(dir, fmt.Sprintf("ep%d.sock", e)),
+			"-peers", peers, "-ids", fmt.Sprintf("%d,%d", 2*e, 2*e+1),
+			"-n", fmt.Sprint(n), "-tick", "500us",
+			"-faults", "lossy:0.1,dup:0.05,seed:9",
+			"-epoch", fmt.Sprint(epoch)}
+	}
+	daemons := make([]*daemon, 3)
+	for e := range daemons {
+		daemons[e] = startDaemon(t, bin, args(e, 1)...)
+	}
+
+	// SIGKILL the middle daemon: no drain, no status, books gone. Its
+	// first incarnation held no tasks yet, so the loss is provably zero
+	// and the audit below must close without a corpse record.
+	time.Sleep(300 * time.Millisecond)
+	daemons[1].cmd.Process.Kill()
+	<-daemons[1].done
+	daemons[1] = startDaemon(t, bin, args(1, 2)...)
+
+	run := execLoadgen(t, bin, peers, n, 13, 120)
+
+	var finals []node.Status
+	for _, d := range daemons {
+		finals = append(finals, d.stop(t)...)
+	}
+	for _, st := range finals {
+		if st.Queued != 0 || st.Inflight != 0 {
+			t.Errorf("processor %d drained dirty: queued=%d inflight=%d", st.ID, st.Queued, st.Inflight)
+		}
+		if (st.ID == 2 || st.ID == 3) && st.Epoch != 2 {
+			t.Errorf("restarted processor %d reports epoch %d, want 2", st.ID, st.Epoch)
+		}
+	}
+	in, out, led := node.AuditLedger(finals, nil)
+	if in-out != led.Net() {
+		t.Fatalf("ledger does not close the audit: in=%d out=%d (imbalance %d), ledger %+v nets %d",
+			in, out, in-out, led, led.Net())
+	}
+	// Injection under a dup plan may legitimately exceed generation
+	// (a duplicate apply past the ring increments injected too); the
+	// generator-side contract is that everything generated was acked.
+	if run.Acked != run.Generated {
+		t.Fatalf("loadgen acked %d of %d generated", run.Acked, run.Generated)
+	}
+}

@@ -26,6 +26,7 @@ import (
 	"plb/internal/shmem"
 	"plb/internal/sim"
 	"plb/internal/stats"
+	"plb/internal/transport/chaostrans"
 )
 
 // ModelNames lists the named workloads BuildWorkload accepts (a
@@ -85,11 +86,21 @@ func ValidateFlags(backend, policyName, model, faultSpec, detectSpec, churnSpec 
 		backend = "sim"
 	}
 	if backend == "sockets" {
-		// Socket transports decline fault plans loudly: injected faults
-		// exist only on the in-memory transport. Over real sockets the
-		// network itself is the injector — kill a daemon, drop packets.
+		// Socket fleets honor the subset of the fault grammar a real
+		// network can execute: link faults run in the chaostrans frame
+		// middleware, crash/flap schedules drive the supervisor's
+		// kill/restart cycle. Features with no real-network emulation
+		// (churn, drain, redistribute) are rejected loudly here, with
+		// SplitPlan's error naming the directive and the daemon-lifecycle
+		// alternative — never silently ignored.
 		if faultSpec != "" {
-			return fmt.Errorf("cli: -faults with -backend sockets: socket transports decline fault plans; real networks inject their own faults (use -backend sim for simulated plans)")
+			plan, err := faults.ParsePlan(faultSpec)
+			if err != nil {
+				return fmt.Errorf("cli: -faults %q: %w", faultSpec, err)
+			}
+			if _, _, err := chaostrans.SplitPlan(plan); err != nil {
+				return fmt.Errorf("cli: -faults with -backend sockets: %w", err)
+			}
 		}
 		if listen != "" && listen != "unix" && listen != "tcp" {
 			return fmt.Errorf("cli: -listen %s with -backend sockets: the in-process fleet takes a socket flavor, \"unix\" or \"tcp\"", listen)
@@ -301,9 +312,17 @@ func BuildRunner(backend, policyName, model string, n, scale int, seed uint64, w
 		if err != nil {
 			return nil, err
 		}
-		return node.NewFleet(node.FleetConfig{
+		fc := node.FleetConfig{
 			N: n, Network: listen, Seed: seed, Model: mod, Weigher: weigher, Scale: scale,
-		})
+		}
+		if faultSpec != "" {
+			plan, err := faults.ParsePlan(faultSpec)
+			if err != nil {
+				return nil, err
+			}
+			fc.Faults = &plan
+		}
+		return node.NewFleet(fc)
 	default:
 		return nil, fmt.Errorf("cli: unknown backend %q (have %v)", backend, BackendNames())
 	}

@@ -41,6 +41,20 @@ func TestValidateFlagCombos(t *testing.T) {
 		{"sparse router", "sim", "rsu", "single", "", "", "", true, []string{"-sparse", "-policy rsu"}},
 		{"sparse live", "live", "threshold", "single", "", "", "", true, []string{"-sparse", "-backend live"}},
 		{"sparse shmem", "shmem", "collision", "single", "", "", "", true, []string{"-sparse", "-backend shmem"}},
+		// Socket fleets honor the emulable part of the fault grammar:
+		// link faults run in the chaostrans middleware, crash/flap drive
+		// the supervisor; churn/drain/redistribute have no real-network
+		// emulation and are rejected naming the daemon-lifecycle way.
+		{"sockets lossy", "sockets", "", "single", "lossy:0.1,dup:0.05", "", "", false, nil},
+		{"sockets delay", "sockets", "", "single", "delay:0.2@3,seed:7", "", "", false, nil},
+		{"sockets partition", "sockets", "", "single", "partition:2@100", "", "", false, nil},
+		{"sockets crash", "sockets", "", "single", "crash:1@50-200", "", "", false, nil},
+		{"sockets flap", "sockets", "", "single", "flap:k=1,period=80,duty=0.5", "", "", false, nil},
+		{"sockets kitchen sink", "sockets", "", "single", "lossy:0.05,partition:2@60,crash:1@40-120", "", "", false, nil},
+		{"sockets malformed", "sockets", "", "single", "lossy:nope", "", "", false, []string{"-faults"}},
+		{"sockets churn", "sockets", "", "single", "churn:join=1,leave=1,period=50", "", "", false, []string{"-backend sockets", "churn", "lbsimd"}},
+		{"sockets drain", "sockets", "", "single", "drain:2@50", "", "", false, []string{"-backend sockets", "drain", "SIGTERM"}},
+		{"sockets redistribute", "sockets", "", "single", "crash:1@50-200,redistribute", "", "", false, []string{"-backend sockets", "redistribute"}},
 	}
 	for _, c := range cases {
 		err := ValidateFlags(c.backend, c.algo, c.model, c.faults, c.detect, c.churn, c.sparse, "", "")

@@ -7,8 +7,8 @@ import (
 
 func TestRegistryComplete(t *testing.T) {
 	all := All()
-	if len(all) != 27 {
-		t.Fatalf("registered %d experiments, want 27", len(all))
+	if len(all) != 28 {
+		t.Fatalf("registered %d experiments, want 28", len(all))
 	}
 	for i, e := range all {
 		want := i + 1

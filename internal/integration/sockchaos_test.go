@@ -1,0 +1,155 @@
+package integration
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"plb/internal/faults"
+	"plb/internal/node"
+	"plb/internal/xrand"
+)
+
+// sockHot overloads processor 0 (3 tasks/tick while on) and serves one
+// task per tick everywhere; the switch stops arrivals so the fleet can
+// drain to an auditable point.
+type sockHot struct{ off bool }
+
+func (m *sockHot) Name() string { return "hot0" }
+func (m *sockHot) Generate(proc int, _ *xrand.Stream, _ int64) int {
+	if m.off || proc != 0 {
+		return 0
+	}
+	return 3
+}
+func (m *sockHot) WantConsume(int, *xrand.Stream, int64) int { return 1 }
+
+// TestSockChaosLedgerMatrix is the chaos soak for real sockets: an
+// in-process UDS fleet runs under each emulable fault family — loss,
+// duplication, delay, partition-and-heal, SIGKILL-and-restart — across
+// seeds, and at a settled point the conservation equation must close
+// EXACTLY against the loss-accounting ledger:
+//
+//	(Σ generated + Σ injected) − (Σ completed + Σ queued + Σ inflight)
+//	    == CrashLost + StaleDupLost − DupDelivered − RequeueDup
+//
+// Not approximately, not "within tolerance": every task chaos touched
+// is attributed to a named ledger row, corpses included. Meant to run
+// under -race (the CI race job includes this package). The
+// "lossy+partition+crash" entry is the plan `make chaos-smoke` pins.
+func TestSockChaosLedgerMatrix(t *testing.T) {
+	plans := []struct{ name, spec string }{
+		{"lossy", "lossy:0.15,dup:0.1"},
+		{"delay", "delay:0.3@4,dup:0.05"},
+		{"partition-heal", "partition:2@120,lossy:0.05"},
+		{"kill-restart", "crash:1@80-200,lossy:0.05"},
+		{"lossy+partition+crash", "lossy:0.1,partition:2@100,crash:1@60-180"},
+	}
+	seeds := []uint64{1, 17}
+	if testing.Short() {
+		plans = plans[1:3]
+		seeds = seeds[:1]
+	}
+	for _, pc := range plans {
+		for _, seed := range seeds {
+			pc, seed := pc, seed
+			t.Run(fmt.Sprintf("%s/seed=%d", pc.name, seed), func(t *testing.T) {
+				t.Parallel()
+				plan, err := faults.ParsePlan(pc.spec)
+				if err != nil {
+					t.Fatal(err)
+				}
+				model := &sockHot{}
+				f, err := node.NewFleet(node.FleetConfig{
+					N: 8, Endpoints: 4, Network: "unix", Seed: seed, Model: model,
+					Pause: 100 * time.Microsecond, Faults: &plan,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer f.Close()
+
+				f.Steps(300) // chaos and load together (covers every window)
+				model.off = true
+				if !f.Settle(20000) {
+					in, out, led := f.AuditLedger()
+					t.Fatalf("fleet never settled: in=%d out=%d ledger=%+v", in, out, led)
+				}
+				in, out, led := f.AuditLedger()
+				if in-out != led.Net() {
+					t.Fatalf("ledger does not close the audit: in-out = %d, ledger %+v nets %d",
+						in-out, led, led.Net())
+				}
+				m := f.Collect()
+				if m.Generated == 0 || m.Completed == 0 {
+					t.Fatalf("no work flowed under %s: %+v", pc.spec, m)
+				}
+				if m.Extra["net_dropped"] == 0 && plan.Drop > 0 {
+					t.Fatalf("lossy plan injected no drops: %+v", m.Extra)
+				}
+				if plan.CrashK > 0 {
+					if m.Extra["restarts"] == 0 {
+						t.Fatalf("crash plan bounced no endpoint: %+v", m.Extra)
+					}
+					if m.Extra["corpses"] == 0 {
+						t.Fatalf("supervisor killed without corpse forensics: %+v", m.Extra)
+					}
+				}
+				if got := m.Extra["imbalance"]; got != led.Net() {
+					t.Fatalf("Collect imbalance %d disagrees with audit %d", got, led.Net())
+				}
+			})
+		}
+	}
+}
+
+// TestSockChaosScheduleDeterminism pins what chaos over real sockets
+// does and does not promise: the kill/restart schedule and every frame
+// fate draw from the same pure hash, so with one seed the supervisor
+// bounces the same endpoint at the same step — but row magnitudes
+// (how many frames existed to drop) stay statistical, because socket
+// timing is real. Two runs must agree on the schedule, not the counts.
+func TestSockChaosScheduleDeterminism(t *testing.T) {
+	spec := "crash:1@40-90,lossy:0.1"
+	run := func() (downAt int64, who []int32) {
+		plan, err := faults.ParsePlan(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		model := &sockHot{}
+		f, err := node.NewFleet(node.FleetConfig{
+			N: 8, Endpoints: 4, Network: "unix", Seed: 5, Model: model,
+			Pause: 50 * time.Microsecond, Faults: &plan,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		downAt = -1
+		for s := 0; s < 120; s++ {
+			f.Steps(1)
+			for id := int32(0); id < 8; id++ {
+				if f.Down(id) {
+					if downAt < 0 {
+						downAt = f.Now()
+					}
+					if s == 50 { // mid-window: record the victims once
+						who = append(who, id)
+					}
+				}
+			}
+		}
+		return downAt, who
+	}
+	at1, who1 := run()
+	at2, who2 := run()
+	if at1 < 0 || at1 != at2 {
+		t.Fatalf("kill schedule not deterministic: first down at %d vs %d", at1, at2)
+	}
+	if fmt.Sprint(who1) != fmt.Sprint(who2) {
+		t.Fatalf("different victims across runs: %v vs %v", who1, who2)
+	}
+	if len(who1) == 0 || len(who1)%2 != 0 {
+		t.Fatalf("a kill takes the whole endpoint (2 ids here), got victims %v", who1)
+	}
+}

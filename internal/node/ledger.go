@@ -1,0 +1,217 @@
+package node
+
+import "plb/internal/transport"
+
+// The conservation ledger closes the audit equation under chaos.
+//
+// At quiescence (no unacknowledged transfers anywhere, no frames in
+// flight) the fleet-wide equation
+//
+//	Σ generated + Σ injected  −  (Σ completed + Σ queued + Σ inflight)
+//
+// is zero on a clean run, but chaos moves it in exactly four ways,
+// each observable by joining the per-node forensic logs on the key
+// (sender id, sender epoch, seq) — the epoch rides every transfer's
+// wire blob, so a restarted sender's reused sequence numbers never
+// collide with its previous incarnation's in the join:
+//
+//	surplus (out > in):
+//	  xfer_dup_delivered   the same block applied more than once — a
+//	                       retransmit arriving after the 512-deep dedup
+//	                       ring evicted its seq (or after a KindJoin
+//	                       reset discarded the ring).
+//	  node_crash_requeue   a requeued block whose original delivery
+//	                       landed: the receiver queued it AND the
+//	                       sender took it back (at-least-once).
+//	deficit (in > out):
+//	  xfer_stale_dup_lost  a block acked to the sender but never
+//	                       applied — a stale dedup ring ate a fresh
+//	                       incarnation's reused seq (the KindJoin reset
+//	                       lost the race against the first transfer).
+//	  node_crash_lost      tasks that died with a killed incarnation:
+//	                       its queue at death, plus inflight blocks no
+//	                       receiver ever applied. The incarnation's
+//	                       corpse snapshot contributes its generated/
+//	                       injected to the in side and only its
+//	                       completed to the out side, so everything it
+//	                       held is a named loss, not a silent one.
+//
+// Loadgen blocks (From = LoadGenID) are excluded from the joins: the
+// injected counter increments per application, so a duplicate apply or
+// a stale drop of an injection moves both sides of the equation
+// equally and contributes no imbalance (the generator-side delta is
+// its own report, Generated() vs Σ injected).
+
+// XferState is the terminal (or current) state of one outbound block.
+type XferState uint8
+
+const (
+	// XferInflight: shipped, no ack yet (transient; at a quiescent
+	// audit it appears only in corpse snapshots).
+	XferInflight XferState = iota
+	// XferAcked: the receiver acknowledged the block.
+	XferAcked
+	// XferRequeued: retries exhausted (or the peer was written off);
+	// the sender took the tasks back.
+	XferRequeued
+)
+
+// OutRecord is the forensic record of one outbound transfer block.
+type OutRecord struct {
+	To    int32     `json:"to"`
+	Epoch uint8     `json:"epoch"`
+	Seq   int32     `json:"seq"`
+	Size  int64     `json:"size"`
+	State XferState `json:"state"`
+}
+
+// InRecord is the forensic record of one inbound transfer block,
+// keyed by the sender, the incarnation epoch the transfer carried on
+// the wire, and the sequence number.
+type InRecord struct {
+	From    int32 `json:"from"`
+	Epoch   uint8 `json:"epoch"`
+	Seq     int32 `json:"seq"`
+	Size    int64 `json:"size"`
+	Applied int64 `json:"applied"`
+	// DupDropped counts retransmits the dedup ring absorbed (the
+	// correct path; diagnostic, not a ledger operand).
+	DupDropped int64 `json:"dup_dropped,omitempty"`
+}
+
+type inKey struct {
+	from  int32
+	epoch uint8
+	seq   int32
+}
+
+// logIn records one inbound transfer in the forensic log. The epoch is
+// read from the wire blob; pre-ledger senders without one record as
+// epoch 0, which still joins consistently because they also never
+// restart with an epoch bump.
+func (n *Node) logIn(m transport.Message, applied bool) {
+	if !n.cfg.Ledger {
+		return
+	}
+	ep := uint8(0)
+	if len(m.Blob) > 0 {
+		ep = m.Blob[0]
+	}
+	k := inKey{from: m.From, epoch: ep, seq: m.B}
+	r, ok := n.inLog[k]
+	if !ok {
+		r = &InRecord{From: m.From, Epoch: ep, Seq: m.B, Size: int64(len(m.Tasks))}
+		n.inLog[k] = r
+	}
+	if applied {
+		r.Applied++
+	} else {
+		r.DupDropped++
+	}
+}
+
+// Ledger is the classified imbalance of a chaos run. Each row is
+// non-negative; Net is the signed sum the audit equation must equal.
+type Ledger struct {
+	// CrashLost: tasks that died with a killed incarnation (its queue
+	// at death plus inflight blocks never applied anywhere).
+	CrashLost int64
+	// StaleDupLost: blocks acked to a live sender but never applied.
+	StaleDupLost int64
+	// DupDelivered: extra applications of a block past the first.
+	DupDelivered int64
+	// RequeueDup: requeued blocks whose delivery also landed.
+	RequeueDup int64
+}
+
+// Net is the signed imbalance the ledger explains: deficits (tasks
+// lost from the out side) count positive, surpluses (tasks counted
+// twice on the out side) negative — matching in − out.
+func (l Ledger) Net() int64 {
+	return l.CrashLost + l.StaleDupLost - l.DupDelivered - l.RequeueDup
+}
+
+// Zero reports an empty ledger (a clean run).
+func (l Ledger) Zero() bool { return l == Ledger{} }
+
+// ComputeLedger joins the forensic logs of every incarnation the run
+// ever had — live nodes and corpse snapshots (the status a supervisor
+// captured when it killed an endpoint) — and classifies every unit of
+// imbalance. Statuses must come from nodes running with Config.Ledger.
+func ComputeLedger(live, corpses []Status) Ledger {
+	applied := make(map[inKey]int64)
+	sizes := make(map[inKey]int64)
+	record := func(sts []Status) {
+		for _, st := range sts {
+			for _, r := range st.In {
+				if r.From < 0 {
+					continue // loadgen blocks are self-balancing
+				}
+				k := inKey{from: r.From, epoch: r.Epoch, seq: r.Seq}
+				applied[k] += r.Applied
+				sizes[k] = r.Size
+			}
+		}
+	}
+	record(live)
+	record(corpses)
+
+	var led Ledger
+	for k, a := range applied {
+		if a > 1 {
+			led.DupDelivered += (a - 1) * sizes[k]
+		}
+	}
+	outRows := func(sts []Status, corpse bool) {
+		for _, st := range sts {
+			for _, r := range st.Out {
+				a := applied[inKey{from: st.ID, epoch: r.Epoch, seq: r.Seq}]
+				switch r.State {
+				case XferAcked:
+					if a == 0 {
+						led.StaleDupLost += r.Size
+					}
+				case XferRequeued:
+					if a >= 1 {
+						led.RequeueDup += r.Size
+					}
+				case XferInflight:
+					// Inflight in a corpse: the block died aboard unless a
+					// receiver applied it (then the receiver's books carry
+					// it and the corpse's inflight is excluded from the out
+					// side by AuditLedger's convention).
+					if corpse && a == 0 {
+						led.CrashLost += r.Size
+					}
+				}
+			}
+			if corpse {
+				led.CrashLost += st.Queued
+			}
+		}
+	}
+	outRows(live, false)
+	outRows(corpses, true)
+	return led
+}
+
+// AuditLedger folds live statuses and corpse snapshots into the
+// conservation operands and the ledger that must close them exactly:
+//
+//	in − out == ledger.Net()
+//
+// Corpses contribute their generated and injected work to the in side
+// (those tasks existed) and only their completed work to the out side
+// (that work was real); their queue and inflight at death are the
+// ledger's CrashLost row, not an out-side operand.
+func AuditLedger(live, corpses []Status) (in, out int64, led Ledger) {
+	for _, st := range live {
+		in += st.Generated + st.Injected
+		out += st.Completed + st.Queued + st.Inflight
+	}
+	for _, st := range corpses {
+		in += st.Generated + st.Injected
+		out += st.Completed
+	}
+	return in, out, ComputeLedger(live, corpses)
+}

@@ -1,0 +1,162 @@
+package node
+
+import "testing"
+
+// Ledger fixtures: each scenario hand-builds the Status slices a
+// quiescent audit would collect and checks both the classification
+// (which row absorbed the imbalance) and the closing equation
+// in − out == Net().
+
+func merge(sts ...Status) []Status { return sts }
+
+func TestLedgerCleanRun(t *testing.T) {
+	live := merge(
+		Status{ID: 0, Generated: 100, Completed: 95,
+			Out: []OutRecord{{To: 1, Epoch: 1, Seq: 1, Size: 5, State: XferAcked}}},
+		Status{ID: 1, Generated: 50, Completed: 55,
+			In: []InRecord{{From: 0, Epoch: 1, Seq: 1, Size: 5, Applied: 1}}},
+	)
+	in, out, led := AuditLedger(live, nil)
+	if !led.Zero() {
+		t.Fatalf("clean run, non-zero ledger: %+v", led)
+	}
+	if in != out || in-out != led.Net() {
+		t.Fatalf("clean run: in %d out %d net %d", in, out, led.Net())
+	}
+}
+
+func TestLedgerRequeueAfterDelivery(t *testing.T) {
+	// Sender 0 shipped 7 tasks, the ack was lost, retries exhausted, the
+	// tasks were requeued — but receiver 1 had applied the block. The 7
+	// tasks exist twice on the out side; the ledger names them.
+	live := merge(
+		Status{ID: 0, Generated: 20, Completed: 13, Queued: 7, Requeued: 7,
+			Out: []OutRecord{{To: 1, Epoch: 1, Seq: 1, Size: 7, State: XferRequeued}}},
+		Status{ID: 1, Completed: 7,
+			In: []InRecord{{From: 0, Epoch: 1, Seq: 1, Size: 7, Applied: 1}}},
+	)
+	in, out, led := AuditLedger(live, nil)
+	if led.RequeueDup != 7 || led.CrashLost != 0 || led.StaleDupLost != 0 || led.DupDelivered != 0 {
+		t.Fatalf("ledger %+v, want RequeueDup=7 only", led)
+	}
+	if in-out != led.Net() {
+		t.Fatalf("in-out %d != net %d", in-out, led.Net())
+	}
+}
+
+func TestLedgerCrashLoss(t *testing.T) {
+	// Corpse 2 died with 4 queued tasks and two inflight blocks (sizes 3
+	// and 5); the receiver applied the size-5 one before the kill, so
+	// only queue + the unapplied block are lost.
+	corpse := Status{ID: 2, Epoch: 1, Generated: 30, Completed: 18, Queued: 4, Inflight: 8,
+		Out: []OutRecord{
+			{To: 1, Epoch: 1, Seq: 1, Size: 3, State: XferInflight},
+			{To: 1, Epoch: 1, Seq: 2, Size: 5, State: XferInflight},
+		}}
+	live := merge(
+		Status{ID: 1, Completed: 5,
+			In: []InRecord{{From: 2, Epoch: 1, Seq: 2, Size: 5, Applied: 1}}},
+	)
+	in, out, led := AuditLedger(live, []Status{corpse})
+	if led.CrashLost != 4+3 {
+		t.Fatalf("CrashLost %d, want queue 4 + unapplied inflight 3", led.CrashLost)
+	}
+	if in-out != led.Net() {
+		t.Fatalf("in-out %d != net %d (%+v)", in-out, led.Net(), led)
+	}
+}
+
+func TestLedgerCrashAndRequeueCancel(t *testing.T) {
+	// Sender 0 delivered a block to node 2, which then died: the sender
+	// requeued (ack never came), the receiver's corpse shows the applied
+	// tasks in its queue. CrashLost and RequeueDup both fire and cancel:
+	// net imbalance zero, with both events named rather than invisible.
+	live := merge(
+		Status{ID: 0, Generated: 10, Completed: 4, Queued: 6, Requeued: 6,
+			Out: []OutRecord{{To: 2, Epoch: 1, Seq: 1, Size: 6, State: XferRequeued}}},
+	)
+	corpse := Status{ID: 2, Epoch: 1, Queued: 6,
+		In: []InRecord{{From: 0, Epoch: 1, Seq: 1, Size: 6, Applied: 1}}}
+	in, out, led := AuditLedger(live, []Status{corpse})
+	if led.CrashLost != 6 || led.RequeueDup != 6 {
+		t.Fatalf("ledger %+v, want CrashLost=6 and RequeueDup=6", led)
+	}
+	if led.Net() != 0 || in-out != 0 {
+		t.Fatalf("cancellation: net %d, in-out %d", led.Net(), in-out)
+	}
+}
+
+func TestLedgerDupDelivered(t *testing.T) {
+	// A retransmit applied twice (ring wrapped): 3 extra tasks surplus.
+	live := merge(
+		Status{ID: 0, Generated: 3,
+			Out: []OutRecord{{To: 1, Epoch: 1, Seq: 1, Size: 3, State: XferAcked}}},
+		Status{ID: 1, Completed: 6,
+			In: []InRecord{{From: 0, Epoch: 1, Seq: 1, Size: 3, Applied: 2}}},
+	)
+	in, out, led := AuditLedger(live, nil)
+	if led.DupDelivered != 3 {
+		t.Fatalf("DupDelivered %d, want 3", led.DupDelivered)
+	}
+	if in-out != led.Net() {
+		t.Fatalf("in-out %d != net %d", in-out, led.Net())
+	}
+}
+
+func TestLedgerStaleDupLost(t *testing.T) {
+	// A stale dedup ring ate a fresh block (acked, never applied):
+	// deficit of 2, named.
+	live := merge(
+		Status{ID: 0, Generated: 2,
+			Out: []OutRecord{{To: 1, Epoch: 2, Seq: 1, Size: 2, State: XferAcked}}},
+		Status{ID: 1,
+			In: []InRecord{{From: 0, Epoch: 2, Seq: 1, Size: 2, Applied: 0, DupDropped: 1}}},
+	)
+	in, out, led := AuditLedger(live, nil)
+	if led.StaleDupLost != 2 {
+		t.Fatalf("StaleDupLost %d, want 2", led.StaleDupLost)
+	}
+	if in-out != led.Net() {
+		t.Fatalf("in-out %d != net %d", in-out, led.Net())
+	}
+}
+
+func TestLedgerEpochsSeparateIncarnations(t *testing.T) {
+	// A restarted sender reuses seq 1. Epoch-1's block was applied;
+	// epoch-2's block (same seq) was acked and applied separately. With
+	// epoch in the join key neither looks like a duplicate of the other.
+	corpse := Status{ID: 0, Epoch: 1, Generated: 4, Completed: 0,
+		Out: []OutRecord{{To: 1, Epoch: 1, Seq: 1, Size: 4, State: XferAcked}}}
+	live := merge(
+		Status{ID: 0, Epoch: 2, Generated: 2,
+			Out: []OutRecord{{To: 1, Epoch: 2, Seq: 1, Size: 2, State: XferAcked}}},
+		Status{ID: 1, Completed: 6,
+			In: []InRecord{
+				{From: 0, Epoch: 1, Seq: 1, Size: 4, Applied: 1},
+				{From: 0, Epoch: 2, Seq: 1, Size: 2, Applied: 1},
+			}},
+	)
+	in, out, led := AuditLedger(live, []Status{corpse})
+	if !led.Zero() {
+		t.Fatalf("epoch-keyed join misclassified: %+v", led)
+	}
+	if in-out != 0 {
+		t.Fatalf("in-out %d, want 0", in-out)
+	}
+}
+
+func TestLedgerExcludesLoadgen(t *testing.T) {
+	// Loadgen blocks dup-apply on the injected counter itself, so both
+	// equation sides move together; the ledger must not double-name it.
+	live := merge(
+		Status{ID: 0, Injected: 10, Completed: 10,
+			In: []InRecord{{From: LoadGenID, Epoch: 1, Seq: 1, Size: 5, Applied: 2}}},
+	)
+	in, out, led := AuditLedger(live, nil)
+	if !led.Zero() {
+		t.Fatalf("loadgen rows leaked into the ledger: %+v", led)
+	}
+	if in != out {
+		t.Fatalf("in %d out %d", in, out)
+	}
+}

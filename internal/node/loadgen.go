@@ -60,6 +60,9 @@ func NewGen(tr transport.Transport, cfg GenConfig) (*Gen, error) {
 	if cfg.Model == nil {
 		return nil, fmt.Errorf("node: loadgen needs an arrival model")
 	}
+	if _, ok := cfg.Model.(gen.StepAware); ok {
+		return nil, fmt.Errorf("node: model %q plans against fleet-wide loads each step; the load generator has no such view — use a non-adversarial model or a workload: spec", cfg.Model.Name())
+	}
 	if cfg.Pause <= 0 {
 		cfg.Pause = time.Millisecond
 	}
@@ -144,7 +147,7 @@ func (g *Gen) tick(generate bool) {
 			g.pending[seq] = &pendingXfer{to: int32(p), tasks: block, sentAt: g.now, attempts: 1}
 			g.generated += int64(c)
 			g.tr.Send(transport.Message{From: LoadGenID, To: int32(p), Kind: transport.KindTransfer,
-				A: int32(c), B: seq, Tasks: block})
+				A: int32(c), B: seq, Tasks: block, Blob: []byte{1}})
 		}
 	}
 	for seq, x := range g.pending {
@@ -157,7 +160,7 @@ func (g *Gen) tick(generate bool) {
 			g.cfg.Logf("loadgen: transfer %d to %d still unacked after %d attempts", seq, x.to, x.attempts)
 		}
 		g.tr.Send(transport.Message{From: LoadGenID, To: x.to, Kind: transport.KindTransfer,
-			A: int32(len(x.tasks)), B: seq, Tasks: x.tasks})
+			A: int32(len(x.tasks)), B: seq, Tasks: x.tasks, Blob: []byte{1}})
 	}
 }
 

@@ -25,11 +25,18 @@
 // from LoadGenID, counted once — duplicates are absorbed by the dedup
 // ring), and ends completed, queued, or riding an unacknowledged
 // transfer. Σ generated + Σ injected == Σ completed + Σ queued +
-// Σ inflight holds across a fleet as long as no process dies
-// uncleanly; the daemon smoke test asserts it to the task across a
-// drain-and-restart cycle. After a hard crash the retry machinery
-// degrades to at-least-once: a requeued block whose original delivery
-// did land surfaces as a surplus in exactly this audit.
+// Σ inflight holds across a fleet as long as no process dies uncleanly
+// and no dedup ring misfires; the daemon smoke test asserts it to the
+// task across a drain-and-restart cycle. Under chaos the equation can
+// move — but never unaccountably: with Config.Ledger on, every node
+// keeps a forensic log of its transfers (outbound blocks keyed by the
+// incarnation epoch each transfer carries on the wire, inbound blocks
+// by sender/epoch/seq with apply and dup-drop counts), and
+// ComputeLedger joins the logs fleet-wide to attribute every unit of
+// imbalance to a named row: requeue-after-delivery, duplicate
+// application past the dedup ring, a stale ring eating a reused seq,
+// or tasks that died with a killed incarnation. Chaos harnesses assert
+// imbalance == ledger exactly instead of tolerating a surplus.
 package node
 
 import (
@@ -84,6 +91,16 @@ type Config struct {
 	// Peers lists the ids greeted by the startup join volley; nil
 	// means every other id in [0, N).
 	Peers []int32
+	// Epoch is this incarnation's epoch number, carried on every
+	// outbound transfer so receivers and the conservation ledger can
+	// tell a restarted sender's reused sequence numbers from the
+	// previous incarnation's (<= 0 derives 1; a supervisor restarts a
+	// node with the next epoch).
+	Epoch int
+	// Ledger turns on the per-transfer forensic log ComputeLedger
+	// joins (chaos harnesses and fleets). It grows with the transfer
+	// count, so it stays off by default for long-lived daemons.
+	Ledger bool
 }
 
 // pendingXfer is one unacknowledged outbound transfer.
@@ -129,6 +146,10 @@ type Node struct {
 	generated, injected, completed         int64
 	acked, retries, requeued, dupDropped   int64
 	balanceActions, tasksMoved, tasksTaken int64
+
+	epoch  uint8
+	outLog map[int32]*OutRecord // seq -> forensic record (cfg.Ledger)
+	inLog  map[inKey]*InRecord
 }
 
 // New builds a node on a transport. The transport must already host
@@ -171,6 +192,9 @@ func New(tr transport.Transport, cfg Config) (*Node, error) {
 	if err != nil {
 		return nil, fmt.Errorf("node %d: %w", cfg.ID, err)
 	}
+	if cfg.Epoch <= 0 {
+		cfg.Epoch = 1
+	}
 	n := &Node{
 		cfg:      cfg,
 		tr:       tr,
@@ -181,6 +205,11 @@ func New(tr transport.Transport, cfg Config) (*Node, error) {
 		inflight: make(map[int32]*pendingXfer),
 		dedup:    make(map[int32]*[dedupLen]int32),
 		dedupPos: make(map[int32]int),
+		epoch:    uint8(cfg.Epoch),
+	}
+	if cfg.Ledger {
+		n.outLog = make(map[int32]*OutRecord)
+		n.inLog = make(map[inKey]*InRecord)
 	}
 	peers := cfg.Peers
 	if peers == nil {
@@ -267,6 +296,12 @@ type Status struct {
 	Requeued   int64 `json:"requeued"`
 	DupDropped int64 `json:"dup_dropped"`
 	Draining   bool  `json:"draining,omitempty"`
+	// Epoch is the incarnation this status describes (restarts bump it).
+	Epoch uint8 `json:"epoch,omitempty"`
+	// Out and In carry the forensic transfer logs when Config.Ledger is
+	// on — the join inputs of ComputeLedger.
+	Out []OutRecord `json:"out,omitempty"`
+	In  []InRecord  `json:"in,omitempty"`
 	// Recorder carries the full task-lifecycle accounting so a client
 	// can merge nodes exactly and derive the same wait and locality
 	// columns the lockstep backends report.
@@ -279,15 +314,32 @@ func (n *Node) Status() Status {
 	for _, x := range n.inflight {
 		inflight += int64(len(x.tasks))
 	}
-	return Status{
+	st := Status{
 		ID: n.cfg.ID, Now: n.now,
 		Generated: n.generated, Injected: n.injected, Completed: n.completed,
 		Queued: int64(n.queue.Len()), Inflight: inflight,
 		Acked: n.acked, Retries: n.retries, Requeued: n.requeued, DupDropped: n.dupDropped,
 		Draining: n.draining,
+		Epoch:    n.epoch,
 		Recorder: n.rec,
 	}
+	if n.cfg.Ledger {
+		st.Out = make([]OutRecord, 0, len(n.outLog))
+		for _, r := range n.outLog {
+			st.Out = append(st.Out, *r)
+		}
+		st.In = make([]InRecord, 0, len(n.inLog))
+		for _, r := range n.inLog {
+			st.In = append(st.In, *r)
+		}
+	}
+	return st
 }
+
+// Suspects reports whether this node's failure detector currently
+// suspects peer p — the observable chaos experiments use to measure
+// detection latency after a kill.
+func (n *Node) Suspects(p int32) bool { return n.det.Suspected(p) }
 
 // Recorder exposes the task-lifecycle recorder for aggregation.
 func (n *Node) Recorder() *task.Recorder { return &n.rec }
@@ -312,11 +364,17 @@ func (n *Node) handle(m transport.Message) {
 	case transport.KindTransfer:
 		n.applyTransfer(m)
 	case transport.KindTransferAck:
-		if x, ok := n.inflight[m.B]; ok {
+		// The ack must come from the block's receiver: under chaos a
+		// delayed or duplicated ack can arrive long after its seq, and
+		// matching by seq alone would let it retire the wrong block.
+		if x, ok := n.inflight[m.B]; ok && x.to == m.From {
 			n.acked += int64(len(x.tasks))
 			n.tasksMoved += int64(len(x.tasks))
 			n.balanceActions++
 			delete(n.inflight, m.B)
+			if r, ok := n.outLog[m.B]; ok {
+				r.State = XferAcked
+			}
 		}
 	case transport.KindProbe:
 		if m.B == 1 {
@@ -367,11 +425,13 @@ func (n *Node) applyTransfer(m transport.Message) {
 	for _, seq := range ring {
 		if seq == m.B {
 			n.dupDropped++
+			n.logIn(m, false)
 			return
 		}
 	}
 	ring[n.dedupPos[m.From]] = m.B
 	n.dedupPos[m.From] = (n.dedupPos[m.From] + 1) % dedupLen
+	n.logIn(m, true)
 	injected := m.From == LoadGenID
 	for _, t := range m.Tasks {
 		if t.Birth < 0 {
@@ -451,8 +511,14 @@ func (n *Node) ship(to int32, k int) {
 	n.nextSeq++
 	block := n.queue.TakeBack(k)
 	n.inflight[seq] = &pendingXfer{to: to, tasks: block, sentAt: n.now, attempts: 1}
+	if n.cfg.Ledger {
+		n.outLog[seq] = &OutRecord{
+			To: to, Epoch: n.epoch, Seq: seq,
+			Size: int64(len(block)), State: XferInflight,
+		}
+	}
 	n.send(transport.Message{From: n.cfg.ID, To: to, Kind: transport.KindTransfer,
-		A: int32(len(block)), B: seq, Tasks: block})
+		A: int32(len(block)), B: seq, Tasks: block, Blob: []byte{n.epoch}})
 }
 
 // drainStep ships the remaining queue away, then lingers (re-acking
@@ -501,18 +567,23 @@ func (n *Node) retryPump() {
 		dead := !n.active[x.to] || n.det.State(x.to) == detect.Down
 		if x.attempts >= n.cfg.Attempts || dead {
 			// Requeue locally. If the original delivery landed and only
-			// the ack was lost this double-counts — the documented
-			// at-least-once degradation the conservation audit surfaces.
+			// the ack was lost this double-counts — at-least-once, which
+			// the forensic log makes attributable: the ledger joins this
+			// record against the receiver's applied log and charges the
+			// surplus to its requeue-after-delivery row.
 			n.queue.PushBackAll(x.tasks)
 			n.requeued += int64(len(x.tasks))
 			delete(n.inflight, seq)
+			if r, ok := n.outLog[seq]; ok {
+				r.State = XferRequeued
+			}
 			continue
 		}
 		x.attempts++
 		x.sentAt = n.now
 		n.retries++
 		n.send(transport.Message{From: n.cfg.ID, To: x.to, Kind: transport.KindTransfer,
-			A: int32(len(x.tasks)), B: seq, Tasks: x.tasks})
+			A: int32(len(x.tasks)), B: seq, Tasks: x.tasks, Blob: []byte{n.epoch}})
 	}
 }
 

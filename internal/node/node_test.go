@@ -167,16 +167,16 @@ func TestDrainHandsOff(t *testing.T) {
 	defer f.Close()
 	f.Steps(100) // build a backlog on node 0
 	model.off = true
-	f.nodes[0].Drain()
+	f.node(0).Drain()
 	deadline := time.Now().Add(20 * time.Second)
-	for !f.nodes[0].DrainDone() {
+	for !f.node(0).DrainDone() {
 		if time.Now().After(deadline) {
-			st := f.nodes[0].Status()
+			st := f.node(0).Status()
 			t.Fatalf("drain never finished: %+v", st)
 		}
 		f.Steps(5)
 	}
-	st := f.nodes[0].Status()
+	st := f.node(0).Status()
 	if st.Queued != 0 || st.Inflight != 0 {
 		t.Fatalf("drain left work behind: %+v", st)
 	}

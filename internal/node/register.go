@@ -13,6 +13,7 @@ func init() {
 		Summary: "threshold balancer over real sockets (in-process fleet or lbsimd daemons)",
 		Caps: policy.Caps{
 			Backends: []string{"sockets"},
+			Faults:   []string{"sockets"},
 			Workload: []string{"sockets"},
 		},
 	})

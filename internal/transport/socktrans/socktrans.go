@@ -26,9 +26,11 @@
 // From id back over the same connection.
 //
 // socktrans deliberately does NOT implement transport.FaultHooks:
-// simulated fault plans are declined (internal/proto panics with a
-// pointed message) because on a real network the injector is the
-// network — kill a daemon, drop real packets.
+// those hooks reach inside the in-memory network's delivery queues,
+// which real sockets do not have. Fault injection for socket fleets
+// happens one layer up — internal/transport/chaostrans wraps an
+// endpoint and executes a fault plan at the frame boundary, and
+// process-level chaos (kill, restart) is a supervisor's job.
 package socktrans
 
 import (
@@ -72,6 +74,10 @@ type Config struct {
 	// MaxFrame bounds accepted frame bodies; 0 derives
 	// wire.DefaultMaxFrame.
 	MaxFrame int
+	// Seed derives the per-peer reconnect jitter (see backoffFor); 0
+	// keeps it (the jitter is per-address even at seed zero, so a
+	// shared default still de-synchronizes redials).
+	Seed uint64
 	// Logf, if non-nil, receives connection-management events.
 	Logf func(format string, args ...any)
 }
@@ -243,6 +249,10 @@ func (t *Trans) Send(m transport.Message) {
 	}
 	if haveAddr {
 		p := t.peerFor(addr)
+		if p == nil {
+			t.dropped.Add(1) // transport closing
+			return
+		}
 		select {
 		case p.out <- frame:
 		default:
@@ -285,12 +295,18 @@ func (t *Trans) Inbox(p int) []transport.Message {
 // Close implements transport.Transport: stops the listener, tears
 // down every connection, and waits for the loops to exit.
 func (t *Trans) Close() error {
+	// The closed channel is shut under mu so peerFor and adopt can
+	// check it and register with the WaitGroup atomically — otherwise a
+	// Send racing Close could spawn a writer after Wait started.
+	t.mu.Lock()
 	select {
 	case <-t.closed:
+		t.mu.Unlock()
 		return nil
 	default:
 	}
 	close(t.closed)
+	t.mu.Unlock()
 	if t.ln != nil {
 		t.ln.Close()
 	}
@@ -358,10 +374,18 @@ func appendFrame(dst []byte, m transport.Message) ([]byte, error) {
 	return dst, nil
 }
 
-// peerFor returns (creating on first use) the outbound writer for addr.
+// peerFor returns (creating on first use) the outbound writer for
+// addr, or nil when the transport is closing — creating a writer then
+// would race Close's WaitGroup drain (a send concurrent with Close is
+// legal; the frame counts as dropped).
 func (t *Trans) peerFor(addr string) *peer {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	select {
+	case <-t.closed:
+		return nil
+	default:
+	}
 	if p, ok := t.peers[addr]; ok {
 		return p
 	}
@@ -376,16 +400,48 @@ func (t *Trans) peerFor(addr string) *peer {
 	return p
 }
 
+// backoffFor is the reconnect pause after the attempt-th consecutive
+// dial failure toward addr: exponential from 50ms capped at 2s, scaled
+// by a deterministic jitter factor in [0.5, 1.5) hashed from (seed,
+// addr, attempt). Pure, so the schedule is testable; jittered, so the
+// endpoints that all watched one daemon die do not re-dial its revived
+// incarnation in a synchronized thundering herd — the per-address hash
+// de-synchronizes them even when every endpoint shares a seed.
+func backoffFor(seed uint64, addr string, attempt int) time.Duration {
+	const (
+		base = 50 * time.Millisecond
+		max  = 2 * time.Second
+	)
+	d := base
+	for i := 0; i < attempt && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	h := seed ^ 0x9e3779b97f4a7c15
+	for i := 0; i < len(addr); i++ {
+		h = (h ^ uint64(addr[i])) * 0x100000001b3
+	}
+	h ^= uint64(attempt) * 0xd1342543de82ef95
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	frac := float64(h>>11) / float64(1<<53) // uniform [0, 1)
+	return time.Duration(float64(d) * (0.5 + frac))
+}
+
 // peerLoop is the per-address writer: dial on demand, reconnect with
-// exponential backoff, write each queued frame under the suspect
-// deadline. A frame whose write fails is retried on the next
-// connection — frames queued across a peer restart flow when it
-// returns, which is what lets a fleet survive a daemon bounce.
+// jittered exponential backoff (backoffFor), write each queued frame
+// under the suspect deadline. A frame whose write fails is retried on
+// the next connection — frames queued across a peer restart flow when
+// it returns, which is what lets a fleet survive a daemon bounce.
 func (t *Trans) peerLoop(p *peer) {
 	defer t.wg.Done()
 	var sc *sconn
-	backoff := 50 * time.Millisecond
-	const maxBackoff = 2 * time.Second
+	attempt := 0
 	for {
 		var frame []byte
 		select {
@@ -397,18 +453,17 @@ func (t *Trans) peerLoop(p *peer) {
 			if sc == nil {
 				c, err := net.DialTimeout(t.cfg.Network, p.addr, 2*time.Second)
 				if err != nil {
+					backoff := backoffFor(t.cfg.Seed, p.addr, attempt)
+					attempt++
 					t.logf("socktrans: dial %s: %v (retry in %v)", p.addr, err, backoff)
 					select {
 					case <-t.closed:
 						return
 					case <-time.After(backoff):
 					}
-					if backoff *= 2; backoff > maxBackoff {
-						backoff = maxBackoff
-					}
 					continue
 				}
-				backoff = 50 * time.Millisecond
+				attempt = 0
 				sc = t.adopt(c)
 				if sc == nil {
 					return // closing
@@ -439,8 +494,8 @@ func (t *Trans) adopt(c net.Conn) *sconn {
 	default:
 	}
 	t.conns[sc] = struct{}{}
+	t.wg.Add(1) // under mu, atomic with the closed check above
 	t.mu.Unlock()
-	t.wg.Add(1)
 	go t.readLoop(sc)
 	return sc
 }

@@ -2,6 +2,7 @@ package socktrans
 
 import (
 	"path/filepath"
+	"sync"
 	"testing"
 	"time"
 
@@ -175,5 +176,85 @@ func TestReconnect(t *testing.T) {
 		if m.Kind != transport.KindQuery {
 			t.Fatalf("after reconnect got %+v", m)
 		}
+	}
+}
+
+// TestBackoffJitterDiverges pins the reconnect jitter's contract: the
+// schedule is a pure function of (seed, addr, attempt), bounded by
+// [0.5x, 1.5x) of the exponential base, and distinct addresses (or
+// distinct seeds) de-synchronize — the property that stops every
+// endpoint that watched one daemon die from re-dialing its revived
+// incarnation in lockstep.
+func TestBackoffJitterDiverges(t *testing.T) {
+	const (
+		base = 50 * time.Millisecond
+		max  = 2 * time.Second
+	)
+	for attempt := 0; attempt < 10; attempt++ {
+		exp := base
+		for i := 0; i < attempt && exp < max; i++ {
+			exp *= 2
+		}
+		if exp > max {
+			exp = max
+		}
+		d := backoffFor(7, "ep0.sock", attempt)
+		if d < exp/2 || d >= exp+exp/2 {
+			t.Fatalf("attempt %d: backoff %v outside [%v, %v)", attempt, d, exp/2, exp+exp/2)
+		}
+		if d2 := backoffFor(7, "ep0.sock", attempt); d2 != d {
+			t.Fatalf("attempt %d: not deterministic: %v vs %v", attempt, d, d2)
+		}
+	}
+	// Two peers sharing a seed, or two seeds sharing a peer, must not
+	// redial on one synchronized schedule.
+	divergedAddr, divergedSeed := false, false
+	for attempt := 0; attempt < 10; attempt++ {
+		if backoffFor(7, "ep0.sock", attempt) != backoffFor(7, "ep1.sock", attempt) {
+			divergedAddr = true
+		}
+		if backoffFor(7, "ep0.sock", attempt) != backoffFor(8, "ep0.sock", attempt) {
+			divergedSeed = true
+		}
+	}
+	if !divergedAddr {
+		t.Fatal("same schedule for different addresses: herd not broken")
+	}
+	if !divergedSeed {
+		t.Fatal("same schedule for different seeds")
+	}
+}
+
+// TestCloseDuringSend hammers Send from many goroutines while Close
+// runs (run under -race): closing must not panic the WaitGroup, leak
+// writers, or deadlock — late sends count as dropped.
+func TestCloseDuringSend(t *testing.T) {
+	for round := 0; round < 8; round++ {
+		a, b := pair(t, "unix")
+		// Prime a connection so Close has live conns to tear down.
+		b.Send(transport.Message{From: 1, To: 0, Kind: transport.KindHeartbeat})
+		recv(t, a, 0, 1, 5*time.Second)
+
+		var wg sync.WaitGroup
+		start := make(chan struct{})
+		for g := 0; g < 8; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				<-start
+				for i := 0; i < 200; i++ {
+					b.Send(transport.Message{From: 1, To: 0, Kind: transport.KindQuery, A: int32(g)})
+				}
+			}(g)
+		}
+		close(start)
+		b.Close()
+		wg.Wait()
+		// Close is idempotent and the transport stays inert afterwards.
+		b.Send(transport.Message{From: 1, To: 0, Kind: transport.KindQuery})
+		if err := b.Close(); err != nil {
+			t.Fatalf("second close: %v", err)
+		}
+		a.Close()
 	}
 }
